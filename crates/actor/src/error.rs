@@ -1,0 +1,68 @@
+//! Actor runtime error types.
+
+use fabsp_conveyors::ConveyorError;
+
+/// Errors surfaced by the selector runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActorError {
+    /// A mailbox index out of range.
+    InvalidMailbox { mailbox: usize, n_mailboxes: usize },
+    /// `send` to a mailbox after `done` was signalled for it.
+    SendAfterDone { mailbox: usize },
+    /// A selector needs at least one mailbox.
+    NoMailboxes,
+    /// A done-chain references itself.
+    SelfChain { mailbox: usize },
+    /// Propagated conveyor failure.
+    Conveyor(ConveyorError),
+}
+
+impl std::fmt::Display for ActorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActorError::InvalidMailbox {
+                mailbox,
+                n_mailboxes,
+            } => write!(
+                f,
+                "mailbox {mailbox} out of range (selector has {n_mailboxes})"
+            ),
+            ActorError::SendAfterDone { mailbox } => {
+                write!(f, "send to mailbox {mailbox} after done({mailbox})")
+            }
+            ActorError::NoMailboxes => write!(f, "selector needs at least one mailbox"),
+            ActorError::SelfChain { mailbox } => {
+                write!(f, "mailbox {mailbox} cannot chain done after itself")
+            }
+            ActorError::Conveyor(e) => write!(f, "conveyor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ActorError {}
+
+impl From<ConveyorError> for ActorError {
+    fn from(e: ConveyorError) -> Self {
+        ActorError::Conveyor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ActorError::InvalidMailbox {
+            mailbox: 3,
+            n_mailboxes: 1
+        }
+        .to_string()
+        .contains("mailbox 3"));
+        assert!(ActorError::SendAfterDone { mailbox: 0 }
+            .to_string()
+            .contains("done(0)"));
+        let e: ActorError = ConveyorError::ZeroCapacity.into();
+        assert!(matches!(e, ActorError::Conveyor(_)));
+    }
+}

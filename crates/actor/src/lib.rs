@@ -1,0 +1,71 @@
+//! # fabsp-actor — the FA-BSP selector runtime (HClib-Actor reproduction)
+//!
+//! The Fine-grained Asynchronous Bulk Synchronous Parallel model (Paul et
+//! al., JoCS 2023; Fig. 1 of the ActorProf paper): within a superstep, each
+//! single-threaded PE runs
+//!
+//! 1. **local computation** (the MAIN region) that issues
+//! 2. **fine-grained asynchronous point-to-point sends**, automatically
+//!    aggregated by the conveyor layer, while
+//! 3. **message handlers** (the PROC region) run interleaved on the same
+//!    thread as aggregated buffers arrive.
+//!
+//! A [`Selector`] is an actor with multiple guarded mailboxes (Imam &
+//! Sarkar, AGERE!'14); each mailbox is backed by its own
+//! [`fabsp_conveyors::Conveyor`]. Messages to the same PE are processed one
+//! at a time, so handlers need no atomics — the property Listing 2 of the
+//! paper highlights.
+//!
+//! ## Shape of a program (Listings 1–2 of the paper)
+//!
+//! ```
+//! use fabsp_shmem::{Grid, spmd};
+//! use fabsp_actor::{Selector, SelectorConfig};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! const N: usize = 64;
+//! let grid = Grid::new(1, 2).unwrap();
+//! let counts = spmd::run(grid, |pe| {
+//!     // larray: the PE-local table updated by message handlers.
+//!     let larray = Rc::new(RefCell::new(vec![0u64; N]));
+//!     let handler_array = Rc::clone(&larray);
+//!     let mut actor = Selector::new(
+//!         pe,
+//!         1, // one mailbox
+//!         SelectorConfig::default(),
+//!         move |_mb, idx: u64, _from, _ctx| {
+//!             handler_array.borrow_mut()[idx as usize] += 1; // no atomics
+//!         },
+//!     )
+//!     .unwrap();
+//!     // The `finish` body: send N messages to arbitrary destinations.
+//!     actor
+//!         .execute(pe, |ctx| {
+//!             for i in 0..N {
+//!                 let dst = i % ctx.n_pes();
+//!                 ctx.send(0, i as u64, dst).unwrap();
+//!             }
+//!         })
+//!         .unwrap();
+//!     let total: u64 = larray.borrow().iter().sum();
+//!     total
+//! })
+//! .unwrap();
+//! // every message was handled exactly once, somewhere
+//! assert_eq!(counts.iter().sum::<u64>(), 2 * N as u64);
+//! ```
+//!
+//! ## Profiling hooks
+//!
+//! When constructed with a tracing [`SelectorConfig`], the selector owns a
+//! per-PE [`actorprof_trace::PeCollector`] and feeds it the logical trace
+//! (each `send`), the PAPI message trace, the MAIN/PROC/COMM overall
+//! breakdown, and (through the conveyors) the physical trace — everything
+//! ActorProf visualizes.
+
+pub mod error;
+pub mod selector;
+
+pub use error::ActorError;
+pub use selector::{MainCtx, ProcCtx, Selector, SelectorConfig};

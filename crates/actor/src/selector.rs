@@ -1,0 +1,866 @@
+//! The Selector: a multi-mailbox actor driving interleaved FA-BSP
+//! execution on one PE.
+//!
+//! ## Execution & region accounting
+//!
+//! [`Selector::execute`] is the equivalent of `hclib::finish` around an
+//! actor: it runs the caller's MAIN body, then drives communication until
+//! every mailbox's conveyor terminates. Throughout, a
+//! [`fabsp_hwpc::RegionTimer`] attributes cycles and hardware counters to
+//! the paper's three regions (Table I):
+//!
+//! - **MAIN** — inside the user body (message construction + local
+//!   computation, including the `push` fast path of `send`);
+//! - **PROC** — inside user message handlers;
+//! - **COMM** — everything else (aggregation, delivery, progress,
+//!   termination), *derived* as `T_TOTAL − T_MAIN − T_PROC` exactly as
+//!   §III-B derives it.
+//!
+//! The interleaving that defines FA-BSP happens in `send`: when
+//! aggregation buffers are full, the runtime leaves MAIN, advances the
+//! conveyors — running message handlers (PROC) in the middle of the user's
+//! send loop — and resumes MAIN once the push succeeds. The user never
+//! sees the retry (the "automatic message aggregation without any
+//! user-written error handling" of §I).
+//!
+//! ## Handler sends and done-chains
+//!
+//! Handlers may send (request/response patterns): such sends are staged in
+//! a per-mailbox outbox and pushed by the runtime. After `done(mb)` no one
+//! may send to `mb` anymore; for a response mailbox fed only by handlers
+//! of another mailbox, declare [`Selector::chain_done`] — its done is
+//! signalled automatically once the upstream mailbox terminates, which is
+//! HClib-Actor's mailbox-chaining termination pattern.
+
+use actorprof_trace::{PeCollector, SharedCollector, TraceConfig};
+use fabsp_conveyors::{Conveyor, ConveyorOptions, ConveyorStats};
+use fabsp_hwpc::cost::model;
+use fabsp_hwpc::{counters, Region, RegionTimer};
+use fabsp_shmem::Pe;
+
+use crate::error::ActorError;
+
+/// Configuration for a [`Selector`].
+#[derive(Debug, Clone, Default)]
+pub struct SelectorConfig {
+    /// Aggregation options for each mailbox's conveyor.
+    pub conveyor: ConveyorOptions,
+    /// What ActorProf should record during execution.
+    pub trace: TraceConfig,
+}
+
+impl SelectorConfig {
+    /// Default conveyors with the given tracing.
+    pub fn traced(trace: TraceConfig) -> SelectorConfig {
+        SelectorConfig {
+            conveyor: ConveyorOptions::default(),
+            trace,
+        }
+    }
+}
+
+/// The message handler: `(mailbox, message, sender PE, ctx)`.
+type Handler<'h, T> = Box<dyn FnMut(usize, T, u32, &mut ProcCtx<'_, T>) + 'h>;
+
+struct Mailbox<T: Copy + Default + Send + 'static> {
+    conveyor: Conveyor<T>,
+    user_done: bool,
+    done_signaled: bool,
+    complete: bool,
+    /// Signal done automatically once this other mailbox completes.
+    chained_after: Option<usize>,
+    /// Sends staged by handlers, pushed by the runtime: `(msg, dst)`.
+    outbox: std::collections::VecDeque<(T, usize)>,
+}
+
+/// An actor with multiple guarded mailboxes (one conveyor each).
+///
+/// The `'h` lifetime lets handlers borrow surrounding state (e.g. a shared
+/// read-only graph) instead of requiring `'static` captures.
+pub struct Selector<'h, T: Copy + Default + Send + 'static> {
+    mailboxes: Vec<Mailbox<T>>,
+    handler: Option<Handler<'h, T>>,
+    timer: RegionTimer,
+    collector: SharedCollector,
+    papi_events: Vec<fabsp_hwpc::Event>,
+    executed: bool,
+}
+
+/// Context passed to the MAIN body by [`Selector::execute`].
+pub struct MainCtx<'a, 'h, 'p, T: Copy + Default + Send + 'static> {
+    selector: &'a mut Selector<'h, T>,
+    pe: &'p Pe,
+}
+
+/// Context passed to message handlers. Sends are staged in the mailbox
+/// outbox and pushed by the runtime between handler invocations.
+pub struct ProcCtx<'a, T> {
+    outboxes: &'a mut [std::collections::VecDeque<(T, usize)>],
+    done_flags: &'a [(bool, bool)], // (user_done, done_signaled) per mailbox
+    done_requests: &'a mut [bool],
+    rank: usize,
+    n_pes: usize,
+}
+
+impl<T: Copy> ProcCtx<'_, T> {
+    /// Stage a send of `msg` to `dst` via `mailbox`.
+    ///
+    /// # Panics
+    /// Panics if `done` was already signalled for `mailbox` — sending into
+    /// a terminated mailbox is a protocol violation in HClib-Actor too.
+    pub fn send(&mut self, mailbox: usize, msg: T, dst: usize) {
+        assert!(mailbox < self.outboxes.len(), "mailbox {mailbox} invalid");
+        assert!(dst < self.n_pes, "destination PE {dst} invalid");
+        let (user_done, signaled) = self.done_flags[mailbox];
+        assert!(
+            !(user_done || signaled) || !self.done_requests[mailbox],
+            "handler send to mailbox {mailbox} after done"
+        );
+        assert!(
+            !signaled,
+            "handler send to mailbox {mailbox} after its done was signalled"
+        );
+        self.outboxes[mailbox].push_back((msg, dst));
+    }
+
+    /// Request `done(mailbox)` from handler code (e.g. on receipt of a
+    /// poison-pill message).
+    pub fn done(&mut self, mailbox: usize) {
+        assert!(mailbox < self.done_requests.len(), "mailbox {mailbox} invalid");
+        self.done_requests[mailbox] = true;
+    }
+
+    /// The rank of this PE.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+}
+
+impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
+    /// Collectively create a selector with `n_mailboxes` mailboxes.
+    ///
+    /// `handler` is invoked as `(mailbox, message, sender, ctx)` for every
+    /// delivered message — the union of the per-mailbox `process` lambdas
+    /// of Listing 2.
+    pub fn new(
+        pe: &Pe,
+        n_mailboxes: usize,
+        config: SelectorConfig,
+        handler: impl FnMut(usize, T, u32, &mut ProcCtx<'_, T>) + 'h,
+    ) -> Result<Selector<'h, T>, ActorError> {
+        if n_mailboxes == 0 {
+            return Err(ActorError::NoMailboxes);
+        }
+        let papi_events = config
+            .trace
+            .papi
+            .as_ref()
+            .map(|p| p.events().to_vec())
+            .unwrap_or_default();
+        let collector = PeCollector::new(
+            pe.rank(),
+            pe.n_pes(),
+            pe.grid().pes_per_node(),
+            config.trace.clone(),
+        )
+        .into_shared();
+        let mut mailboxes = Vec::with_capacity(n_mailboxes);
+        for _ in 0..n_mailboxes {
+            let mut conveyor = Conveyor::new(pe, config.conveyor)?;
+            conveyor.attach_collector(collector.clone());
+            mailboxes.push(Mailbox {
+                conveyor,
+                user_done: false,
+                done_signaled: false,
+                complete: false,
+                chained_after: None,
+                outbox: std::collections::VecDeque::new(),
+            });
+        }
+        Ok(Selector {
+            mailboxes,
+            handler: Some(Box::new(handler)),
+            timer: RegionTimer::new(),
+            collector,
+            papi_events,
+            executed: false,
+        })
+    }
+
+    /// Number of mailboxes.
+    pub fn n_mailboxes(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Declare that `mailbox`'s done should be signalled automatically once
+    /// `after` terminates (for response mailboxes fed only by `after`'s
+    /// handlers).
+    pub fn chain_done(&mut self, mailbox: usize, after: usize) -> Result<(), ActorError> {
+        self.check_mailbox(mailbox)?;
+        self.check_mailbox(after)?;
+        if mailbox == after {
+            return Err(ActorError::SelfChain { mailbox });
+        }
+        self.mailboxes[mailbox].chained_after = Some(after);
+        Ok(())
+    }
+
+    fn check_mailbox(&self, mailbox: usize) -> Result<(), ActorError> {
+        if mailbox < self.mailboxes.len() {
+            Ok(())
+        } else {
+            Err(ActorError::InvalidMailbox {
+                mailbox,
+                n_mailboxes: self.mailboxes.len(),
+            })
+        }
+    }
+
+    /// Run one FA-BSP superstep: execute `main` (the `finish` body), then
+    /// drive communication to termination. Mailboxes not explicitly
+    /// `done`-d (and not chained) are done-d when `main` returns.
+    ///
+    /// This call is collective: every PE must execute it. A selector may
+    /// `execute` repeatedly (one call per superstep, as iterative
+    /// applications like BFS levels or PageRank rounds do); its conveyors
+    /// are collectively re-armed between supersteps and **traces and the
+    /// overall breakdown accumulate across all of them**.
+    pub fn execute<R>(
+        &mut self,
+        pe: &Pe,
+        main: impl FnOnce(&mut MainCtx<'_, '_, '_, T>) -> R,
+    ) -> Result<R, ActorError> {
+        if self.executed {
+            // re-arm for another superstep
+            for m in &mut self.mailboxes {
+                debug_assert!(m.outbox.is_empty(), "termination implies drained outbox");
+                m.conveyor.reset(pe);
+                m.user_done = false;
+                m.done_signaled = false;
+                m.complete = false;
+            }
+        }
+        self.executed = true;
+
+        self.timer.start_total();
+        self.timer.enter(Region::Main);
+        let result = {
+            let mut ctx = MainCtx { selector: self, pe };
+            main(&mut ctx)
+        };
+        self.timer.exit(Region::Main);
+
+        // Implicit done for unchained mailboxes the body didn't close.
+        for mb in 0..self.mailboxes.len() {
+            if !self.mailboxes[mb].user_done && self.mailboxes[mb].chained_after.is_none() {
+                self.mailboxes[mb].user_done = true;
+            }
+        }
+
+        // COMM-side drive to termination.
+        while self.progress_once(pe) {
+            pe.poll_yield();
+        }
+
+        // Overall breakdown + region profile into the collector.
+        self.timer.stop_total();
+        let total = self.timer.total_cycles();
+        let profile = self.timer.profile().clone();
+        {
+            let mut c = self.collector.borrow_mut();
+            c.set_overall(profile.main.cycles, profile.proc.cycles, total);
+            c.set_region_profile(profile);
+        }
+        Ok(result)
+    }
+
+    /// Send from MAIN: push with automatic retry (the FA-BSP interleave).
+    /// Only callable through [`MainCtx`]; see [`Selector::execute`].
+    fn send_from_main(
+        &mut self,
+        pe: &Pe,
+        mailbox: usize,
+        msg: T,
+        dst: usize,
+    ) -> Result<(), ActorError> {
+        self.check_mailbox(mailbox)?;
+        if self.mailboxes[mailbox].user_done || self.mailboxes[mailbox].done_signaled {
+            return Err(ActorError::SendAfterDone { mailbox });
+        }
+
+        // The push fast path is MAIN work (T_MAIN = "time taken by the
+        // application to generate a message and append it to the mailbox").
+        let papi_before = self.papi_snapshot();
+        model::SEND_PUSH.charge();
+        let mut accepted = self.mailboxes[mailbox].conveyor.push(pe, msg, dst)?;
+        let deltas = self.papi_deltas(&papi_before);
+        {
+            let mut c = self.collector.borrow_mut();
+            if c.wants_send_events() {
+                c.record_send(
+                    dst,
+                    std::mem::size_of::<T>() as u32,
+                    mailbox as u32,
+                    deltas.as_deref(),
+                );
+            }
+        }
+
+        // Buffers full: leave MAIN, make progress (handlers run here —
+        // the RED interleaved into the BLUE of Fig. 1), retry.
+        if !accepted {
+            self.timer.exit(Region::Main);
+            loop {
+                self.progress_once(pe);
+                accepted = self.mailboxes[mailbox].conveyor.push(pe, msg, dst)?;
+                if accepted {
+                    break;
+                }
+                pe.poll_yield();
+            }
+            self.timer.enter(Region::Main);
+        }
+        Ok(())
+    }
+
+    fn done_from_main(&mut self, mailbox: usize) -> Result<(), ActorError> {
+        self.check_mailbox(mailbox)?;
+        self.mailboxes[mailbox].user_done = true;
+        Ok(())
+    }
+
+    fn papi_snapshot(&self) -> Option<Vec<u64>> {
+        if self.papi_events.is_empty() {
+            return None;
+        }
+        Some(self.papi_events.iter().map(|e| counters::read(*e)).collect())
+    }
+
+    fn papi_deltas(&self, before: &Option<Vec<u64>>) -> Option<Vec<u64>> {
+        let before = before.as_ref()?;
+        Some(
+            self.papi_events
+                .iter()
+                .zip(before)
+                .map(|(e, b)| counters::read(*e).wrapping_sub(*b))
+                .collect(),
+        )
+    }
+
+    /// One COMM round: push staged handler sends, advance every conveyor,
+    /// deliver incoming messages through the handler. Returns whether any
+    /// mailbox is still active.
+    fn progress_once(&mut self, pe: &Pe) -> bool {
+        self.drain_outboxes(pe);
+
+        let mut any_active = false;
+        for mb in 0..self.mailboxes.len() {
+            // Resolve chained dones: fire when the upstream completed.
+            if !self.mailboxes[mb].user_done {
+                if let Some(after) = self.mailboxes[mb].chained_after {
+                    if self.mailboxes[after].complete {
+                        self.mailboxes[mb].user_done = true;
+                    }
+                }
+            }
+            let m = &mut self.mailboxes[mb];
+            let done_eff = m.user_done && m.outbox.is_empty();
+            if done_eff {
+                m.done_signaled = true;
+            }
+            let active = m.conveyor.advance(pe, done_eff);
+            if !active {
+                m.complete = true;
+            }
+            any_active |= active;
+        }
+
+        // Deliver: run handlers (PROC) on everything pulled.
+        let mut handler = self.handler.take().expect("handler in use reentrantly");
+        let n_pes = pe.n_pes();
+        let rank = pe.rank();
+        for mb in 0..self.mailboxes.len() {
+            while let Some((from, msg)) = self.mailboxes[mb].conveyor.pull() {
+                model::PULL.charge();
+                let done_flags: Vec<(bool, bool)> = self
+                    .mailboxes
+                    .iter()
+                    .map(|m| (m.user_done, m.done_signaled))
+                    .collect();
+                let mut done_requests = vec![false; self.mailboxes.len()];
+                // split borrows: outboxes only
+                let mut outboxes: Vec<_> = self
+                    .mailboxes
+                    .iter_mut()
+                    .map(|m| std::mem::take(&mut m.outbox))
+                    .collect();
+                {
+                    let mut ctx = ProcCtx {
+                        outboxes: &mut outboxes,
+                        done_flags: &done_flags,
+                        done_requests: &mut done_requests,
+                        rank,
+                        n_pes,
+                    };
+                    model::HANDLER_DISPATCH.charge();
+                    self.timer.enter(Region::Proc);
+                    handler(mb, msg, from, &mut ctx);
+                    self.timer.exit(Region::Proc);
+                }
+                for (m, ob) in self.mailboxes.iter_mut().zip(outboxes) {
+                    m.outbox = ob;
+                }
+                for (m, req) in self.mailboxes.iter_mut().zip(done_requests) {
+                    if req {
+                        m.user_done = true;
+                    }
+                }
+            }
+        }
+        self.handler = Some(handler);
+        any_active
+    }
+
+    /// Push handler-staged sends into the conveyors (best effort; items
+    /// that don't fit stay queued for the next round).
+    fn drain_outboxes(&mut self, pe: &Pe) {
+        for mb in 0..self.mailboxes.len() {
+            while let Some(&(msg, dst)) = self.mailboxes[mb].outbox.front() {
+                assert!(
+                    !self.mailboxes[mb].done_signaled,
+                    "outbox item for mailbox {mb} after done was signalled"
+                );
+                let papi_before = self.papi_snapshot();
+                model::SEND_PUSH.charge();
+                let accepted = self.mailboxes[mb]
+                    .conveyor
+                    .push(pe, msg, dst)
+                    .expect("outbox destinations were validated at staging");
+                if !accepted {
+                    break;
+                }
+                let deltas = self.papi_deltas(&papi_before);
+                self.mailboxes[mb].outbox.pop_front();
+                let mut c = self.collector.borrow_mut();
+                if c.wants_send_events() {
+                    c.record_send(
+                        dst,
+                        std::mem::size_of::<T>() as u32,
+                        mb as u32,
+                        deltas.as_deref(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Merged conveyor statistics over all mailboxes.
+    pub fn stats(&self) -> ConveyorStats {
+        let mut total = ConveyorStats::default();
+        for m in &self.mailboxes {
+            total.merge(&m.conveyor.stats());
+        }
+        total
+    }
+
+    /// Per-mailbox conveyor statistics.
+    pub fn mailbox_stats(&self, mailbox: usize) -> Result<ConveyorStats, ActorError> {
+        self.check_mailbox(mailbox)?;
+        Ok(self.mailboxes[mailbox].conveyor.stats())
+    }
+
+    /// A shared handle to the trace collector (e.g. to inspect mid-run).
+    pub fn collector(&self) -> SharedCollector {
+        self.collector.clone()
+    }
+
+    /// Consume the selector and extract the recorded traces.
+    ///
+    /// # Panics
+    /// Panics if collector handles are still held elsewhere.
+    pub fn into_collector(self) -> PeCollector {
+        let Selector {
+            mailboxes,
+            handler,
+            collector,
+            ..
+        } = self;
+        drop(mailboxes); // conveyors hold collector clones
+        drop(handler);
+        let mut collector = std::rc::Rc::try_unwrap(collector)
+            .expect("collector still shared; drop other handles first")
+            .into_inner();
+        collector.flush_stream();
+        collector
+    }
+}
+
+impl<T: Copy + Default + Send + 'static> MainCtx<'_, '_, '_, T> {
+    /// Asynchronous send: enqueue `msg` for `dst` via `mailbox`
+    /// (Listing 1's `actor_ptr->send(i, dst)`). Aggregation-buffer
+    /// overflow is handled internally by interleaving message processing —
+    /// the call always succeeds or reports a protocol error.
+    pub fn send(&mut self, mailbox: usize, msg: T, dst: usize) -> Result<(), ActorError> {
+        self.selector.send_from_main(self.pe, mailbox, msg, dst)
+    }
+
+    /// Declare that this PE will send no more messages via `mailbox`
+    /// (Listing 1's `actor_ptr->done(0)`).
+    pub fn done(&mut self, mailbox: usize) -> Result<(), ActorError> {
+        self.selector.done_from_main(mailbox)
+    }
+
+    /// This PE's rank.
+    pub fn rank(&self) -> usize {
+        self.pe.rank()
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.pe.n_pes()
+    }
+
+    /// The underlying PE handle (for symmetric-memory access in MAIN).
+    pub fn pe(&self) -> &Pe {
+        self.pe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorprof_trace::TraceConfig;
+    use fabsp_shmem::{spmd, Grid};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// The paper's Listing 1/2 program: every PE sends N messages; each
+    /// increments a cell of the destination's local array.
+    fn histogram_world(grid: Grid, n_msgs: usize, trace: TraceConfig) -> Vec<(u64, PeCollector)> {
+        spmd::run(grid, move |pe| {
+            let larray = Rc::new(RefCell::new(vec![0u64; 64]));
+            let h = Rc::clone(&larray);
+            let mut actor = Selector::new(
+                pe,
+                1,
+                SelectorConfig::traced(trace.clone()),
+                move |_mb, idx: u64, _from, _ctx| {
+                    h.borrow_mut()[idx as usize % 64] += 1;
+                },
+            )
+            .unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    for i in 0..n_msgs {
+                        let dst = (ctx.rank() + i) % ctx.n_pes();
+                        ctx.send(0, i as u64, dst).unwrap();
+                    }
+                    ctx.done(0).unwrap();
+                })
+                .unwrap();
+            let total: u64 = larray.borrow().iter().sum();
+            (total, actor.into_collector())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn histogram_delivers_every_message_once() {
+        let grid = Grid::new(2, 2).unwrap();
+        let results = histogram_world(grid, 100, TraceConfig::off());
+        let delivered: u64 = results.iter().map(|(t, _)| t).sum();
+        assert_eq!(delivered, 400);
+    }
+
+    #[test]
+    fn implicit_done_terminates() {
+        let grid = Grid::single_node(2).unwrap();
+        let results = spmd::run(grid, |pe| {
+            let seen = Rc::new(RefCell::new(0u64));
+            let s = Rc::clone(&seen);
+            let mut actor = Selector::new(
+                pe,
+                1,
+                SelectorConfig::default(),
+                move |_mb, _msg: u64, _from, _ctx| {
+                    *s.borrow_mut() += 1;
+                },
+            )
+            .unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    ctx.send(0, 1, 0).unwrap();
+                    // no explicit done: execute closes the mailbox
+                })
+                .unwrap();
+            let v = *seen.borrow();
+            v
+        })
+        .unwrap();
+        assert_eq!(results.iter().sum::<u64>(), 2);
+        assert_eq!(results[0], 2, "both messages targeted PE 0");
+    }
+
+    #[test]
+    fn send_after_done_is_rejected() {
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let mut actor = Selector::new(
+                pe,
+                1,
+                SelectorConfig::default(),
+                |_mb, _m: u64, _f, _ctx| {},
+            )
+            .unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    ctx.done(0).unwrap();
+                    assert!(matches!(
+                        ctx.send(0, 1, 0),
+                        Err(ActorError::SendAfterDone { mailbox: 0 })
+                    ));
+                })
+                .unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn request_response_with_chained_done() {
+        // mb0 carries requests; its handler replies on mb1.
+        let grid = Grid::new(2, 2).unwrap();
+        let n = 50usize;
+        let results = spmd::run(grid, move |pe| {
+            let replies = Rc::new(RefCell::new(0u64));
+            let r = Rc::clone(&replies);
+            let mut actor = Selector::new(
+                pe,
+                2,
+                SelectorConfig::default(),
+                move |mb, msg: u64, from, ctx| match mb {
+                    0 => ctx.send(1, msg * 2, from as usize), // reply
+                    1 => *r.borrow_mut() += msg,
+                    _ => unreachable!(),
+                },
+            )
+            .unwrap();
+            actor.chain_done(1, 0).unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    for i in 0..n {
+                        let dst = (ctx.rank() + i) % ctx.n_pes();
+                        ctx.send(0, i as u64, dst).unwrap();
+                    }
+                    ctx.done(0).unwrap();
+                })
+                .unwrap();
+            let v = *replies.borrow();
+            v
+        })
+        .unwrap();
+        // every request is answered with msg*2 back to the requester
+        let expected_per_pe: u64 = (0..n as u64).map(|i| i * 2).sum();
+        for (pe, total) in results.iter().enumerate() {
+            assert_eq!(*total, expected_per_pe, "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn logical_trace_counts_sends_per_destination() {
+        let grid = Grid::new(2, 2).unwrap();
+        let results = histogram_world(grid, 40, TraceConfig::off().with_logical());
+        for (pe, (_, collector)) in results.iter().enumerate() {
+            let matrix = collector.logical_matrix();
+            assert_eq!(collector.total_sends(), 40);
+            // sends went to (rank + i) % 4 for i in 0..40: 10 per dst
+            for (dst, cell) in matrix.iter().enumerate() {
+                assert_eq!(cell.sends, 10, "PE {pe} -> {dst}");
+                assert_eq!(cell.bytes, 10 * 8);
+            }
+        }
+    }
+
+    #[test]
+    fn overall_breakdown_is_recorded_and_consistent() {
+        let grid = Grid::single_node(2).unwrap();
+        let results = histogram_world(grid, 200, TraceConfig::off().with_overall());
+        for (_, collector) in &results {
+            let overall = collector.overall().expect("overall enabled");
+            assert!(overall.t_total > 0);
+            assert!(overall.t_main > 0, "MAIN body ran");
+            assert!(overall.t_proc > 0, "handlers ran");
+            assert!(
+                overall.t_main + overall.t_proc <= overall.t_total,
+                "regions fit in total"
+            );
+            let (m, c, p) = overall.relative();
+            assert!((m + c + p - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn papi_trace_attributes_counters_to_sends() {
+        let grid = Grid::single_node(2).unwrap();
+        let trace = TraceConfig::off().with_papi(actorprof_trace::PapiConfig::case_study());
+        let results = histogram_world(grid, 30, trace);
+        for (_, collector) in &results {
+            let recs = collector.papi_records();
+            assert_eq!(recs.len(), 2, "one line per destination");
+            let total_sends: u64 = recs.iter().map(|r| r.num_sends).sum();
+            assert_eq!(total_sends, 30);
+            for r in recs {
+                // every send charges at least SEND_PUSH instructions
+                assert!(r.counters[0] >= r.num_sends * model::SEND_PUSH.ins);
+                assert!(r.counters[1] > 0, "load/store counter");
+            }
+        }
+    }
+
+    #[test]
+    fn physical_trace_flows_through_selector() {
+        let grid = Grid::new(2, 2).unwrap();
+        let results = histogram_world(grid, 100, TraceConfig::off().with_physical());
+        let any_physical = results
+            .iter()
+            .any(|(_, c)| !c.physical_records().is_empty());
+        assert!(any_physical);
+    }
+
+    #[test]
+    fn invalid_mailbox_and_empty_selector_errors() {
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            assert!(matches!(
+                Selector::<u64>::new(pe, 0, SelectorConfig::default(), |_, _, _, _| {}),
+                Err(ActorError::NoMailboxes)
+            ));
+            let mut actor =
+                Selector::<u64>::new(pe, 1, SelectorConfig::default(), |_, _, _, _| {}).unwrap();
+            assert!(matches!(
+                actor.chain_done(0, 0),
+                Err(ActorError::SelfChain { mailbox: 0 })
+            ));
+            assert!(matches!(
+                actor.chain_done(3, 0),
+                Err(ActorError::InvalidMailbox { mailbox: 3, .. })
+            ));
+            actor.execute(pe, |_| {}).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn tiny_buffers_interleave_handlers_into_main() {
+        // With capacity 2 and many sends, handlers MUST run during the
+        // MAIN send loop (the definition of FA-BSP interleaving).
+        let grid = Grid::single_node(2).unwrap();
+        let results = spmd::run(grid, |pe| {
+            let handled_during_main = Rc::new(RefCell::new(0u64));
+            let h = Rc::clone(&handled_during_main);
+            let in_main = Rc::new(RefCell::new(false));
+            let in_main_h = Rc::clone(&in_main);
+            let mut actor = Selector::new(
+                pe,
+                1,
+                SelectorConfig {
+                    conveyor: ConveyorOptions {
+                        capacity: 2,
+                        ..Default::default()
+                    },
+                    trace: TraceConfig::off(),
+                },
+                move |_mb, _msg: u64, _from, _ctx| {
+                    if *in_main_h.borrow() {
+                        *h.borrow_mut() += 1;
+                    }
+                },
+            )
+            .unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    *in_main.borrow_mut() = true;
+                    for i in 0..500 {
+                        ctx.send(0, i, (i % 2) as usize).unwrap();
+                    }
+                    *in_main.borrow_mut() = false;
+                    ctx.done(0).unwrap();
+                })
+                .unwrap();
+            let v = *handled_during_main.borrow();
+            v
+        })
+        .unwrap();
+        assert!(
+            results.iter().sum::<u64>() > 0,
+            "no handler ran inside the MAIN send loop — FA-BSP interleaving broken"
+        );
+    }
+
+    #[test]
+    fn repeated_supersteps_accumulate_traces() {
+        let grid = Grid::new(2, 2).unwrap();
+        let results = spmd::run(grid, |pe| {
+            let handled = Rc::new(RefCell::new(0u64));
+            let h = Rc::clone(&handled);
+            let mut actor = Selector::new(
+                pe,
+                1,
+                SelectorConfig::traced(TraceConfig::off().with_logical().with_overall()),
+                move |_mb, _msg: u64, _from, _ctx| {
+                    *h.borrow_mut() += 1;
+                },
+            )
+            .unwrap();
+            for round in 0..3u64 {
+                actor
+                    .execute(pe, |ctx| {
+                        for dst in 0..ctx.n_pes() {
+                            ctx.send(0, round, dst).unwrap();
+                        }
+                        ctx.done(0).unwrap();
+                    })
+                    .unwrap();
+                pe.barrier_all();
+            }
+            let total = *handled.borrow();
+            (total, actor.into_collector())
+        })
+        .unwrap();
+        let total: u64 = results.iter().map(|(t, _)| t).sum();
+        assert_eq!(total, 3 * 16, "every superstep's messages handled");
+        for (_, collector) in &results {
+            // logical trace spans all three supersteps
+            assert_eq!(collector.total_sends(), 12);
+            // the overall breakdown covers the full multi-superstep run
+            let o = collector.overall().unwrap();
+            assert!(o.t_main > 0 && o.t_proc > 0);
+            assert!(o.t_total >= o.t_main + o.t_proc);
+        }
+    }
+
+    #[test]
+    fn selector_stats_aggregate_mailboxes() {
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let mut actor =
+                Selector::<u64>::new(pe, 2, SelectorConfig::default(), |_, _, _, _| {}).unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    ctx.send(0, 1, 0).unwrap();
+                    ctx.send(1, 2, 0).unwrap();
+                    ctx.send(1, 3, 0).unwrap();
+                })
+                .unwrap();
+            assert_eq!(actor.mailbox_stats(0).unwrap().pushed, 1);
+            assert_eq!(actor.mailbox_stats(1).unwrap().pushed, 2);
+            assert_eq!(actor.stats().pushed, 3);
+            assert_eq!(actor.stats().pulled, 3);
+        })
+        .unwrap();
+    }
+}

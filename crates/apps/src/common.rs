@@ -1,0 +1,86 @@
+//! Shared application plumbing.
+
+use actorprof::{ProfError, TraceBundle};
+use actorprof_trace::PeCollector;
+use fabsp_actor::ActorError;
+use fabsp_shmem::ShmemError;
+
+/// Errors surfaced by the bundled applications.
+#[derive(Debug)]
+pub enum AppError {
+    /// SPMD / symmetric-memory failure.
+    Shmem(ShmemError),
+    /// Actor-runtime failure.
+    Actor(ActorError),
+    /// Trace assembly failure.
+    Prof(ProfError),
+    /// The application's self-validation failed (the §IV-C assertion).
+    Validation(String),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Shmem(e) => write!(f, "shmem: {e}"),
+            AppError::Actor(e) => write!(f, "actor: {e}"),
+            AppError::Prof(e) => write!(f, "profiler: {e}"),
+            AppError::Validation(m) => write!(f, "validation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<ShmemError> for AppError {
+    fn from(e: ShmemError) -> Self {
+        AppError::Shmem(e)
+    }
+}
+
+impl From<ActorError> for AppError {
+    fn from(e: ActorError) -> Self {
+        AppError::Actor(e)
+    }
+}
+
+impl From<ProfError> for AppError {
+    fn from(e: ProfError) -> Self {
+        AppError::Prof(e)
+    }
+}
+
+/// Assemble per-PE `(result, collector)` pairs into results + bundle.
+pub fn split_outcomes<R>(outcomes: Vec<(R, PeCollector)>) -> Result<(Vec<R>, TraceBundle), AppError> {
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut collectors = Vec::with_capacity(outcomes.len());
+    for (r, c) in outcomes {
+        results.push(r);
+        collectors.push(c);
+    }
+    let bundle = TraceBundle::from_collectors(collectors)?;
+    Ok((results, bundle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorprof_trace::TraceConfig;
+
+    #[test]
+    fn split_outcomes_orders_by_rank() {
+        let outcomes = (0..3)
+            .map(|pe| (pe * 10, PeCollector::new(pe, 3, 3, TraceConfig::off())))
+            .collect();
+        let (results, bundle) = split_outcomes::<usize>(outcomes).unwrap();
+        assert_eq!(results, vec![0, 10, 20]);
+        assert_eq!(bundle.n_pes(), 3);
+    }
+
+    #[test]
+    fn error_display() {
+        let e: AppError = ShmemError::EmptyGrid.into();
+        assert!(e.to_string().contains("shmem"));
+        let e = AppError::Validation("count mismatch".into());
+        assert!(e.to_string().contains("count mismatch"));
+    }
+}

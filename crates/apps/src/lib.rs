@@ -1,0 +1,38 @@
+//! # fabsp-apps — FA-BSP applications on the selector runtime
+//!
+//! The workloads of the ActorProf paper and of the bale benchmark family
+//! it builds on, each written against [`fabsp_actor::Selector`] and each
+//! returning a full [`actorprof::TraceBundle`] when tracing is enabled:
+//!
+//! - [`histogram`] — the paper's Listings 1–2: fine-grained remote
+//!   increments into per-PE tables (the canonical bale `histo` kernel).
+//! - [`index_gather`] — bale's `ig`: random remote reads implemented as a
+//!   request mailbox whose handlers answer on a response mailbox.
+//! - [`permute`] — bale's random permutation: scatter values to the owner
+//!   of each target slot.
+//! - [`triangle`] — the §IV case study: distributed triangle counting
+//!   (Algorithm 1) over a lower-triangular R-MAT matrix under 1D Cyclic or
+//!   1D Range distribution, validated against the sequential reference
+//!   counts exactly as §IV-C validates ("by using assertion").
+//! - [`bfs`] — level-synchronous distributed BFS (one selector per level),
+//!   validated against a sequential BFS.
+//! - [`pagerank`] — push-style synchronous PageRank with struct-typed
+//!   messages, validated against a sequential reference.
+//! - [`jaccard`] — per-edge Jaccard similarity via wedge probes and a
+//!   confirmation mailbox (a workload §IV-A names).
+//!
+//! [`profile::profile_run`] is the one-call driver: handler + MAIN body in,
+//! per-PE results + [`actorprof::TraceBundle`] out.
+
+pub mod bfs;
+pub mod common;
+pub mod histogram;
+pub mod jaccard;
+pub mod pagerank;
+pub mod profile;
+pub mod index_gather;
+pub mod permute;
+pub mod triangle;
+
+pub use common::AppError;
+pub use triangle::{count_triangles, DistKind, TriangleConfig, TriangleOutcome};

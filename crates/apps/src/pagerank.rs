@@ -1,0 +1,257 @@
+//! Push-style synchronous PageRank — another §I motivating workload, and
+//! the only bundled app whose messages are a non-integer struct (rank
+//! shares), exercising the conveyor's arbitrary-POD item support.
+//!
+//! Each iteration is one FA-BSP superstep: every PE pushes
+//! `rank[v] * d / outdeg(v)` to the owner of each out-neighbour; handlers
+//! accumulate; a barrier ends the iteration. Dangling mass is handled the
+//! textbook way (redistributed uniformly) identically in the distributed
+//! and sequential versions, which therefore agree to floating-point
+//! accumulation order.
+
+use actorprof::TraceBundle;
+use actorprof_trace::TraceConfig;
+use fabsp_actor::{Selector, SelectorConfig};
+use fabsp_graph::{Csr, Distribution};
+use fabsp_shmem::{spmd, Grid};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::common::{split_outcomes, AppError};
+
+/// The rank-share message: `(destination vertex, share)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Share {
+    /// Target vertex.
+    pub v: u32,
+    /// Rank mass pushed to it.
+    pub share: f64,
+}
+
+/// Configuration for a PageRank run.
+#[derive(Debug, Clone)]
+pub struct PageRankConfig {
+    /// PE/node layout.
+    pub grid: Grid,
+    /// Damping factor (0.85 is the classic choice).
+    pub damping: f64,
+    /// Number of synchronous iterations.
+    pub iterations: usize,
+    /// What to trace. One selector spans all iterations, so the returned
+    /// bundle covers every one of them.
+    pub trace: TraceConfig,
+    /// Maximum L1 difference tolerated vs the sequential reference
+    /// (floating-point accumulation order differs across PEs).
+    pub tolerance: f64,
+}
+
+impl PageRankConfig {
+    /// Classic parameters: damping 0.85, 10 iterations.
+    pub fn new(grid: Grid) -> PageRankConfig {
+        PageRankConfig {
+            grid,
+            damping: 0.85,
+            iterations: 10,
+            trace: TraceConfig::off(),
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Result of a PageRank run.
+#[derive(Debug)]
+pub struct PageRankOutcome {
+    /// Final rank per vertex.
+    pub ranks: Vec<f64>,
+    /// L1 difference against the sequential reference.
+    pub l1_vs_reference: f64,
+    /// Trace bundle covering all iterations.
+    pub bundle: TraceBundle,
+}
+
+/// Sequential reference PageRank with identical semantics.
+pub fn sequential_pagerank(adj: &Csr, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = adj.n();
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        let mut next = vec![0.0f64; n];
+        let mut dangling = 0.0f64;
+        for (v, &r) in rank.iter().enumerate() {
+            let deg = adj.degree(v);
+            if deg == 0 {
+                dangling += r;
+            } else {
+                let share = r / deg as f64;
+                for &w in adj.row(v) {
+                    next[w as usize] += share;
+                }
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        for r in &mut next {
+            *r = base + damping * *r;
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Run distributed PageRank over a (directed or symmetric) adjacency CSR,
+/// vertices owned 1D cyclically; validates against the reference.
+pub fn run(adj: &Csr, config: &PageRankConfig) -> Result<PageRankOutcome, AppError> {
+    let n = adj.n();
+    let n_pes = config.grid.n_pes();
+    let dist_map = Distribution::cyclic(n_pes);
+
+    let outcomes = spmd::run(config.grid, |pe| {
+        let me = pe.rank();
+        let my_rows = dist_map.rows_of(me, n);
+        let index_of = |v: usize| -> usize { v / n_pes };
+        let mut rank: Vec<f64> = vec![1.0 / n as f64; my_rows.len()];
+        let accum = Rc::new(RefCell::new(vec![0.0f64; my_rows.len()]));
+        let acc = Rc::clone(&accum);
+        let mut actor = Selector::new(
+            pe,
+            1,
+            SelectorConfig::traced(config.trace.clone()),
+            move |_mb, msg: Share, _from, _ctx| {
+                acc.borrow_mut()[index_of(msg.v as usize)] += msg.share;
+            },
+        )
+        .expect("selector construction");
+
+        for _ in 0..config.iterations {
+            let mut local_dangling = 0.0f64;
+            actor
+                .execute(pe, |ctx| {
+                    for (slot, &v) in my_rows.iter().enumerate() {
+                        let deg = adj.degree(v);
+                        if deg == 0 {
+                            local_dangling += rank[slot];
+                            continue;
+                        }
+                        let share = rank[slot] / deg as f64;
+                        for &w in adj.row(v) {
+                            ctx.send(
+                                0,
+                                Share { v: w, share },
+                                dist_map.owner(w as usize),
+                            )
+                            .expect("share send");
+                        }
+                    }
+                })
+                .expect("pagerank superstep");
+
+            let dangling = pe.allreduce_sum_f64(local_dangling);
+            let base = (1.0 - config.damping) / n as f64 + config.damping * dangling / n as f64;
+            let mut acc = accum.borrow_mut();
+            for (slot, r) in rank.iter_mut().enumerate() {
+                *r = base + config.damping * acc[slot];
+                acc[slot] = 0.0;
+            }
+            drop(acc);
+            pe.barrier_all();
+        }
+
+        let collector = actor.into_collector();
+        let pairs: Vec<(u32, f64)> = my_rows
+            .iter()
+            .enumerate()
+            .map(|(slot, &v)| (v as u32, rank[slot]))
+            .collect();
+        (pairs, collector)
+    })?;
+
+    let (per_pe, bundle) = split_outcomes(outcomes)?;
+    let mut ranks = vec![0.0f64; n];
+    for pairs in per_pe {
+        for (v, r) in pairs {
+            ranks[v as usize] = r;
+        }
+    }
+    let reference = sequential_pagerank(adj, config.damping, config.iterations);
+    let l1: f64 = ranks
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    if l1 > config.tolerance {
+        return Err(AppError::Validation(format!(
+            "PageRank L1 distance {l1:.3e} exceeds tolerance {:.1e}",
+            config.tolerance
+        )));
+    }
+    Ok(PageRankOutcome {
+        ranks,
+        l1_vs_reference: l1,
+        bundle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::symmetric_adjacency;
+    use fabsp_graph::edgelist::to_lower_triangular;
+    use fabsp_graph::rmat::{generate_edges, RmatParams};
+
+    #[test]
+    fn ranks_sum_to_one_on_a_cycle() {
+        // directed 4-cycle: uniform stationary distribution
+        let adj = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let cfg = PageRankConfig::new(Grid::single_node(2).unwrap());
+        let out = run(&adj, &cfg).unwrap();
+        let total: f64 = out.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass conserved: {total}");
+        for r in &out.ranks {
+            assert!((r - 0.25).abs() < 1e-9, "cycle is uniform: {r}");
+        }
+    }
+
+    #[test]
+    fn star_concentrates_rank_on_the_hub() {
+        // all spokes point at vertex 0
+        let adj = Csr::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let cfg = PageRankConfig::new(Grid::single_node(2).unwrap());
+        let out = run(&adj, &cfg).unwrap();
+        assert!(out.ranks[0] > out.ranks[1] * 2.0);
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // vertex 2 dangles
+        let adj = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let cfg = PageRankConfig::new(Grid::single_node(3).unwrap());
+        let out = run(&adj, &cfg).unwrap();
+        let total: f64 = out.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "dangling mass kept: {total}");
+    }
+
+    #[test]
+    fn rmat_pagerank_matches_reference_two_nodes() {
+        let p = RmatParams::graph500(7);
+        let lower = to_lower_triangular(&generate_edges(&p));
+        let adj = symmetric_adjacency(p.n_vertices(), &lower);
+        let mut cfg = PageRankConfig::new(Grid::new(2, 2).unwrap());
+        cfg.iterations = 5;
+        cfg.tolerance = 1e-9;
+        let out = run(&adj, &cfg).unwrap();
+        assert!(out.l1_vs_reference <= 1e-9);
+        // the hub (vertex 0) outranks the median vertex by far
+        let mut sorted = out.ranks.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(out.ranks[0] > sorted[sorted.len() / 2] * 3.0, "hub rank {} vs median {}", out.ranks[0], sorted[sorted.len() / 2]);
+    }
+
+    #[test]
+    fn traced_iteration_counts_edge_messages() {
+        let adj = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut cfg = PageRankConfig::new(Grid::single_node(2).unwrap());
+        cfg.trace = TraceConfig::off().with_logical();
+        cfg.iterations = 3;
+        let out = run(&adj, &cfg).unwrap();
+        let m = out.bundle.logical_matrix().unwrap();
+        assert_eq!(m.total(), 12, "3 iterations x one message per edge");
+    }
+}

@@ -1,0 +1,127 @@
+//! One-call profiling driver: run any single-selector FA-BSP kernel under
+//! ActorProf and get results plus the assembled [`TraceBundle`] back.
+//!
+//! This is the highest-level entry point of the reproduction — the moral
+//! equivalent of "compile with the ActorProf flags and run": you provide
+//! the handler and the MAIN body, it wires the SPMD world, the selector,
+//! the collectors, and the bundle assembly.
+
+use actorprof::TraceBundle;
+use actorprof_trace::TraceConfig;
+use fabsp_actor::{MainCtx, ProcCtx, Selector, SelectorConfig};
+use fabsp_shmem::{spmd, Grid, Pe};
+
+use crate::common::{split_outcomes, AppError};
+
+/// Run a single-mailbox FA-BSP kernel under the profiler.
+///
+/// `make_handler` is called once per PE to build that PE's message handler
+/// (capture per-PE state in the returned closure); `main` is the `finish`
+/// body; `finish` extracts each PE's result after termination.
+///
+/// ```
+/// use actorprof_trace::TraceConfig;
+/// use fabsp_apps::profile::profile_run;
+/// use fabsp_shmem::Grid;
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// // count messages received per PE, profiled
+/// let (per_pe, bundle) = profile_run(
+///     Grid::new(1, 2).unwrap(),
+///     TraceConfig::off().with_logical().with_overall(),
+///     |_pe| {
+///         let seen = Rc::new(RefCell::new(0u64));
+///         let s = Rc::clone(&seen);
+///         (move |_msg: u64, _from, _ctx: &mut _| *s.borrow_mut() += 1, seen)
+///     },
+///     |ctx| {
+///         for i in 0..100u64 {
+///             ctx.send(0, i, (i as usize) % ctx.n_pes()).unwrap();
+///         }
+///     },
+///     |_pe, seen| *seen.borrow(),
+/// )
+/// .unwrap();
+/// assert_eq!(per_pe.iter().sum::<u64>(), 200);
+/// assert!(bundle.logical_matrix().is_ok());
+/// ```
+pub fn profile_run<T, S, H, R>(
+    grid: Grid,
+    trace: TraceConfig,
+    make_handler: impl Fn(&Pe) -> (H, S) + Sync,
+    main: impl Fn(&mut MainCtx<'_, '_, '_, T>) + Sync,
+    finish: impl Fn(&Pe, S) -> R + Sync,
+) -> Result<(Vec<R>, TraceBundle), AppError>
+where
+    T: Copy + Default + Send + 'static,
+    H: FnMut(T, u32, &mut ProcCtx<'_, T>) + 'static,
+    R: Send,
+    S: 'static,
+{
+    let outcomes = spmd::run(grid, |pe| {
+        let (mut handler, state) = make_handler(pe);
+        let mut actor = Selector::new(
+            pe,
+            1,
+            SelectorConfig::traced(trace.clone()),
+            move |_mb, msg: T, from, ctx| handler(msg, from, ctx),
+        )
+        .expect("selector construction");
+        actor.execute(pe, |ctx| main(ctx)).expect("profiled kernel");
+        let result = finish(pe, state);
+        (result, actor.into_collector())
+    })?;
+    split_outcomes(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn profile_run_wires_everything() {
+        let (per_pe, bundle) = profile_run(
+            Grid::new(2, 2).unwrap(),
+            TraceConfig::all(),
+            |_pe| {
+                let sum = Rc::new(RefCell::new(0u64));
+                let s = Rc::clone(&sum);
+                (
+                    move |msg: u64, _from, _ctx: &mut _| *s.borrow_mut() += msg,
+                    sum,
+                )
+            },
+            |ctx| {
+                for i in 1..=10u64 {
+                    ctx.send(0, i, (i as usize) % ctx.n_pes()).unwrap();
+                }
+            },
+            |_pe, sum| *sum.borrow(),
+        )
+        .unwrap();
+        assert_eq!(per_pe.iter().sum::<u64>(), 4 * 55);
+        assert!(bundle.has_logical());
+        assert!(bundle.has_overall());
+        assert!(bundle.has_physical());
+        let m = bundle.logical_matrix().unwrap();
+        assert_eq!(m.total(), 40);
+    }
+
+    #[test]
+    fn profile_run_propagates_world_failures() {
+        let result = profile_run(
+            Grid::new(1, 2).unwrap(),
+            TraceConfig::off(),
+            |_pe| ((move |_m: u64, _f, _c: &mut _| {}), ()),
+            |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("kernel bug");
+                }
+            },
+            |_pe, ()| (),
+        );
+        assert!(matches!(result, Err(AppError::Shmem(_))));
+    }
+}

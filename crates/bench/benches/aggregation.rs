@@ -1,0 +1,124 @@
+//! Conveyor microbenchmarks: per-message cost of the aggregation pipeline
+//! under different topologies and buffer capacities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabsp_conveyors::{Conveyor, ConveyorOptions, TopologySpec};
+use fabsp_shmem::{spmd, Grid};
+
+/// Complete an all-to-all of `msgs_per_pe` messages per PE; returns the
+/// slowest PE's wall time.
+fn all_to_all_time(grid: Grid, options: ConveyorOptions, msgs_per_pe: u64) -> std::time::Duration {
+    let times = spmd::run(grid, move |pe| {
+        let mut c = Conveyor::<u64>::new(pe, options).unwrap();
+        let n = pe.n_pes();
+        let start = std::time::Instant::now();
+        let mut sent = 0u64;
+        loop {
+            while sent < msgs_per_pe && c.push(pe, sent, (sent as usize) % n).unwrap() {
+                sent += 1;
+            }
+            let active = c.advance(pe, sent == msgs_per_pe);
+            while c.pull().is_some() {}
+            if !active {
+                break;
+            }
+        }
+        start.elapsed()
+    })
+    .unwrap();
+    times.into_iter().max().unwrap()
+}
+
+fn aggregation_benches(c: &mut Criterion) {
+    const MSGS: u64 = 2000;
+
+    let mut g = c.benchmark_group("conveyor_all_to_all");
+    g.throughput(Throughput::Elements(MSGS));
+
+    for (label, grid, topo) in [
+        ("1node_4pe_1d", Grid::new(1, 4).unwrap(), TopologySpec::Auto),
+        ("2node_4pe_mesh", Grid::new(2, 2).unwrap(), TopologySpec::Auto),
+        (
+            "2node_4pe_forced_1d",
+            Grid::new(2, 2).unwrap(),
+            TopologySpec::OneD,
+        ),
+        (
+            "2node_8pe_mesh",
+            Grid::new(2, 4).unwrap(),
+            TopologySpec::Mesh2D,
+        ),
+        (
+            "2node_8pe_cube",
+            Grid::new(2, 4).unwrap(),
+            TopologySpec::Cube3D,
+        ),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), move |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    total += all_to_all_time(
+                        grid,
+                        ConveyorOptions {
+                            capacity: 64,
+                            topology: topo,
+                        },
+                        MSGS,
+                    );
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+
+    // Ablation: aggregation buffer capacity (the design knob DESIGN.md
+    // calls out — tiny buffers devolve to per-message sends).
+    let mut g = c.benchmark_group("conveyor_capacity_ablation");
+    g.throughput(Throughput::Elements(MSGS));
+    for capacity in [1usize, 8, 64, 256] {
+        g.bench_function(BenchmarkId::from_parameter(capacity), move |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    total += all_to_all_time(
+                        Grid::new(2, 2).unwrap(),
+                        ConveyorOptions {
+                            capacity,
+                            topology: TopologySpec::Auto,
+                        },
+                        MSGS,
+                    );
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+
+    // Self-send round trip (full buffer path, §IV-D note).
+    let mut g = c.benchmark_group("conveyor_self_send");
+    g.throughput(Throughput::Elements(MSGS));
+    g.bench_function("single_pe_roundtrip", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                total += all_to_all_time(
+                    Grid::single_node(1).unwrap(),
+                    ConveyorOptions::default(),
+                    MSGS,
+                );
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = aggregation_benches
+}
+criterion_main!(benches);

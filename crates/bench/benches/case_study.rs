@@ -1,0 +1,58 @@
+//! The case-study headline comparison as a Criterion benchmark:
+//! distributed triangle counting, 1D Cyclic vs 1D Range, 1 and 2 nodes.
+//! The paper's Figs 12–13 observation — Range ≈ 2× faster end-to-end —
+//! shows up here as wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
+use fabsp_graph::edgelist::to_lower_triangular;
+use fabsp_graph::rmat::{generate_edges, RmatParams};
+use fabsp_graph::Csr;
+use fabsp_shmem::Grid;
+
+fn case_study_benches(c: &mut Criterion) {
+    let params = RmatParams::graph500(8);
+    let lower = to_lower_triangular(&generate_edges(&params));
+    let l = Csr::from_edges(params.n_vertices(), &lower);
+    let wedges = l.wedge_count();
+
+    let mut g = c.benchmark_group("triangle_counting_scale8");
+    g.throughput(Throughput::Elements(wedges));
+    for (label, grid, dist) in [
+        ("1node_cyclic", Grid::new(1, 8).unwrap(), DistKind::Cyclic),
+        ("1node_range", Grid::new(1, 8).unwrap(), DistKind::RangeByNnz),
+        ("2node_cyclic", Grid::new(2, 4).unwrap(), DistKind::Cyclic),
+        ("2node_range", Grid::new(2, 4).unwrap(), DistKind::RangeByNnz),
+    ] {
+        let l = &l;
+        g.bench_function(BenchmarkId::from_parameter(label), move |b| {
+            b.iter(|| {
+                let mut config = TriangleConfig::new(grid).with_dist(dist);
+                config.validate = false; // reference checked in tests
+                count_triangles(l, &config).expect("run").triangles
+            })
+        });
+    }
+    g.finish();
+
+    // Tracing the same workload (figure-generation cost).
+    let mut g = c.benchmark_group("triangle_counting_traced_scale8");
+    g.throughput(Throughput::Elements(wedges));
+    let lref = &l;
+    g.bench_function("1node_cyclic_all_traces", move |b| {
+        b.iter(|| {
+            let mut config = TriangleConfig::new(Grid::new(1, 8).unwrap())
+                .with_trace(actorprof_trace::TraceConfig::all());
+            config.validate = false;
+            count_triangles(lref, &config).expect("run").triangles
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = case_study_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Graph-substrate microbenchmarks: R-MAT generation, edge-list cleanup,
+//! CSR construction, distribution building, and reference counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabsp_graph::edgelist::to_lower_triangular;
+use fabsp_graph::rmat::{generate_edges, RmatParams};
+use fabsp_graph::{triangle_ref, Csr, Distribution};
+
+fn graphgen_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rmat_generate");
+    for scale in [8u32, 10, 12] {
+        let params = RmatParams::graph500(scale);
+        g.throughput(Throughput::Elements(params.n_edges() as u64));
+        g.bench_function(BenchmarkId::from_parameter(scale), move |b| {
+            b.iter(|| std::hint::black_box(generate_edges(&params)).len())
+        });
+    }
+    g.finish();
+
+    let params = RmatParams::graph500(10);
+    let raw = generate_edges(&params);
+    let lower = to_lower_triangular(&raw);
+
+    let mut g = c.benchmark_group("graph_pipeline_scale10");
+    g.bench_function("lower_triangularize", |b| {
+        b.iter(|| std::hint::black_box(to_lower_triangular(&raw)).len())
+    });
+    g.bench_function("csr_build", |b| {
+        b.iter(|| Csr::from_edges(params.n_vertices(), &lower).nnz())
+    });
+    let csr = Csr::from_edges(params.n_vertices(), &lower);
+    g.bench_function("range_distribution_build", |b| {
+        b.iter(|| Distribution::range_by_nnz(&csr, 16).n_pes())
+    });
+    g.bench_function("reference_count_wedges", |b| {
+        b.iter(|| triangle_ref::count_by_wedges(&csr))
+    });
+    g.bench_function("reference_count_intersection", |b| {
+        b.iter(|| triangle_ref::count_by_intersection(&csr))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = graphgen_benches
+}
+criterion_main!(benches);

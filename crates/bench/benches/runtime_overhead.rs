@@ -1,0 +1,48 @@
+//! The quantitative side of §IV-E: what each ActorProf trace class costs
+//! at runtime, measured on the histogram kernel (Listings 1–2).
+
+use actorprof_trace::{PapiConfig, TraceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabsp_apps::histogram::{self, HistogramConfig};
+use fabsp_shmem::Grid;
+
+fn overhead_benches(c: &mut Criterion) {
+    const UPDATES: usize = 3000;
+
+    let configs: Vec<(&str, TraceConfig)> = vec![
+        ("untraced", TraceConfig::off()),
+        ("overall", TraceConfig::off().with_overall()),
+        ("logical_agg", TraceConfig::off().with_logical()),
+        ("logical_exact", TraceConfig::off().with_logical_records()),
+        (
+            "papi",
+            TraceConfig::off().with_papi(PapiConfig::case_study()),
+        ),
+        ("physical", TraceConfig::off().with_physical()),
+        ("all", TraceConfig::all()),
+    ];
+
+    let mut g = c.benchmark_group("tracing_overhead_histogram");
+    g.throughput(Throughput::Elements((UPDATES * 4) as u64));
+    for (label, trace) in configs {
+        g.bench_function(BenchmarkId::from_parameter(label), move |b| {
+            let trace = trace.clone();
+            b.iter(|| {
+                let mut cfg = HistogramConfig::new(Grid::new(2, 2).unwrap());
+                cfg.updates_per_pe = UPDATES;
+                cfg.table_size_per_pe = 256;
+                cfg.trace = trace.clone();
+                let out = histogram::run(&cfg).expect("histogram");
+                std::hint::black_box(out.total_updates)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = overhead_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Microbenchmarks of the SHMEM substrate: blocking puts, non-blocking
+//! puts + quiet, remote atomics, barriers, and reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabsp_shmem::{spmd, Grid};
+
+/// Run `op` inside a 2-PE SPMD world, timing only PE 0's loop of `iters`
+/// operations; returns total wall time of the measured section.
+fn bench_in_world(
+    c: &mut Criterion,
+    group: &str,
+    name: &str,
+    bytes: Option<u64>,
+    op: impl Fn(&fabsp_shmem::Pe, &fabsp_shmem::SymmetricVec<u8>, u64) + Sync + Copy,
+) {
+    let mut g = c.benchmark_group(group);
+    if let Some(b) = bytes {
+        g.throughput(Throughput::Bytes(b));
+    }
+    g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        b.iter_custom(|iters| {
+            let grid = Grid::new(2, 1).unwrap();
+            let times = spmd::run(grid, |pe| {
+                let sym = pe.alloc_sym::<u8>(4096);
+                pe.barrier_all();
+                let start = std::time::Instant::now();
+                if pe.rank() == 0 {
+                    for _ in 0..iters {
+                        op(pe, &sym, iters);
+                    }
+                }
+                let elapsed = start.elapsed();
+                pe.barrier_all();
+                elapsed
+            })
+            .unwrap();
+            times[0]
+        })
+    });
+    g.finish();
+}
+
+fn substrate_benches(c: &mut Criterion) {
+    let payload = [7u8; 256];
+
+    bench_in_world(c, "shmem", "put_256B_internode", Some(256), move |pe, sym, _| {
+        sym.put(pe, 1, 0, &payload).unwrap();
+    });
+
+    bench_in_world(
+        c,
+        "shmem",
+        "put_nbi_quiet_256B",
+        Some(256),
+        move |pe, sym, _| {
+            sym.put_nbi(pe, 1, 0, &payload).unwrap();
+            pe.quiet();
+        },
+    );
+
+    // batched nbi: 8 puts per quiet (the double-buffering pattern)
+    bench_in_world(
+        c,
+        "shmem",
+        "put_nbi_x8_then_quiet",
+        Some(8 * 256),
+        move |pe, sym, _| {
+            for i in 0..8 {
+                sym.put_nbi(pe, 1, i * 256, &payload).unwrap();
+            }
+            pe.quiet();
+        },
+    );
+
+    // SKaMPI-OpenSHMEM (§V-B) measures quiet after a FIXED number of
+    // puts; Conveyors triggers quiet on double-buffer pressure. This group
+    // shows why that matters: quiet cost scales with outstanding puts.
+    for outstanding in [1usize, 8, 32] {
+        let mut g = c.benchmark_group("shmem_quiet_scaling");
+        g.throughput(Throughput::Elements(outstanding as u64));
+        g.bench_function(BenchmarkId::from_parameter(outstanding), move |b| {
+            b.iter_custom(|iters| {
+                let grid = Grid::new(2, 1).unwrap();
+                let times = spmd::run(grid, |pe| {
+                    let sym = pe.alloc_sym::<u8>(64 * outstanding);
+                    pe.barrier_all();
+                    let start = std::time::Instant::now();
+                    if pe.rank() == 0 {
+                        let chunk = [3u8; 64];
+                        for _ in 0..iters {
+                            for k in 0..outstanding {
+                                sym.put_nbi(pe, 1, k * 64, &chunk).unwrap();
+                            }
+                            pe.quiet();
+                        }
+                    }
+                    let elapsed = start.elapsed();
+                    pe.barrier_all();
+                    elapsed
+                })
+                .unwrap();
+                times[0]
+            })
+        });
+        g.finish();
+    }
+
+    let mut g = c.benchmark_group("shmem");
+    g.bench_function("atomic_fetch_add_remote", |b| {
+        b.iter_custom(|iters| {
+            let grid = Grid::new(2, 1).unwrap();
+            let times = spmd::run(grid, |pe| {
+                let a = pe.alloc_sym_atomic(1);
+                pe.barrier_all();
+                let start = std::time::Instant::now();
+                if pe.rank() == 0 {
+                    for _ in 0..iters {
+                        a.fetch_add(pe, 1, 0, 1).unwrap();
+                    }
+                }
+                let elapsed = start.elapsed();
+                pe.barrier_all();
+                elapsed
+            })
+            .unwrap();
+            times[0]
+        })
+    });
+    g.bench_function("barrier_all_4pe", |b| {
+        b.iter_custom(|iters| {
+            let grid = Grid::new(1, 4).unwrap();
+            let times = spmd::run(grid, |pe| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    pe.barrier_all();
+                }
+                start.elapsed()
+            })
+            .unwrap();
+            times[0]
+        })
+    });
+    g.bench_function("allreduce_sum_4pe", |b| {
+        b.iter_custom(|iters| {
+            let grid = Grid::new(1, 4).unwrap();
+            let times = spmd::run(grid, |pe| {
+                let start = std::time::Instant::now();
+                let mut acc = 0u64;
+                for i in 0..iters {
+                    acc = acc.wrapping_add(pe.allreduce_sum_u64(i));
+                }
+                std::hint::black_box(acc);
+                start.elapsed()
+            })
+            .unwrap();
+            times[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = substrate_benches
+}
+criterion_main!(benches);

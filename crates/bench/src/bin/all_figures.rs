@@ -1,0 +1,20 @@
+//! Regenerate every figure of the evaluation in one run (the sequence
+//! EXPERIMENTS.md records). Equivalent to running each `fig*` binary.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("All figures", "full evaluation sweep");
+    figures::logical_heatmap_figure(&ctx, "fig03", ctx.one_node, "1 node");
+    figures::logical_heatmap_figure(&ctx, "fig04", ctx.two_node, "2 nodes");
+    figures::violin_figure(&ctx, "fig05", false);
+    figures::l_observation_figure(&ctx, "fig06");
+    figures::violin_figure(&ctx, "fig07", true);
+    figures::physical_heatmap_figure(&ctx, "fig08", ctx.one_node, "1node");
+    figures::physical_heatmap_figure(&ctx, "fig09", ctx.two_node, "2node");
+    figures::papi_figure(&ctx, "fig10", ctx.one_node, "1node");
+    figures::papi_figure(&ctx, "fig11", ctx.two_node, "2node");
+    figures::overall_figure(&ctx, "fig12", ctx.one_node, "1node");
+    figures::overall_figure(&ctx, "fig13", ctx.two_node, "2node");
+    println!("\nall figures regenerated; see target/actorprof-figures/");
+}

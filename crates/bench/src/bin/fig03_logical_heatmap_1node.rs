@@ -1,0 +1,8 @@
+//! Figure 3: Logical Trace Heatmap for 1 node (1D Cyclic vs 1D Range).
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 3", "logical trace heatmap, 1 node x PEs");
+    figures::logical_heatmap_figure(&ctx, "fig03", ctx.one_node, "1 node");
+}

@@ -1,0 +1,8 @@
+//! Figure 4: Logical Trace Heatmap for 2 nodes (1D Cyclic vs 1D Range).
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 4", "logical trace heatmap, 2 nodes");
+    figures::logical_heatmap_figure(&ctx, "fig04", ctx.two_node, "2 nodes");
+}

@@ -1,0 +1,9 @@
+//! Figure 5: Violin plots of per-PE logical send/recv totals
+//! (1 & 2 nodes, Cyclic vs Range).
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 5", "violin plot for logical trace");
+    figures::violin_figure(&ctx, "fig05", false);
+}

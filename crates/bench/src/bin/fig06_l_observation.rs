@@ -1,0 +1,10 @@
+//! Figure 6: the (L) observation — under 1D Range, PE q only communicates
+//! with PEs 0..=q, making the send matrix lower-triangular and recv totals
+//! monotonically decreasing. Verified structurally.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 6", "(L) observation verifier");
+    figures::l_observation_figure(&ctx, "fig06");
+}

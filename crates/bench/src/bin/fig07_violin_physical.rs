@@ -1,0 +1,8 @@
+//! Figure 7: Violin plots of per-PE physical buffer send/recv totals.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 7", "violin plot for physical trace");
+    figures::violin_figure(&ctx, "fig07", true);
+}

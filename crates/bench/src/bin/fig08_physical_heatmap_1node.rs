@@ -1,0 +1,9 @@
+//! Figure 8: Physical Trace Heatmap for 1 node — 1D linear topology, so
+//! every buffer delivery is a local_send.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 8", "physical trace heatmap, 1 node");
+    figures::physical_heatmap_figure(&ctx, "fig08", ctx.one_node, "1node");
+}

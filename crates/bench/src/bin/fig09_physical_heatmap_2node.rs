@@ -1,0 +1,9 @@
+//! Figure 9: Physical Trace Heatmap for 2 nodes — 2D mesh topology:
+//! local_send along rows (same node), nonblock_send along columns.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 9", "physical trace heatmap, 2 nodes");
+    figures::physical_heatmap_figure(&ctx, "fig09", ctx.two_node, "2node");
+}

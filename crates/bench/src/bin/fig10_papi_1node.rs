@@ -1,0 +1,8 @@
+//! Figure 10: Total instructions (PAPI_TOT_INS) per PE, 1 node.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 10", "PAPI_TOT_INS per PE, 1 node");
+    figures::papi_figure(&ctx, "fig10", ctx.one_node, "1node");
+}

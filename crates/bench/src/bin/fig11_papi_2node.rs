@@ -1,0 +1,8 @@
+//! Figure 11: Total instructions (PAPI_TOT_INS) per PE, 2 nodes.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 11", "PAPI_TOT_INS per PE, 2 nodes");
+    figures::papi_figure(&ctx, "fig11", ctx.two_node, "2node");
+}

@@ -1,0 +1,8 @@
+//! Figure 12: Overall profiling (MAIN/COMM/PROC stacked bars), 1 node.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 12", "overall profiling, 1 node");
+    figures::overall_figure(&ctx, "fig12", ctx.one_node, "1node");
+}

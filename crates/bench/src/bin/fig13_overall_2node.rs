@@ -1,0 +1,8 @@
+//! Figure 13: Overall profiling (MAIN/COMM/PROC stacked bars), 2 nodes.
+
+use fabsp_bench::{figures, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Figure 13", "overall profiling, 2 nodes");
+    figures::overall_figure(&ctx, "fig13", ctx.two_node, "2node");
+}

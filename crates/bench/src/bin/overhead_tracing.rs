@@ -1,0 +1,14 @@
+//! §IV-E: overhead of ActorProf tracing — wall time and trace footprint
+//! per configuration, on the case-study kernel.
+
+use fabsp_apps::triangle::DistKind;
+use fabsp_bench::{overhead, FigureCtx};
+
+fn main() {
+    let ctx = FigureCtx::init("Overhead", "tracing overhead (section IV-E)");
+    for (grid, label) in [(ctx.one_node, "1 node"), (ctx.two_node, "2 nodes")] {
+        println!("\n--- {label}, 1D Cyclic ---");
+        let rows = overhead::measure(ctx.l, grid, DistKind::Cyclic);
+        print!("{}", overhead::render_table(&rows));
+    }
+}

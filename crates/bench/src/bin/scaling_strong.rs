@@ -1,0 +1,75 @@
+//! Strong scaling of the case-study kernel: fixed graph, growing PE
+//! counts, both distributions. The paper motivates FA-BSP with strong/weak
+//! scaling of irregular applications (§I); this harness reports how the
+//! modeled parallel critical path (max per-PE user-region instructions)
+//! shrinks with PEs — and how load imbalance throttles it for 1D Cyclic.
+
+use actorprof::papi::PapiSeries;
+use actorprof_trace::TraceConfig;
+use actorprof_viz::line::{self, LineSeries, LineSpec};
+use fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
+use fabsp_bench::{build_case_study_graph, env_scale, figure_dir};
+use fabsp_hwpc::Event;
+use fabsp_shmem::Grid;
+
+fn main() {
+    let scale = env_scale();
+    let l = build_case_study_graph(scale);
+    println!("=== Strong scaling — R-MAT scale {scale}, {} wedges ===", l.wedge_count());
+    println!(
+        "{:<18} {:>9} {:>14} {:>14} {:>10} {:>9}",
+        "configuration", "wall[ms]", "sum user ins", "max user ins", "imbalance", "speedup"
+    );
+
+    let mut chart = Vec::new();
+    for dist in [DistKind::Cyclic, DistKind::RangeByNnz] {
+        let mut base_critical: Option<u64> = None;
+        let mut curve = Vec::new();
+        for (nodes, ppn) in [(1, 2), (1, 4), (1, 8), (2, 8), (2, 16)] {
+            let grid = Grid::new(nodes, ppn).expect("grid");
+            let config = TriangleConfig::new(grid)
+                .with_dist(dist)
+                .with_trace(TraceConfig::off().with_logical().with_papi(
+                    actorprof_trace::PapiConfig::case_study(),
+                ));
+            let start = std::time::Instant::now();
+            let outcome = count_triangles(l, &config).expect("run");
+            let wall = start.elapsed();
+            let series = PapiSeries::from_bundle(&outcome.bundle, Event::TotIns).expect("papi");
+            let sum: u64 = series.per_pe.iter().sum();
+            let max = series.per_pe.iter().copied().max().unwrap_or(0);
+            let base = *base_critical.get_or_insert(max);
+            println!(
+                "{:<18} {:>9.1} {:>14} {:>14} {:>9.2}x {:>8.2}x",
+                format!("{}n x {:<2} {}", nodes, ppn, if dist == DistKind::Cyclic { "cyclic" } else { "range" }),
+                wall.as_secs_f64() * 1e3,
+                sum,
+                max,
+                series.imbalance.max_over_mean,
+                base as f64 / max.max(1) as f64,
+            );
+            curve.push((grid.n_pes() as f64, base as f64 / max.max(1) as f64));
+        }
+        chart.push(LineSeries::new(
+            if dist == DistKind::Cyclic { "1D Cyclic" } else { "1D Range" },
+            curve,
+        ));
+        println!();
+    }
+    let svg = line::render(
+        &chart,
+        &LineSpec {
+            title: format!("Strong scaling, R-MAT scale {scale}"),
+            x_label: "PEs".into(),
+            y_label: "critical-path speedup".into(),
+            log_y: false,
+        },
+    );
+    let file = figure_dir("scaling").join("strong_scaling.svg");
+    svg.save(&file).expect("write svg");
+    println!("svg: {}", file.display());
+    println!(
+        "speedup = modeled critical path vs the 2-PE run of the same \
+         distribution; wall-clock is core-limited on this host."
+    );
+}

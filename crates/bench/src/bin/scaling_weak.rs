@@ -1,0 +1,65 @@
+//! Weak scaling of the case-study kernel: the graph grows with the PE
+//! count (one R-MAT scale step per PE doubling keeps wedges-per-PE roughly
+//! constant), both distributions. Complements `scaling_strong`.
+
+use actorprof::papi::PapiSeries;
+use actorprof_trace::TraceConfig;
+use fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
+use fabsp_graph::edgelist::to_lower_triangular;
+use fabsp_graph::rmat::{generate_edges, RmatParams};
+use fabsp_graph::Csr;
+use fabsp_hwpc::Event;
+use fabsp_shmem::Grid;
+
+fn main() {
+    let base_scale: u32 = std::env::var("ACTORPROF_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    println!("=== Weak scaling — base scale {base_scale} at 2 PEs, +1 scale per PE doubling ===");
+    println!(
+        "{:<18} {:>9} {:>10} {:>14} {:>16} {:>10}",
+        "configuration", "scale", "wedges", "wall[ms]", "max user ins", "imbalance"
+    );
+
+    for dist in [DistKind::Cyclic, DistKind::RangeByNnz] {
+        for (step, (nodes, ppn)) in [(1usize, 2usize), (1, 4), (1, 8), (2, 8)]
+            .into_iter()
+            .enumerate()
+        {
+            let scale = base_scale + step as u32;
+            let params = RmatParams::graph500(scale);
+            let lower = to_lower_triangular(&generate_edges(&params));
+            let l = Csr::from_edges(params.n_vertices(), &lower);
+            let grid = Grid::new(nodes, ppn).expect("grid");
+            let config = TriangleConfig::new(grid).with_dist(dist).with_trace(
+                TraceConfig::off()
+                    .with_logical()
+                    .with_papi(actorprof_trace::PapiConfig::case_study()),
+            );
+            let start = std::time::Instant::now();
+            let outcome = count_triangles(&l, &config).expect("run");
+            let wall = start.elapsed();
+            let series = PapiSeries::from_bundle(&outcome.bundle, Event::TotIns).expect("papi");
+            println!(
+                "{:<18} {:>9} {:>10} {:>14.1} {:>16} {:>9.2}x",
+                format!(
+                    "{}n x {:<2} {}",
+                    nodes,
+                    ppn,
+                    if dist == DistKind::Cyclic { "cyclic" } else { "range" }
+                ),
+                scale,
+                outcome.wedges,
+                wall.as_secs_f64() * 1e3,
+                series.per_pe.iter().copied().max().unwrap_or(0),
+                series.imbalance.max_over_mean,
+            );
+        }
+        println!();
+    }
+    println!(
+        "ideal weak scaling keeps max-user-instructions flat as PEs and \
+         problem size grow together; cyclic's imbalance breaks that."
+    );
+}

@@ -1,0 +1,48 @@
+//! Trace-size growth (§IV-E / §VI): how the recorded trace volume scales
+//! with message count under each recording strategy — exact per-send
+//! records (the paper's 100 GB problem), sampling, aggregation, and
+//! streaming to disk.
+
+use actorprof_trace::TraceConfig;
+use fabsp_apps::histogram::{self, HistogramConfig};
+use fabsp_shmem::Grid;
+
+fn run_with(trace: TraceConfig, updates: usize) -> (usize, u64) {
+    let mut cfg = HistogramConfig::new(Grid::new(2, 4).unwrap());
+    cfg.updates_per_pe = updates;
+    cfg.table_size_per_pe = 256;
+    cfg.trace = trace;
+    let out = histogram::run(&cfg).expect("histogram");
+    (out.bundle.trace_bytes(), out.total_updates)
+}
+
+fn main() {
+    println!("=== Trace footprint vs message volume (histogram, 8 PEs) ===");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16} {:>18}",
+        "messages", "aggregated [B]", "exact [B]", "sampled/16 [B]", "streamed(mem) [B]"
+    );
+    let stream_dir = std::env::temp_dir().join(format!("actorprof-tsg-{}", std::process::id()));
+    for updates in [1_000usize, 4_000, 16_000] {
+        let (agg, total) = run_with(TraceConfig::off().with_logical(), updates);
+        let (exact, _) = run_with(TraceConfig::off().with_logical_records(), updates);
+        let (sampled, _) = run_with(TraceConfig::off().with_logical_sampling(16), updates);
+        let (streamed, _) = run_with(TraceConfig::off().with_streaming(&stream_dir), updates);
+        println!("{total:>10} {agg:>16} {exact:>16} {sampled:>16} {streamed:>18}");
+    }
+    let on_disk: u64 = std::fs::read_dir(&stream_dir)
+        .map(|d| {
+            d.filter_map(|e| e.ok())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    println!(
+        "\nstreamed records land on disk instead ({on_disk} bytes in {}),\n\
+         keeping in-memory state O(PE^2) regardless of message volume —\n\
+         the section-VI answer to traces 'of orders of 100GB'.",
+        stream_dir.display()
+    );
+    let _ = std::fs::remove_dir_all(&stream_dir);
+}

@@ -1,0 +1,27 @@
+//! # fabsp-bench — the ActorProf evaluation, regenerated
+//!
+//! One binary per table/figure of §IV (see `src/bin/fig*.rs`) plus
+//! Criterion microbenchmarks (see `benches/`). The shared harness here
+//! builds the case-study workload — triangle counting over a graph500
+//! R-MAT matrix under 1D Cyclic / 1D Range on the paper's 1×16 and 2×16
+//! PE grids — and renders/prints each figure's series.
+//!
+//! ## Scaling knobs (environment)
+//!
+//! The paper ran scale 16 on Perlmutter; this reproduction defaults to a
+//! smaller scale so every figure regenerates in seconds on a laptop core,
+//! and all of the paper's *shape* observations are scale-stable:
+//!
+//! - `ACTORPROF_SCALE` — R-MAT scale (default 10).
+//! - `ACTORPROF_PES` — PEs per node (default 16, the paper's value).
+//! - `ACTORPROF_OUT` — output directory for figures (default
+//!   `target/actorprof-figures`).
+
+pub mod experiment;
+pub mod figures;
+pub mod overhead;
+
+pub use experiment::{
+    build_case_study_graph, env_pes_per_node, env_scale, figure_dir, grid_1node, grid_2node,
+    run_traced_tc, FigureCtx,
+};

@@ -1,0 +1,118 @@
+//! Tracing-overhead measurement (§IV-E).
+//!
+//! Runs the same workload with tracing off and with each trace class
+//! enabled, reporting wall time and recorded-trace footprint. The paper
+//! discusses exactly these costs: trace bloat for logical/physical traces
+//! and the deliberately cheap `rdtsc` (not `rdtscp`, not OS timers) for
+//! the overall breakdown.
+
+use std::time::{Duration, Instant};
+
+use actorprof_trace::TraceConfig;
+use fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
+use fabsp_graph::Csr;
+use fabsp_shmem::Grid;
+
+/// One overhead measurement.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Wall time of the traced run.
+    pub wall: Duration,
+    /// Slowdown vs the untraced baseline.
+    pub slowdown: f64,
+    /// Bytes of trace data accumulated in memory.
+    pub trace_bytes: usize,
+}
+
+/// The tracing configurations §IV-E discusses, in increasing intrusiveness.
+pub fn configurations() -> Vec<(&'static str, TraceConfig)> {
+    vec![
+        ("untraced", TraceConfig::off()),
+        ("overall (rdtsc)", TraceConfig::off().with_overall()),
+        ("logical (aggregated)", TraceConfig::off().with_logical()),
+        ("physical", TraceConfig::off().with_physical()),
+        (
+            "logical + papi",
+            TraceConfig::off()
+                .with_logical()
+                .with_papi(actorprof_trace::PapiConfig::case_study()),
+        ),
+        ("all", TraceConfig::all()),
+        (
+            "all + exact records",
+            TraceConfig::all().with_logical_records(),
+        ),
+    ]
+}
+
+/// Measure every configuration on one workload. The first row is the
+/// untraced baseline (slowdown 1.0 by construction).
+pub fn measure(l: &Csr, grid: Grid, dist: DistKind) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    let mut baseline: Option<Duration> = None;
+    for (label, trace) in configurations() {
+        let config = TriangleConfig::new(grid).with_dist(dist).with_trace(trace);
+        let start = Instant::now();
+        let outcome = count_triangles(l, &config).expect("overhead run failed");
+        let wall = start.elapsed();
+        let base = *baseline.get_or_insert(wall);
+        rows.push(OverheadRow {
+            label,
+            wall,
+            slowdown: wall.as_secs_f64() / base.as_secs_f64().max(1e-12),
+            trace_bytes: outcome.bundle.trace_bytes(),
+        });
+    }
+    rows
+}
+
+/// Format rows as an aligned table.
+pub fn render_table(rows: &[OverheadRow]) -> String {
+    let mut out = String::from(
+        "configuration          wall [ms]   slowdown   trace bytes\n\
+         -----------------------------------------------------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>9.1} {:>10.2}x {:>12}\n",
+            r.label,
+            r.wall.as_secs_f64() * 1e3,
+            r.slowdown,
+            r.trace_bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabsp_graph::edgelist::to_lower_triangular;
+    use fabsp_graph::rmat::{generate_edges, RmatParams};
+
+    #[test]
+    fn overhead_rows_cover_all_configs() {
+        let p = RmatParams::graph500(6);
+        let l = Csr::from_edges(
+            p.n_vertices(),
+            &to_lower_triangular(&generate_edges(&p)),
+        );
+        let rows = measure(&l, Grid::single_node(2).unwrap(), DistKind::Cyclic);
+        assert_eq!(rows.len(), configurations().len());
+        assert_eq!(rows[0].label, "untraced");
+        assert!((rows[0].slowdown - 1.0).abs() < 1e-9);
+        assert_eq!(rows[0].trace_bytes, 0, "untraced run records nothing");
+        // exact records strictly grow the footprint vs aggregated
+        let agg = rows.iter().find(|r| r.label == "all").unwrap();
+        let exact = rows
+            .iter()
+            .find(|r| r.label == "all + exact records")
+            .unwrap();
+        assert!(exact.trace_bytes > agg.trace_bytes);
+        let table = render_table(&rows);
+        assert!(table.contains("untraced"));
+        assert!(table.contains("slowdown"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-PE conveyor operation statistics.
+//!
+//! These counters exist independently of ActorProf tracing: they are the
+//! conveyor's own instrumentation, cheap enough to keep always-on, and the
+//! basis for tests of structural claims (e.g. the self-send memcpy count
+//! from §IV-D's "Note for self-sends").
+
+/// Counters for one PE's view of one conveyor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConveyorStats {
+    /// Items accepted by `push` on this PE.
+    pub pushed: u64,
+    /// Items handed to the user by `pull` on this PE.
+    pub pulled: u64,
+    /// `push` attempts refused because buffers were full.
+    pub push_refusals: u64,
+    /// Items this PE forwarded on behalf of others (mesh second hop).
+    pub relayed: u64,
+    /// Buffers delivered by `local_send` (same-node memcpy).
+    pub local_sends: u64,
+    /// Buffers initiated by `nonblock_send` (`shmem_putmem_nbi`).
+    pub nonblock_sends: u64,
+    /// `nonblock_progress` signalling puts issued (one per destination per
+    /// quiet).
+    pub nonblock_progress: u64,
+    /// `shmem_quiet` fences issued.
+    pub quiets: u64,
+    /// Item-granularity copies performed (push staging, buffer delivery,
+    /// relay re-staging, pull hand-off, and the capture+apply pair of a
+    /// non-blocking put). This is the §IV-D memcpy count.
+    pub item_copies: u64,
+    /// Calls to `advance`.
+    pub advances: u64,
+}
+
+impl ConveyorStats {
+    /// Buffers sent by any mechanism.
+    pub fn buffers_sent(&self) -> u64 {
+        self.local_sends + self.nonblock_sends
+    }
+
+    /// Merge another PE's stats into this one (for world-wide aggregates).
+    pub fn merge(&mut self, other: &ConveyorStats) {
+        self.pushed += other.pushed;
+        self.pulled += other.pulled;
+        self.push_refusals += other.push_refusals;
+        self.relayed += other.relayed;
+        self.local_sends += other.local_sends;
+        self.nonblock_sends += other.nonblock_sends;
+        self.nonblock_progress += other.nonblock_progress;
+        self.quiets += other.quiets;
+        self.item_copies += other.item_copies;
+        self.advances += other.advances;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ConveyorStats {
+            pushed: 1,
+            pulled: 2,
+            local_sends: 3,
+            ..Default::default()
+        };
+        let b = ConveyorStats {
+            pushed: 10,
+            pulled: 20,
+            nonblock_sends: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pushed, 11);
+        assert_eq!(a.pulled, 22);
+        assert_eq!(a.buffers_sent(), 8);
+    }
+}

@@ -1,0 +1,463 @@
+//! Conveyor communication topologies and routing.
+//!
+//! Conveyors restricts which PE pairs exchange buffers directly and routes
+//! the rest through intermediate PEs ("multi-hop routing"). The paper's
+//! evaluation exercises two (§IV-D):
+//!
+//! - **1D linear** — every PE links directly to every PE. Used on a single
+//!   node, where all buffer deliveries are `local_send` memcpys.
+//! - **2D mesh** — a PE is the grid point *(node, local index)*. Direct
+//!   links exist along the **row** (the PEs of its node — `local_send`)
+//!   and the **column** (the equally-indexed PE of every node —
+//!   `nonblock_send`). Anything else routes in two hops: row first (to the
+//!   on-node PE in the destination's column), then column.
+
+use fabsp_shmem::Grid;
+
+/// How the user selects a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologySpec {
+    /// Pick what Conveyors picks: 1D linear on one node, 2D mesh otherwise.
+    #[default]
+    Auto,
+    /// Force 1D linear (direct links to every PE).
+    OneD,
+    /// Force the 2D mesh (requires `grid.nodes() >= 1`; degenerates to a
+    /// single row on one node).
+    Mesh2D,
+    /// Force the 3D cube: the node-local index is itself factored into an
+    /// (a, b) plane, giving up to three hops (b-axis, a-axis, node-axis)
+    /// and `a + b + nodes` links instead of `pes_per_node + nodes` — the
+    /// memory-frugal shape Conveyors uses at very large PE counts
+    /// (§III-C mentions the 1D/2D/3D family).
+    Cube3D,
+}
+
+/// A resolved topology for a concrete grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Direct links to all PEs.
+    OneD,
+    /// Row/column links with two-hop routing.
+    Mesh2D,
+    /// (b-axis, a-axis, node-axis) links with up to three-hop routing.
+    /// `a_dim * b_dim == pes_per_node`.
+    Cube3D {
+        /// First intra-node factor.
+        a_dim: usize,
+        /// Second intra-node factor (hopped first).
+        b_dim: usize,
+    },
+}
+
+/// Factor `ppn` as `a * b` with `a <= b` and `a` as large as possible
+/// (near-square). A prime `ppn` degenerates to `1 x ppn` (= the 2D mesh).
+fn near_square_factors(ppn: usize) -> (usize, usize) {
+    let mut a = (ppn as f64).sqrt().floor() as usize;
+    while a > 1 && !ppn.is_multiple_of(a) {
+        a -= 1;
+    }
+    (a.max(1), ppn / a.max(1))
+}
+
+/// Whether a link crosses a node boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Same-node link: buffers delivered by `local_send` (memcpy).
+    Local,
+    /// Cross-node link: buffers delivered by `nonblock_send` +
+    /// `nonblock_progress`.
+    Remote,
+}
+
+/// The first hop chosen for a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Outgoing link index (see [`Topology::link_peer`]).
+    pub link: usize,
+    /// Whether the item terminates at the link peer (`false`) or must be
+    /// relayed onward by the peer (`true`).
+    pub relayed: bool,
+}
+
+impl Topology {
+    /// Resolve a [`TopologySpec`] against a grid.
+    pub fn resolve(spec: TopologySpec, grid: Grid) -> Topology {
+        match spec {
+            TopologySpec::OneD => Topology::OneD,
+            TopologySpec::Mesh2D => Topology::Mesh2D,
+            TopologySpec::Cube3D => {
+                let (a_dim, b_dim) = near_square_factors(grid.pes_per_node());
+                Topology::Cube3D { a_dim, b_dim }
+            }
+            TopologySpec::Auto => {
+                if grid.nodes() == 1 {
+                    Topology::OneD
+                } else {
+                    Topology::Mesh2D
+                }
+            }
+        }
+    }
+
+    /// Number of outgoing (= incoming) links per PE.
+    pub fn n_links(&self, grid: Grid) -> usize {
+        match self {
+            Topology::OneD => grid.n_pes(),
+            Topology::Mesh2D => grid.pes_per_node() + grid.nodes(),
+            Topology::Cube3D { a_dim, b_dim } => a_dim + b_dim + grid.nodes(),
+        }
+    }
+
+    /// Cube coordinates of a PE's node-local index: `(a, b)`.
+    fn cube_coords(local: usize, b_dim: usize) -> (usize, usize) {
+        (local / b_dim, local % b_dim)
+    }
+
+    /// The PE at the far end of `me`'s outgoing link `link`.
+    pub fn link_peer(&self, grid: Grid, me: usize, link: usize) -> usize {
+        match self {
+            Topology::OneD => link,
+            Topology::Mesh2D => {
+                let p = grid.pes_per_node();
+                if link < p {
+                    // row link: same node, local index = link
+                    grid.pe_at(grid.node_of(me), link)
+                } else {
+                    // column link: same local index, node = link - p
+                    grid.pe_at(link - p, grid.local_index(me))
+                }
+            }
+            Topology::Cube3D { a_dim, b_dim } => {
+                let (a, b) = Self::cube_coords(grid.local_index(me), *b_dim);
+                if link < *b_dim {
+                    // b-axis: same node, same a, b = link
+                    grid.pe_at(grid.node_of(me), a * b_dim + link)
+                } else if link < b_dim + a_dim {
+                    // a-axis: same node, same b, a = link - b_dim
+                    grid.pe_at(grid.node_of(me), (link - b_dim) * b_dim + b)
+                } else {
+                    // node-axis: same (a, b), node = link - b_dim - a_dim
+                    grid.pe_at(link - b_dim - a_dim, grid.local_index(me))
+                }
+            }
+        }
+    }
+
+    /// Whether `me`'s link `link` stays on-node or crosses nodes.
+    pub fn link_kind(&self, grid: Grid, me: usize, link: usize) -> LinkKind {
+        if grid.same_node(me, self.link_peer(grid, me, link)) {
+            LinkKind::Local
+        } else {
+            LinkKind::Remote
+        }
+    }
+
+    /// The next-hop link for an item at `me` travelling to `dst`
+    /// (greedy dimension-order routing: fix the innermost differing
+    /// coordinate first, always intra-node before inter-node).
+    pub fn next_link(&self, grid: Grid, me: usize, dst: usize) -> usize {
+        debug_assert_ne!(me, dst, "an item at its destination needs no link");
+        match self {
+            Topology::OneD => dst,
+            Topology::Mesh2D => {
+                if grid.local_index(me) != grid.local_index(dst) {
+                    grid.local_index(dst) // row hop
+                } else {
+                    grid.pes_per_node() + grid.node_of(dst) // column hop
+                }
+            }
+            Topology::Cube3D { a_dim, b_dim } => {
+                let (ma, mb) = Self::cube_coords(grid.local_index(me), *b_dim);
+                let (da, db) = Self::cube_coords(grid.local_index(dst), *b_dim);
+                if mb != db {
+                    db // b-axis hop
+                } else if ma != da {
+                    b_dim + da // a-axis hop
+                } else {
+                    b_dim + a_dim + grid.node_of(dst) // node-axis hop
+                }
+            }
+        }
+    }
+
+    /// First-hop routing decision for an item travelling `me` → `dst`.
+    /// For self-sends (`me == dst`) the self link of the innermost
+    /// dimension is used, keeping self-traffic on the full buffer path.
+    pub fn route(&self, grid: Grid, me: usize, dst: usize) -> Route {
+        if me == dst {
+            // self link: 1D = own slot; mesh = own row slot; cube = own
+            // b-axis slot. All are "local" and terminate immediately.
+            let link = match self {
+                Topology::OneD => me,
+                Topology::Mesh2D => grid.local_index(me),
+                Topology::Cube3D { b_dim, .. } => {
+                    Self::cube_coords(grid.local_index(me), *b_dim).1
+                }
+            };
+            return Route {
+                link,
+                relayed: false,
+            };
+        }
+        let link = self.next_link(grid, me, dst);
+        let relayed = self.link_peer(grid, me, link) != dst;
+        Route { link, relayed }
+    }
+
+    /// The incoming link index at `me` identifying traffic from `src`.
+    ///
+    /// The mesh wires links symmetrically: the row link from `src` lands on
+    /// `me`'s row link indexed by `src`'s local index, and the column link
+    /// lands on `me`'s column link indexed by `src`'s node.
+    pub fn reverse_link(&self, grid: Grid, me: usize, src: usize) -> usize {
+        match self {
+            Topology::OneD => src,
+            Topology::Mesh2D => {
+                if grid.same_node(me, src) {
+                    grid.local_index(src)
+                } else {
+                    debug_assert_eq!(
+                        grid.local_index(me),
+                        grid.local_index(src),
+                        "mesh cross-node traffic must stay within a column"
+                    );
+                    grid.pes_per_node() + grid.node_of(src)
+                }
+            }
+            Topology::Cube3D { a_dim, b_dim } => {
+                if grid.same_node(me, src) {
+                    let (ma, mb) = Self::cube_coords(grid.local_index(me), *b_dim);
+                    let (sa, sb) = Self::cube_coords(grid.local_index(src), *b_dim);
+                    if sa == ma {
+                        sb // arrived along the b-axis
+                    } else {
+                        debug_assert_eq!(sb, mb, "cube intra-node hop changes one axis");
+                        b_dim + sa // arrived along the a-axis
+                    }
+                } else {
+                    debug_assert_eq!(
+                        grid.local_index(me),
+                        grid.local_index(src),
+                        "cube cross-node traffic must stay within a node-axis line"
+                    );
+                    b_dim + a_dim + grid.node_of(src)
+                }
+            }
+        }
+    }
+
+    /// The next-hop link for a relayed item (the item is in transit at
+    /// `me`, destined elsewhere).
+    pub fn relay_link(&self, grid: Grid, me: usize, final_dst: usize) -> usize {
+        debug_assert_ne!(me, final_dst, "relayed item already at destination");
+        debug_assert!(
+            !matches!(self, Topology::OneD),
+            "1D topology never relays"
+        );
+        self.next_link(grid, me, final_dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh_grid() -> Grid {
+        Grid::new(2, 4).unwrap() // 2 nodes x 4 PEs = 8 PEs
+    }
+
+    #[test]
+    fn auto_resolution_matches_paper() {
+        let one = Grid::single_node(16).unwrap();
+        let two = Grid::new(2, 16).unwrap();
+        assert_eq!(Topology::resolve(TopologySpec::Auto, one), Topology::OneD);
+        assert_eq!(Topology::resolve(TopologySpec::Auto, two), Topology::Mesh2D);
+    }
+
+    #[test]
+    fn oned_links_are_direct() {
+        let g = Grid::single_node(4).unwrap();
+        let t = Topology::OneD;
+        assert_eq!(t.n_links(g), 4);
+        for dst in 0..4 {
+            let r = t.route(g, 1, dst);
+            assert_eq!(r.link, dst);
+            assert!(!r.relayed);
+            assert_eq!(t.link_peer(g, 1, r.link), dst);
+            assert_eq!(t.link_kind(g, 1, r.link), LinkKind::Local);
+        }
+    }
+
+    #[test]
+    fn oned_across_nodes_is_remote() {
+        let g = mesh_grid();
+        let t = Topology::OneD;
+        assert_eq!(t.link_kind(g, 0, 5), LinkKind::Remote);
+        assert_eq!(t.link_kind(g, 0, 3), LinkKind::Local);
+    }
+
+    #[test]
+    fn mesh_row_is_local_column_is_remote() {
+        let g = mesh_grid();
+        let t = Topology::Mesh2D;
+        assert_eq!(t.n_links(g), 4 + 2);
+        // PE 1 = (node 0, local 1). Row link 3 -> PE 3, local.
+        assert_eq!(t.link_peer(g, 1, 3), 3);
+        assert_eq!(t.link_kind(g, 1, 3), LinkKind::Local);
+        // Column link to node 1 -> PE 5 = (node 1, local 1), remote.
+        assert_eq!(t.link_peer(g, 1, 4 + 1), 5);
+        assert_eq!(t.link_kind(g, 1, 4 + 1), LinkKind::Remote);
+    }
+
+    #[test]
+    fn mesh_routing_cases() {
+        let g = mesh_grid();
+        let t = Topology::Mesh2D;
+        // same node: direct row
+        let r = t.route(g, 1, 3);
+        assert_eq!((r.link, r.relayed), (3, false));
+        // same column: direct column
+        let r = t.route(g, 1, 5);
+        assert_eq!((r.link, r.relayed), (4 + 1, false));
+        // off-row off-column: row hop to (node 0, local 2), relayed
+        let r = t.route(g, 1, 6); // 6 = (node 1, local 2)
+        assert_eq!((r.link, r.relayed), (2, true));
+        assert_eq!(t.link_peer(g, 1, r.link), 2);
+        // relay at PE 2 forwards along its column to node 1
+        assert_eq!(t.relay_link(g, 2, 6), 4 + 1);
+        assert_eq!(t.link_peer(g, 2, 4 + 1), 6);
+    }
+
+    #[test]
+    fn self_send_routes_to_self_without_relay() {
+        let g = mesh_grid();
+        for t in [Topology::OneD, Topology::Mesh2D] {
+            for me in 0..g.n_pes() {
+                let r = t.route(g, me, me);
+                assert!(!r.relayed);
+                assert_eq!(t.link_peer(g, me, r.link), me);
+                assert_eq!(t.link_kind(g, me, r.link), LinkKind::Local);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_link_inverts_forward_link() {
+        let g = mesh_grid();
+        let t = Topology::Mesh2D;
+        for me in 0..g.n_pes() {
+            for link in 0..t.n_links(g) {
+                let peer = t.link_peer(g, me, link);
+                // A send on `link` from me lands at peer's reverse link
+                // identifying me; peer's outgoing link at that index must
+                // point back at me.
+                if g.same_node(me, peer) || g.local_index(me) == g.local_index(peer) {
+                    let rev = t.reverse_link(g, peer, me);
+                    assert_eq!(t.link_peer(g, peer, rev), me);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_pair_reaches_destination_in_at_most_two_hops() {
+        let g = Grid::new(3, 4).unwrap();
+        let t = Topology::Mesh2D;
+        for src in 0..g.n_pes() {
+            for dst in 0..g.n_pes() {
+                let r = t.route(g, src, dst);
+                let first = t.link_peer(g, src, r.link);
+                if r.relayed {
+                    let second = t.link_peer(g, first, t.relay_link(g, first, dst));
+                    assert_eq!(second, dst, "{src}->{dst} via {first}");
+                } else {
+                    assert_eq!(first, dst, "{src}->{dst}");
+                }
+            }
+        }
+    }
+
+    /// Walk an item from `src` to `dst` using `next_link` until it
+    /// arrives; returns the hop count.
+    fn walk(t: Topology, g: Grid, src: usize, dst: usize) -> usize {
+        let mut at = src;
+        let mut hops = 0;
+        while at != dst {
+            at = t.link_peer(g, at, t.next_link(g, at, dst));
+            hops += 1;
+            assert!(hops <= 3, "{src}->{dst} looped");
+        }
+        hops
+    }
+
+    #[test]
+    fn cube_factors_are_near_square() {
+        assert_eq!(near_square_factors(16), (4, 4));
+        assert_eq!(near_square_factors(12), (3, 4));
+        assert_eq!(near_square_factors(7), (1, 7)); // prime: degenerates
+        assert_eq!(near_square_factors(1), (1, 1));
+    }
+
+    #[test]
+    fn cube_reaches_everything_in_at_most_three_hops() {
+        let g = Grid::new(2, 4).unwrap(); // cube: a=2, b=2, nodes=2
+        let t = Topology::resolve(TopologySpec::Cube3D, g);
+        assert_eq!(t, Topology::Cube3D { a_dim: 2, b_dim: 2 });
+        assert_eq!(t.n_links(g), 2 + 2 + 2);
+        let mut max_hops = 0;
+        for src in 0..g.n_pes() {
+            for dst in 0..g.n_pes() {
+                if src != dst {
+                    max_hops = max_hops.max(walk(t, g, src, dst));
+                }
+            }
+        }
+        assert_eq!(max_hops, 3, "the worst cube route uses all three axes");
+    }
+
+    #[test]
+    fn cube_has_fewer_links_than_mesh_when_node_is_wide() {
+        let g = Grid::new(2, 16).unwrap();
+        let mesh = Topology::Mesh2D;
+        let cube = Topology::resolve(TopologySpec::Cube3D, g);
+        assert_eq!(mesh.n_links(g), 18);
+        assert_eq!(cube.n_links(g), 4 + 4 + 2, "the cube's memory saving");
+    }
+
+    #[test]
+    fn cube_intra_node_hops_are_local_node_hops_are_remote() {
+        let g = Grid::new(2, 4).unwrap();
+        let t = Topology::resolve(TopologySpec::Cube3D, g);
+        for me in 0..g.n_pes() {
+            for link in 0..t.n_links(g) {
+                let peer = t.link_peer(g, me, link);
+                let kind = t.link_kind(g, me, link);
+                if link < 4 {
+                    assert_eq!(kind, LinkKind::Local, "intra-node axes");
+                    assert!(g.same_node(me, peer));
+                } else {
+                    assert_eq!(g.local_index(me), g.local_index(peer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_reverse_link_identifies_single_hop_senders() {
+        let g = Grid::new(2, 4).unwrap();
+        let t = Topology::resolve(TopologySpec::Cube3D, g);
+        for me in 0..g.n_pes() {
+            for link in 0..t.n_links(g) {
+                let peer = t.link_peer(g, me, link);
+                if peer == me {
+                    continue;
+                }
+                // peer sends to me over its link toward me; that traffic
+                // lands on my reverse link, whose peer must be the sender.
+                let rev = t.reverse_link(g, me, peer);
+                assert_eq!(t.link_peer(g, me, rev), peer);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Comparing two profiled runs — the workflow §IV-D performs by hand
+//! ("Contrasting and comparing 1D Cyclic with 1D Range ..."), as an API:
+//! take two [`TraceBundle`]s of the same world and compute the ratio
+//! statements the paper derives.
+
+use fabsp_hwpc::Event;
+
+use crate::bundle::TraceBundle;
+use crate::error::ProfError;
+use crate::overall::OverallSummary;
+use crate::stats::Imbalance;
+
+/// Ratios of run A over run B for one per-PE series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesComparison {
+    /// max(A) / max(B) — the paper's "~6x sends" style of statement.
+    pub max_ratio: f64,
+    /// imbalance(A) / imbalance(B) in max-over-mean terms.
+    pub imbalance_ratio: f64,
+    /// total(A) / total(B).
+    pub total_ratio: f64,
+}
+
+impl SeriesComparison {
+    fn of(a: &[u64], b: &[u64]) -> SeriesComparison {
+        let ratio = |x: u64, y: u64| -> f64 {
+            if y == 0 {
+                if x == 0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                x as f64 / y as f64
+            }
+        };
+        let ia = Imbalance::of(a);
+        let ib = Imbalance::of(b);
+        SeriesComparison {
+            max_ratio: ratio(
+                a.iter().copied().max().unwrap_or(0),
+                b.iter().copied().max().unwrap_or(0),
+            ),
+            imbalance_ratio: if ib.max_over_mean > 0.0 {
+                ia.max_over_mean / ib.max_over_mean
+            } else {
+                1.0
+            },
+            total_ratio: ratio(a.iter().sum(), b.iter().sum()),
+        }
+    }
+}
+
+/// A full comparison of two traced runs over the same PE grid.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Label of run A.
+    pub label_a: String,
+    /// Label of run B.
+    pub label_b: String,
+    /// Logical per-PE send totals, A/B (if both collected the trace).
+    pub logical_sends: Option<SeriesComparison>,
+    /// Logical per-PE recv totals, A/B.
+    pub logical_recvs: Option<SeriesComparison>,
+    /// Physical buffer send totals, A/B.
+    pub physical_sends: Option<SeriesComparison>,
+    /// User-region `PAPI_TOT_INS` per PE, A/B.
+    pub instructions: Option<SeriesComparison>,
+    /// max-per-PE T_TOTAL of A over B (wall-clock proxy).
+    pub total_cycles_ratio: Option<f64>,
+}
+
+impl Comparison {
+    /// Compare two bundles; traces missing from either side are skipped.
+    ///
+    /// Returns an error if the bundles describe different world sizes.
+    pub fn between(
+        label_a: impl Into<String>,
+        a: &TraceBundle,
+        label_b: impl Into<String>,
+        b: &TraceBundle,
+    ) -> Result<Comparison, ProfError> {
+        if a.n_pes() != b.n_pes() {
+            return Err(ProfError::BadBundle(format!(
+                "cannot compare {}-PE and {}-PE runs",
+                a.n_pes(),
+                b.n_pes()
+            )));
+        }
+        let logical = match (a.logical_matrix(), b.logical_matrix()) {
+            (Ok(ma), Ok(mb)) => Some((ma, mb)),
+            _ => None,
+        };
+        let physical = match (a.physical_matrix(None), b.physical_matrix(None)) {
+            (Ok(ma), Ok(mb)) => Some((ma, mb)),
+            _ => None,
+        };
+        let instructions = match (
+            a.papi_user_region_totals(Event::TotIns),
+            b.papi_user_region_totals(Event::TotIns),
+        ) {
+            (Ok(va), Ok(vb)) => Some(SeriesComparison::of(&va, &vb)),
+            _ => None,
+        };
+        let total_cycles_ratio = match (a.overall_records(), b.overall_records()) {
+            (Ok(ra), Ok(rb)) => {
+                let sa = OverallSummary::of(&ra);
+                let sb = OverallSummary::of(&rb);
+                if sb.max_total_cycles > 0 {
+                    Some(sa.max_total_cycles as f64 / sb.max_total_cycles as f64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        Ok(Comparison {
+            label_a: label_a.into(),
+            label_b: label_b.into(),
+            logical_sends: logical
+                .as_ref()
+                .map(|(ma, mb)| SeriesComparison::of(&ma.row_totals(), &mb.row_totals())),
+            logical_recvs: logical
+                .as_ref()
+                .map(|(ma, mb)| SeriesComparison::of(&ma.col_totals(), &mb.col_totals())),
+            physical_sends: physical
+                .as_ref()
+                .map(|(ma, mb)| SeriesComparison::of(&ma.row_totals(), &mb.row_totals())),
+            instructions,
+            total_cycles_ratio,
+        })
+    }
+
+    /// Render as the paper-style comparison statements.
+    pub fn render(&self) -> String {
+        let mut out = format!("=== {} vs {} ===\n", self.label_a, self.label_b);
+        let mut line = |name: &str, s: &Option<SeriesComparison>| {
+            if let Some(s) = s {
+                out.push_str(&format!(
+                    "{name}: max {:.2}x, imbalance {:.2}x, total {:.2}x\n",
+                    s.max_ratio, s.imbalance_ratio, s.total_ratio
+                ));
+            }
+        };
+        line("logical sends ", &self.logical_sends);
+        line("logical recvs ", &self.logical_recvs);
+        line("physical sends", &self.physical_sends);
+        line("user-region ins", &self.instructions);
+        if let Some(r) = self.total_cycles_ratio {
+            out.push_str(&format!("max T_TOTAL: {r:.2}x\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorprof_trace::{PeCollector, TraceConfig};
+
+    fn bundle(sends: &[(usize, usize, u64)], n: usize) -> TraceBundle {
+        let cfg = TraceConfig::off().with_logical().with_overall();
+        let mut collectors: Vec<PeCollector> = (0..n)
+            .map(|pe| PeCollector::new(pe, n, n, cfg.clone()))
+            .collect();
+        for &(src, dst, count) in sends {
+            for _ in 0..count {
+                collectors[src].record_send(dst, 8, 0, None);
+            }
+        }
+        for (pe, c) in collectors.iter_mut().enumerate() {
+            c.set_overall(10, 10, 100 * (pe as u64 + 1));
+        }
+        TraceBundle::from_collectors(collectors).unwrap()
+    }
+
+    #[test]
+    fn compares_send_maxima_and_totals() {
+        // A: PE0 sends 60 to PE1; B: balanced 10 each way
+        let a = bundle(&[(0, 1, 60)], 2);
+        let b = bundle(&[(0, 1, 10), (1, 0, 10)], 2);
+        let c = Comparison::between("cyclic", &a, "range", &b).unwrap();
+        let s = c.logical_sends.unwrap();
+        assert!((s.max_ratio - 6.0).abs() < 1e-12);
+        assert!((s.total_ratio - 3.0).abs() < 1e-12);
+        assert!(s.imbalance_ratio > 1.0, "A is more imbalanced");
+        assert_eq!(c.total_cycles_ratio, Some(1.0));
+        let text = c.render();
+        assert!(text.contains("cyclic vs range"));
+        assert!(text.contains("6.00x"));
+    }
+
+    #[test]
+    fn missing_traces_are_skipped_not_fatal() {
+        let a = bundle(&[(0, 1, 5)], 2);
+        let plain = TraceBundle::from_collectors(vec![
+            PeCollector::new(0, 2, 2, TraceConfig::off()),
+            PeCollector::new(1, 2, 2, TraceConfig::off()),
+        ])
+        .unwrap();
+        let c = Comparison::between("a", &a, "b", &plain).unwrap();
+        assert!(c.logical_sends.is_none());
+        assert!(c.physical_sends.is_none());
+        assert!(c.instructions.is_none());
+    }
+
+    #[test]
+    fn mismatched_worlds_error() {
+        let a = bundle(&[], 2);
+        let b = bundle(&[], 3);
+        assert!(Comparison::between("a", &a, "b", &b).is_err());
+    }
+
+    #[test]
+    fn zero_denominators_handled() {
+        let a = bundle(&[(0, 1, 5)], 2);
+        let b = bundle(&[], 2);
+        let c = Comparison::between("a", &a, "b", &b).unwrap();
+        assert!(c.logical_sends.unwrap().max_ratio.is_infinite());
+        let b2 = bundle(&[], 2);
+        let c = Comparison::between("x", &b, "y", &b2).unwrap();
+        assert_eq!(c.logical_sends.unwrap().max_ratio, 1.0);
+    }
+}

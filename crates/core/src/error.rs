@@ -1,0 +1,62 @@
+//! Profiler error types.
+
+/// Errors from trace assembly, file IO, and parsing.
+#[derive(Debug)]
+pub enum ProfError {
+    /// Collector set inconsistent (wrong count, mixed worlds).
+    BadBundle(String),
+    /// A requested trace kind was not collected.
+    NotCollected(&'static str),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A trace file didn't parse.
+    Parse { file: String, line: usize, message: String },
+}
+
+impl std::fmt::Display for ProfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfError::BadBundle(m) => write!(f, "inconsistent trace bundle: {m}"),
+            ProfError::NotCollected(what) => {
+                write!(f, "{what} was not collected (enable it in TraceConfig)")
+            }
+            ProfError::Io(e) => write!(f, "I/O error: {e}"),
+            ProfError::Parse { file, line, message } => {
+                write!(f, "parse error in {file}:{line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProfError {
+    fn from(e: std::io::Error) -> Self {
+        ProfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ProfError::NotCollected("physical trace")
+            .to_string()
+            .contains("TraceConfig"));
+        let e = ProfError::Parse {
+            file: "overall.txt".into(),
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert!(e.to_string().contains("overall.txt:3"));
+    }
+}

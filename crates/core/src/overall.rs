@@ -1,0 +1,128 @@
+//! Overall-breakdown analysis (§III-B, Figs 12–13).
+//!
+//! Turns per-PE [`OverallRecord`]s into the series the stacked bar graphs
+//! plot (absolute cycles and relative fractions per region) and the
+//! aggregate statements the paper draws from them ("COMM regime is the
+//! bottleneck", "MAIN constitutes ≤ 5%...").
+
+use actorprof_trace::OverallRecord;
+
+/// One region's share across all PEs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionShare {
+    /// Sum of the region's cycles over all PEs.
+    pub cycles: u64,
+    /// The region's fraction of summed total cycles.
+    pub fraction: f64,
+}
+
+/// World-wide summary of an overall profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverallSummary {
+    /// MAIN share.
+    pub main: RegionShare,
+    /// COMM share (derived).
+    pub comm: RegionShare,
+    /// PROC share.
+    pub proc: RegionShare,
+    /// Summed T_TOTAL over PEs.
+    pub total_cycles: u64,
+    /// Maximum per-PE T_TOTAL (the critical path proxy the paper's
+    /// "~600k vs ~300k cycles" comparison uses).
+    pub max_total_cycles: u64,
+    /// Which region dominates (`"T_MAIN"`, `"T_COMM"`, or `"T_PROC"`).
+    pub bottleneck: &'static str,
+}
+
+impl OverallSummary {
+    /// Summarize per-PE records.
+    pub fn of(records: &[OverallRecord]) -> OverallSummary {
+        let total: u64 = records.iter().map(|r| r.t_total).sum();
+        let main: u64 = records.iter().map(|r| r.t_main).sum();
+        let proc: u64 = records.iter().map(|r| r.t_proc).sum();
+        let comm: u64 = records.iter().map(|r| r.t_comm()).sum();
+        let frac = |c: u64| if total > 0 { c as f64 / total as f64 } else { 0.0 };
+        let shares = [("T_MAIN", main), ("T_COMM", comm), ("T_PROC", proc)];
+        let bottleneck = shares
+            .iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|(n, _)| *n)
+            .unwrap_or("T_COMM");
+        OverallSummary {
+            main: RegionShare {
+                cycles: main,
+                fraction: frac(main),
+            },
+            comm: RegionShare {
+                cycles: comm,
+                fraction: frac(comm),
+            },
+            proc: RegionShare {
+                cycles: proc,
+                fraction: frac(proc),
+            },
+            total_cycles: total,
+            max_total_cycles: records.iter().map(|r| r.t_total).max().unwrap_or(0),
+            bottleneck,
+        }
+    }
+
+    /// Speedup of `self` over `other` in max per-PE total cycles (how the
+    /// paper states "1D Range ... performs ~2x better in total time").
+    pub fn speedup_over(&self, other: &OverallSummary) -> f64 {
+        if self.max_total_cycles == 0 {
+            return 1.0;
+        }
+        other.max_total_cycles as f64 / self.max_total_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pe: u32, main: u64, proc: u64, total: u64) -> OverallRecord {
+        OverallRecord {
+            pe,
+            t_main: main,
+            t_proc: proc,
+            t_total: total,
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_bottleneck_is_comm() {
+        let s = OverallSummary::of(&[rec(0, 10, 20, 100), rec(1, 5, 15, 100)]);
+        assert_eq!(s.total_cycles, 200);
+        assert_eq!(s.main.cycles, 15);
+        assert_eq!(s.proc.cycles, 35);
+        assert_eq!(s.comm.cycles, 150);
+        assert!((s.main.fraction + s.comm.fraction + s.proc.fraction - 1.0).abs() < 1e-12);
+        assert_eq!(s.bottleneck, "T_COMM");
+        assert_eq!(s.max_total_cycles, 100);
+    }
+
+    #[test]
+    fn bottleneck_tracks_dominant_region() {
+        let s = OverallSummary::of(&[rec(0, 80, 10, 100)]);
+        assert_eq!(s.bottleneck, "T_MAIN");
+        let s = OverallSummary::of(&[rec(0, 10, 80, 100)]);
+        assert_eq!(s.bottleneck, "T_PROC");
+    }
+
+    #[test]
+    fn speedup_uses_max_total() {
+        let fast = OverallSummary::of(&[rec(0, 0, 0, 300)]);
+        let slow = OverallSummary::of(&[rec(0, 0, 0, 600)]);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_records_are_safe() {
+        let s = OverallSummary::of(&[]);
+        assert_eq!(s.total_cycles, 0);
+        assert_eq!(s.main.fraction, 0.0);
+        assert_eq!(s.speedup_over(&s), 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! PAPI bar-graph analysis (§III-A, Figs 10–11).
+
+use fabsp_hwpc::Event;
+
+use crate::bundle::TraceBundle;
+use crate::error::ProfError;
+use crate::stats::Imbalance;
+
+/// The per-PE series of one PAPI event over the instrumented user regions,
+/// plus the paper's imbalance statement about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PapiSeries {
+    /// The counted event.
+    pub event: Event,
+    /// Per-PE totals (MAIN + PROC user regions).
+    pub per_pe: Vec<u64>,
+    /// Imbalance summary ("PE0 suffers ... up to ~5x").
+    pub imbalance: Imbalance,
+}
+
+impl PapiSeries {
+    /// Extract from a bundle.
+    pub fn from_bundle(bundle: &TraceBundle, event: Event) -> Result<PapiSeries, ProfError> {
+        let per_pe = bundle.papi_user_region_totals(event)?;
+        let imbalance = Imbalance::of(&per_pe);
+        Ok(PapiSeries {
+            event,
+            per_pe,
+            imbalance,
+        })
+    }
+
+    /// Orders of magnitude between the largest and smallest *nonzero*
+    /// values — the paper's footnote 1 observes "three to four orders of
+    /// magnitude" between the quietest and loudest PE under 1D Cyclic.
+    pub fn dynamic_range_log10(&self) -> f64 {
+        let max = self.per_pe.iter().copied().max().unwrap_or(0);
+        let min_nonzero = self.per_pe.iter().copied().filter(|&v| v > 0).min();
+        match (max, min_nonzero) {
+            (0, _) | (_, None) => 0.0,
+            (max, Some(min)) => (max as f64 / min as f64).log10(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorprof_trace::{PeCollector, TraceConfig};
+
+    fn bundle_with_totals(totals: &[u64]) -> TraceBundle {
+        let n = totals.len();
+        let collectors = totals
+            .iter()
+            .enumerate()
+            .map(|(pe, &t)| {
+                let mut c = PeCollector::new(pe, n, n, TraceConfig::off());
+                let mut p = fabsp_hwpc::RegionProfile::default();
+                p.main.events[Event::TotIns.index()] = t / 2;
+                p.proc.events[Event::TotIns.index()] = t - t / 2;
+                c.set_region_profile(p);
+                c
+            })
+            .collect();
+        TraceBundle::from_collectors(collectors).unwrap()
+    }
+
+    #[test]
+    fn series_extraction_and_imbalance() {
+        let b = bundle_with_totals(&[500, 100, 100, 100]);
+        let s = PapiSeries::from_bundle(&b, Event::TotIns).unwrap();
+        assert_eq!(s.per_pe, vec![500, 100, 100, 100]);
+        assert_eq!(s.imbalance.argmax, 0);
+        assert!((s.imbalance.max_over_min - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_range() {
+        let b = bundle_with_totals(&[1_000_000, 100]);
+        let s = PapiSeries::from_bundle(&b, Event::TotIns).unwrap();
+        assert!((s.dynamic_range_log10() - 4.0).abs() < 0.01);
+        let b = bundle_with_totals(&[0, 0]);
+        let s = PapiSeries::from_bundle(&b, Event::TotIns).unwrap();
+        assert_eq!(s.dynamic_range_log10(), 0.0);
+    }
+}

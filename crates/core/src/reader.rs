@@ -1,0 +1,324 @@
+//! Parsers for the trace-file formats written by [`crate::writer`] — the
+//! input side of the visualization scripts (`logical.py`, `physical.py`,
+//! `papi.py`, `Overall.py` in the paper's tooling).
+
+use std::path::Path;
+
+use actorprof_trace::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType};
+
+use crate::error::ProfError;
+use crate::stats::Matrix;
+
+fn parse_err(file: &Path, line: usize, message: impl Into<String>) -> ProfError {
+    ProfError::Parse {
+        file: file.display().to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(
+    file: &Path,
+    line_no: usize,
+    field: Option<&str>,
+    what: &str,
+) -> Result<T, ProfError> {
+    field
+        .ok_or_else(|| parse_err(file, line_no, format!("missing {what}")))?
+        .trim()
+        .parse::<T>()
+        .map_err(|_| parse_err(file, line_no, format!("bad {what}")))
+}
+
+/// Read one `PE<i>_send.csv` (exact per-send records).
+pub fn read_logical_exact(path: &Path) -> Result<Vec<LogicalRecord>, ProfError> {
+    let content = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut f = line.split(',');
+        out.push(LogicalRecord {
+            src_node: parse_field(path, i + 1, f.next(), "src_node")?,
+            src_pe: parse_field(path, i + 1, f.next(), "src_pe")?,
+            dst_node: parse_field(path, i + 1, f.next(), "dst_node")?,
+            dst_pe: parse_field(path, i + 1, f.next(), "dst_pe")?,
+            msg_size: parse_field(path, i + 1, f.next(), "msg_size")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Read every `PE<i>_send_agg.csv` in `dir` into a send-count matrix over
+/// `n_pes` PEs (the heatmap input, mirroring `logical.py dir num_PEs`).
+pub fn read_logical_matrix(dir: &Path, n_pes: usize) -> Result<Matrix, ProfError> {
+    let mut m = Matrix::zeros(n_pes);
+    for pe in 0..n_pes {
+        let path = dir.join(format!("PE{pe}_send_agg.csv"));
+        if !path.exists() {
+            continue; // a PE that sent nothing may have an empty file
+        }
+        let content = std::fs::read_to_string(&path)?;
+        for (i, line) in content.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut f = line.split(',');
+            let _src_node: u32 = parse_field(&path, i + 1, f.next(), "src_node")?;
+            let src_pe: usize = parse_field(&path, i + 1, f.next(), "src_pe")?;
+            let _dst_node: u32 = parse_field(&path, i + 1, f.next(), "dst_node")?;
+            let dst_pe: usize = parse_field(&path, i + 1, f.next(), "dst_pe")?;
+            let sends: u64 = parse_field(&path, i + 1, f.next(), "num_sends")?;
+            if src_pe >= n_pes || dst_pe >= n_pes {
+                return Err(parse_err(&path, i + 1, "PE out of range"));
+            }
+            m.add(src_pe, dst_pe, sends);
+        }
+    }
+    Ok(m)
+}
+
+/// Read one `PE<i>_PAPI.csv`: returns the counter column names and records.
+pub fn read_papi(path: &Path) -> Result<(Vec<String>, Vec<PapiRecord>), ProfError> {
+    let content = std::fs::read_to_string(path)?;
+    let mut lines = content.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Ok((Vec::new(), Vec::new()));
+    };
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 8 || cols[6] != "NUM_SENDS" {
+        return Err(parse_err(path, 1, "unrecognized PAPI header"));
+    }
+    let event_names: Vec<String> = cols[7..].iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut f = line.split(',');
+        let src_node = parse_field(path, i + 1, f.next(), "src_node")?;
+        let src_pe = parse_field(path, i + 1, f.next(), "src_pe")?;
+        let dst_node = parse_field(path, i + 1, f.next(), "dst_node")?;
+        let dst_pe = parse_field(path, i + 1, f.next(), "dst_pe")?;
+        let pkt_size = parse_field(path, i + 1, f.next(), "pkt_size")?;
+        let mailbox_id = parse_field(path, i + 1, f.next(), "MAILBOXID")?;
+        let num_sends = parse_field(path, i + 1, f.next(), "NUM_SENDS")?;
+        let counters: Vec<u64> = f
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|_| parse_err(path, i + 1, "bad counter value"))
+            })
+            .collect::<Result<_, _>>()?;
+        if counters.len() != event_names.len() {
+            return Err(parse_err(path, i + 1, "counter count != header"));
+        }
+        out.push(PapiRecord {
+            src_node,
+            src_pe,
+            dst_node,
+            dst_pe,
+            pkt_size,
+            mailbox_id,
+            num_sends,
+            counters,
+        });
+    }
+    Ok((event_names, out))
+}
+
+/// Read `physical.txt`.
+pub fn read_physical(path: &Path) -> Result<Vec<PhysicalRecord>, ProfError> {
+    let content = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut f = line.split(',');
+        let type_label = f
+            .next()
+            .ok_or_else(|| parse_err(path, i + 1, "missing send type"))?;
+        let send_type = SendType::from_label(type_label.trim())
+            .ok_or_else(|| parse_err(path, i + 1, format!("unknown send type {type_label}")))?;
+        out.push(PhysicalRecord {
+            send_type,
+            buffer_size: parse_field(path, i + 1, f.next(), "buffer_size")?,
+            src_pe: parse_field(path, i + 1, f.next(), "src_pe")?,
+            dst_pe: parse_field(path, i + 1, f.next(), "dst_pe")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Read `overall.txt` (the `Absolute` lines; `Relative` lines are
+/// redundant and used only for cross-checking).
+pub fn read_overall(path: &Path) -> Result<Vec<OverallRecord>, ProfError> {
+    let content = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with("Absolute") {
+            continue;
+        }
+        // Absolute [PE3] TCOMM_PROFILING (main, comm, proc)
+        let pe_start = line
+            .find("[PE")
+            .ok_or_else(|| parse_err(path, i + 1, "missing [PE"))?;
+        let pe_end = line[pe_start..]
+            .find(']')
+            .ok_or_else(|| parse_err(path, i + 1, "missing ]"))?
+            + pe_start;
+        let pe: u32 = line[pe_start + 3..pe_end]
+            .parse()
+            .map_err(|_| parse_err(path, i + 1, "bad PE"))?;
+        let open = line
+            .find('(')
+            .ok_or_else(|| parse_err(path, i + 1, "missing ("))?;
+        let close = line
+            .rfind(')')
+            .ok_or_else(|| parse_err(path, i + 1, "missing )"))?;
+        let nums: Vec<u64> = line[open + 1..close]
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|_| parse_err(path, i + 1, "bad cycle count"))
+            })
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 3 {
+            return Err(parse_err(path, i + 1, "expected three cycle counts"));
+        }
+        let (t_main, t_comm, t_proc) = (nums[0], nums[1], nums[2]);
+        out.push(OverallRecord {
+            pe,
+            t_main,
+            t_proc,
+            t_total: t_main + t_comm + t_proc,
+        });
+    }
+    out.sort_by_key(|r| r.pe);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::TraceBundle;
+    use crate::writer;
+    use actorprof_trace::{PapiConfig, PeCollector, TraceConfig};
+
+    fn roundtrip_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("actorprof-r-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn full_bundle() -> TraceBundle {
+        let cfg = TraceConfig::off()
+            .with_logical_records()
+            .with_papi(PapiConfig::case_study())
+            .with_overall()
+            .with_physical();
+        let collectors = (0..2)
+            .map(|pe| {
+                let mut c = PeCollector::new(pe, 2, 1, cfg.clone());
+                for _ in 0..(pe + 1) * 3 {
+                    c.record_send(1 - pe, 16, 0, Some(&[60, 24]));
+                }
+                c.record_physical(SendType::NonblockSend, 96, 1 - pe);
+                c.record_physical(SendType::NonblockProgress, 96, 1 - pe);
+                c.set_overall(100 + pe as u64, 200, 1000);
+                c
+            })
+            .collect();
+        TraceBundle::from_collectors(collectors).unwrap()
+    }
+
+    #[test]
+    fn logical_roundtrip() {
+        let dir = roundtrip_dir("log");
+        let bundle = full_bundle();
+        writer::write_all(&dir, &bundle).unwrap();
+        let m = read_logical_matrix(&dir, 2).unwrap();
+        assert_eq!(m.get(0, 1), 3);
+        assert_eq!(m.get(1, 0), 6);
+        let recs = read_logical_exact(&dir.join("PE1_send.csv")).unwrap();
+        assert_eq!(recs.len(), 6);
+        assert_eq!(recs[0].dst_pe, 0);
+        assert_eq!(recs[0].msg_size, 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn papi_roundtrip() {
+        let dir = roundtrip_dir("papi");
+        let bundle = full_bundle();
+        writer::write_all(&dir, &bundle).unwrap();
+        let (events, recs) = read_papi(&dir.join("PE0_PAPI.csv")).unwrap();
+        assert_eq!(events, vec!["PAPI_TOT_INS", "PAPI_LST_INS"]);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].num_sends, 3);
+        assert_eq!(recs[0].counters, vec![180, 72]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn physical_roundtrip() {
+        let dir = roundtrip_dir("phys");
+        let bundle = full_bundle();
+        writer::write_all(&dir, &bundle).unwrap();
+        let recs = read_physical(&dir.join("physical.txt")).unwrap();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].send_type, SendType::NonblockSend);
+        assert_eq!(recs[1].send_type, SendType::NonblockProgress);
+        assert_eq!(recs[0].buffer_size, 96);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overall_roundtrip() {
+        let dir = roundtrip_dir("ovr");
+        let bundle = full_bundle();
+        writer::write_all(&dir, &bundle).unwrap();
+        let recs = read_overall(&dir.join("overall.txt")).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].t_main, 100);
+        assert_eq!(recs[0].t_proc, 200);
+        assert_eq!(recs[0].t_total, 1000);
+        assert_eq!(recs[1].t_main, 101);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_report_file_and_line() {
+        let dir = roundtrip_dir("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("physical.txt"), "teleport,1,0,0\n").unwrap();
+        let err = read_physical(&dir.join("physical.txt")).unwrap_err();
+        match err {
+            ProfError::Parse { line, message, .. } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("teleport"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::write(dir.join("overall.txt"), "Absolute [PEx] TCOMM_PROFILING (1, 2, 3)\n")
+            .unwrap();
+        assert!(read_overall(&dir.join("overall.txt")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_agg_files_are_tolerated() {
+        let dir = roundtrip_dir("sparse");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("PE0_send_agg.csv"), "0,0,0,1,5,40\n").unwrap();
+        // PE1's file absent
+        let m = read_logical_matrix(&dir, 2).unwrap();
+        assert_eq!(m.get(0, 1), 5);
+        assert_eq!(m.get(1, 0), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text analysis report — the "helps the user infer performance
+//! bottlenecks" summary, in prose form.
+
+use fabsp_hwpc::Event;
+
+use crate::bundle::TraceBundle;
+use crate::overall::OverallSummary;
+use crate::papi::PapiSeries;
+use crate::stats::{Imbalance, Quartiles};
+
+/// Render a multi-section text report from whatever the bundle collected.
+/// Sections for traces that were not collected are omitted.
+pub fn render(bundle: &TraceBundle, title: &str) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    push(&mut out, format!("=== ActorProf report: {title} ==="));
+    push(&mut out, format!("PEs: {}", bundle.n_pes()));
+
+    if let Ok(m) = bundle.logical_matrix() {
+        let sends = m.row_totals();
+        let recvs = m.col_totals();
+        let si = Imbalance::of(&sends);
+        let ri = Imbalance::of(&recvs);
+        push(&mut out, "\n-- Logical trace (pre-aggregation sends) --".into());
+        push(&mut out, format!("total messages: {}", m.total()));
+        push(
+            &mut out,
+            format!(
+                "send imbalance: max/mean {:.2} (PE{}), recv imbalance: max/mean {:.2} (PE{})",
+                si.max_over_mean, si.argmax, ri.max_over_mean, ri.argmax
+            ),
+        );
+        let sq = Quartiles::of(&sends);
+        let rq = Quartiles::of(&recvs);
+        push(
+            &mut out,
+            format!(
+                "sends quartiles: min {:.0} q1 {:.0} med {:.0} q3 {:.0} max {:.0}",
+                sq.min, sq.q1, sq.median, sq.q3, sq.max
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "recvs quartiles: min {:.0} q1 {:.0} med {:.0} q3 {:.0} max {:.0}",
+                rq.min, rq.q1, rq.median, rq.q3, rq.max
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "lower-triangular mass: {:.1}% {}",
+                m.lower_triangular_fraction() * 100.0,
+                if m.is_lower_triangular() {
+                    "((L) observation holds)"
+                } else {
+                    ""
+                }
+            ),
+        );
+    }
+
+    if let Ok(m) = bundle.physical_matrix(None) {
+        push(&mut out, "\n-- Physical trace (post-aggregation buffers) --".into());
+        push(&mut out, format!("buffers sent: {}", m.total()));
+        let bi = Imbalance::of(&m.row_totals());
+        push(
+            &mut out,
+            format!(
+                "buffer-send imbalance: max/mean {:.2} (PE{})",
+                bi.max_over_mean, bi.argmax
+            ),
+        );
+    }
+
+    if let Ok(series) = PapiSeries::from_bundle(bundle, Event::TotIns) {
+        push(&mut out, "\n-- PAPI user-region instruction counts --".into());
+        push(
+            &mut out,
+            format!(
+                "PAPI_TOT_INS imbalance: max/mean {:.2} on PE{}, dynamic range 10^{:.1}",
+                series.imbalance.max_over_mean,
+                series.imbalance.argmax,
+                series.dynamic_range_log10()
+            ),
+        );
+    }
+
+    if let Ok(records) = bundle.overall_records() {
+        let s = OverallSummary::of(&records);
+        push(&mut out, "\n-- Overall breakdown (rdtsc cycles) --".into());
+        push(
+            &mut out,
+            format!(
+                "MAIN {:.1}% | COMM {:.1}% | PROC {:.1}%  (bottleneck: {})",
+                s.main.fraction * 100.0,
+                s.comm.fraction * 100.0,
+                s.proc.fraction * 100.0,
+                s.bottleneck
+            ),
+        );
+        push(
+            &mut out,
+            format!("max per-PE total: {} cycles", s.max_total_cycles),
+        );
+        if s.bottleneck == "T_COMM" {
+            push(
+                &mut out,
+                "hint: experiment with data distributions or exploit more \
+                 communication/computation overlap"
+                    .into(),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorprof_trace::{PeCollector, TraceConfig};
+    use crate::bundle::TraceBundle;
+
+    #[test]
+    fn report_includes_collected_sections_only() {
+        let cfg = TraceConfig::off().with_logical().with_overall();
+        let collectors = (0..2)
+            .map(|pe| {
+                let mut c = PeCollector::new(pe, 2, 2, cfg.clone());
+                c.record_send(0, 8, 0, None);
+                c.set_overall(10, 5, 100);
+                c
+            })
+            .collect();
+        let b = TraceBundle::from_collectors(collectors).unwrap();
+        let r = render(&b, "unit");
+        assert!(r.contains("Logical trace"));
+        assert!(r.contains("Overall breakdown"));
+        assert!(r.contains("bottleneck: T_COMM"));
+        assert!(!r.contains("Physical trace"), "not collected");
+        assert!(!r.contains("PAPI user-region"), "not collected");
+    }
+
+    #[test]
+    fn report_flags_lower_triangular_pattern() {
+        let cfg = TraceConfig::off().with_logical();
+        let collectors = (0..3)
+            .map(|pe| {
+                let mut c = PeCollector::new(pe, 3, 3, cfg.clone());
+                for dst in 0..=pe {
+                    c.record_send(dst, 8, 0, None);
+                }
+                c
+            })
+            .collect();
+        let b = TraceBundle::from_collectors(collectors).unwrap();
+        let r = render(&b, "L");
+        assert!(r.contains("(L) observation holds"));
+    }
+}

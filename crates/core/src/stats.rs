@@ -1,0 +1,330 @@
+//! Dense matrices and distribution statistics — the numeric substrate of
+//! every ActorProf visualization.
+
+/// A dense `n × n` counter matrix (row = source PE, column = destination
+/// PE), the underlying data of the mosaic heatmaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<u64>,
+}
+
+impl Matrix {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// Build from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: Vec<u64>) -> Matrix {
+        assert_eq!(data.len(), n * n, "matrix data must be n*n");
+        Matrix { n, data }
+    }
+
+    /// Side length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry at (`src`, `dst`).
+    #[inline]
+    pub fn get(&self, src: usize, dst: usize) -> u64 {
+        self.data[src * self.n + dst]
+    }
+
+    /// Set entry (`src`, `dst`).
+    #[inline]
+    pub fn set(&mut self, src: usize, dst: usize, v: u64) {
+        self.data[src * self.n + dst] = v;
+    }
+
+    /// Add to entry (`src`, `dst`).
+    #[inline]
+    pub fn add(&mut self, src: usize, dst: usize, v: u64) {
+        self.data[src * self.n + dst] += v;
+    }
+
+    /// One source row.
+    pub fn row(&self, src: usize) -> &[u64] {
+        &self.data[src * self.n..(src + 1) * self.n]
+    }
+
+    /// Row sums: total *sends* per source PE (the heatmap's last column).
+    pub fn row_totals(&self) -> Vec<u64> {
+        (0..self.n).map(|r| self.row(r).iter().sum()).collect()
+    }
+
+    /// Column sums: total *recvs* per destination PE (the heatmap's last
+    /// row).
+    pub fn col_totals(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.n];
+        for r in 0..self.n {
+            for (c, v) in self.row(r).iter().enumerate() {
+                out[c] += v;
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> u64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest entry.
+    pub fn max(&self) -> u64 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Collapse the PE matrix into a node matrix by summing
+    /// `pes_per_node`-sized blocks — "hotspots of 'node' from the network
+    /// sends" (§III-D).
+    ///
+    /// # Panics
+    /// Panics if `pes_per_node` is zero or does not divide `n`.
+    pub fn aggregate_nodes(&self, pes_per_node: usize) -> Matrix {
+        assert!(
+            pes_per_node > 0 && self.n.is_multiple_of(pes_per_node),
+            "pes_per_node must evenly divide the PE count"
+        );
+        let nodes = self.n / pes_per_node;
+        let mut out = Matrix::zeros(nodes);
+        for src in 0..self.n {
+            for (dst, v) in self.row(src).iter().enumerate() {
+                out.add(src / pes_per_node, dst / pes_per_node, *v);
+            }
+        }
+        out
+    }
+
+    /// Whether all mass lies on or below the diagonal (the paper's "(L)
+    /// observation" for the 1D Range heatmaps).
+    pub fn is_lower_triangular(&self) -> bool {
+        (0..self.n).all(|r| self.row(r)[r + 1..].iter().all(|&v| v == 0))
+    }
+
+    /// Fraction of the total mass on or below the diagonal (1.0 = exactly
+    /// lower triangular; useful as a *degree* of (L)-ness).
+    pub fn lower_triangular_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let lower: u64 = (0..self.n)
+            .map(|r| self.row(r)[..=r].iter().sum::<u64>())
+            .sum();
+        lower as f64 / total as f64
+    }
+}
+
+/// Five-number summary plus mean — what the violin plots display
+/// ("the quartiles for total send/recv traces", §III-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quartiles {
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median ("the median in a white dot", §IV-D).
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest value ("the maximum outlier ... farthest point on top").
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Quartiles {
+    /// Compute from a sample (unsorted, may be empty → all zeros).
+    pub fn of(values: &[u64]) -> Quartiles {
+        if values.is_empty() {
+            return Quartiles {
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        let mut sorted: Vec<u64> = values.to_vec();
+        sorted.sort_unstable();
+        let q = |p: f64| -> f64 {
+            // linear interpolation between closest ranks
+            let h = p * (sorted.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            let frac = h - lo as f64;
+            sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+        };
+        Quartiles {
+            min: sorted[0] as f64,
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *sorted.last().unwrap() as f64,
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Load-imbalance summary of a per-PE series: max/mean and max/min ratios
+/// (the "~5x imbalance on PE0" style of statement in §IV-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Imbalance {
+    /// max / mean; 1.0 means perfectly balanced.
+    pub max_over_mean: f64,
+    /// max / min; infinite when min is 0 and max is not.
+    pub max_over_min: f64,
+    /// PE achieving the maximum.
+    pub argmax: usize,
+}
+
+impl Imbalance {
+    /// Compute for a per-PE series (empty → balanced, argmax 0).
+    pub fn of(values: &[u64]) -> Imbalance {
+        if values.is_empty() {
+            return Imbalance {
+                max_over_mean: 1.0,
+                max_over_min: 1.0,
+                argmax: 0,
+            };
+        }
+        let max = *values.iter().max().unwrap();
+        let min = *values.iter().min().unwrap();
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        let argmax = values.iter().position(|&v| v == max).unwrap();
+        Imbalance {
+            max_over_mean: if mean > 0.0 { max as f64 / mean } else { 1.0 },
+            max_over_min: if min > 0 {
+                max as f64 / min as f64
+            } else if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            },
+            argmax,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_accessors_and_totals() {
+        let mut m = Matrix::zeros(3);
+        m.set(0, 1, 5);
+        m.add(0, 1, 2);
+        m.set(2, 0, 3);
+        assert_eq!(m.get(0, 1), 7);
+        assert_eq!(m.row(0), &[0, 7, 0]);
+        assert_eq!(m.row_totals(), vec![7, 0, 3]);
+        assert_eq!(m.col_totals(), vec![3, 7, 0]);
+        assert_eq!(m.total(), 10);
+        assert_eq!(m.max(), 7);
+    }
+
+    #[test]
+    fn aggregate_nodes_sums_blocks() {
+        let mut m = Matrix::zeros(4);
+        m.set(0, 1, 1); // node 0 -> node 0
+        m.set(0, 2, 2); // node 0 -> node 1
+        m.set(3, 1, 4); // node 1 -> node 0
+        m.set(2, 3, 8); // node 1 -> node 1
+        let nodes = m.aggregate_nodes(2);
+        assert_eq!(nodes.n(), 2);
+        assert_eq!(nodes.get(0, 0), 1);
+        assert_eq!(nodes.get(0, 1), 2);
+        assert_eq!(nodes.get(1, 0), 4);
+        assert_eq!(nodes.get(1, 1), 8);
+        assert_eq!(nodes.total(), m.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn aggregate_nodes_rejects_uneven_split() {
+        Matrix::zeros(4).aggregate_nodes(3);
+    }
+
+    #[test]
+    fn lower_triangular_detection() {
+        let mut m = Matrix::zeros(3);
+        m.set(1, 0, 4);
+        m.set(2, 2, 1);
+        assert!(m.is_lower_triangular());
+        assert!((m.lower_triangular_fraction() - 1.0).abs() < 1e-12);
+        m.set(0, 2, 5);
+        assert!(!m.is_lower_triangular());
+        assert!((m.lower_triangular_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_trivially_lower() {
+        let m = Matrix::zeros(4);
+        assert!(m.is_lower_triangular());
+        assert_eq!(m.lower_triangular_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn from_rows_checks_shape() {
+        Matrix::from_rows(2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let q = Quartiles::of(&[1, 2, 3, 4, 5]);
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.median, 3.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!(q.max, 5.0);
+        assert_eq!(q.mean, 3.0);
+        assert_eq!(q.iqr(), 2.0);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let q = Quartiles::of(&[0, 10]);
+        assert_eq!(q.q1, 2.5);
+        assert_eq!(q.median, 5.0);
+        assert_eq!(q.q3, 7.5);
+    }
+
+    #[test]
+    fn quartiles_of_empty_and_singleton() {
+        let q = Quartiles::of(&[]);
+        assert_eq!(q.max, 0.0);
+        let q = Quartiles::of(&[7]);
+        assert_eq!((q.min, q.median, q.max), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn imbalance_ratios() {
+        let i = Imbalance::of(&[10, 10, 10, 70]);
+        assert_eq!(i.argmax, 3);
+        assert!((i.max_over_mean - 2.8).abs() < 1e-12);
+        assert!((i.max_over_min - 7.0).abs() < 1e-12);
+        let i = Imbalance::of(&[0, 5]);
+        assert!(i.max_over_min.is_infinite());
+        let i = Imbalance::of(&[0, 0]);
+        assert_eq!(i.max_over_min, 1.0);
+        let i = Imbalance::of(&[]);
+        assert_eq!(i.max_over_mean, 1.0);
+    }
+}

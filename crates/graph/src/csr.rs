@@ -1,0 +1,153 @@
+//! Compressed sparse row storage for the lower-triangular matrix `L`.
+
+/// A CSR matrix over `n` rows with sorted column indices per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    n: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from a lower-triangular edge list (as produced by
+    /// [`crate::edgelist::to_lower_triangular`]). Edges need not be sorted;
+    /// duplicates are the caller's responsibility.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range — corrupt input is a bug in
+    /// the generation pipeline.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut row_counts = vec![0usize; n];
+        for (u, v) in edges {
+            assert!((*u as usize) < n && (*v as usize) < n, "edge out of range");
+            row_counts[*u as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0);
+        for c in &row_counts {
+            row_ptr.push(row_ptr.last().unwrap() + c);
+        }
+        let mut cols = vec![0u32; edges.len()];
+        let mut cursor = row_ptr.clone();
+        for (u, v) in edges {
+            let slot = &mut cursor[*u as usize];
+            cols[*slot] = *v;
+            *slot += 1;
+        }
+        for r in 0..n {
+            cols[row_ptr[r]..row_ptr[r + 1]].sort_unstable();
+        }
+        Csr { n, row_ptr, cols }
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries (edges).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The sorted column indices of row `u` (its lower neighbours).
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u32] {
+        &self.cols[self.row_ptr[u]..self.row_ptr[u + 1]]
+    }
+
+    /// Degree of row `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.row_ptr[u + 1] - self.row_ptr[u]
+    }
+
+    /// Whether entry `(u, v)` is present (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: u32) -> bool {
+        self.row(u).binary_search(&v).is_ok()
+    }
+
+    /// Prefix sums of row degrees: `prefix[i]` = entries in rows `0..i`.
+    /// Used by the 1D Range distribution to equalize nnz.
+    pub fn degree_prefix(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Number of wedges: ordered pairs of distinct neighbours per row —
+    /// the message count of the triangle-counting actor (each wedge is one
+    /// send in Algorithm 1).
+    pub fn wedge_count(&self) -> u64 {
+        (0..self.n)
+            .map(|u| {
+                let d = self.degree(u) as u64;
+                d * d.saturating_sub(1) / 2
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // edges: 2-0, 2-1, 3-1, 3-2, 4-0
+        Csr::from_edges(5, &[(4, 0), (2, 0), (3, 1), (2, 1), (3, 2)])
+    }
+
+    #[test]
+    fn rows_are_sorted_and_complete() {
+        let c = sample();
+        assert_eq!(c.n(), 5);
+        assert_eq!(c.nnz(), 5);
+        assert_eq!(c.row(0), &[] as &[u32]);
+        assert_eq!(c.row(2), &[0, 1]);
+        assert_eq!(c.row(3), &[1, 2]);
+        assert_eq!(c.row(4), &[0]);
+        assert_eq!(c.degree(2), 2);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let c = sample();
+        assert!(c.has_edge(2, 0));
+        assert!(c.has_edge(3, 2));
+        assert!(!c.has_edge(3, 0));
+        assert!(!c.has_edge(0, 1));
+    }
+
+    #[test]
+    fn wedge_count_matches_manual() {
+        let c = sample();
+        // rows with degree 2 contribute 1 wedge each: rows 2 and 3
+        assert_eq!(c.wedge_count(), 2);
+    }
+
+    #[test]
+    fn degree_prefix_is_row_ptr() {
+        let c = sample();
+        let p = c.degree_prefix();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[5], 5);
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Csr::from_edges(3, &[(5, 0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = Csr::from_edges(4, &[]);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.wedge_count(), 0);
+        for u in 0..4 {
+            assert_eq!(c.degree(u), 0);
+        }
+    }
+}

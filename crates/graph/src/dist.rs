@@ -1,0 +1,216 @@
+//! Row distributions: which PE owns which rows of `L` (§IV-B2).
+//!
+//! - **1D Cyclic** — `owner(row) = row % p`: every PE gets a similar
+//!   *vertex* count, but under power-law degrees the hub rows (low ids)
+//!   all land on low-ranked PEs, concentrating edges — the imbalance the
+//!   paper's heatmaps expose.
+//! - **1D Range** — contiguous row blocks cut so every PE holds a similar
+//!   *edge* (nnz) count. Because `L` is lower-triangular, PE `q`'s rows
+//!   only have columns owned by PEs `0..=q`, which produces the paper's
+//!   "(L) observation": the logical-trace heatmap is lower-triangular and
+//!   per-PE recv totals decrease monotonically with rank.
+
+use crate::csr::Csr;
+
+/// A 1D row distribution over `p` PEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// `owner(row) = row % p`.
+    Cyclic {
+        /// Number of PEs.
+        n_pes: usize,
+    },
+    /// `owner(row) = the unique q with bounds[q] <= row < bounds[q+1]`.
+    Range {
+        /// `p + 1` row boundaries, `bounds[0] = 0`, `bounds[p] = n`.
+        bounds: Vec<usize>,
+    },
+}
+
+impl Distribution {
+    /// The 1D Cyclic distribution.
+    pub fn cyclic(n_pes: usize) -> Distribution {
+        assert!(n_pes > 0, "need at least one PE");
+        Distribution::Cyclic { n_pes }
+    }
+
+    /// The 1D Range distribution over `csr`, cutting row blocks so each PE
+    /// owns approximately `nnz / p` entries.
+    pub fn range_by_nnz(csr: &Csr, n_pes: usize) -> Distribution {
+        assert!(n_pes > 0, "need at least one PE");
+        let prefix = csr.degree_prefix();
+        let total = csr.nnz();
+        let mut bounds = Vec::with_capacity(n_pes + 1);
+        bounds.push(0usize);
+        for q in 1..n_pes {
+            let target = total * q / n_pes;
+            // first row whose prefix reaches the target, at or after the
+            // previous boundary (keeps bounds monotone on degenerate input)
+            let row = prefix.partition_point(|&s| s < target).max(bounds[q - 1]);
+            bounds.push(row.min(csr.n()));
+        }
+        bounds.push(csr.n());
+        Distribution::Range { bounds }
+    }
+
+    /// Number of PEs this distribution maps onto.
+    pub fn n_pes(&self) -> usize {
+        match self {
+            Distribution::Cyclic { n_pes } => *n_pes,
+            Distribution::Range { bounds } => bounds.len() - 1,
+        }
+    }
+
+    /// The PE owning `row` (Algorithm 1's `FindOwner`).
+    #[inline]
+    pub fn owner(&self, row: usize) -> usize {
+        match self {
+            Distribution::Cyclic { n_pes } => row % n_pes,
+            Distribution::Range { bounds } => {
+                debug_assert!(row < *bounds.last().unwrap());
+                // rightmost q with bounds[q] <= row
+                bounds.partition_point(|&b| b <= row) - 1
+            }
+        }
+    }
+
+    /// The rows owned by `pe`, in increasing order.
+    pub fn rows_of(&self, pe: usize, n: usize) -> Vec<usize> {
+        match self {
+            Distribution::Cyclic { n_pes } => (pe..n).step_by(*n_pes).collect(),
+            Distribution::Range { bounds } => (bounds[pe]..bounds[pe + 1]).collect(),
+        }
+    }
+
+    /// Human-readable name as used in figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Cyclic { .. } => "1D Cyclic",
+            Distribution::Range { .. } => "1D Range",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::to_lower_triangular;
+    use crate::rmat::{generate_edges, RmatParams};
+
+    fn rmat_csr(scale: u32) -> Csr {
+        let p = RmatParams::graph500(scale);
+        let edges = to_lower_triangular(&generate_edges(&p));
+        Csr::from_edges(p.n_vertices(), &edges)
+    }
+
+    #[test]
+    fn cyclic_owner_is_modulo() {
+        let d = Distribution::cyclic(4);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(5), 1);
+        assert_eq!(d.owner(7), 3);
+        assert_eq!(d.rows_of(1, 10), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn range_bounds_cover_and_are_monotone() {
+        let csr = rmat_csr(8);
+        let d = Distribution::range_by_nnz(&csr, 6);
+        let Distribution::Range { bounds } = &d else {
+            unreachable!()
+        };
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), csr.n());
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn range_owner_is_monotone_in_row() {
+        let csr = rmat_csr(8);
+        let d = Distribution::range_by_nnz(&csr, 5);
+        let mut last = 0;
+        for row in 0..csr.n() {
+            let o = d.owner(row);
+            assert!(o >= last, "ownership must be monotone");
+            assert!(o < 5);
+            last = o;
+        }
+    }
+
+    #[test]
+    fn range_equalizes_nnz_better_than_cyclic_equalizes_it() {
+        let csr = rmat_csr(10);
+        let p = 8;
+        let nnz_per_pe = |d: &Distribution| -> Vec<usize> {
+            let mut v = vec![0usize; p];
+            for row in 0..csr.n() {
+                v[d.owner(row)] += csr.degree(row);
+            }
+            v
+        };
+        let cyc = nnz_per_pe(&Distribution::cyclic(p));
+        let rng = nnz_per_pe(&Distribution::range_by_nnz(&csr, p));
+        let spread = |v: &[usize]| *v.iter().max().unwrap() - *v.iter().min().unwrap();
+        assert!(
+            spread(&rng) <= spread(&cyc),
+            "range should balance edges at least as well: rng={rng:?} cyc={cyc:?}"
+        );
+        // range is near-perfect: each PE within 25% of the mean
+        let mean = csr.nnz() / p;
+        for (pe, nnz) in rng.iter().enumerate() {
+            assert!(
+                nnz.abs_diff(mean) < mean / 4 + csr.degree(0),
+                "PE {pe}: {nnz} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_of_partitions_all_rows() {
+        let csr = rmat_csr(7);
+        for d in [
+            Distribution::cyclic(5),
+            Distribution::range_by_nnz(&csr, 5),
+        ] {
+            let mut seen = vec![false; csr.n()];
+            for pe in 0..5 {
+                for row in d.rows_of(pe, csr.n()) {
+                    assert!(!seen[row], "row {row} owned twice");
+                    assert_eq!(d.owner(row), pe);
+                    seen[row] = true;
+                }
+            }
+            assert!(seen.iter().all(|s| *s), "every row owned");
+        }
+    }
+
+    #[test]
+    fn range_lower_triangular_property() {
+        // The (L) observation: each entry (row, col) of L has
+        // owner(col) <= owner(row), since col < row and ownership is
+        // monotone. This is the structural basis of Fig. 6.
+        let csr = rmat_csr(8);
+        let d = Distribution::range_by_nnz(&csr, 4);
+        for row in 0..csr.n() {
+            for &col in csr.row(row) {
+                assert!(d.owner(col as usize) <= d.owner(row));
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Distribution::cyclic(2).label(), "1D Cyclic");
+        let csr = rmat_csr(6);
+        assert_eq!(Distribution::range_by_nnz(&csr, 2).label(), "1D Range");
+    }
+
+    #[test]
+    fn more_pes_than_rows_is_tolerated() {
+        let csr = Csr::from_edges(3, &[(2, 0), (1, 0)]);
+        let d = Distribution::range_by_nnz(&csr, 8);
+        for row in 0..3 {
+            assert!(d.owner(row) < 8);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Edge-list preprocessing: the pipeline from raw R-MAT tuples to the
+//! lower-triangular input matrix `L` of Algorithm 1.
+
+/// Convert raw (possibly duplicated, self-looped, either-orientation)
+/// edge tuples into the strictly lower-triangular edge set:
+/// self-loops dropped, endpoints ordered `(row > col)`, duplicates removed.
+pub fn to_lower_triangular(edges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut lower: Vec<(u32, u32)> = edges
+        .iter()
+        .filter(|(u, v)| u != v)
+        .map(|&(u, v)| if u > v { (u, v) } else { (v, u) })
+        .collect();
+    lower.sort_unstable();
+    lower.dedup();
+    lower
+}
+
+/// Summary statistics of an edge list over `n` vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeListStats {
+    /// Number of edges.
+    pub n_edges: usize,
+    /// Maximum row degree (lower-triangular out-degree).
+    pub max_degree: usize,
+    /// Vertex achieving the maximum degree.
+    pub argmax_degree: u32,
+    /// Number of isolated rows (degree zero).
+    pub empty_rows: usize,
+}
+
+/// Compute row-degree statistics for a lower-triangular edge list.
+pub fn stats(edges: &[(u32, u32)], n: usize) -> EdgeListStats {
+    let mut deg = vec![0usize; n];
+    for (u, _) in edges {
+        deg[*u as usize] += 1;
+    }
+    let (argmax, &max) = deg
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, d)| **d)
+        .unwrap_or((0, &0));
+    EdgeListStats {
+        n_edges: edges.len(),
+        max_degree: max,
+        argmax_degree: argmax as u32,
+        empty_rows: deg.iter().filter(|d| **d == 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_triangular_normalizes_orientation_and_dedups() {
+        let raw = vec![(1, 3), (3, 1), (2, 2), (3, 1), (0, 4)];
+        let lower = to_lower_triangular(&raw);
+        assert_eq!(lower, vec![(3, 1), (4, 0)]);
+        for (u, v) in &lower {
+            assert!(u > v, "strictly lower triangular");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(to_lower_triangular(&[]).is_empty());
+        let s = stats(&[], 4);
+        assert_eq!(s.n_edges, 0);
+        assert_eq!(s.empty_rows, 4);
+    }
+
+    #[test]
+    fn stats_finds_hub() {
+        let edges = vec![(5, 0), (5, 1), (5, 2), (3, 0)];
+        let s = stats(&edges, 6);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.argmax_degree, 5);
+        assert_eq!(s.empty_rows, 4); // rows 0,1,2,4
+    }
+
+    #[test]
+    fn rmat_pipeline_produces_strictly_lower_edges() {
+        let p = crate::rmat::RmatParams::graph500(8);
+        let lower = to_lower_triangular(&crate::rmat::generate_edges(&p));
+        assert!(!lower.is_empty());
+        assert!(lower.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+        assert!(lower.iter().all(|(u, v)| u > v));
+    }
+}

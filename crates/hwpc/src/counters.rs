@@ -1,0 +1,108 @@
+//! Per-thread monotonic counter bank.
+//!
+//! Each FA-BSP PE is a single thread, so per-thread counters are per-PE
+//! counters. Counters only ever increase (like real hardware counters);
+//! [`EventSet`](crate::eventset::EventSet) reads are snapshot deltas.
+
+use std::cell::Cell;
+
+use crate::event::{Event, NUM_EVENTS};
+
+thread_local! {
+    static BANK: [Cell<u64>; NUM_EVENTS] = const { [const { Cell::new(0) }; NUM_EVENTS] };
+}
+
+/// Charge `n` occurrences of `event` to the calling thread's counter bank.
+///
+/// This is the primitive every cost-model helper bottoms out in.
+#[inline]
+pub fn retire(event: Event, n: u64) {
+    BANK.with(|b| {
+        let c = &b[event.index()];
+        c.set(c.get().wrapping_add(n));
+    });
+}
+
+/// Read the calling thread's monotonic count for `event`.
+#[inline]
+pub fn read(event: Event) -> u64 {
+    BANK.with(|b| b[event.index()].get())
+}
+
+/// Snapshot all counters of the calling thread.
+pub fn snapshot() -> [u64; NUM_EVENTS] {
+    BANK.with(|b| {
+        let mut out = [0u64; NUM_EVENTS];
+        for (o, c) in out.iter_mut().zip(b.iter()) {
+            *o = c.get();
+        }
+        out
+    })
+}
+
+/// Reset all counters of the calling thread to zero.
+///
+/// Real hardware counters cannot be reset per-user, but tests and
+/// benchmark harnesses need a clean slate per run.
+pub fn reset_all() {
+    BANK.with(|b| {
+        for c in b {
+            c.set(0);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_accumulates() {
+        reset_all();
+        retire(Event::TotIns, 5);
+        retire(Event::TotIns, 7);
+        assert_eq!(read(Event::TotIns), 12);
+        assert_eq!(read(Event::LstIns), 0);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        reset_all();
+        retire(Event::TotIns, 42);
+        let other = std::thread::spawn(|| {
+            retire(Event::TotIns, 1);
+            read(Event::TotIns)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1);
+        assert_eq!(read(Event::TotIns), 42);
+    }
+
+    #[test]
+    fn snapshot_reflects_all_events() {
+        reset_all();
+        retire(Event::LstIns, 3);
+        retire(Event::BrMsp, 2);
+        let s = snapshot();
+        assert_eq!(s[Event::LstIns.index()], 3);
+        assert_eq!(s[Event::BrMsp.index()], 2);
+        assert_eq!(s[Event::TotIns.index()], 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        retire(Event::FpOps, 9);
+        reset_all();
+        assert_eq!(snapshot(), [0; NUM_EVENTS]);
+    }
+
+    #[test]
+    fn retire_wraps_instead_of_panicking() {
+        reset_all();
+        retire(Event::VecIns, u64::MAX);
+        retire(Event::VecIns, 2);
+        assert_eq!(read(Event::VecIns), 1);
+        reset_all();
+    }
+}

@@ -1,0 +1,126 @@
+//! PAPI-style event identifiers.
+//!
+//! The subset mirrors the preset events the paper names or alludes to in
+//! §III-A: total/retired instructions, load-store instructions, cache and
+//! TLB behaviour, branch prediction, prefetch, and vector/SIMD activity.
+
+/// A hardware event that can be counted.
+///
+/// Numeric discriminants index into the per-thread counter bank, so they
+/// must stay dense and start at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Event {
+    /// `PAPI_TOT_INS` — total retired instructions.
+    TotIns = 0,
+    /// `PAPI_LST_INS` — retired load/store instructions.
+    LstIns = 1,
+    /// `PAPI_LD_INS` — retired load instructions.
+    LdIns = 2,
+    /// `PAPI_SR_INS` — retired store instructions.
+    SrIns = 3,
+    /// `PAPI_BR_INS` — retired branch instructions.
+    BrIns = 4,
+    /// `PAPI_BR_MSP` — mispredicted branches.
+    BrMsp = 5,
+    /// `PAPI_L1_DCM` — level-1 data-cache misses.
+    L1Dcm = 6,
+    /// `PAPI_L2_DCM` — level-2 data-cache misses.
+    L2Dcm = 7,
+    /// `PAPI_TLB_DM` — data TLB misses.
+    TlbDm = 8,
+    /// `PAPI_PRF_DM` — data prefetch cache misses.
+    PrfDm = 9,
+    /// `PAPI_VEC_INS` — vector/SIMD instructions.
+    VecIns = 10,
+    /// `PAPI_FP_OPS` — floating-point operations.
+    FpOps = 11,
+    /// `PAPI_TOT_CYC` — total cycles (fed by the [`crate::rdtsc`] source
+    /// when charged explicitly; the region timer uses rdtsc directly).
+    TotCyc = 12,
+}
+
+/// Number of distinct events (size of the per-thread counter bank).
+pub const NUM_EVENTS: usize = 13;
+
+/// All events, in discriminant order.
+pub const ALL_EVENTS: [Event; NUM_EVENTS] = [
+    Event::TotIns,
+    Event::LstIns,
+    Event::LdIns,
+    Event::SrIns,
+    Event::BrIns,
+    Event::BrMsp,
+    Event::L1Dcm,
+    Event::L2Dcm,
+    Event::TlbDm,
+    Event::PrfDm,
+    Event::VecIns,
+    Event::FpOps,
+    Event::TotCyc,
+];
+
+impl Event {
+    /// Dense index of this event in the counter bank.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The PAPI preset name for this event (as it would appear in
+    /// `PEi_PAPI.csv` headers and PAPI documentation).
+    pub const fn papi_name(self) -> &'static str {
+        match self {
+            Event::TotIns => "PAPI_TOT_INS",
+            Event::LstIns => "PAPI_LST_INS",
+            Event::LdIns => "PAPI_LD_INS",
+            Event::SrIns => "PAPI_SR_INS",
+            Event::BrIns => "PAPI_BR_INS",
+            Event::BrMsp => "PAPI_BR_MSP",
+            Event::L1Dcm => "PAPI_L1_DCM",
+            Event::L2Dcm => "PAPI_L2_DCM",
+            Event::TlbDm => "PAPI_TLB_DM",
+            Event::PrfDm => "PAPI_PRF_DM",
+            Event::VecIns => "PAPI_VEC_INS",
+            Event::FpOps => "PAPI_FP_OPS",
+            Event::TotCyc => "PAPI_TOT_CYC",
+        }
+    }
+
+    /// Parse a PAPI preset name (e.g. `"PAPI_TOT_INS"`).
+    pub fn from_papi_name(name: &str) -> Option<Event> {
+        ALL_EVENTS.iter().copied().find(|e| e.papi_name() == name)
+    }
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.papi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_in_order() {
+        for (i, e) in ALL_EVENTS.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn papi_name_roundtrip() {
+        for e in ALL_EVENTS {
+            assert_eq!(Event::from_papi_name(e.papi_name()), Some(e));
+        }
+        assert_eq!(Event::from_papi_name("PAPI_NOPE"), None);
+    }
+
+    #[test]
+    fn display_matches_papi_name() {
+        assert_eq!(Event::TotIns.to_string(), "PAPI_TOT_INS");
+        assert_eq!(Event::LstIns.to_string(), "PAPI_LST_INS");
+    }
+}

@@ -1,0 +1,200 @@
+//! PAPI-style event sets: at most four concurrently counted events.
+//!
+//! The paper: "ActorProf only allows up to four concurrent recording events
+//! with the limitation from PAPI" (§III-A). The same limit is enforced here.
+
+use crate::counters;
+use crate::event::Event;
+
+/// Maximum number of events that one [`EventSet`] may count concurrently
+/// (the PAPI hardware-counter limit the paper inherits).
+pub const MAX_EVENTS: usize = 4;
+
+/// Errors from event-set operations, mirroring PAPI return codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwpcError {
+    /// More than [`MAX_EVENTS`] events requested (`PAPI_ECNFLCT`).
+    TooManyEvents { requested: usize },
+    /// The same event was added twice (`PAPI_ECNFLCT`).
+    DuplicateEvent(Event),
+    /// `start` called while already counting (`PAPI_EISRUN`).
+    AlreadyRunning,
+    /// `stop`/`read` called while not counting (`PAPI_ENOTRUN`).
+    NotRunning,
+    /// An event set must contain at least one event.
+    Empty,
+}
+
+impl std::fmt::Display for HwpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwpcError::TooManyEvents { requested } => write!(
+                f,
+                "event set holds at most {MAX_EVENTS} events, {requested} requested"
+            ),
+            HwpcError::DuplicateEvent(e) => write!(f, "event {e} added twice"),
+            HwpcError::AlreadyRunning => write!(f, "event set is already counting"),
+            HwpcError::NotRunning => write!(f, "event set is not counting"),
+            HwpcError::Empty => write!(f, "event set must contain at least one event"),
+        }
+    }
+}
+
+impl std::error::Error for HwpcError {}
+
+/// A set of up to [`MAX_EVENTS`] events counted over start/stop windows on
+/// the calling thread, in the style of `PAPI_start`/`PAPI_stop`.
+#[derive(Debug, Clone)]
+pub struct EventSet {
+    events: Vec<Event>,
+    baseline: Vec<u64>,
+    running: bool,
+}
+
+impl EventSet {
+    /// Create an event set counting `events`.
+    ///
+    /// Fails if `events` is empty, has duplicates, or exceeds
+    /// [`MAX_EVENTS`] — the PAPI constraint the paper calls out.
+    pub fn new(events: &[Event]) -> Result<EventSet, HwpcError> {
+        if events.is_empty() {
+            return Err(HwpcError::Empty);
+        }
+        if events.len() > MAX_EVENTS {
+            return Err(HwpcError::TooManyEvents {
+                requested: events.len(),
+            });
+        }
+        for (i, e) in events.iter().enumerate() {
+            if events[..i].contains(e) {
+                return Err(HwpcError::DuplicateEvent(*e));
+            }
+        }
+        Ok(EventSet {
+            events: events.to_vec(),
+            baseline: vec![0; events.len()],
+            running: false,
+        })
+    }
+
+    /// The events this set counts, in construction order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Begin counting (snapshot baselines), like `PAPI_start`.
+    pub fn start(&mut self) -> Result<(), HwpcError> {
+        if self.running {
+            return Err(HwpcError::AlreadyRunning);
+        }
+        for (b, e) in self.baseline.iter_mut().zip(&self.events) {
+            *b = counters::read(*e);
+        }
+        self.running = true;
+        Ok(())
+    }
+
+    /// Read current deltas without stopping, like `PAPI_read`.
+    pub fn read(&self) -> Result<Vec<u64>, HwpcError> {
+        if !self.running {
+            return Err(HwpcError::NotRunning);
+        }
+        Ok(self
+            .events
+            .iter()
+            .zip(&self.baseline)
+            .map(|(e, b)| counters::read(*e).wrapping_sub(*b))
+            .collect())
+    }
+
+    /// Stop counting and return the deltas, like `PAPI_stop`.
+    pub fn stop(&mut self) -> Result<Vec<u64>, HwpcError> {
+        let counts = self.read()?;
+        self.running = false;
+        Ok(counts)
+    }
+
+    /// Whether the set is currently counting.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{reset_all, retire};
+
+    #[test]
+    fn rejects_more_than_four_events() {
+        let err = EventSet::new(&[
+            Event::TotIns,
+            Event::LstIns,
+            Event::BrIns,
+            Event::BrMsp,
+            Event::L1Dcm,
+        ])
+        .unwrap_err();
+        assert_eq!(err, HwpcError::TooManyEvents { requested: 5 });
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert_eq!(
+            EventSet::new(&[Event::TotIns, Event::TotIns]).unwrap_err(),
+            HwpcError::DuplicateEvent(Event::TotIns)
+        );
+        assert_eq!(EventSet::new(&[]).unwrap_err(), HwpcError::Empty);
+    }
+
+    #[test]
+    fn start_stop_returns_window_deltas_only() {
+        reset_all();
+        retire(Event::TotIns, 1000); // outside window
+        let mut es = EventSet::new(&[Event::TotIns, Event::LstIns]).unwrap();
+        es.start().unwrap();
+        retire(Event::TotIns, 25);
+        retire(Event::LstIns, 10);
+        let counts = es.stop().unwrap();
+        assert_eq!(counts, vec![25, 10]);
+        reset_all();
+    }
+
+    #[test]
+    fn read_without_stop_keeps_counting() {
+        reset_all();
+        let mut es = EventSet::new(&[Event::TotIns]).unwrap();
+        es.start().unwrap();
+        retire(Event::TotIns, 5);
+        assert_eq!(es.read().unwrap(), vec![5]);
+        retire(Event::TotIns, 5);
+        assert_eq!(es.stop().unwrap(), vec![10]);
+        reset_all();
+    }
+
+    #[test]
+    fn state_machine_errors() {
+        let mut es = EventSet::new(&[Event::TotIns]).unwrap();
+        assert_eq!(es.read().unwrap_err(), HwpcError::NotRunning);
+        assert_eq!(es.stop().unwrap_err(), HwpcError::NotRunning);
+        es.start().unwrap();
+        assert_eq!(es.start().unwrap_err(), HwpcError::AlreadyRunning);
+        es.stop().unwrap();
+        // restartable after stop
+        es.start().unwrap();
+        assert!(es.is_running());
+    }
+
+    #[test]
+    fn restart_resets_baseline() {
+        reset_all();
+        let mut es = EventSet::new(&[Event::TotIns]).unwrap();
+        es.start().unwrap();
+        retire(Event::TotIns, 7);
+        es.stop().unwrap();
+        es.start().unwrap();
+        retire(Event::TotIns, 3);
+        assert_eq!(es.stop().unwrap(), vec![3]);
+        reset_all();
+    }
+}

@@ -1,0 +1,51 @@
+//! # fabsp-hwpc — deterministic hardware-performance-counter simulation
+//!
+//! The ActorProf paper profiles FA-BSP regions with PAPI hardware counters
+//! (`PAPI_TOT_INS`, `PAPI_LST_INS`, …) and times the overall breakdown with
+//! the x86 `rdtsc` instruction. This crate is the reproduction's substitute
+//! for PAPI: a **deterministic software event-counting layer** with a
+//! PAPI-shaped region API, plus a real `rdtsc` cycle source on x86_64.
+//!
+//! ## Why simulated counters?
+//!
+//! Real PAPI needs privileged perf-counter access and produces
+//! machine-specific numbers. The figures the paper builds from PAPI data
+//! (Figs 10–11) are about *relative per-PE instruction counts* — the load
+//! imbalance between PEs — which is a function of how much work each PE
+//! performs. This crate therefore counts *retired work* through an explicit
+//! cost model: runtime layers and applications charge instruction/load-store
+//! costs as they execute (see [`cost`]). The result is deterministic,
+//! portable, and unit-testable, while preserving exactly the property the
+//! paper's figures display.
+//!
+//! ## PAPI-shaped API
+//!
+//! Like PAPI, an [`eventset::EventSet`] holds at most
+//! [`eventset::MAX_EVENTS`] (= 4) events, and counting is
+//! per-thread (each FA-BSP PE is single-threaded, so per-thread == per-PE):
+//!
+//! ```
+//! use fabsp_hwpc::{Event, EventSet, counters};
+//!
+//! let mut es = EventSet::new(&[Event::TotIns, Event::LstIns]).unwrap();
+//! es.start().unwrap();
+//! counters::retire(Event::TotIns, 120); // work happens; layers charge costs
+//! counters::retire(Event::LstIns, 40);
+//! let counts = es.stop().unwrap();
+//! assert_eq!(counts[0], 120);
+//! assert_eq!(counts[1], 40);
+//! ```
+
+pub mod cost;
+pub mod counters;
+pub mod event;
+pub mod eventset;
+pub mod rdtsc;
+pub mod region;
+
+pub use cost::Cost;
+pub use counters::{read, reset_all, retire};
+pub use event::Event;
+pub use eventset::{EventSet, HwpcError, MAX_EVENTS};
+pub use rdtsc::{cycles_now, Stopwatch};
+pub use region::{Region, RegionProfile, RegionTimer};

@@ -1,0 +1,150 @@
+//! Cycle-count time source.
+//!
+//! The paper deliberately times the overall breakdown with the x86 `rdtsc`
+//! instruction (not `rdtscp`, to avoid flushing the pipeline; not OS timers,
+//! to minimize overhead — §IV-E). On x86_64 this module executes the real
+//! instruction. On other architectures it synthesizes a cycle count from the
+//! monotonic clock at a nominal frequency so downstream arithmetic
+//! (absolute + relative breakdowns) is unchanged.
+
+/// Nominal TSC frequency used to synthesize cycles on non-x86_64 targets
+/// and to convert cycles to seconds in reports (2.45 GHz — the boost-range
+/// clock of the AMD EPYC 7763 used in the paper's testbed).
+pub const NOMINAL_HZ: u64 = 2_450_000_000;
+
+/// Read the cycle counter.
+#[inline]
+pub fn cycles_now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `rdtsc` has no preconditions; it only reads the TSC.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::Instant;
+        static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        let start = *START.get_or_init(Instant::now);
+        let ns = start.elapsed().as_nanos() as u64;
+        ns.saturating_mul(NOMINAL_HZ / 1_000_000) / 1_000
+    }
+}
+
+/// Convert a cycle delta to seconds at the nominal frequency.
+#[inline]
+pub fn cycles_to_secs(cycles: u64) -> f64 {
+    cycles as f64 / NOMINAL_HZ as f64
+}
+
+/// A resumable cycle stopwatch, used to accumulate time spent in a region
+/// across many entries/exits (MAIN segments, PROC handler bursts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stopwatch {
+    accumulated: u64,
+    started_at: Option<u64>,
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch with zero accumulated cycles.
+    pub fn new() -> Stopwatch {
+        Stopwatch::default()
+    }
+
+    /// Begin (or resume) timing. Starting a running stopwatch is a no-op.
+    #[inline]
+    pub fn start(&mut self) {
+        if self.started_at.is_none() {
+            self.started_at = Some(cycles_now());
+        }
+    }
+
+    /// Stop timing, folding the elapsed cycles into the accumulator.
+    /// Stopping a stopped stopwatch is a no-op.
+    #[inline]
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started_at.take() {
+            self.accumulated += cycles_now().saturating_sub(t0);
+        }
+    }
+
+    /// Whether the stopwatch is currently running.
+    pub fn is_running(&self) -> bool {
+        self.started_at.is_some()
+    }
+
+    /// Accumulated cycles over all completed start/stop intervals.
+    /// If running, includes cycles elapsed since the last `start`.
+    pub fn elapsed_cycles(&self) -> u64 {
+        match self.started_at {
+            Some(t0) => self.accumulated + cycles_now().saturating_sub(t0),
+            None => self.accumulated,
+        }
+    }
+
+    /// Reset to zero accumulated cycles, stopped.
+    pub fn reset(&mut self) {
+        *self = Stopwatch::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_are_monotone() {
+        let a = cycles_now();
+        let b = cycles_now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_accumulates_across_intervals() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        let _ = (0..1000).sum::<u64>();
+        sw.stop();
+        let first = sw.elapsed_cycles();
+        assert!(first > 0);
+        sw.start();
+        let _ = (0..1000).sum::<u64>();
+        sw.stop();
+        assert!(sw.elapsed_cycles() >= first);
+    }
+
+    #[test]
+    fn double_start_and_double_stop_are_noops() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.start();
+        assert!(sw.is_running());
+        sw.stop();
+        let c = sw.elapsed_cycles();
+        sw.stop();
+        assert_eq!(sw.elapsed_cycles(), c);
+    }
+
+    #[test]
+    fn elapsed_while_running_includes_partial_interval() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        let _ = (0..10000).sum::<u64>();
+        assert!(sw.elapsed_cycles() > 0);
+        sw.stop();
+    }
+
+    #[test]
+    fn reset_zeroes_and_stops() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.stop();
+        sw.reset();
+        assert_eq!(sw.elapsed_cycles(), 0);
+        assert!(!sw.is_running());
+    }
+
+    #[test]
+    fn cycles_to_secs_uses_nominal_frequency() {
+        assert!((cycles_to_secs(NOMINAL_HZ) - 1.0).abs() < 1e-12);
+    }
+}

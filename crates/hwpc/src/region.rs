@@ -1,0 +1,278 @@
+//! FA-BSP region profiling: MAIN / PROC / COMM.
+//!
+//! ActorProf's region-specific profiling (§III-A) measures hardware counters
+//! separately for the two user-visible regions of an HClib-Actor program —
+//! **MAIN** (message construction + local computation) and **PROC** (message
+//! handling) — so "the user \[can\] separate the measurement of the counters
+//! during the context switch between the send and the recv task". The third
+//! region, **COMM**, is everything else and is *derived* in the overall
+//! breakdown (§III-B) as `T_TOTAL - T_MAIN - T_PROC`.
+//!
+//! [`RegionTimer`] is the mechanism the selector runtime drives as it
+//! interleaves MAIN code and PROC handlers on one PE thread.
+
+use crate::counters;
+use crate::event::NUM_EVENTS;
+use crate::rdtsc::Stopwatch;
+
+/// One of the paper's three execution regions (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Message construction and local computation (the body of `finish`
+    /// minus `send` — the BLUE part of Fig. 1).
+    Main,
+    /// User message handlers (the RED part of Fig. 1).
+    Proc,
+    /// Everything outside MAIN and PROC: aggregation, network progress,
+    /// termination. Derived, never entered explicitly.
+    Comm,
+}
+
+impl Region {
+    /// Region name as printed in `overall.txt` (`T_MAIN`, `T_PROC`, `T_COMM`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Region::Main => "T_MAIN",
+            Region::Proc => "T_PROC",
+            Region::Comm => "T_COMM",
+        }
+    }
+}
+
+/// Accumulated measurements for one region: cycles plus per-event counts.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSlot {
+    /// Accumulated rdtsc cycles spent inside the region.
+    pub cycles: u64,
+    /// Accumulated counter deltas, indexed by [`crate::Event::index`].
+    pub events: [u64; NUM_EVENTS],
+    /// Number of times the region was entered.
+    pub entries: u64,
+}
+
+/// Per-PE profile over the measured regions (MAIN and PROC; COMM derived).
+#[derive(Debug, Clone, Default)]
+pub struct RegionProfile {
+    /// MAIN measurements.
+    pub main: RegionSlot,
+    /// PROC measurements.
+    pub proc: RegionSlot,
+}
+
+impl RegionProfile {
+    /// The slot for a measured region. COMM has no slot (it is derived),
+    /// so this returns `None` for [`Region::Comm`].
+    pub fn slot(&self, region: Region) -> Option<&RegionSlot> {
+        match region {
+            Region::Main => Some(&self.main),
+            Region::Proc => Some(&self.proc),
+            Region::Comm => None,
+        }
+    }
+
+    /// Derive COMM cycles from a total: `total - main - proc`, saturating
+    /// (the paper derives T_COMM the same way, §III-B).
+    pub fn comm_cycles(&self, total_cycles: u64) -> u64 {
+        total_cycles
+            .saturating_sub(self.main.cycles)
+            .saturating_sub(self.proc.cycles)
+    }
+}
+
+/// Drives region accounting on one PE thread.
+///
+/// The runtime calls [`enter`](RegionTimer::enter) / [`exit`](RegionTimer::exit)
+/// as execution crosses MAIN/PROC boundaries. Regions do not nest in the
+/// FA-BSP model (each PE is single-threaded and the runtime processes one
+/// message at a time), and the timer enforces that.
+#[derive(Debug, Default)]
+pub struct RegionTimer {
+    profile: RegionProfile,
+    active: Option<(Region, Stopwatch, [u64; NUM_EVENTS])>,
+    total: Stopwatch,
+}
+
+impl RegionTimer {
+    /// A fresh timer with no accumulated measurements.
+    pub fn new() -> RegionTimer {
+        RegionTimer::default()
+    }
+
+    /// Start the whole-program stopwatch (T_TOTAL in the paper).
+    pub fn start_total(&mut self) {
+        self.total.start();
+    }
+
+    /// Stop the whole-program stopwatch.
+    pub fn stop_total(&mut self) {
+        self.total.stop();
+    }
+
+    /// Total cycles measured so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.total.elapsed_cycles()
+    }
+
+    /// Enter a measured region (MAIN or PROC).
+    ///
+    /// # Panics
+    /// If a region is already active or `region` is COMM — both indicate a
+    /// runtime bug, not a user error, so they are programming-contract
+    /// panics rather than recoverable results.
+    pub fn enter(&mut self, region: Region) {
+        assert!(
+            !matches!(region, Region::Comm),
+            "COMM is derived and cannot be entered"
+        );
+        assert!(
+            self.active.is_none(),
+            "FA-BSP regions do not nest: {:?} entered while {:?} active",
+            region,
+            self.active.as_ref().map(|a| a.0)
+        );
+        let mut sw = Stopwatch::new();
+        sw.start();
+        self.active = Some((region, sw, counters::snapshot()));
+    }
+
+    /// Exit the active region, folding cycles and counter deltas into the
+    /// profile.
+    ///
+    /// # Panics
+    /// If no region is active or a different region is active.
+    pub fn exit(&mut self, region: Region) {
+        let (active, mut sw, baseline) = self
+            .active
+            .take()
+            .expect("exit called with no active region");
+        assert_eq!(active, region, "region enter/exit mismatch");
+        sw.stop();
+        let now = counters::snapshot();
+        let slot = match region {
+            Region::Main => &mut self.profile.main,
+            Region::Proc => &mut self.profile.proc,
+            Region::Comm => unreachable!(),
+        };
+        slot.cycles += sw.elapsed_cycles();
+        slot.entries += 1;
+        for (acc, (n, b)) in slot.events.iter_mut().zip(now.iter().zip(&baseline)) {
+            *acc += n.wrapping_sub(*b);
+        }
+    }
+
+    /// The region currently being measured, if any.
+    pub fn active_region(&self) -> Option<Region> {
+        self.active.as_ref().map(|a| a.0)
+    }
+
+    /// Finish and take the accumulated profile.
+    ///
+    /// # Panics
+    /// If a region is still active.
+    pub fn finish(mut self) -> (RegionProfile, u64) {
+        assert!(
+            self.active.is_none(),
+            "finish called while a region is active"
+        );
+        self.total.stop();
+        let total = self.total.elapsed_cycles();
+        (self.profile, total)
+    }
+
+    /// Borrow the profile accumulated so far.
+    pub fn profile(&self) -> &RegionProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{reset_all, retire};
+    use crate::event::Event;
+
+    #[test]
+    fn enter_exit_accumulates_cycles_and_events() {
+        reset_all();
+        let mut t = RegionTimer::new();
+        t.start_total();
+        t.enter(Region::Main);
+        retire(Event::TotIns, 50);
+        t.exit(Region::Main);
+        t.enter(Region::Proc);
+        retire(Event::TotIns, 20);
+        t.exit(Region::Proc);
+        t.stop_total();
+        let (p, total) = t.finish();
+        assert_eq!(p.main.events[Event::TotIns.index()], 50);
+        assert_eq!(p.proc.events[Event::TotIns.index()], 20);
+        assert_eq!(p.main.entries, 1);
+        assert!(total >= p.main.cycles + p.proc.cycles);
+        reset_all();
+    }
+
+    #[test]
+    fn events_outside_regions_are_not_attributed() {
+        reset_all();
+        let mut t = RegionTimer::new();
+        retire(Event::TotIns, 999); // COMM-side work
+        t.enter(Region::Main);
+        retire(Event::TotIns, 1);
+        t.exit(Region::Main);
+        assert_eq!(t.profile().main.events[Event::TotIns.index()], 1);
+        reset_all();
+    }
+
+    #[test]
+    fn comm_is_derived_from_total() {
+        let mut p = RegionProfile::default();
+        p.main.cycles = 30;
+        p.proc.cycles = 20;
+        assert_eq!(p.comm_cycles(100), 50);
+        assert_eq!(p.comm_cycles(40), 0); // saturates
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn nesting_panics() {
+        let mut t = RegionTimer::new();
+        t.enter(Region::Main);
+        t.enter(Region::Proc);
+    }
+
+    #[test]
+    #[should_panic(expected = "COMM is derived")]
+    fn entering_comm_panics() {
+        let mut t = RegionTimer::new();
+        t.enter(Region::Comm);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_exit_panics() {
+        let mut t = RegionTimer::new();
+        t.enter(Region::Main);
+        t.exit(Region::Proc);
+    }
+
+    #[test]
+    fn repeated_entries_accumulate() {
+        reset_all();
+        let mut t = RegionTimer::new();
+        for _ in 0..5 {
+            t.enter(Region::Proc);
+            retire(Event::LstIns, 2);
+            t.exit(Region::Proc);
+        }
+        assert_eq!(t.profile().proc.entries, 5);
+        assert_eq!(t.profile().proc.events[Event::LstIns.index()], 10);
+        reset_all();
+    }
+
+    #[test]
+    fn region_labels_match_overall_txt() {
+        assert_eq!(Region::Main.label(), "T_MAIN");
+        assert_eq!(Region::Comm.label(), "T_COMM");
+        assert_eq!(Region::Proc.label(), "T_PROC");
+    }
+}

@@ -1,0 +1,223 @@
+//! Symmetric atomics: remote fetch-add/store/load and signal waiting.
+//!
+//! OpenSHMEM atomic memory operations (`shmem_atomic_fetch_add`,
+//! `shmem_atomic_set`, …) are how Conveyors signals buffer delivery after a
+//! `quiet` (the trailing `shmem_put` of `nonblock_progress`) and how PEs
+//! implement credit/ack protocols. Unlike [`crate::SymmetricVec`], these are
+//! immediately visible and lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::ShmemError;
+use crate::grid::Grid;
+use crate::net::TransferClass;
+use crate::pe::Pe;
+
+struct AtomicInner {
+    len: usize,
+    grid: Grid,
+    regions: Vec<Box<[AtomicU64]>>,
+}
+
+/// A symmetric array of `u64` atomics, one region per PE.
+///
+/// Clone is shallow (all clones refer to the same symmetric allocation).
+pub struct SymmetricAtomicVec {
+    inner: Arc<AtomicInner>,
+}
+
+impl Clone for SymmetricAtomicVec {
+    fn clone(&self) -> Self {
+        SymmetricAtomicVec {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl SymmetricAtomicVec {
+    /// Collectively allocate `len` zero-initialized atomics per PE.
+    ///
+    /// Prefer [`Pe::alloc_sym_atomic`] at call sites.
+    pub fn new(pe: &Pe, len: usize) -> Result<SymmetricAtomicVec, ShmemError> {
+        let seq = pe.next_collective_seq();
+        let grid = pe.grid();
+        let arc = pe.world().rendezvous.collective(
+            seq,
+            pe.rank(),
+            len,
+            move |lens| -> Result<SymmetricAtomicVec, ShmemError> {
+                if lens.iter().any(|&l| l != lens[0]) {
+                    return Err(ShmemError::CollectiveMismatch(format!(
+                        "alloc_sym_atomic lengths differ across PEs: {lens:?}"
+                    )));
+                }
+                let regions = (0..grid.n_pes())
+                    .map(|_| {
+                        (0..lens[0])
+                            .map(|_| AtomicU64::new(0))
+                            .collect::<Vec<_>>()
+                            .into_boxed_slice()
+                    })
+                    .collect();
+                Ok(SymmetricAtomicVec {
+                    inner: Arc::new(AtomicInner {
+                        len: lens[0],
+                        grid,
+                        regions,
+                    }),
+                })
+            },
+        );
+        (*arc).clone()
+    }
+
+    /// Length of each PE's region.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Whether the per-PE regions are empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    fn check(&self, pe: usize, index: usize) -> Result<(), ShmemError> {
+        self.inner.grid.check_pe(pe)?;
+        if index >= self.inner.len {
+            return Err(ShmemError::OutOfBounds {
+                offset: index,
+                len: 1,
+                region_len: self.inner.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Atomic fetch-add on `dst_pe`'s element (`shmem_atomic_fetch_add`).
+    pub fn fetch_add(
+        &self,
+        pe: &Pe,
+        dst_pe: usize,
+        index: usize,
+        value: u64,
+    ) -> Result<u64, ShmemError> {
+        self.check(dst_pe, index)?;
+        let prev = self.inner.regions[dst_pe][index].fetch_add(value, Ordering::AcqRel);
+        if dst_pe != pe.rank() {
+            pe.record_net(TransferClass::Atomic, 8);
+        }
+        Ok(prev)
+    }
+
+    /// Atomic store to `dst_pe`'s element (`shmem_atomic_set`).
+    pub fn store(&self, pe: &Pe, dst_pe: usize, index: usize, value: u64) -> Result<(), ShmemError> {
+        self.check(dst_pe, index)?;
+        self.inner.regions[dst_pe][index].store(value, Ordering::Release);
+        if dst_pe != pe.rank() {
+            pe.record_net(TransferClass::Atomic, 8);
+        }
+        Ok(())
+    }
+
+    /// Atomic load of `src_pe`'s element (`shmem_atomic_fetch`).
+    pub fn load(&self, pe: &Pe, src_pe: usize, index: usize) -> Result<u64, ShmemError> {
+        self.check(src_pe, index)?;
+        let v = self.inner.regions[src_pe][index].load(Ordering::Acquire);
+        if src_pe != pe.rank() {
+            pe.record_net(TransferClass::Atomic, 8);
+        }
+        Ok(v)
+    }
+
+    /// Load from the calling PE's own region without traffic accounting.
+    #[inline]
+    pub fn local_load(&self, pe: &Pe, index: usize) -> u64 {
+        self.inner.regions[pe.rank()][index].load(Ordering::Acquire)
+    }
+
+    /// Spin until `pred` holds on the calling PE's own element
+    /// (`shmem_wait_until`), yielding cooperatively. Returns the value that
+    /// satisfied the predicate. Panics (unwinds) if the world is poisoned,
+    /// so a crash elsewhere cannot hang this PE.
+    pub fn wait_until(&self, pe: &Pe, index: usize, pred: impl Fn(u64) -> bool) -> u64 {
+        let slot = &self.inner.regions[pe.rank()][index];
+        loop {
+            let v = slot.load(Ordering::Acquire);
+            if pred(v) {
+                return v;
+            }
+            pe.poll_yield();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd;
+
+    #[test]
+    fn fetch_add_serializes_concurrent_updates() {
+        let grid = Grid::single_node(8).unwrap();
+        spmd::run(grid, |pe| {
+            let counters = pe.alloc_sym_atomic(1);
+            // everyone hammers PE 0's counter
+            for _ in 0..100 {
+                counters.fetch_add(pe, 0, 0, 1).unwrap();
+            }
+            pe.barrier_all();
+            if pe.rank() == 0 {
+                assert_eq!(counters.local_load(pe, 0), 800);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wait_until_observes_remote_store() {
+        let grid = Grid::new(2, 1).unwrap();
+        spmd::run(grid, |pe| {
+            let sig = pe.alloc_sym_atomic(1);
+            if pe.rank() == 0 {
+                sig.store(pe, 1, 0, 99).unwrap();
+            } else {
+                let v = sig.wait_until(pe, 0, |v| v != 0);
+                assert_eq!(v, 99);
+            }
+            pe.barrier_all();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn remote_atomics_are_counted_local_are_not() {
+        let grid = Grid::single_node(2).unwrap();
+        spmd::run(grid, |pe| {
+            let a = pe.alloc_sym_atomic(1);
+            if pe.rank() == 0 {
+                a.fetch_add(pe, 0, 0, 1).unwrap(); // local: uncounted
+                a.fetch_add(pe, 1, 0, 1).unwrap(); // remote: counted
+                a.load(pe, 1, 0).unwrap(); // remote: counted
+                let s = pe.net_stats();
+                assert_eq!(s.atomic.ops, 2);
+                assert_eq!(s.atomic.bytes, 16);
+            }
+            pe.barrier_all();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let a = pe.alloc_sym_atomic(2);
+            assert!(a.fetch_add(pe, 0, 2, 1).is_err());
+            assert!(a.store(pe, 1, 0, 1).is_err());
+        })
+        .unwrap();
+    }
+}

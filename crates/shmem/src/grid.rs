@@ -1,0 +1,152 @@
+//! PE/node layout.
+//!
+//! The paper's experiments run on "1/2 node with 16/32 PEs" — PEs are
+//! OpenSHMEM processing elements and a *node* is "a cluster node, group of
+//! PEs" (Table I). [`Grid`] captures that layout: PE ranks are dense,
+//! node-major (`node = pe / pes_per_node`), matching how `srun` lays out
+//! ranks on Perlmutter.
+
+use crate::error::ShmemError;
+
+/// The PE/node layout of an SPMD execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grid {
+    nodes: usize,
+    pes_per_node: usize,
+}
+
+impl Grid {
+    /// A grid of `nodes` × `pes_per_node` PEs.
+    pub fn new(nodes: usize, pes_per_node: usize) -> Result<Grid, ShmemError> {
+        if nodes == 0 || pes_per_node == 0 {
+            return Err(ShmemError::EmptyGrid);
+        }
+        Ok(Grid {
+            nodes,
+            pes_per_node,
+        })
+    }
+
+    /// A single-node grid (the paper's 1-node × 16-PE configuration shape).
+    pub fn single_node(pes: usize) -> Result<Grid, ShmemError> {
+        Grid::new(1, pes)
+    }
+
+    /// Number of cluster nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// PEs per node.
+    #[inline]
+    pub fn pes_per_node(&self) -> usize {
+        self.pes_per_node
+    }
+
+    /// Total number of PEs.
+    #[inline]
+    pub fn n_pes(&self) -> usize {
+        self.nodes * self.pes_per_node
+    }
+
+    /// The node hosting `pe`.
+    #[inline]
+    pub fn node_of(&self, pe: usize) -> usize {
+        debug_assert!(pe < self.n_pes());
+        pe / self.pes_per_node
+    }
+
+    /// `pe`'s index within its node.
+    #[inline]
+    pub fn local_index(&self, pe: usize) -> usize {
+        debug_assert!(pe < self.n_pes());
+        pe % self.pes_per_node
+    }
+
+    /// Whether two PEs share a node (determines `local_send` vs
+    /// `nonblock_send` in the Conveyors layer).
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The global rank of the PE at (`node`, `local`).
+    #[inline]
+    pub fn pe_at(&self, node: usize, local: usize) -> usize {
+        debug_assert!(node < self.nodes && local < self.pes_per_node);
+        node * self.pes_per_node + local
+    }
+
+    /// Validate a PE rank.
+    pub fn check_pe(&self, pe: usize) -> Result<(), ShmemError> {
+        if pe < self.n_pes() {
+            Ok(())
+        } else {
+            Err(ShmemError::InvalidPe {
+                pe,
+                n_pes: self.n_pes(),
+            })
+        }
+    }
+}
+
+impl std::fmt::Display for Grid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} node(s) x {} PEs/node ({} PEs)",
+            self.nodes,
+            self.pes_per_node,
+            self.n_pes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_major_rank_layout() {
+        let g = Grid::new(2, 16).unwrap();
+        assert_eq!(g.n_pes(), 32);
+        assert_eq!(g.node_of(0), 0);
+        assert_eq!(g.node_of(15), 0);
+        assert_eq!(g.node_of(16), 1);
+        assert_eq!(g.local_index(17), 1);
+        assert_eq!(g.pe_at(1, 1), 17);
+        assert!(g.same_node(0, 15));
+        assert!(!g.same_node(15, 16));
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        assert_eq!(Grid::new(0, 4).unwrap_err(), ShmemError::EmptyGrid);
+        assert_eq!(Grid::new(4, 0).unwrap_err(), ShmemError::EmptyGrid);
+    }
+
+    #[test]
+    fn check_pe_bounds() {
+        let g = Grid::single_node(4).unwrap();
+        assert!(g.check_pe(3).is_ok());
+        assert_eq!(
+            g.check_pe(4).unwrap_err(),
+            ShmemError::InvalidPe { pe: 4, n_pes: 4 }
+        );
+    }
+
+    #[test]
+    fn pe_at_inverts_node_of_local_index() {
+        let g = Grid::new(3, 5).unwrap();
+        for pe in 0..g.n_pes() {
+            assert_eq!(g.pe_at(g.node_of(pe), g.local_index(pe)), pe);
+        }
+    }
+
+    #[test]
+    fn display_shows_shape() {
+        let g = Grid::new(2, 16).unwrap();
+        assert_eq!(g.to_string(), "2 node(s) x 16 PEs/node (32 PEs)");
+    }
+}

@@ -1,0 +1,166 @@
+//! Network traffic accounting.
+//!
+//! Each transfer the symmetric heap performs is classified and counted so
+//! the substrate's traffic is observable even without the profiler: the
+//! physical trace of §III-C is the per-event view; these are the aggregate
+//! counters. Counters are kept per *source* PE (uncontended in the common
+//! case) and merged on demand.
+
+use parking_lot::Mutex;
+
+/// Classification of a transfer at the SHMEM level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferClass {
+    /// Same-node copy through `shmem_ptr` (a plain `memcpy`).
+    LocalCopy,
+    /// Cross-node blocking put.
+    RemotePut,
+    /// Cross-node blocking get.
+    RemoteGet,
+    /// Cross-node non-blocking put (`shmem_putmem_nbi`) — *initiated*.
+    NonBlockingPut,
+    /// Completion fence (`shmem_quiet`); byte count is the flushed volume.
+    Quiet,
+    /// Remote atomic operation (fetch-add, store, …).
+    Atomic,
+}
+
+/// Per-class message and byte counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Number of operations in this class.
+    pub ops: u64,
+    /// Bytes moved by operations in this class.
+    pub bytes: u64,
+}
+
+/// Aggregated network statistics for one PE (or a whole world when merged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Same-node memcpy traffic.
+    pub local_copy: ClassStats,
+    /// Cross-node blocking put traffic.
+    pub remote_put: ClassStats,
+    /// Cross-node blocking get traffic.
+    pub remote_get: ClassStats,
+    /// Non-blocking put initiations.
+    pub nbi_put: ClassStats,
+    /// Quiet fences (bytes = flushed volume).
+    pub quiet: ClassStats,
+    /// Remote atomics.
+    pub atomic: ClassStats,
+}
+
+impl NetStats {
+    /// Record one operation of `class` moving `bytes`.
+    #[inline]
+    pub fn record(&mut self, class: TransferClass, bytes: usize) {
+        let slot = match class {
+            TransferClass::LocalCopy => &mut self.local_copy,
+            TransferClass::RemotePut => &mut self.remote_put,
+            TransferClass::RemoteGet => &mut self.remote_get,
+            TransferClass::NonBlockingPut => &mut self.nbi_put,
+            TransferClass::Quiet => &mut self.quiet,
+            TransferClass::Atomic => &mut self.atomic,
+        };
+        slot.ops += 1;
+        slot.bytes += bytes as u64;
+    }
+
+    /// Merge `other` into `self`.
+    pub fn merge(&mut self, other: &NetStats) {
+        for (a, b) in [
+            (&mut self.local_copy, &other.local_copy),
+            (&mut self.remote_put, &other.remote_put),
+            (&mut self.remote_get, &other.remote_get),
+            (&mut self.nbi_put, &other.nbi_put),
+            (&mut self.quiet, &other.quiet),
+            (&mut self.atomic, &other.atomic),
+        ] {
+            a.ops += b.ops;
+            a.bytes += b.bytes;
+        }
+    }
+
+    /// Total bytes that crossed a node boundary (puts, gets, nbi puts).
+    pub fn inter_node_bytes(&self) -> u64 {
+        self.remote_put.bytes + self.remote_get.bytes + self.nbi_put.bytes
+    }
+
+    /// Total bytes copied within a node.
+    pub fn intra_node_bytes(&self) -> u64 {
+        self.local_copy.bytes
+    }
+}
+
+/// World-wide traffic ledger: one independently locked slot per source PE.
+pub(crate) struct NetLedger {
+    per_pe: Vec<Mutex<NetStats>>,
+}
+
+impl NetLedger {
+    pub(crate) fn new(n_pes: usize) -> NetLedger {
+        NetLedger {
+            per_pe: (0..n_pes).map(|_| Mutex::new(NetStats::default())).collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, src_pe: usize, class: TransferClass, bytes: usize) {
+        self.per_pe[src_pe].lock().record(class, bytes);
+    }
+
+    /// Stats attributed to one source PE.
+    pub(crate) fn pe_stats(&self, pe: usize) -> NetStats {
+        *self.per_pe[pe].lock()
+    }
+
+    /// Merged stats over all source PEs.
+    pub(crate) fn total(&self) -> NetStats {
+        let mut total = NetStats::default();
+        for slot in &self.per_pe {
+            total.merge(&slot.lock());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_to_class() {
+        let mut s = NetStats::default();
+        s.record(TransferClass::LocalCopy, 100);
+        s.record(TransferClass::NonBlockingPut, 50);
+        s.record(TransferClass::NonBlockingPut, 50);
+        assert_eq!(s.local_copy, ClassStats { ops: 1, bytes: 100 });
+        assert_eq!(s.nbi_put, ClassStats { ops: 2, bytes: 100 });
+        assert_eq!(s.inter_node_bytes(), 100);
+        assert_eq!(s.intra_node_bytes(), 100);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = NetStats::default();
+        a.record(TransferClass::Quiet, 8);
+        let mut b = NetStats::default();
+        b.record(TransferClass::Quiet, 16);
+        b.record(TransferClass::Atomic, 8);
+        a.merge(&b);
+        assert_eq!(a.quiet, ClassStats { ops: 2, bytes: 24 });
+        assert_eq!(a.atomic, ClassStats { ops: 1, bytes: 8 });
+    }
+
+    #[test]
+    fn ledger_attributes_by_source() {
+        let l = NetLedger::new(3);
+        l.record(0, TransferClass::RemotePut, 10);
+        l.record(2, TransferClass::RemotePut, 30);
+        assert_eq!(l.pe_stats(0).remote_put.bytes, 10);
+        assert_eq!(l.pe_stats(1).remote_put.bytes, 0);
+        assert_eq!(l.total().remote_put.bytes, 40);
+        assert_eq!(l.total().remote_put.ops, 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! The per-thread PE handle and the shared world.
+//!
+//! [`Pe`] is what SPMD code receives: it identifies the calling processing
+//! element, carries its deferred non-blocking-put queue, and is the
+//! capability through which all symmetric-memory and collective operations
+//! run. It is deliberately `!Sync`/`!Send` — a PE handle belongs to exactly
+//! one thread, just as an OpenSHMEM PE is one process.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fabsp_hwpc::cost::model;
+
+use crate::grid::Grid;
+use crate::net::{NetLedger, NetStats, TransferClass};
+use crate::sync::{PoisonBarrier, Rendezvous};
+
+/// Shared state of one SPMD execution.
+pub(crate) struct World {
+    pub(crate) grid: Grid,
+    pub(crate) barrier: PoisonBarrier,
+    pub(crate) rendezvous: Rendezvous,
+    pub(crate) ledger: NetLedger,
+    pub(crate) poisoned: AtomicBool,
+}
+
+impl World {
+    pub(crate) fn new(grid: Grid) -> Arc<World> {
+        Arc::new(World {
+            grid,
+            barrier: PoisonBarrier::new(grid.n_pes()),
+            rendezvous: Rendezvous::new(grid.n_pes()),
+            ledger: NetLedger::new(grid.n_pes()),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.barrier.poison();
+        self.rendezvous.poison();
+    }
+
+    pub(crate) fn check_poison(&self) {
+        assert!(
+            !self.poisoned.load(Ordering::Acquire),
+            "SPMD world poisoned: another PE panicked"
+        );
+    }
+}
+
+/// A deferred non-blocking put, applied at the next [`Pe::quiet`].
+pub(crate) struct PendingPut {
+    pub(crate) apply: Box<dyn FnOnce()>,
+    pub(crate) bytes: usize,
+}
+
+/// Handle to one processing element, passed to the SPMD closure.
+pub struct Pe {
+    rank: usize,
+    world: Arc<World>,
+    collective_seq: Cell<u64>,
+    pending: RefCell<Vec<PendingPut>>,
+}
+
+impl Pe {
+    pub(crate) fn new(rank: usize, world: Arc<World>) -> Pe {
+        Pe {
+            rank,
+            world,
+            collective_seq: Cell::new(0),
+            pending: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// This PE's global rank (OpenSHMEM `shmem_my_pe`).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of PEs (OpenSHMEM `shmem_n_pes`).
+    #[inline]
+    pub fn n_pes(&self) -> usize {
+        self.world.grid.n_pes()
+    }
+
+    /// The PE/node layout.
+    #[inline]
+    pub fn grid(&self) -> Grid {
+        self.world.grid
+    }
+
+    /// The node hosting this PE.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.world.grid.node_of(self.rank)
+    }
+
+    /// This PE's index within its node.
+    #[inline]
+    pub fn local_index(&self) -> usize {
+        self.world.grid.local_index(self.rank)
+    }
+
+    /// Whether `other` shares this PE's node.
+    #[inline]
+    pub fn same_node_as(&self, other: usize) -> bool {
+        self.world.grid.same_node(self.rank, other)
+    }
+
+    /// Complete all outstanding non-blocking puts issued by this PE
+    /// (OpenSHMEM `shmem_quiet`).
+    ///
+    /// After `quiet` returns, the data of every prior
+    /// [`put_nbi`](crate::SymmetricVec::put_nbi) is visible at its target —
+    /// and not before, which is the semantics the paper's `nonblock_progress`
+    /// instrumentation captures. Returns the number of bytes flushed.
+    pub fn quiet(&self) -> usize {
+        let pending = std::mem::take(&mut *self.pending.borrow_mut());
+        if pending.is_empty() {
+            return 0;
+        }
+        let mut bytes = 0;
+        for op in pending {
+            bytes += op.bytes;
+            (op.apply)();
+        }
+        model::QUIET.charge();
+        self.world
+            .ledger
+            .record(self.rank, TransferClass::Quiet, bytes);
+        bytes
+    }
+
+    /// Number of non-blocking puts issued but not yet completed by `quiet`.
+    pub fn pending_nbi(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Barrier across all PEs (OpenSHMEM `shmem_barrier_all`).
+    /// Implies [`quiet`](Pe::quiet), as the OpenSHMEM specification requires.
+    pub fn barrier_all(&self) {
+        self.quiet();
+        self.world.barrier.wait();
+    }
+
+    /// Cooperatively yield while polling: checks for world poisoning so a
+    /// panic on another PE does not leave this one spinning forever.
+    pub fn poll_yield(&self) {
+        self.world.check_poison();
+        std::thread::yield_now();
+    }
+
+    /// Network statistics attributed to this PE as a source.
+    pub fn net_stats(&self) -> NetStats {
+        self.world.ledger.pe_stats(self.rank)
+    }
+
+    /// Merged network statistics over all PEs. Only meaningful when other
+    /// PEs are quiescent (e.g. right after [`barrier_all`](Pe::barrier_all)).
+    pub fn world_net_stats(&self) -> NetStats {
+        self.world.ledger.total()
+    }
+
+    pub(crate) fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    pub(crate) fn next_collective_seq(&self) -> u64 {
+        let seq = self.collective_seq.get();
+        self.collective_seq.set(seq + 1);
+        seq
+    }
+
+    pub(crate) fn push_pending(&self, op: PendingPut) {
+        self.pending.borrow_mut().push(op);
+    }
+
+    pub(crate) fn record_net(&self, class: TransferClass, bytes: usize) {
+        self.world.ledger.record(self.rank, class, bytes);
+    }
+}
+
+impl std::fmt::Debug for Pe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pe")
+            .field("rank", &self.rank)
+            .field("grid", &self.world.grid)
+            .finish()
+    }
+}

@@ -1,0 +1,167 @@
+//! SPMD launcher: run one closure on every PE of a [`Grid`].
+//!
+//! This is the reproduction's `oshrun`/`srun`: it spawns one OS thread per
+//! PE, hands each a [`Pe`] handle, and joins them. If any PE panics, the
+//! world is poisoned so PEs blocked in barriers, collectives, or polling
+//! loops unwind instead of hanging, and the first panic (by rank) is
+//! reported as [`ShmemError::PePanicked`].
+
+use std::panic::AssertUnwindSafe;
+
+use crate::error::ShmemError;
+use crate::grid::Grid;
+use crate::pe::{Pe, World};
+
+/// Run `f` once per PE and return the per-PE results in rank order.
+///
+/// `f` runs concurrently on `grid.n_pes()` threads; the `&Pe` argument is
+/// the calling PE's identity and capability handle.
+pub fn run<R, F>(grid: Grid, f: F) -> Result<Vec<R>, ShmemError>
+where
+    R: Send,
+    F: Fn(&Pe) -> R + Sync,
+{
+    let world = World::new(grid);
+    let mut outcomes: Vec<Option<std::thread::Result<R>>> =
+        (0..grid.n_pes()).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..grid.n_pes())
+            .map(|rank| {
+                let world = world.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let pe = Pe::new(rank, world.clone());
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&pe)));
+                    if result.is_err() {
+                        world.poison();
+                    }
+                    result
+                })
+            })
+            .collect();
+        for (slot, handle) in outcomes.iter_mut().zip(handles) {
+            // The spawned closure catches panics, so join itself cannot fail.
+            *slot = Some(handle.join().expect("PE thread infrastructure panicked"));
+        }
+    });
+
+    let mut results = Vec::with_capacity(grid.n_pes());
+    let mut panics: Vec<(usize, String)> = Vec::new();
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        match outcome.expect("PE outcome missing") {
+            Ok(r) => results.push(r),
+            // `&*payload`, not `&payload`: the latter would unsize the
+            // `&Box` itself into `&dyn Any` and defeat the downcasts.
+            Err(payload) => panics.push((rank, panic_message(&*payload))),
+        }
+    }
+    // Report the original panic; PEs that died of induced poisoning are
+    // collateral, not the cause.
+    let original = panics
+        .iter()
+        .find(|(_, m)| !m.contains("world poisoned"))
+        .or_else(|| panics.first());
+    match original {
+        Some((pe, message)) => Err(ShmemError::PePanicked {
+            pe: *pe,
+            message: message.clone(),
+        }),
+        None => Ok(results),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_one_closure_per_pe_in_rank_order() {
+        let grid = Grid::new(2, 3).unwrap();
+        let results = run(grid, |pe| (pe.rank(), pe.node(), pe.local_index())).unwrap();
+        assert_eq!(
+            results,
+            vec![
+                (0, 0, 0),
+                (1, 0, 1),
+                (2, 0, 2),
+                (3, 1, 0),
+                (4, 1, 1),
+                (5, 1, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn barrier_all_is_usable_repeatedly() {
+        let grid = Grid::single_node(4).unwrap();
+        let results = run(grid, |pe| {
+            for _ in 0..10 {
+                pe.barrier_all();
+            }
+            pe.rank()
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pe_panic_is_reported_not_hung() {
+        let grid = Grid::single_node(3).unwrap();
+        let err = run(grid, |pe| {
+            if pe.rank() == 1 {
+                panic!("deliberate failure on PE 1");
+            }
+            // Other PEs head into a barrier that PE 1 never reaches;
+            // poisoning must release them.
+            pe.barrier_all();
+        })
+        .unwrap_err();
+        match err {
+            ShmemError::PePanicked { pe, message } => {
+                assert_eq!(pe, 1, "the original panicking PE must be reported");
+                assert!(message.contains("deliberate"), "unexpected: {message}");
+            }
+            other => panic!("expected PePanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_yield_panics_after_poison() {
+        let grid = Grid::single_node(2).unwrap();
+        let err = run(grid, |pe| {
+            if pe.rank() == 0 {
+                panic!("boom");
+            }
+            // PE 1 polls forever; the poison check must break the loop.
+            loop {
+                pe.poll_yield();
+            }
+            #[allow(unreachable_code)]
+            ()
+        })
+        .unwrap_err();
+        assert!(matches!(err, ShmemError::PePanicked { .. }));
+    }
+
+    #[test]
+    fn single_pe_grid_works() {
+        let grid = Grid::single_node(1).unwrap();
+        let results = run(grid, |pe| {
+            pe.barrier_all();
+            pe.n_pes()
+        })
+        .unwrap();
+        assert_eq!(results, vec![1]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Internal synchronization machinery: a poisonable barrier and the
+//! rendezvous backing collectives and collective allocation.
+//!
+//! Every collective call site is assigned a per-PE sequence number; SPMD
+//! discipline (all PEs execute the same collectives in the same order, as
+//! OpenSHMEM requires) makes the sequence number a global identifier for
+//! "the k-th collective". Each PE deposits a value under that id; the last
+//! arriver combines the deposits into a shared result; everyone picks the
+//! result up and the last leaver reclaims the slot.
+//!
+//! Both primitives are *poisonable*: when one PE panics, the SPMD launcher
+//! poisons the world so that PEs blocked here panic out instead of hanging
+//! forever — std's `Barrier` cannot do that.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+const POISON_MSG: &str = "SPMD world poisoned: another PE panicked";
+
+type Deposit = Box<dyn Any + Send>;
+type SharedResult = Arc<dyn Any + Send + Sync>;
+
+/// A reusable sense-reversing barrier that can be poisoned.
+pub(crate) struct PoisonBarrier {
+    n: usize,
+    state: Mutex<(usize, u64)>, // (count, generation)
+    cv: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl PoisonBarrier {
+    pub(crate) fn new(n: usize) -> PoisonBarrier {
+        PoisonBarrier {
+            n,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Block until all `n` PEs arrive. Panics if the world is poisoned.
+    pub(crate) fn wait(&self) {
+        assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
+        let mut state = self.state.lock();
+        let generation = state.1;
+        state.0 += 1;
+        if state.0 == self.n {
+            state.0 = 0;
+            state.1 = state.1.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        while state.1 == generation {
+            self.cv.wait(&mut state);
+            assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
+        }
+    }
+
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _guard = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+struct Cell {
+    deposits: Vec<Option<Deposit>>,
+    arrived: usize,
+    result: Option<SharedResult>,
+    departed: usize,
+}
+
+/// One rendezvous point shared by all PEs of a world.
+pub(crate) struct Rendezvous {
+    n_pes: usize,
+    state: Mutex<HashMap<u64, Cell>>,
+    cv: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Rendezvous {
+    pub(crate) fn new(n_pes: usize) -> Rendezvous {
+        Rendezvous {
+            n_pes,
+            state: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _guard = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    /// Run collective number `seq`: deposit `value` for `pe`; the final
+    /// arriver computes `combine(deposits-in-pe-order)`; every PE receives
+    /// the shared result.
+    pub(crate) fn collective<T, R>(
+        &self,
+        seq: u64,
+        pe: usize,
+        value: T,
+        combine: impl FnOnce(Vec<T>) -> R,
+    ) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+    {
+        assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
+        let mut state = self.state.lock();
+        let cell = state.entry(seq).or_insert_with(|| Cell {
+            deposits: (0..self.n_pes).map(|_| None).collect(),
+            arrived: 0,
+            result: None,
+            departed: 0,
+        });
+        assert!(
+            cell.deposits[pe].is_none(),
+            "PE {pe} deposited twice for collective {seq}: collective call order diverged"
+        );
+        cell.deposits[pe] = Some(Box::new(value));
+        cell.arrived += 1;
+
+        if cell.arrived == self.n_pes {
+            let deposits: Vec<T> = cell
+                .deposits
+                .iter_mut()
+                .map(|d| {
+                    *d.take()
+                        .expect("deposit missing at combine")
+                        .downcast::<T>()
+                        .expect("collective type mismatch across PEs")
+                })
+                .collect();
+            let result: Arc<R> = Arc::new(combine(deposits));
+            cell.result = Some(result.clone() as SharedResult);
+            self.cv.notify_all();
+            Self::depart(&mut state, seq, self.n_pes);
+            return result;
+        }
+
+        loop {
+            {
+                let cell = state.get(&seq).expect("rendezvous cell vanished");
+                if let Some(result) = &cell.result {
+                    let out = result
+                        .clone()
+                        .downcast::<R>()
+                        .expect("collective result type mismatch");
+                    Self::depart(&mut state, seq, self.n_pes);
+                    return out;
+                }
+            }
+            self.cv.wait(&mut state);
+            assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
+        }
+    }
+
+    fn depart(state: &mut HashMap<u64, Cell>, seq: u64, n_pes: usize) {
+        let cell = state.get_mut(&seq).expect("rendezvous cell vanished");
+        cell.departed += 1;
+        if cell.departed == n_pes {
+            state.remove(&seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_collective(n: usize, seq: u64) -> Vec<u64> {
+        let r = Arc::new(Rendezvous::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|pe| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || *r.collective(seq, pe, pe as u64, |vs| vs.iter().sum::<u64>()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_pes_get_combined_result() {
+        let results = run_collective(8, 0);
+        assert_eq!(results, vec![28; 8]);
+    }
+
+    #[test]
+    fn slot_is_reclaimed_after_departure() {
+        let r = Arc::new(Rendezvous::new(2));
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || {
+            let _ = r2.collective(7, 1, 1u32, |v| v.len());
+        });
+        let _ = r.collective(7, 0, 0u32, |v| v.len());
+        h.join().unwrap();
+        assert!(r.state.lock().is_empty());
+    }
+
+    #[test]
+    fn deposits_are_in_pe_order() {
+        let r = Arc::new(Rendezvous::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|pe| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    // stagger arrival order
+                    thread::sleep(std::time::Duration::from_millis((4 - pe as u64) * 5));
+                    (*r.collective(1, pe, pe, |vs| vs)).clone()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn independent_sequences_do_not_interfere() {
+        let r = Arc::new(Rendezvous::new(2));
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || {
+            let a = *r2.collective(10, 1, 1u64, |v| v.iter().sum::<u64>());
+            let b = *r2.collective(11, 1, 10u64, |v| v.iter().sum::<u64>());
+            (a, b)
+        });
+        let a = *r.collective(10, 0, 2u64, |v| v.iter().sum::<u64>());
+        let b = *r.collective(11, 0, 20u64, |v| v.iter().sum::<u64>());
+        assert_eq!((a, b), (3, 30));
+        assert_eq!(h.join().unwrap(), (3, 30));
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        let b = Arc::new(PoisonBarrier::new(4));
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    // after the barrier, every increment must be visible
+                    assert_eq!(c.load(Ordering::SeqCst), 4);
+                    b.wait(); // reusable
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn poisoned_barrier_releases_waiters_with_panic() {
+        let b = Arc::new(PoisonBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b2.wait()));
+            r.is_err()
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        b.poison();
+        assert!(h.join().unwrap());
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_rendezvous_releases_waiters_with_panic() {
+        let r = Arc::new(Rendezvous::new(2));
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                r2.collective(0, 0, 1u64, |v| v.len())
+            }));
+            res.is_err()
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        r.poison();
+        assert!(h.join().unwrap());
+    }
+}

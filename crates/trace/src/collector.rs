@@ -1,0 +1,496 @@
+//! Per-PE trace accumulation.
+//!
+//! Each PE owns one [`PeCollector`]; the selector runtime records logical
+//! sends and the overall breakdown into it, and the conveyor records
+//! physical sends into the same collector through a [`SharedCollector`]
+//! handle (both live on the same PE thread, so sharing is an `Rc<RefCell>`
+//! — no locks on the trace fast path).
+//!
+//! To keep the memory of billion-message runs bounded (the trace-size
+//! problem of §IV-E/§VI), logical sends are always folded into a dense
+//! per-destination matrix; exact per-send records are kept only when
+//! [`TraceConfig::logical_records`] is set.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::rc::Rc;
+
+use fabsp_hwpc::event::NUM_EVENTS;
+use fabsp_hwpc::RegionProfile;
+
+use crate::config::TraceConfig;
+use crate::record::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType};
+
+/// Thread-local shared handle to a PE's collector (runtime ↔ conveyor).
+pub type SharedCollector = Rc<RefCell<PeCollector>>;
+
+/// Aggregate of all logical sends from one PE to one destination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogicalCell {
+    /// Number of messages sent.
+    pub sends: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PapiAgg {
+    num_sends: u64,
+    pkt_size: u64,
+    counters: [u64; fabsp_hwpc::MAX_EVENTS],
+}
+
+/// Trace accumulation buffer for one PE.
+#[derive(Debug)]
+pub struct PeCollector {
+    pe: u32,
+    n_pes: usize,
+    pes_per_node: usize,
+    config: TraceConfig,
+    logical_matrix: Vec<LogicalCell>,
+    logical_records: Vec<LogicalRecord>,
+    papi_agg: HashMap<(u32, u32), PapiAgg>,
+    physical_records: Vec<PhysicalRecord>,
+    /// Cycle timestamp of each physical record, relative to collector
+    /// creation (feeds the Google-Trace-Events exporter — §VI future work).
+    physical_timestamps: Vec<u64>,
+    t0_cycles: u64,
+    overall: Option<OverallRecord>,
+    region_profile: Option<RegionProfile>,
+    /// Sends seen so far (drives record sampling).
+    send_counter: u64,
+    /// Streaming sink for exact logical records (§VI large-trace support).
+    stream: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl PeCollector {
+    /// A collector for PE `pe` in a world of `n_pes` PEs grouped
+    /// `pes_per_node` to a node.
+    pub fn new(pe: usize, n_pes: usize, pes_per_node: usize, config: TraceConfig) -> PeCollector {
+        assert!(pe < n_pes, "PE {pe} out of range ({n_pes} PEs)");
+        assert!(pes_per_node > 0, "pes_per_node must be positive");
+        let matrix_len = if config.logical { n_pes } else { 0 };
+        let stream = config.stream_dir.as_ref().map(|dir| {
+            std::fs::create_dir_all(dir).expect("create stream directory");
+            let file = std::fs::File::create(dir.join(format!("PE{pe}_send.csv")))
+                .expect("create stream file");
+            std::io::BufWriter::new(file)
+        });
+        PeCollector {
+            pe: pe as u32,
+            n_pes,
+            pes_per_node,
+            config,
+            logical_matrix: vec![LogicalCell::default(); matrix_len],
+            logical_records: Vec::new(),
+            papi_agg: HashMap::new(),
+            physical_records: Vec::new(),
+            physical_timestamps: Vec::new(),
+            t0_cycles: fabsp_hwpc::cycles_now(),
+            overall: None,
+            region_profile: None,
+            send_counter: 0,
+            stream,
+        }
+    }
+
+    /// Wrap in the thread-local shared handle.
+    pub fn into_shared(self) -> SharedCollector {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// This collector's PE rank.
+    pub fn pe(&self) -> u32 {
+        self.pe
+    }
+
+    /// The node hosting this PE.
+    pub fn node(&self) -> u32 {
+        (self.pe as usize / self.pes_per_node) as u32
+    }
+
+    /// Total PEs in the world.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// PEs per node (for deriving destination nodes).
+    pub fn pes_per_node(&self) -> usize {
+        self.pes_per_node
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Whether the send fast path needs to call
+    /// [`record_send`](PeCollector::record_send) at all.
+    #[inline]
+    pub fn wants_send_events(&self) -> bool {
+        self.config.logical || self.config.papi.is_some()
+    }
+
+    /// Whether the conveyor should report physical sends.
+    #[inline]
+    pub fn wants_physical(&self) -> bool {
+        self.config.physical
+    }
+
+    /// Record one logical (pre-aggregation) send of `msg_size` bytes to
+    /// `dst_pe` via `mailbox_id`. `papi_deltas`, if PAPI tracing is
+    /// configured, carries the counter deltas measured around the send, in
+    /// the configured event order.
+    pub fn record_send(
+        &mut self,
+        dst_pe: usize,
+        msg_size: u32,
+        mailbox_id: u32,
+        papi_deltas: Option<&[u64]>,
+    ) {
+        debug_assert!(dst_pe < self.n_pes);
+        if self.config.logical {
+            let cell = &mut self.logical_matrix[dst_pe];
+            cell.sends += 1;
+            cell.bytes += msg_size as u64;
+            let sampled = self.config.logical_sample <= 1
+                || self.send_counter.is_multiple_of(self.config.logical_sample as u64);
+            self.send_counter += 1;
+            if sampled && (self.config.logical_records || self.stream.is_some()) {
+                let record = LogicalRecord {
+                    src_node: self.node(),
+                    src_pe: self.pe,
+                    dst_node: (dst_pe / self.pes_per_node) as u32,
+                    dst_pe: dst_pe as u32,
+                    msg_size,
+                };
+                if let Some(w) = &mut self.stream {
+                    // identical line format to writer::write_logical_exact
+                    writeln!(
+                        w,
+                        "{},{},{},{},{}",
+                        record.src_node,
+                        record.src_pe,
+                        record.dst_node,
+                        record.dst_pe,
+                        record.msg_size
+                    )
+                    .expect("stream write failed (disk full?)");
+                } else {
+                    self.logical_records.push(record);
+                }
+            }
+        }
+        if let Some(papi) = &self.config.papi {
+            let agg = self
+                .papi_agg
+                .entry((dst_pe as u32, mailbox_id))
+                .or_default();
+            agg.num_sends += 1;
+            agg.pkt_size += msg_size as u64;
+            if let Some(deltas) = papi_deltas {
+                debug_assert_eq!(deltas.len(), papi.events().len());
+                for (acc, d) in agg.counters.iter_mut().zip(deltas) {
+                    *acc += d;
+                }
+            }
+        }
+    }
+
+    /// Record one physical (post-aggregation) send observed inside the
+    /// conveyor. No-op unless physical tracing is enabled.
+    pub fn record_physical(&mut self, send_type: SendType, buffer_size: u64, dst_pe: usize) {
+        if !self.config.physical {
+            return;
+        }
+        self.physical_records.push(PhysicalRecord {
+            send_type,
+            buffer_size,
+            src_pe: self.pe,
+            dst_pe: dst_pe as u32,
+        });
+        self.physical_timestamps
+            .push(fabsp_hwpc::cycles_now().saturating_sub(self.t0_cycles));
+    }
+
+    /// Store the overall MAIN/PROC/TOTAL cycle measurements. No-op unless
+    /// overall profiling is enabled.
+    pub fn set_overall(&mut self, t_main: u64, t_proc: u64, t_total: u64) {
+        if !self.config.overall {
+            return;
+        }
+        self.overall = Some(OverallRecord {
+            pe: self.pe,
+            t_main,
+            t_proc,
+            t_total,
+        });
+    }
+
+    /// Attach the per-region hardware-counter profile measured by the
+    /// runtime (feeds Figs 10–11).
+    pub fn set_region_profile(&mut self, profile: RegionProfile) {
+        self.region_profile = Some(profile);
+    }
+
+    /// Flush the streaming sink, if any. Called automatically on drop;
+    /// call explicitly to surface flush timing deterministically.
+    pub fn flush_stream(&mut self) {
+        if let Some(w) = &mut self.stream {
+            w.flush().expect("stream flush failed");
+        }
+    }
+
+    /// The per-destination aggregate of logical sends (empty when logical
+    /// tracing is off). Index = destination PE.
+    pub fn logical_matrix(&self) -> &[LogicalCell] {
+        &self.logical_matrix
+    }
+
+    /// Exact per-send records (only populated with
+    /// [`TraceConfig::logical_records`]).
+    pub fn logical_records(&self) -> &[LogicalRecord] {
+        &self.logical_records
+    }
+
+    /// The PAPI message trace lines for this PE, ordered by
+    /// (destination, mailbox).
+    pub fn papi_records(&self) -> Vec<PapiRecord> {
+        let n_events = self
+            .config
+            .papi
+            .as_ref()
+            .map(|p| p.events().len())
+            .unwrap_or(0);
+        let mut keys: Vec<_> = self.papi_agg.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|(dst_pe, mailbox_id)| {
+                let agg = &self.papi_agg[&(dst_pe, mailbox_id)];
+                PapiRecord {
+                    src_node: self.node(),
+                    src_pe: self.pe,
+                    dst_node: (dst_pe as usize / self.pes_per_node) as u32,
+                    dst_pe,
+                    pkt_size: agg.pkt_size,
+                    mailbox_id,
+                    num_sends: agg.num_sends,
+                    counters: agg.counters[..n_events].to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Physical-trace entries recorded by this PE's conveyor.
+    pub fn physical_records(&self) -> &[PhysicalRecord] {
+        &self.physical_records
+    }
+
+    /// Cycle timestamps (relative to collector creation) parallel to
+    /// [`physical_records`](PeCollector::physical_records).
+    pub fn physical_timestamps(&self) -> &[u64] {
+        &self.physical_timestamps
+    }
+
+    /// The overall breakdown, if overall profiling ran.
+    pub fn overall(&self) -> Option<OverallRecord> {
+        self.overall
+    }
+
+    /// The per-region counter profile, if the runtime attached one.
+    pub fn region_profile(&self) -> Option<&RegionProfile> {
+        self.region_profile.as_ref()
+    }
+
+    /// Total logical sends issued by this PE (all destinations).
+    pub fn total_sends(&self) -> u64 {
+        self.logical_matrix.iter().map(|c| c.sends).sum()
+    }
+
+    /// Rough heap footprint of the recorded traces, in bytes — the
+    /// quantity §IV-E worries about.
+    pub fn trace_bytes(&self) -> usize {
+        self.logical_matrix.len() * std::mem::size_of::<LogicalCell>()
+            + self.logical_records.len() * std::mem::size_of::<LogicalRecord>()
+            + self.papi_agg.len()
+                * (std::mem::size_of::<PapiAgg>() + std::mem::size_of::<(u32, u32)>())
+            + self.physical_records.len() * std::mem::size_of::<PhysicalRecord>()
+    }
+}
+
+impl Drop for PeCollector {
+    fn drop(&mut self) {
+        // Best-effort flush; explicit flush_stream() reports failures.
+        if let Some(w) = &mut self.stream {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Events per counter bank — re-exported for sizing delta buffers.
+pub const EVENT_BANK_SIZE: usize = NUM_EVENTS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PapiConfig;
+
+    fn collector(config: TraceConfig) -> PeCollector {
+        PeCollector::new(1, 4, 2, config)
+    }
+
+    #[test]
+    fn node_derivation() {
+        let c = collector(TraceConfig::off());
+        assert_eq!(c.node(), 0);
+        let c = PeCollector::new(3, 4, 2, TraceConfig::off());
+        assert_eq!(c.node(), 1);
+    }
+
+    #[test]
+    fn logical_matrix_accumulates() {
+        let mut c = collector(TraceConfig::off().with_logical());
+        c.record_send(0, 16, 0, None);
+        c.record_send(0, 16, 0, None);
+        c.record_send(3, 8, 0, None);
+        assert_eq!(c.logical_matrix()[0], LogicalCell { sends: 2, bytes: 32 });
+        assert_eq!(c.logical_matrix()[3], LogicalCell { sends: 1, bytes: 8 });
+        assert_eq!(c.total_sends(), 3);
+        assert!(c.logical_records().is_empty(), "records off by default");
+    }
+
+    #[test]
+    fn exact_records_when_enabled() {
+        let mut c = collector(TraceConfig::off().with_logical_records());
+        c.record_send(3, 24, 1, None);
+        let recs = c.logical_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].src_pe, 1);
+        assert_eq!(recs[0].src_node, 0);
+        assert_eq!(recs[0].dst_pe, 3);
+        assert_eq!(recs[0].dst_node, 1);
+        assert_eq!(recs[0].msg_size, 24);
+    }
+
+    #[test]
+    fn disabled_logical_records_nothing() {
+        let mut c = collector(TraceConfig::off());
+        assert!(!c.wants_send_events());
+        c.record_send(0, 16, 0, None);
+        assert!(c.logical_matrix().is_empty());
+        assert_eq!(c.total_sends(), 0);
+    }
+
+    #[test]
+    fn papi_aggregates_per_destination_and_mailbox() {
+        let cfg = TraceConfig::off().with_papi(PapiConfig::case_study());
+        let mut c = collector(cfg);
+        c.record_send(0, 16, 0, Some(&[100, 40]));
+        c.record_send(0, 16, 0, Some(&[50, 20]));
+        c.record_send(0, 16, 1, Some(&[10, 5]));
+        let recs = c.papi_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].mailbox_id, 0);
+        assert_eq!(recs[0].num_sends, 2);
+        assert_eq!(recs[0].pkt_size, 32);
+        assert_eq!(recs[0].counters, vec![150, 60]);
+        assert_eq!(recs[1].mailbox_id, 1);
+        assert_eq!(recs[1].counters, vec![10, 5]);
+    }
+
+    #[test]
+    fn physical_respects_config() {
+        let mut c = collector(TraceConfig::off());
+        c.record_physical(SendType::LocalSend, 512, 0);
+        assert!(c.physical_records().is_empty());
+        let mut c = collector(TraceConfig::off().with_physical());
+        assert!(c.wants_physical());
+        c.record_physical(SendType::NonblockSend, 1024, 3);
+        assert_eq!(c.physical_records().len(), 1);
+        assert_eq!(c.physical_records()[0].buffer_size, 1024);
+        assert_eq!(c.physical_records()[0].src_pe, 1);
+    }
+
+    #[test]
+    fn overall_respects_config() {
+        let mut c = collector(TraceConfig::off());
+        c.set_overall(1, 2, 10);
+        assert!(c.overall().is_none());
+        let mut c = collector(TraceConfig::off().with_overall());
+        c.set_overall(1, 2, 10);
+        let o = c.overall().unwrap();
+        assert_eq!((o.t_main, o.t_proc, o.t_total), (1, 2, 10));
+        assert_eq!(o.t_comm(), 7);
+    }
+
+    #[test]
+    fn sampling_keeps_every_kth_record() {
+        let cfg = TraceConfig::off().with_logical_sampling(3);
+        let mut c = collector(cfg);
+        for _ in 0..10 {
+            c.record_send(0, 8, 0, None);
+        }
+        // kept: sends 0, 3, 6, 9
+        assert_eq!(c.logical_records().len(), 4);
+        // the aggregate matrix stays exact
+        assert_eq!(c.logical_matrix()[0].sends, 10);
+    }
+
+    #[test]
+    fn streaming_writes_records_to_disk_not_memory() {
+        let dir = std::env::temp_dir().join(format!("actorprof-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = TraceConfig::off().with_streaming(&dir);
+        let mut c = PeCollector::new(1, 4, 2, cfg);
+        for dst in [0usize, 3, 3] {
+            c.record_send(dst, 16, 0, None);
+        }
+        c.flush_stream();
+        assert!(c.logical_records().is_empty(), "records go to disk");
+        assert_eq!(c.logical_matrix()[3].sends, 2, "matrix still exact");
+        let content = std::fs::read_to_string(dir.join("PE1_send.csv")).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "0,1,0,0,16");
+        assert_eq!(lines[1], "0,1,1,3,16");
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_with_sampling_composes() {
+        let dir = std::env::temp_dir().join(format!("actorprof-ss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = TraceConfig::off().with_logical_sampling(2).with_streaming(&dir);
+        let mut c = PeCollector::new(0, 2, 2, cfg);
+        for _ in 0..6 {
+            c.record_send(1, 8, 0, None);
+        }
+        c.flush_stream();
+        let content = std::fs::read_to_string(dir.join("PE0_send.csv")).unwrap();
+        assert_eq!(content.lines().count(), 3, "every 2nd of 6 sends");
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn physical_timestamps_parallel_records_and_increase() {
+        let mut c = collector(TraceConfig::off().with_physical());
+        c.record_physical(SendType::LocalSend, 64, 0);
+        c.record_physical(SendType::NonblockSend, 64, 2);
+        assert_eq!(c.physical_timestamps().len(), c.physical_records().len());
+        let ts = c.physical_timestamps();
+        assert!(ts[1] >= ts[0], "timestamps are monotone per PE");
+    }
+
+    #[test]
+    fn trace_bytes_grows_with_records() {
+        let mut c = collector(TraceConfig::all().with_logical_records());
+        let before = c.trace_bytes();
+        for _ in 0..100 {
+            c.record_send(0, 16, 0, Some(&[1, 1]));
+        }
+        assert!(c.trace_bytes() > before);
+    }
+}

@@ -1,0 +1,291 @@
+//! Trace configuration — the runtime equivalent of the paper's compile
+//! flags (§III):
+//!
+//! | Paper flag | Field |
+//! |---|---|
+//! | `-DENABLE_TRACE` | [`TraceConfig::logical`] (+ optional [`TraceConfig::papi`]) |
+//! | `-DENABLE_TCOMM_PROFILING` | [`TraceConfig::overall`] |
+//! | `-DENABLE_TRACE_PHYSICAL` | [`TraceConfig::physical`] |
+//!
+//! In the C++ original these are compile-time so the untraced build carries
+//! zero overhead; here they are runtime flags whose disabled paths are a
+//! branch on a bool (measured by the `overhead_tracing` bench).
+
+use fabsp_hwpc::{Event, MAX_EVENTS};
+use serde::{Deserialize, Serialize};
+
+/// Errors constructing a trace configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceConfigError {
+    /// More PAPI events than the hardware (and the paper) allow.
+    TooManyPapiEvents { requested: usize },
+    /// A PAPI event listed twice.
+    DuplicatePapiEvent(Event),
+    /// PAPI profiling requested with an empty event list.
+    NoPapiEvents,
+}
+
+impl std::fmt::Display for TraceConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceConfigError::TooManyPapiEvents { requested } => write!(
+                f,
+                "at most {MAX_EVENTS} concurrent PAPI events (PAPI limit), {requested} requested"
+            ),
+            TraceConfigError::DuplicatePapiEvent(e) => write!(f, "PAPI event {e} listed twice"),
+            TraceConfigError::NoPapiEvents => write!(f, "PAPI profiling needs at least one event"),
+        }
+    }
+}
+
+impl std::error::Error for TraceConfigError {}
+
+/// Which PAPI events the message-aware profile records (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PapiConfig {
+    events: Vec<Event>,
+}
+
+// Serialize events by their PAPI preset names: stable, readable, and avoids
+// coupling the hwpc crate to serde.
+impl Serialize for PapiConfig {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let names: Vec<&str> = self.events.iter().map(|e| e.papi_name()).collect();
+        names.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for PapiConfig {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let names = Vec::<String>::deserialize(deserializer)?;
+        let events = names
+            .iter()
+            .map(|n| {
+                Event::from_papi_name(n)
+                    .ok_or_else(|| serde::de::Error::custom(format!("unknown PAPI event: {n}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        PapiConfig::new(&events).map_err(serde::de::Error::custom)
+    }
+}
+
+impl PapiConfig {
+    /// Configure up to [`MAX_EVENTS`] distinct events.
+    pub fn new(events: &[Event]) -> Result<PapiConfig, TraceConfigError> {
+        if events.is_empty() {
+            return Err(TraceConfigError::NoPapiEvents);
+        }
+        if events.len() > MAX_EVENTS {
+            return Err(TraceConfigError::TooManyPapiEvents {
+                requested: events.len(),
+            });
+        }
+        for (i, e) in events.iter().enumerate() {
+            if events[..i].contains(e) {
+                return Err(TraceConfigError::DuplicatePapiEvent(*e));
+            }
+        }
+        Ok(PapiConfig {
+            events: events.to_vec(),
+        })
+    }
+
+    /// The paper's case-study pair: `PAPI_TOT_INS` and `PAPI_LST_INS`.
+    pub fn case_study() -> PapiConfig {
+        PapiConfig::new(&[Event::TotIns, Event::LstIns]).expect("two distinct events")
+    }
+
+    /// The configured events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+/// What to trace during an FA-BSP run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TraceConfig {
+    /// Record the pre-aggregation logical trace (`-DENABLE_TRACE`).
+    pub logical: bool,
+    /// Additionally keep the exact per-send `PEi_send.csv` record list.
+    /// Off by default: the aggregate matrix alone reproduces the heatmaps
+    /// and avoids the trace bloat the paper warns about (§IV-E).
+    pub logical_records: bool,
+    /// Record the PAPI message trace for these events (part of
+    /// `-DENABLE_TRACE` + `PAPI_start`/`PAPI_stop` placement).
+    pub papi: Option<PapiConfig>,
+    /// Record the MAIN/COMM/PROC overall breakdown
+    /// (`-DENABLE_TCOMM_PROFILING`).
+    pub overall: bool,
+    /// Record the post-aggregation physical trace inside Conveyors
+    /// (`-DENABLE_TRACE_PHYSICAL`).
+    pub physical: bool,
+    /// Keep only every k-th exact logical record (1 = all). The aggregate
+    /// matrix is always exact; sampling bounds the per-send record volume —
+    /// the "intelligent sampling of traces" direction of §VI.
+    pub logical_sample: u32,
+    /// Stream exact logical records to `dir/PE<i>_send.csv` as they happen
+    /// instead of holding them in memory — the §VI answer to traces "of
+    /// orders of 100GB" that cannot live in RAM. Implies
+    /// [`logical_records`](TraceConfig::logical_records) semantics on disk
+    /// while keeping memory O(PE²).
+    pub stream_dir: Option<std::path::PathBuf>,
+}
+
+impl TraceConfig {
+    /// Everything disabled — the unprofiled production configuration.
+    pub fn off() -> TraceConfig {
+        TraceConfig::default()
+    }
+
+    /// Every trace enabled, PAPI with the paper's case-study events.
+    pub fn all() -> TraceConfig {
+        TraceConfig {
+            logical: true,
+            logical_records: false,
+            papi: Some(PapiConfig::case_study()),
+            overall: true,
+            physical: true,
+            logical_sample: 0,
+            stream_dir: None,
+        }
+    }
+
+    /// Enable the logical trace (`-DENABLE_TRACE`).
+    pub fn with_logical(mut self) -> TraceConfig {
+        self.logical = true;
+        self
+    }
+
+    /// Keep exact per-send records too (implies logical).
+    pub fn with_logical_records(mut self) -> TraceConfig {
+        self.logical = true;
+        self.logical_records = true;
+        self
+    }
+
+    /// Keep only every `k`-th exact logical record (implies
+    /// [`with_logical_records`](TraceConfig::with_logical_records)).
+    pub fn with_logical_sampling(mut self, k: u32) -> TraceConfig {
+        self.logical = true;
+        self.logical_records = true;
+        self.logical_sample = k.max(1);
+        self
+    }
+
+    /// Stream exact logical records to files under `dir` instead of RAM
+    /// (implies logical tracing).
+    pub fn with_streaming(mut self, dir: impl Into<std::path::PathBuf>) -> TraceConfig {
+        self.logical = true;
+        self.stream_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable PAPI message tracing for `events`.
+    pub fn with_papi(mut self, papi: PapiConfig) -> TraceConfig {
+        self.papi = Some(papi);
+        self
+    }
+
+    /// Enable the overall breakdown (`-DENABLE_TCOMM_PROFILING`).
+    pub fn with_overall(mut self) -> TraceConfig {
+        self.overall = true;
+        self
+    }
+
+    /// Enable the physical trace (`-DENABLE_TRACE_PHYSICAL`).
+    pub fn with_physical(mut self) -> TraceConfig {
+        self.physical = true;
+        self
+    }
+
+    /// Whether any tracing at all is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.logical || self.papi.is_some() || self.overall || self.physical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papi_config_enforces_limit() {
+        let err = PapiConfig::new(&[
+            Event::TotIns,
+            Event::LstIns,
+            Event::BrIns,
+            Event::BrMsp,
+            Event::L1Dcm,
+        ])
+        .unwrap_err();
+        assert_eq!(err, TraceConfigError::TooManyPapiEvents { requested: 5 });
+        assert_eq!(
+            PapiConfig::new(&[]).unwrap_err(),
+            TraceConfigError::NoPapiEvents
+        );
+        assert_eq!(
+            PapiConfig::new(&[Event::TotIns, Event::TotIns]).unwrap_err(),
+            TraceConfigError::DuplicatePapiEvent(Event::TotIns)
+        );
+    }
+
+    #[test]
+    fn case_study_events_match_paper() {
+        let p = PapiConfig::case_study();
+        assert_eq!(p.events(), &[Event::TotIns, Event::LstIns]);
+    }
+
+    #[test]
+    fn builder_composes_flags() {
+        let c = TraceConfig::off()
+            .with_logical()
+            .with_overall()
+            .with_physical();
+        assert!(c.logical && c.overall && c.physical);
+        assert!(!c.logical_records);
+        assert!(c.stream_dir.is_none());
+        assert!(c.papi.is_none());
+        assert!(c.any_enabled());
+        assert!(!TraceConfig::off().any_enabled());
+    }
+
+    #[test]
+    fn logical_records_implies_logical() {
+        let c = TraceConfig::off().with_logical_records();
+        assert!(c.logical);
+        assert!(c.logical_records);
+    }
+
+    #[test]
+    fn sampling_clamps_and_implies_records() {
+        let c = TraceConfig::off().with_logical_sampling(0);
+        assert_eq!(c.logical_sample, 1, "0 clamps to keep-all");
+        assert!(c.logical_records);
+        let c = TraceConfig::off().with_logical_sampling(10);
+        assert_eq!(c.logical_sample, 10);
+    }
+
+    #[test]
+    fn streaming_implies_logical() {
+        let c = TraceConfig::off().with_streaming("/tmp/x");
+        assert!(c.logical);
+        assert_eq!(c.stream_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = TraceConfig::all()
+            .with_logical_sampling(4)
+            .with_streaming("/tmp/traces");
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("PAPI_TOT_INS"), "events serialized by name");
+        let back: TraceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn all_enables_everything() {
+        let c = TraceConfig::all();
+        assert!(c.logical && c.overall && c.physical && c.papi.is_some());
+    }
+}

@@ -1,0 +1,193 @@
+//! Trace record types, one per ActorProf trace file format (§III).
+
+use serde::{Deserialize, Serialize};
+
+/// One pre-aggregation point-to-point send, as recorded at the HClib-Actor
+/// `send` call. One line of `PEi_send.csv`:
+/// `source node, source PE, destination node, destination PE, message size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogicalRecord {
+    /// Node of the sending PE.
+    pub src_node: u32,
+    /// Sending PE rank.
+    pub src_pe: u32,
+    /// Node of the destination PE.
+    pub dst_node: u32,
+    /// Destination PE rank.
+    pub dst_pe: u32,
+    /// Message payload size in bytes.
+    pub msg_size: u32,
+}
+
+/// One line of the PAPI-based message trace `PEi_PAPI.csv`:
+/// `source node, source PE, dst node, dst PE, pkt size, MAILBOXID,
+/// NUM_SENDS, <counter values...>`.
+///
+/// ActorProf aggregates consecutive sends to the same (destination,
+/// mailbox): `num_sends` counts how many sends the line covers, and the
+/// counter values are the deltas accumulated over those sends while inside
+/// the instrumented user regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PapiRecord {
+    /// Node of the sending PE.
+    pub src_node: u32,
+    /// Sending PE rank.
+    pub src_pe: u32,
+    /// Node of the destination PE.
+    pub dst_node: u32,
+    /// Destination PE rank.
+    pub dst_pe: u32,
+    /// Total payload bytes covered by this line.
+    pub pkt_size: u64,
+    /// Selector mailbox the sends targeted.
+    pub mailbox_id: u32,
+    /// Number of sends this line covers.
+    pub num_sends: u64,
+    /// Counter deltas, parallel to the configured PAPI event list (≤ 4).
+    pub counters: Vec<u64>,
+}
+
+/// The Conveyors communication call a physical-trace entry came from
+/// (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SendType {
+    /// Intra-node buffer delivery: `std::memcpy` through `shmem_ptr`.
+    LocalSend,
+    /// Inter-node buffer initiation via `shmem_putmem_nbi`.
+    NonblockSend,
+    /// Inter-node completion: `shmem_quiet` + signalling `shmem_put`.
+    NonblockProgress,
+}
+
+impl SendType {
+    /// Name as written in `physical.txt`.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SendType::LocalSend => "local_send",
+            SendType::NonblockSend => "nonblock_send",
+            SendType::NonblockProgress => "nonblock_progress",
+        }
+    }
+
+    /// Parse a `physical.txt` send-type label.
+    pub fn from_label(label: &str) -> Option<SendType> {
+        match label {
+            "local_send" => Some(SendType::LocalSend),
+            "nonblock_send" => Some(SendType::NonblockSend),
+            "nonblock_progress" => Some(SendType::NonblockProgress),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SendType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One post-aggregation send recorded inside Conveyors. One line of
+/// `physical.txt`: `send type, buffer size, source PE, destination PE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalRecord {
+    /// Which Conveyors call produced this entry.
+    pub send_type: SendType,
+    /// Network-packet (aggregation buffer) size in bytes.
+    pub buffer_size: u64,
+    /// Sending PE rank.
+    pub src_pe: u32,
+    /// Destination PE rank (for `NonblockProgress`, the signalled PE).
+    pub dst_pe: u32,
+}
+
+/// The per-PE overall breakdown (§III-B), in rdtsc cycles. One absolute and
+/// one relative line of `overall.txt` per PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct OverallRecord {
+    /// PE rank.
+    pub pe: u32,
+    /// Cycles generating messages + local computation (T_MAIN).
+    pub t_main: u64,
+    /// Cycles in user message handlers (T_PROC).
+    pub t_proc: u64,
+    /// Total cycles inside the profiled window (T_TOTAL).
+    pub t_total: u64,
+}
+
+impl OverallRecord {
+    /// Derived communication time: `T_TOTAL − T_MAIN − T_PROC`, saturating —
+    /// exactly how the paper derives T_COMM (§III-B).
+    pub fn t_comm(&self) -> u64 {
+        self.t_total
+            .saturating_sub(self.t_main)
+            .saturating_sub(self.t_proc)
+    }
+
+    /// `(T_MAIN, T_COMM, T_PROC)` as fractions of T_TOTAL (the paper's
+    /// "Relative" line). All zero when T_TOTAL is zero.
+    pub fn relative(&self) -> (f64, f64, f64) {
+        if self.t_total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = self.t_total as f64;
+        (
+            self.t_main as f64 / t,
+            self.t_comm() as f64 / t,
+            self.t_proc as f64 / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_type_label_roundtrip() {
+        for t in [
+            SendType::LocalSend,
+            SendType::NonblockSend,
+            SendType::NonblockProgress,
+        ] {
+            assert_eq!(SendType::from_label(t.label()), Some(t));
+        }
+        assert_eq!(SendType::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn t_comm_is_derived_and_saturates() {
+        let r = OverallRecord {
+            pe: 0,
+            t_main: 10,
+            t_proc: 20,
+            t_total: 100,
+        };
+        assert_eq!(r.t_comm(), 70);
+        let degenerate = OverallRecord {
+            pe: 0,
+            t_main: 80,
+            t_proc: 40,
+            t_total: 100,
+        };
+        assert_eq!(degenerate.t_comm(), 0);
+    }
+
+    #[test]
+    fn relative_fractions_sum_to_one() {
+        let r = OverallRecord {
+            pe: 3,
+            t_main: 5,
+            t_proc: 20,
+            t_total: 100,
+        };
+        let (m, c, p) = r.relative();
+        assert!((m + c + p - 1.0).abs() < 1e-12);
+        assert!((m - 0.05).abs() < 1e-12);
+        assert!((p - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_of_zero_total_is_zero() {
+        assert_eq!(OverallRecord::default().relative(), (0.0, 0.0, 0.0));
+    }
+}

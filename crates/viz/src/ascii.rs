@@ -1,0 +1,184 @@
+//! Terminal renderings — quick-look versions of every chart for CLI use
+//! and for human-readable test output.
+
+use actorprof::{Matrix, Quartiles};
+use actorprof_trace::OverallRecord;
+
+use crate::scale::Norm;
+
+const SHADES: [char; 7] = ['.', '░', '▒', '▓', '█', '█', '█'];
+
+/// Render a matrix as an ASCII heatmap with totals row/column, log-scaled
+/// shading. `.` marks zero cells.
+pub fn heatmap(matrix: &Matrix, title: &str) -> String {
+    let n = matrix.n();
+    let max = matrix.max();
+    let row_totals = matrix.row_totals();
+    let col_totals = matrix.col_totals();
+    let shade = |v: u64, max: u64| -> char {
+        if v == 0 {
+            SHADES[0]
+        } else {
+            let t = Norm::Log.apply(v, max);
+            SHADES[1 + ((t * 3.999) as usize).min(3)]
+        }
+    };
+    let mut out = format!("{title}\n     dst -> | total sends\n");
+    for (src, total) in row_totals.iter().enumerate() {
+        out.push_str(&format!("PE{src:>3} "));
+        for dst in 0..n {
+            out.push(shade(matrix.get(src, dst), max));
+        }
+        out.push_str(&format!(" | {total}\n"));
+    }
+    out.push_str("recv ");
+    let tmax = col_totals.iter().copied().max().unwrap_or(0);
+    for &total in &col_totals {
+        out.push(shade(total, tmax));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "recv totals: {}\n",
+        col_totals
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    out
+}
+
+/// Render quartile summaries as an ASCII "violin" (box-plot style).
+pub fn violin(series: &[(String, Vec<u64>)], title: &str) -> String {
+    let width = 48usize;
+    let global_max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let pos = |v: f64| -> usize { ((v / global_max) * (width - 1) as f64).round() as usize };
+    let mut out = format!("{title}\n");
+    for (label, values) in series {
+        let q = Quartiles::of(values);
+        let mut row = vec![' '; width];
+        for cell in row.iter_mut().take(pos(q.max) + 1).skip(pos(q.min)) {
+            *cell = '-';
+        }
+        for cell in row.iter_mut().take(pos(q.q3) + 1).skip(pos(q.q1)) {
+            *cell = '=';
+        }
+        row[pos(q.median)] = 'O';
+        row[pos(q.max)] = '!';
+        out.push_str(&format!(
+            "{label:>14} |{}| min {:.0} med {:.0} max {:.0}\n",
+            row.iter().collect::<String>(),
+            q.min,
+            q.median,
+            q.max
+        ));
+    }
+    out
+}
+
+/// Render per-PE values as horizontal ASCII bars (optionally log-scaled).
+pub fn bars(values: &[u64], title: &str, log: bool) -> String {
+    let width = 50usize;
+    let transform = |v: u64| -> f64 {
+        if log {
+            (1.0 + v as f64).log10()
+        } else {
+            v as f64
+        }
+    };
+    let max_t = values.iter().map(|&v| transform(v)).fold(0.0f64, f64::max);
+    let mut out = format!("{title}\n");
+    for (pe, &v) in values.iter().enumerate() {
+        let len = if max_t > 0.0 {
+            ((transform(v) / max_t) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!("PE{pe:>3} {:<width$} {v}\n", "#".repeat(len)));
+    }
+    out
+}
+
+/// Render overall records as per-PE MAIN/COMM/PROC proportion bars.
+pub fn stacked(records: &[OverallRecord], title: &str) -> String {
+    let width = 50usize;
+    let mut out = format!("{title}  (M=MAIN C=COMM P=PROC)\n");
+    for r in records {
+        let total = r.t_total.max(1) as f64;
+        let m = ((r.t_main as f64 / total) * width as f64).round() as usize;
+        let p = ((r.t_proc as f64 / total) * width as f64).round() as usize;
+        let c = width.saturating_sub(m + p);
+        out.push_str(&format!(
+            "PE{:>3} {}{}{} total {} cycles\n",
+            r.pe,
+            "M".repeat(m),
+            "C".repeat(c),
+            "P".repeat(p),
+            r.t_total
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shows_totals_and_zeros() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 1, 10);
+        let s = heatmap(&m, "hm");
+        assert!(s.contains("hm"));
+        assert!(s.contains("| 10"), "row total missing:\n{s}");
+        assert!(s.contains("recv totals: 0 10"));
+        assert!(s.contains('.'), "zero cells marked");
+    }
+
+    #[test]
+    fn violin_marks_median_and_max() {
+        let s = violin(&[("sends".into(), vec![1, 5, 9])], "v");
+        assert!(s.contains('O'));
+        assert!(s.contains('!'));
+        assert!(s.contains("med 5"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bars(&[10, 5, 0], "b", false);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[1]), 50);
+        assert_eq!(count(lines[2]), 25);
+        assert_eq!(count(lines[3]), 0);
+    }
+
+    #[test]
+    fn stacked_proportions() {
+        let r = OverallRecord {
+            pe: 0,
+            t_main: 25,
+            t_proc: 25,
+            t_total: 100,
+        };
+        let s = stacked(&[r], "o");
+        let line = s.lines().nth(1).unwrap();
+        let bar = &line["PE  0 ".len()..]; // skip the "PE  0 " prefix
+        assert_eq!(bar.matches('M').count(), 13); // 25% of 50 rounded
+        assert_eq!(bar.matches('P').count(), 13);
+        assert!(bar.matches('C').count() >= 24);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert!(bars(&[], "b", true).contains('b'));
+        assert!(stacked(&[], "o").contains('o'));
+        assert!(violin(&[], "v").contains('v'));
+    }
+}

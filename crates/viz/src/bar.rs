@@ -1,0 +1,164 @@
+//! Per-PE bar graphs (§III-D) — e.g. `PAPI_TOT_INS` vs PE (Figs 10–11).
+//!
+//! Supports a log10 y-axis: under 1D Cyclic the per-PE instruction counts
+//! span "three to four orders of magnitude" (footnote 1), so the linear
+//! view of the paper shows most PEs as visually empty — both views are
+//! available.
+
+use crate::palette;
+use crate::scale::LinearScale;
+use crate::svg::SvgDoc;
+
+/// Bar chart options.
+#[derive(Debug, Clone)]
+pub struct BarSpec {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log10 y-axis.
+    pub log: bool,
+    /// Bar fill color.
+    pub color: String,
+}
+
+impl Default for BarSpec {
+    fn default() -> Self {
+        BarSpec {
+            title: String::new(),
+            y_label: String::new(),
+            log: false,
+            color: palette::SERIES[0].to_string(),
+        }
+    }
+}
+
+/// Render per-PE `values` as a bar graph.
+pub fn render(values: &[u64], spec: &BarSpec) -> SvgDoc {
+    let n = values.len().max(1);
+    let bar_w = (560.0 / n as f64).clamp(6.0, 48.0);
+    let plot_left = 66.0;
+    let width = plot_left + n as f64 * bar_w + 28.0;
+    let height = 300.0;
+    let plot_top = 42.0;
+    let plot_bottom = height - 44.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 20.0, 13.0, "middle", &spec.title);
+
+    let transform = |v: u64| -> f64 {
+        if spec.log {
+            (1.0 + v as f64).log10()
+        } else {
+            v as f64
+        }
+    };
+    let max_t = values.iter().map(|&v| transform(v)).fold(0.0f64, f64::max);
+    let y = LinearScale::new(0.0, max_t.max(1e-9), plot_bottom, plot_top);
+
+    // axes
+    doc.line(plot_left, plot_top, plot_left, plot_bottom, "#444444", 1.0);
+    doc.line(
+        plot_left,
+        plot_bottom,
+        plot_left + n as f64 * bar_w,
+        plot_bottom,
+        "#444444",
+        1.0,
+    );
+    if spec.log {
+        // decade ticks
+        let decades = max_t.ceil() as i64;
+        for d in 0..=decades {
+            let py = y.map(d as f64);
+            doc.line(plot_left - 4.0, py, plot_left, py, "#444444", 1.0);
+            doc.text(plot_left - 7.0, py + 3.0, 9.0, "end", &format!("1e{d}"));
+        }
+    } else {
+        for t in LinearScale::new(0.0, max_t.max(1e-9), 0.0, 1.0).ticks(5) {
+            let py = y.map(t);
+            doc.line(plot_left - 4.0, py, plot_left, py, "#444444", 1.0);
+            doc.text(plot_left - 7.0, py + 3.0, 9.0, "end", &format!("{t:.0}"));
+        }
+    }
+    doc.vtext(
+        16.0,
+        (plot_top + plot_bottom) / 2.0,
+        11.0,
+        if spec.y_label.is_empty() {
+            "count"
+        } else {
+            &spec.y_label
+        },
+    );
+
+    for (pe, &v) in values.iter().enumerate() {
+        let x = plot_left + pe as f64 * bar_w;
+        let top = y.map(transform(v));
+        doc.rect(
+            x + 1.0,
+            top,
+            bar_w - 2.0,
+            (plot_bottom - top).max(0.0),
+            &spec.color,
+            Some(&format!("PE{pe}: {v}")),
+        );
+        let label_step = if n <= 24 { 1 } else { n / 12 };
+        if pe % label_step.max(1) == 0 {
+            doc.text(
+                x + bar_w / 2.0,
+                plot_bottom + 14.0,
+                9.0,
+                "middle",
+                &pe.to_string(),
+            );
+        }
+    }
+    doc.text(
+        plot_left + n as f64 * bar_w / 2.0,
+        height - 8.0,
+        11.0,
+        "middle",
+        "PE",
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bars_with_tooltips() {
+        let spec = BarSpec {
+            title: "PAPI_TOT_INS vs PE".into(),
+            ..Default::default()
+        };
+        let svg = render(&[100, 5, 30], &spec).render();
+        assert!(svg.contains("PE0: 100"));
+        assert!(svg.contains("PE2: 30"));
+        assert!(svg.contains("PAPI_TOT_INS vs PE"));
+    }
+
+    #[test]
+    fn log_mode_emits_decade_ticks() {
+        let spec = BarSpec {
+            log: true,
+            ..Default::default()
+        };
+        let svg = render(&[1, 100, 1_000_000], &spec).render();
+        assert!(svg.contains("1e0"));
+        assert!(svg.contains("1e6"));
+    }
+
+    #[test]
+    fn zero_values_render_flat() {
+        let svg = render(&[0, 0], &BarSpec::default()).render();
+        assert!(svg.contains("PE0: 0"));
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let svg = render(&[], &BarSpec::default()).render();
+        assert!(svg.starts_with("<svg"));
+    }
+}

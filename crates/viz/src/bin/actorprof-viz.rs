@@ -1,0 +1,155 @@
+//! The ActorProf visualization CLI — the Rust analogue of the paper's
+//! `logical.py` / `physical.py` / `papi.py` / `Overall.py` scripts, with
+//! the run-time flags of §III:
+//!
+//! ```text
+//! actorprof-viz -l  <trace-dir> <num_PEs>   # logical-trace heatmap
+//! actorprof-viz -p  <trace-dir> <num_PEs>   # physical-trace heatmap
+//! actorprof-viz -lp <trace-dir> <num_PEs>   # PAPI bar graphs
+//! actorprof-viz -s  <trace-dir> <num_PEs>   # overall stacked bars
+//! ```
+//!
+//! SVGs are written next to the traces; an ASCII quick-look is printed.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use actorprof::{reader, Matrix};
+use actorprof_viz::{ascii, bar, heatmap, stacked, violin};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("actorprof-viz: {e}");
+            eprintln!(
+                "usage: actorprof-viz [-l|-p|-lp|-s] <trace-dir> <num_PEs>\n\
+                 \x20 -l   logical trace heatmap + violin\n\
+                 \x20 -p   physical trace heatmap + violin\n\
+                 \x20 -lp  PAPI counter bar graphs\n\
+                 \x20 -s   overall stacked bar graph"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let [flag, dir, n_pes] = args else {
+        return Err("expected exactly three arguments".into());
+    };
+    let dir = Path::new(dir);
+    let n_pes: usize = n_pes.parse().map_err(|_| "num_PEs must be an integer")?;
+    if n_pes == 0 {
+        return Err("num_PEs must be positive".into());
+    }
+    match flag.as_str() {
+        "-l" => render_logical(dir, n_pes),
+        "-p" => render_physical(dir, n_pes),
+        "-lp" => render_papi(dir, n_pes),
+        "-s" => render_overall(dir),
+        other => Err(format!("unknown flag {other}")),
+    }
+}
+
+fn render_logical(dir: &Path, n_pes: usize) -> Result<(), String> {
+    let m = reader::read_logical_matrix(dir, n_pes).map_err(|e| e.to_string())?;
+    let doc = heatmap::render(&m, &heatmap::HeatmapSpec::titled("Logical trace (sends)"));
+    let out = dir.join("logical_heatmap.svg");
+    doc.save(&out).map_err(|e| e.to_string())?;
+    let v = violin::render(
+        &[
+            violin::ViolinSeries::new("sends", m.row_totals()),
+            violin::ViolinSeries::new("recvs", m.col_totals()),
+        ],
+        "Logical trace quartiles",
+    );
+    let vout = dir.join("logical_violin.svg");
+    v.save(&vout).map_err(|e| e.to_string())?;
+    print!("{}", ascii::heatmap(&m, "Logical trace"));
+    println!("wrote {} and {}", out.display(), vout.display());
+    Ok(())
+}
+
+fn render_physical(dir: &Path, n_pes: usize) -> Result<(), String> {
+    let records = reader::read_physical(&dir.join("physical.txt")).map_err(|e| e.to_string())?;
+    let mut m = Matrix::zeros(n_pes);
+    for r in &records {
+        if r.send_type != actorprof_trace::SendType::NonblockProgress
+            && (r.src_pe as usize) < n_pes
+            && (r.dst_pe as usize) < n_pes
+        {
+            m.add(r.src_pe as usize, r.dst_pe as usize, 1);
+        }
+    }
+    let doc = heatmap::render(&m, &heatmap::HeatmapSpec::titled("Physical trace (buffers)"));
+    let out = dir.join("physical_heatmap.svg");
+    doc.save(&out).map_err(|e| e.to_string())?;
+    let v = violin::render(
+        &[
+            violin::ViolinSeries::new("buffer sends", m.row_totals()),
+            violin::ViolinSeries::new("buffer recvs", m.col_totals()),
+        ],
+        "Physical trace quartiles",
+    );
+    let vout = dir.join("physical_violin.svg");
+    v.save(&vout).map_err(|e| e.to_string())?;
+    print!("{}", ascii::heatmap(&m, "Physical trace"));
+    println!("wrote {} and {}", out.display(), vout.display());
+    Ok(())
+}
+
+fn render_papi(dir: &Path, n_pes: usize) -> Result<(), String> {
+    // Sum each counter over every PE's PEi_PAPI.csv lines; one bar chart
+    // per event (up to the four the PAPI limit allows in one run).
+    let mut event_names: Vec<String> = Vec::new();
+    let mut per_event_per_pe: Vec<Vec<u64>> = Vec::new();
+    for pe in 0..n_pes {
+        let path = dir.join(format!("PE{pe}_PAPI.csv"));
+        if !path.exists() {
+            continue;
+        }
+        let (events, records) = reader::read_papi(&path).map_err(|e| e.to_string())?;
+        if event_names.is_empty() {
+            event_names = events;
+            per_event_per_pe = vec![vec![0; n_pes]; event_names.len()];
+        }
+        for r in &records {
+            for (e, &v) in r.counters.iter().enumerate() {
+                per_event_per_pe[e][pe] += v;
+            }
+        }
+    }
+    if event_names.is_empty() {
+        return Err("no PEi_PAPI.csv files found".into());
+    }
+    for (e, name) in event_names.iter().enumerate() {
+        let spec = bar::BarSpec {
+            title: format!("{name} vs PE"),
+            y_label: name.clone(),
+            log: true,
+            ..Default::default()
+        };
+        let doc = bar::render(&per_event_per_pe[e], &spec);
+        let out = dir.join(format!("papi_{}.svg", name.to_lowercase()));
+        doc.save(&out).map_err(|err| err.to_string())?;
+        print!("{}", ascii::bars(&per_event_per_pe[e], name, true));
+        println!("wrote {}", out.display());
+    }
+    Ok(())
+}
+
+fn render_overall(dir: &Path) -> Result<(), String> {
+    let records = reader::read_overall(&dir.join("overall.txt")).map_err(|e| e.to_string())?;
+    for (mode, name) in [
+        (stacked::StackedMode::Absolute, "overall_absolute.svg"),
+        (stacked::StackedMode::Relative, "overall_relative.svg"),
+    ] {
+        let doc = stacked::render(&records, mode, "Overall profiling (MAIN/COMM/PROC)");
+        doc.save(&dir.join(name)).map_err(|e| e.to_string())?;
+        println!("wrote {}", dir.join(name).display());
+    }
+    print!("{}", ascii::stacked(&records, "Overall profiling"));
+    Ok(())
+}

@@ -1,0 +1,250 @@
+//! The communication heatmap — ActorProf's take on CrayPat's "Mosaic
+//! Report" (§III-D).
+//!
+//! Rows are source PEs, columns destination PEs, color encodes the number
+//! of sends. Following the paper, the **last column** carries each PE's
+//! total sends and the **last row** each PE's total recvs, separated from
+//! the matrix by a gap.
+
+use actorprof::Matrix;
+
+use crate::palette;
+use crate::scale::Norm;
+use crate::svg::SvgDoc;
+
+/// Layout and scaling options for a heatmap.
+#[derive(Debug, Clone)]
+pub struct HeatmapSpec {
+    /// Chart title.
+    pub title: String,
+    /// Pixel size of one matrix cell.
+    pub cell: f64,
+    /// Color normalization (log by default — communication counts are
+    /// heavy-tailed).
+    pub norm: Norm,
+    /// Whether to append the totals row/column.
+    pub totals: bool,
+}
+
+impl Default for HeatmapSpec {
+    fn default() -> Self {
+        HeatmapSpec {
+            title: String::new(),
+            cell: 18.0,
+            norm: Norm::Log,
+            totals: true,
+        }
+    }
+}
+
+impl HeatmapSpec {
+    /// A default spec with a title.
+    pub fn titled(title: impl Into<String>) -> HeatmapSpec {
+        HeatmapSpec {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+}
+
+const MARGIN_LEFT: f64 = 58.0;
+const MARGIN_TOP: f64 = 40.0;
+const GAP: f64 = 6.0;
+const COLORBAR_W: f64 = 14.0;
+
+/// Render a send-count matrix as an SVG heatmap.
+pub fn render(matrix: &Matrix, spec: &HeatmapSpec) -> SvgDoc {
+    let n = matrix.n();
+    let cell = spec.cell;
+    let extra = if spec.totals { cell + GAP } else { 0.0 };
+    let grid_w = n as f64 * cell;
+    let width = MARGIN_LEFT + grid_w + extra + GAP + COLORBAR_W + 58.0;
+    let height = MARGIN_TOP + grid_w + extra + 46.0;
+    let mut doc = SvgDoc::new(width, height);
+
+    doc.text(
+        MARGIN_LEFT + grid_w / 2.0,
+        18.0,
+        13.0,
+        "middle",
+        &spec.title,
+    );
+
+    let row_totals = matrix.row_totals();
+    let col_totals = matrix.col_totals();
+    let cell_max = matrix.max();
+    let totals_max = row_totals
+        .iter()
+        .chain(col_totals.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    let fill_for = |v: u64, max: u64| -> String {
+        if v == 0 {
+            palette::ZERO_CELL.to_string()
+        } else {
+            palette::sequential(spec.norm.apply(v, max))
+        }
+    };
+
+    // matrix cells
+    for src in 0..n {
+        for dst in 0..n {
+            let v = matrix.get(src, dst);
+            doc.rect(
+                MARGIN_LEFT + dst as f64 * cell,
+                MARGIN_TOP + src as f64 * cell,
+                cell - 1.0,
+                cell - 1.0,
+                &fill_for(v, cell_max),
+                Some(&format!("PE{src} -> PE{dst}: {v}")),
+            );
+        }
+    }
+
+    if spec.totals {
+        // last column: total sends per source PE
+        for (src, &v) in row_totals.iter().enumerate() {
+            doc.rect(
+                MARGIN_LEFT + grid_w + GAP,
+                MARGIN_TOP + src as f64 * cell,
+                cell - 1.0,
+                cell - 1.0,
+                &fill_for(v, totals_max),
+                Some(&format!("PE{src} total sends: {v}")),
+            );
+        }
+        // last row: total recvs per destination PE
+        for (dst, &v) in col_totals.iter().enumerate() {
+            doc.rect(
+                MARGIN_LEFT + dst as f64 * cell,
+                MARGIN_TOP + grid_w + GAP,
+                cell - 1.0,
+                cell - 1.0,
+                &fill_for(v, totals_max),
+                Some(&format!("PE{dst} total recvs: {v}")),
+            );
+        }
+        doc.text(
+            MARGIN_LEFT + grid_w + GAP + cell / 2.0,
+            MARGIN_TOP - 6.0,
+            9.0,
+            "middle",
+            "send",
+        );
+        doc.text(
+            MARGIN_LEFT - 6.0,
+            MARGIN_TOP + grid_w + GAP + cell * 0.7,
+            9.0,
+            "end",
+            "recv",
+        );
+    }
+
+    // axis labels (every PE for small n, sparse for big n)
+    let step = if n <= 20 { 1 } else { n / 8 };
+    for i in (0..n).step_by(step.max(1)) {
+        doc.text(
+            MARGIN_LEFT + i as f64 * cell + cell / 2.0,
+            MARGIN_TOP + grid_w + extra + 14.0,
+            9.0,
+            "middle",
+            &i.to_string(),
+        );
+        doc.text(
+            MARGIN_LEFT - 6.0,
+            MARGIN_TOP + i as f64 * cell + cell * 0.7,
+            9.0,
+            "end",
+            &i.to_string(),
+        );
+    }
+    doc.text(
+        MARGIN_LEFT + grid_w / 2.0,
+        height - 8.0,
+        11.0,
+        "middle",
+        "destination PE",
+    );
+    doc.vtext(16.0, MARGIN_TOP + grid_w / 2.0, 11.0, "source PE");
+
+    // colorbar
+    let bar_x = MARGIN_LEFT + grid_w + extra + GAP;
+    let bar_h = grid_w;
+    let steps = 40;
+    for s in 0..steps {
+        let t = 1.0 - s as f64 / (steps - 1) as f64;
+        doc.rect(
+            bar_x,
+            MARGIN_TOP + s as f64 * bar_h / steps as f64,
+            COLORBAR_W,
+            bar_h / steps as f64 + 0.5,
+            &palette::sequential(t),
+            None,
+        );
+    }
+    doc.frame(bar_x, MARGIN_TOP, COLORBAR_W, bar_h, "#888888");
+    doc.text(
+        bar_x + COLORBAR_W + 4.0,
+        MARGIN_TOP + 10.0,
+        9.0,
+        "start",
+        &cell_max.to_string(),
+    );
+    doc.text(bar_x + COLORBAR_W + 4.0, MARGIN_TOP + bar_h, 9.0, "start", "0");
+
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        let mut m = Matrix::zeros(3);
+        m.set(0, 1, 100);
+        m.set(1, 0, 10);
+        m.set(2, 2, 1);
+        m
+    }
+
+    #[test]
+    fn renders_all_cells_with_tooltips() {
+        let svg = render(&sample_matrix(), &HeatmapSpec::titled("test")).render();
+        assert!(svg.contains("PE0 -&gt; PE1: 100"));
+        assert!(svg.contains("PE2 -&gt; PE2: 1"));
+        assert!(svg.contains("test"));
+    }
+
+    #[test]
+    fn totals_row_and_column_present_by_default() {
+        let svg = render(&sample_matrix(), &HeatmapSpec::default()).render();
+        assert!(svg.contains("PE0 total sends: 100"));
+        assert!(svg.contains("PE1 total recvs: 100"));
+        assert!(svg.contains("PE2 total recvs: 1"));
+    }
+
+    #[test]
+    fn totals_can_be_disabled() {
+        let spec = HeatmapSpec {
+            totals: false,
+            ..Default::default()
+        };
+        let svg = render(&sample_matrix(), &spec).render();
+        assert!(!svg.contains("total sends"));
+    }
+
+    #[test]
+    fn zero_cells_use_zero_color() {
+        let svg = render(&sample_matrix(), &HeatmapSpec::default()).render();
+        assert!(svg.contains(palette::ZERO_CELL));
+    }
+
+    #[test]
+    fn empty_matrix_renders() {
+        let m = Matrix::zeros(2);
+        let svg = render(&m, &HeatmapSpec::default()).render();
+        assert!(svg.starts_with("<svg"));
+    }
+}

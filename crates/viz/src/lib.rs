@@ -1,0 +1,31 @@
+//! # actorprof-viz — visualization of ActorProf traces
+//!
+//! The Rust counterpart of the paper's Python visualizers (`logical.py`,
+//! `physical.py`, `papi.py`, `Overall.py`, §III-D), rendering to SVG files
+//! and to ASCII for terminals:
+//!
+//! - [`heatmap`] — the CrayPat-"Mosaic-Report"-inspired communication
+//!   matrix, with per-PE total sends/recvs in the last column/row;
+//! - [`violin`] — quartile violin plots of per-PE send/recv totals
+//!   (density shape, white median dot, max outlier on top);
+//! - [`bar`] — per-PE bar graphs (e.g. `PAPI_TOT_INS`), with log scale for
+//!   the orders-of-magnitude ranges of Fig 10–11;
+//! - [`stacked`] — MAIN/COMM/PROC stacked bars, absolute and relative
+//!   (Figs 12–13);
+//! - [`line`] — multi-series line charts for the scaling harnesses.
+//!
+//! The `actorprof-viz` binary mirrors the paper's run-time flags
+//! (`-l`, `-p`, `-lp`, `-s`) against a trace directory.
+
+pub mod ascii;
+pub mod bar;
+pub mod heatmap;
+pub mod line;
+pub mod palette;
+pub mod scale;
+pub mod stacked;
+pub mod svg;
+pub mod violin;
+
+pub use heatmap::HeatmapSpec;
+pub use svg::SvgDoc;

@@ -1,0 +1,163 @@
+//! Multi-series line charts — used for the strong/weak scaling curves
+//! (the §I motivation: how irregular apps scale with PEs).
+
+use crate::palette;
+use crate::scale::LinearScale;
+use crate::svg::SvgDoc;
+
+/// One line series: a label and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct LineSeries {
+    /// Legend label.
+    pub label: String,
+    /// Data points, in increasing x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl LineSeries {
+    /// Construct from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> LineSeries {
+        LineSeries {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Chart options.
+#[derive(Debug, Clone, Default)]
+pub struct LineSpec {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log10-transform the y values.
+    pub log_y: bool,
+}
+
+/// Render line series.
+pub fn render(series: &[LineSeries], spec: &LineSpec) -> SvgDoc {
+    let width = 560.0;
+    let height = 330.0;
+    let (left, right, top, bottom) = (70.0, width - 130.0, 44.0, height - 48.0);
+    let mut doc = SvgDoc::new(width, height);
+    doc.text((left + right) / 2.0, 20.0, 13.0, "middle", &spec.title);
+
+    let ty = |y: f64| if spec.log_y { (y.max(1e-12)).log10() } else { y };
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, y)| ty(*y)))
+        .collect();
+    let (x0, x1) = (
+        xs.iter().copied().fold(f64::INFINITY, f64::min),
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (y0, y1) = (
+        ys.iter().copied().fold(f64::INFINITY, f64::min).min(0.0),
+        ys.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    if !x0.is_finite() || !y1.is_finite() {
+        doc.text(width / 2.0, height / 2.0, 11.0, "middle", "(no data)");
+        return doc;
+    }
+    let sx = LinearScale::new(x0, x1.max(x0 + 1e-9), left, right);
+    let sy = LinearScale::new(y0, y1.max(y0 + 1e-9), bottom, top);
+
+    // axes + ticks
+    doc.line(left, top, left, bottom, "#444444", 1.0);
+    doc.line(left, bottom, right, bottom, "#444444", 1.0);
+    for t in LinearScale::new(x0, x1.max(x0 + 1e-9), 0.0, 1.0).ticks(6) {
+        let px = sx.map(t);
+        doc.line(px, bottom, px, bottom + 4.0, "#444444", 1.0);
+        doc.text(px, bottom + 16.0, 9.0, "middle", &format!("{t:.0}"));
+    }
+    for t in LinearScale::new(y0, y1.max(y0 + 1e-9), 0.0, 1.0).ticks(5) {
+        let py = sy.map(t);
+        doc.line(left - 4.0, py, left, py, "#444444", 1.0);
+        let label = if spec.log_y {
+            format!("1e{t:.0}")
+        } else {
+            format!("{t:.1}")
+        };
+        doc.text(left - 7.0, py + 3.0, 9.0, "end", &label);
+    }
+    doc.text((left + right) / 2.0, height - 8.0, 11.0, "middle", &spec.x_label);
+    doc.vtext(16.0, (top + bottom) / 2.0, 11.0, &spec.y_label);
+
+    // series
+    for (i, s) in series.iter().enumerate() {
+        let color = palette::SERIES[i % palette::SERIES.len()];
+        for w in s.points.windows(2) {
+            doc.line(
+                sx.map(w[0].0),
+                sy.map(ty(w[0].1)),
+                sx.map(w[1].0),
+                sy.map(ty(w[1].1)),
+                color,
+                2.0,
+            );
+        }
+        for (x, y) in &s.points {
+            doc.circle(sx.map(*x), sy.map(ty(*y)), 3.0, color);
+        }
+        // legend
+        let ly = top + i as f64 * 18.0;
+        doc.line(right + 12.0, ly, right + 30.0, ly, color, 2.0);
+        doc.text(right + 34.0, ly + 3.0, 10.0, "start", &s.label);
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_series_and_legend() {
+        let series = vec![
+            LineSeries::new("cyclic", vec![(2.0, 1.0), (4.0, 1.3), (8.0, 1.6)]),
+            LineSeries::new("range", vec![(2.0, 1.0), (4.0, 2.0), (8.0, 3.6)]),
+        ];
+        let spec = LineSpec {
+            title: "Strong scaling".into(),
+            x_label: "PEs".into(),
+            y_label: "speedup".into(),
+            log_y: false,
+        };
+        let svg = render(&series, &spec).render();
+        assert!(svg.contains("Strong scaling"));
+        assert!(svg.contains("cyclic"));
+        assert!(svg.contains("range"));
+        assert!(svg.contains("circle"), "point markers drawn");
+    }
+
+    #[test]
+    fn log_axis_labels_decades() {
+        let series = vec![LineSeries::new("a", vec![(1.0, 10.0), (2.0, 100_000.0)])];
+        let spec = LineSpec {
+            log_y: true,
+            ..Default::default()
+        };
+        let svg = render(&series, &spec).render();
+        assert!(svg.contains("1e"), "decade labels present");
+    }
+
+    #[test]
+    fn empty_series_renders_placeholder() {
+        let svg = render(&[], &LineSpec::default()).render();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_series_is_safe() {
+        let series = vec![LineSeries::new("one", vec![(5.0, 7.0)])];
+        let svg = render(&series, &LineSpec::default()).render();
+        assert!(svg.contains("one"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Color maps: a viridis-like sequential map for heatmaps and fixed
+//! region colors for the stacked bars (matching Fig. 1's BLUE = MAIN,
+//! RED = PROC convention).
+
+/// Anchor points of the sequential colormap (dark purple → yellow,
+/// perceptually close to viridis).
+const ANCHORS: [(f64, [u8; 3]); 5] = [
+    (0.00, [68, 1, 84]),
+    (0.25, [59, 82, 139]),
+    (0.50, [33, 145, 140]),
+    (0.75, [94, 201, 98]),
+    (1.00, [253, 231, 37]),
+];
+
+/// Map `t ∈ [0, 1]` to a hex color on the sequential scale. Values are
+/// clamped.
+pub fn sequential(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let mut lo = ANCHORS[0];
+    let mut hi = ANCHORS[ANCHORS.len() - 1];
+    for w in ANCHORS.windows(2) {
+        if t >= w[0].0 && t <= w[1].0 {
+            lo = w[0];
+            hi = w[1];
+            break;
+        }
+    }
+    let span = (hi.0 - lo.0).max(1e-12);
+    let f = (t - lo.0) / span;
+    let mix = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * f).round() as u8 };
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        mix(lo.1[0], hi.1[0]),
+        mix(lo.1[1], hi.1[1]),
+        mix(lo.1[2], hi.1[2])
+    )
+}
+
+/// Color for cells with a zero count (distinct from the scale's minimum so
+/// "no communication" is visually unambiguous).
+pub const ZERO_CELL: &str = "#f4f4f4";
+
+/// MAIN region color (the BLUE of Fig. 1).
+pub const MAIN_COLOR: &str = "#3465a4";
+/// PROC region color (the RED of Fig. 1).
+pub const PROC_COLOR: &str = "#cc3333";
+/// COMM region color.
+pub const COMM_COLOR: &str = "#e0a335";
+
+/// Categorical series colors (violin fills, multi-series bars).
+pub const SERIES: [&str; 4] = ["#3465a4", "#cc3333", "#4e9a06", "#75507b"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_anchors() {
+        assert_eq!(sequential(0.0), "#440154");
+        assert_eq!(sequential(1.0), "#fde725");
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        assert_eq!(sequential(-3.0), sequential(0.0));
+        assert_eq!(sequential(9.0), sequential(1.0));
+    }
+
+    #[test]
+    fn midpoints_interpolate() {
+        assert_eq!(sequential(0.5), "#21918c");
+        // halfway between the first two anchors
+        let c = sequential(0.125);
+        assert!(c.starts_with('#') && c.len() == 7);
+        assert_ne!(c, sequential(0.0));
+        assert_ne!(c, sequential(0.25));
+    }
+
+    #[test]
+    fn all_outputs_are_hex() {
+        for i in 0..=100 {
+            let c = sequential(i as f64 / 100.0);
+            assert_eq!(c.len(), 7);
+            assert!(c.starts_with('#'));
+            assert!(u32::from_str_radix(&c[1..], 16).is_ok());
+        }
+    }
+}

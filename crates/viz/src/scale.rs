@@ -1,0 +1,131 @@
+//! Value→position scales for axes and color normalization.
+
+/// Normalize counts into `[0, 1]`, linearly or logarithmically.
+///
+/// The log variant is what the heatmaps and PAPI bars need: the paper's
+/// footnote 1 notes per-PE values spanning "three to four orders of
+/// magnitude", which a linear scale would crush to invisibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Norm {
+    /// `v / max`.
+    Linear,
+    /// `ln(1 + v) / ln(1 + max)` — defined at 0, monotone, order-of-
+    /// magnitude friendly.
+    Log,
+}
+
+impl Norm {
+    /// Normalize `v` against `max`. Returns 0 when `max == 0`.
+    pub fn apply(&self, v: u64, max: u64) -> f64 {
+        if max == 0 {
+            return 0.0;
+        }
+        match self {
+            Norm::Linear => v as f64 / max as f64,
+            Norm::Log => ((1.0 + v as f64).ln()) / ((1.0 + max as f64).ln()),
+        }
+    }
+}
+
+/// A linear mapping from a data domain to pixel range (possibly inverted,
+/// for SVG's downward y axis).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScale {
+    d0: f64,
+    d1: f64,
+    r0: f64,
+    r1: f64,
+}
+
+impl LinearScale {
+    /// Map `[d0, d1]` onto `[r0, r1]`.
+    pub fn new(d0: f64, d1: f64, r0: f64, r1: f64) -> LinearScale {
+        LinearScale { d0, d1, r0, r1 }
+    }
+
+    /// Position of `v`.
+    pub fn map(&self, v: f64) -> f64 {
+        let span = self.d1 - self.d0;
+        if span.abs() < 1e-300 {
+            return self.r0;
+        }
+        self.r0 + (v - self.d0) / span * (self.r1 - self.r0)
+    }
+
+    /// Round-numbered tick positions covering the domain (≈ `n` ticks).
+    pub fn ticks(&self, n: usize) -> Vec<f64> {
+        let span = (self.d1 - self.d0).abs();
+        if span < 1e-300 || n == 0 {
+            return vec![self.d0];
+        }
+        let raw_step = span / n as f64;
+        let mag = 10f64.powf(raw_step.log10().floor());
+        let step = [1.0, 2.0, 5.0, 10.0]
+            .iter()
+            .map(|m| m * mag)
+            .find(|s| span / s <= n as f64)
+            .unwrap_or(10.0 * mag);
+        let lo = (self.d0.min(self.d1) / step).ceil() * step;
+        let hi = self.d0.max(self.d1);
+        let mut out = Vec::new();
+        let mut t = lo;
+        while t <= hi + step * 1e-9 {
+            out.push(t);
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_norm() {
+        assert_eq!(Norm::Linear.apply(0, 100), 0.0);
+        assert_eq!(Norm::Linear.apply(50, 100), 0.5);
+        assert_eq!(Norm::Linear.apply(100, 100), 1.0);
+        assert_eq!(Norm::Linear.apply(5, 0), 0.0);
+    }
+
+    #[test]
+    fn log_norm_is_monotone_and_bounded() {
+        let max = 1_000_000;
+        let mut last = -1.0;
+        for v in [0u64, 1, 10, 100, 10_000, 1_000_000] {
+            let t = Norm::Log.apply(v, max);
+            assert!(t > last);
+            assert!((0.0..=1.0).contains(&t));
+            last = t;
+        }
+        assert_eq!(Norm::Log.apply(1_000_000, 1_000_000), 1.0);
+    }
+
+    #[test]
+    fn scale_maps_and_inverts() {
+        let s = LinearScale::new(0.0, 10.0, 100.0, 0.0); // inverted range
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 0.0);
+        assert_eq!(s.map(5.0), 50.0);
+    }
+
+    #[test]
+    fn degenerate_domain_is_safe() {
+        let s = LinearScale::new(3.0, 3.0, 0.0, 10.0);
+        assert_eq!(s.map(3.0), 0.0);
+        assert_eq!(s.ticks(5), vec![3.0]);
+    }
+
+    #[test]
+    fn ticks_are_round_and_cover() {
+        let s = LinearScale::new(0.0, 97.0, 0.0, 1.0);
+        let t = s.ticks(5);
+        assert!(t.contains(&0.0));
+        assert!(t.len() >= 3 && t.len() <= 7);
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(*t.last().unwrap() <= 97.0);
+    }
+}

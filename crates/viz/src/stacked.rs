@@ -1,0 +1,194 @@
+//! Overall-profiling stacked bars (§III-D, Figs 12–13): per-PE
+//! MAIN/COMM/PROC cycles, in absolute and relative form.
+
+use actorprof_trace::OverallRecord;
+
+use crate::palette;
+use crate::scale::LinearScale;
+use crate::svg::SvgDoc;
+
+/// Which view to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackedMode {
+    /// Absolute rdtsc cycles per PE.
+    Absolute,
+    /// Each PE's bar normalized to 100%.
+    Relative,
+}
+
+/// Render per-PE overall records as a stacked bar chart.
+pub fn render(records: &[OverallRecord], mode: StackedMode, title: &str) -> SvgDoc {
+    let n = records.len().max(1);
+    let bar_w = (560.0 / n as f64).clamp(8.0, 48.0);
+    let plot_left = 70.0;
+    let width = plot_left + n as f64 * bar_w + 120.0;
+    let height = 300.0;
+    let plot_top = 42.0;
+    let plot_bottom = height - 44.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(
+        plot_left + n as f64 * bar_w / 2.0,
+        20.0,
+        13.0,
+        "middle",
+        title,
+    );
+
+    let max_total = match mode {
+        StackedMode::Absolute => records.iter().map(|r| r.t_total).max().unwrap_or(1) as f64,
+        StackedMode::Relative => 1.0,
+    };
+    let y = LinearScale::new(0.0, max_total.max(1e-9), plot_bottom, plot_top);
+
+    doc.line(plot_left, plot_top, plot_left, plot_bottom, "#444444", 1.0);
+    for t in LinearScale::new(0.0, max_total.max(1e-9), 0.0, 1.0).ticks(5) {
+        let py = y.map(t);
+        doc.line(plot_left - 4.0, py, plot_left, py, "#444444", 1.0);
+        let label = match mode {
+            StackedMode::Absolute => format_cycles(t),
+            StackedMode::Relative => format!("{:.0}%", t * 100.0),
+        };
+        doc.text(plot_left - 7.0, py + 3.0, 9.0, "end", &label);
+    }
+    doc.vtext(
+        16.0,
+        (plot_top + plot_bottom) / 2.0,
+        11.0,
+        match mode {
+            StackedMode::Absolute => "rdtsc cycles",
+            StackedMode::Relative => "fraction of T_TOTAL",
+        },
+    );
+
+    for (i, r) in records.iter().enumerate() {
+        let x = plot_left + i as f64 * bar_w;
+        let total = r.t_total.max(1) as f64;
+        let segs: [(u64, &str, &str); 3] = [
+            (r.t_main, palette::MAIN_COLOR, "MAIN"),
+            (r.t_comm(), palette::COMM_COLOR, "COMM"),
+            (r.t_proc, palette::PROC_COLOR, "PROC"),
+        ];
+        let mut base = 0.0; // stacked height in data units
+        for (cycles, color, name) in segs {
+            let h_data = match mode {
+                StackedMode::Absolute => cycles as f64,
+                StackedMode::Relative => cycles as f64 / total,
+            };
+            let y0 = y.map(base + h_data);
+            let y1 = y.map(base);
+            doc.rect(
+                x + 1.0,
+                y0,
+                bar_w - 2.0,
+                (y1 - y0).max(0.0),
+                color,
+                Some(&format!(
+                    "PE{} {name}: {} cycles ({:.1}%)",
+                    r.pe,
+                    cycles,
+                    cycles as f64 / total * 100.0
+                )),
+            );
+            base += h_data;
+        }
+        let label_step = if n <= 24 { 1 } else { n / 12 };
+        if i % label_step.max(1) == 0 {
+            doc.text(
+                x + bar_w / 2.0,
+                plot_bottom + 14.0,
+                9.0,
+                "middle",
+                &r.pe.to_string(),
+            );
+        }
+    }
+    doc.text(
+        plot_left + n as f64 * bar_w / 2.0,
+        height - 8.0,
+        11.0,
+        "middle",
+        "PE",
+    );
+
+    // legend
+    let lx = plot_left + n as f64 * bar_w + 16.0;
+    for (i, (color, name)) in [
+        (palette::MAIN_COLOR, "T_MAIN"),
+        (palette::COMM_COLOR, "T_COMM"),
+        (palette::PROC_COLOR, "T_PROC"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let ly = plot_top + i as f64 * 20.0;
+        doc.rect(lx, ly, 12.0, 12.0, color, None);
+        doc.text(lx + 16.0, ly + 10.0, 10.0, "start", name);
+    }
+    doc
+}
+
+fn format_cycles(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs() -> Vec<OverallRecord> {
+        vec![
+            OverallRecord {
+                pe: 0,
+                t_main: 50,
+                t_proc: 30,
+                t_total: 1000,
+            },
+            OverallRecord {
+                pe: 1,
+                t_main: 20,
+                t_proc: 200,
+                t_total: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn absolute_mode_includes_all_regions() {
+        let svg = render(&recs(), StackedMode::Absolute, "Overall").render();
+        assert!(svg.contains("PE0 MAIN: 50 cycles"));
+        assert!(svg.contains("PE0 COMM: 920 cycles"));
+        assert!(svg.contains("PE1 PROC: 200 cycles"));
+        assert!(svg.contains("T_MAIN"));
+        assert!(svg.contains("rdtsc cycles"));
+    }
+
+    #[test]
+    fn relative_mode_normalizes() {
+        let svg = render(&recs(), StackedMode::Relative, "Relative").render();
+        assert!(svg.contains("(5.0%)"), "MAIN of PE0 = 5%");
+        assert!(svg.contains("(40.0%)"), "PROC of PE1 = 40%");
+        assert!(svg.contains("100%") || svg.contains("fraction"));
+    }
+
+    #[test]
+    fn cycle_formatting() {
+        assert_eq!(format_cycles(500.0), "500");
+        assert_eq!(format_cycles(2_000.0), "2k");
+        assert_eq!(format_cycles(3_500_000.0), "3.5M");
+        assert_eq!(format_cycles(7_200_000_000.0), "7.2G");
+    }
+
+    #[test]
+    fn empty_records_render() {
+        let svg = render(&[], StackedMode::Absolute, "x").render();
+        assert!(svg.starts_with("<svg"));
+    }
+}

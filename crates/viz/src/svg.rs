@@ -1,0 +1,176 @@
+//! A minimal SVG document builder — just the primitives the ActorProf
+//! charts need, with proper text escaping and deterministic output.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escape text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgDoc {
+    /// A document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> SvgDoc {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled rectangle with an optional tooltip (`<title>`).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, tooltip: Option<&str>) {
+        match tooltip {
+            Some(t) => {
+                let _ = write!(
+                    self.body,
+                    r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"><title>{}</title></rect>"#,
+                    escape(t)
+                );
+            }
+            None => {
+                let _ = write!(
+                    self.body,
+                    r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
+                );
+            }
+        }
+        self.body.push('\n');
+    }
+
+    /// A stroked, unfilled rectangle (grid cells, chart frames).
+    pub fn frame(&mut self, x: f64, y: f64, w: f64, h: f64, stroke: &str) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="none" stroke="{stroke}" stroke-width="1"/>"#
+        );
+        self.body.push('\n');
+    }
+
+    /// A line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
+        );
+        self.body.push('\n');
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#
+        );
+        self.body.push('\n');
+    }
+
+    /// A filled polygon from `(x, y)` points.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str, opacity: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = write!(
+            self.body,
+            r#"<polygon points="{}" fill="{fill}" fill-opacity="{opacity:.2}"/>"#,
+            pts.join(" ")
+        );
+        self.body.push('\n');
+    }
+
+    /// Text with anchor `start`/`middle`/`end`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"#,
+            escape(content)
+        );
+        self.body.push('\n');
+    }
+
+    /// Text rotated 90° counter-clockwise around its anchor (y-axis labels).
+    pub fn vtext(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {x:.2} {y:.2})">{}</text>"#,
+            escape(content)
+        );
+        self.body.push('\n');
+    }
+
+    /// Serialize the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_wellformed_shell() {
+        let mut d = SvgDoc::new(100.0, 50.0);
+        d.rect(0.0, 0.0, 10.0, 10.0, "#ff0000", None);
+        d.text(5.0, 5.0, 10.0, "middle", "hi");
+        let s = d.render();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("width=\"100\""));
+        assert!(s.contains("#ff0000"));
+        assert!(s.contains(">hi</text>"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.text(0.0, 0.0, 8.0, "start", "a<b & \"c\"");
+        d.rect(0.0, 0.0, 1.0, 1.0, "#000", Some("x<y"));
+        let s = d.render();
+        assert!(s.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(s.contains("<title>x&lt;y</title>"));
+        assert!(!s.contains("a<b"));
+    }
+
+    #[test]
+    fn save_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("viz-svg-{}", std::process::id()));
+        let path = dir.join("sub/chart.svg");
+        SvgDoc::new(1.0, 1.0).save(&path).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,202 @@
+//! Quartile violin plots (§III-D, Figs 5 and 7).
+//!
+//! Each violin shows: the sample density as a mirrored shape (Gaussian
+//! KDE), the median as a white dot, quartile whiskers, and the maximum
+//! outlier as "the farthest point on the top of the colored shape".
+
+use actorprof::Quartiles;
+
+use crate::palette;
+use crate::scale::LinearScale;
+use crate::svg::SvgDoc;
+
+/// One violin's data: a label (e.g. `"cyclic send"`) and the per-PE sample.
+#[derive(Debug, Clone)]
+pub struct ViolinSeries {
+    /// X-axis label.
+    pub label: String,
+    /// Per-PE totals.
+    pub values: Vec<u64>,
+}
+
+impl ViolinSeries {
+    /// Construct from a label and sample.
+    pub fn new(label: impl Into<String>, values: Vec<u64>) -> ViolinSeries {
+        ViolinSeries {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// Gaussian kernel density estimate of `values` over `points` grid points
+/// spanning `[lo, hi]`; bandwidth by Silverman's rule of thumb.
+fn kde(values: &[u64], lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || points < 2 {
+        return vec![];
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<u64>() as f64 / n;
+    let var = values
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n.max(1.0);
+    let sd = var.sqrt();
+    let span = (hi - lo).max(1.0);
+    let bw = if sd > 0.0 {
+        1.06 * sd * n.powf(-0.2)
+    } else {
+        span / 20.0
+    }
+    .max(span / 200.0);
+    (0..points)
+        .map(|i| {
+            let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+            let d: f64 = values
+                .iter()
+                .map(|&v| {
+                    let z = (x - v as f64) / bw;
+                    (-0.5 * z * z).exp()
+                })
+                .sum::<f64>()
+                / (n * bw * (2.0 * std::f64::consts::PI).sqrt());
+            (x, d)
+        })
+        .collect()
+}
+
+/// Render a set of violins side by side.
+pub fn render(series: &[ViolinSeries], title: &str) -> SvgDoc {
+    let slot_w = 86.0;
+    let width = 70.0 + series.len() as f64 * slot_w + 20.0;
+    let height = 320.0;
+    let plot_top = 44.0;
+    let plot_bottom = height - 52.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 20.0, 13.0, "middle", title);
+
+    let global_max = series
+        .iter()
+        .flat_map(|s| s.values.iter())
+        .copied()
+        .max()
+        .unwrap_or(0) as f64;
+    let y = LinearScale::new(0.0, global_max.max(1.0), plot_bottom, plot_top);
+
+    // y axis + ticks
+    doc.line(60.0, plot_top, 60.0, plot_bottom, "#444444", 1.0);
+    for t in LinearScale::new(0.0, global_max.max(1.0), 0.0, 1.0).ticks(5) {
+        let py = y.map(t);
+        doc.line(56.0, py, 60.0, py, "#444444", 1.0);
+        doc.text(52.0, py + 3.0, 9.0, "end", &format_count(t));
+    }
+
+    for (i, s) in series.iter().enumerate() {
+        let cx = 70.0 + i as f64 * slot_w + slot_w / 2.0;
+        let color = palette::SERIES[i % palette::SERIES.len()];
+        let q = Quartiles::of(&s.values);
+
+        // density shape, mirrored around cx
+        let density = kde(&s.values, 0.0, global_max.max(1.0), 60);
+        let dmax = density.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
+        if dmax > 0.0 {
+            let half_w = slot_w * 0.42;
+            let mut pts: Vec<(f64, f64)> = density
+                .iter()
+                .map(|(v, d)| (cx - half_w * d / dmax, y.map(*v)))
+                .collect();
+            pts.extend(
+                density
+                    .iter()
+                    .rev()
+                    .map(|(v, d)| (cx + half_w * d / dmax, y.map(*v))),
+            );
+            doc.polygon(&pts, color, 0.55);
+        }
+
+        // quartile whisker and median dot
+        doc.line(cx, y.map(q.q1), cx, y.map(q.q3), "#222222", 3.0);
+        doc.line(cx, y.map(q.min), cx, y.map(q.max), "#222222", 1.0);
+        doc.circle(cx, y.map(q.median), 3.5, "#ffffff");
+        // the maximum outlier marker on top
+        doc.circle(cx, y.map(q.max), 2.0, "#222222");
+
+        doc.text(cx, height - 34.0, 10.0, "middle", &s.label);
+        doc.text(
+            cx,
+            height - 20.0,
+            9.0,
+            "middle",
+            &format!("max {}", format_count(q.max)),
+        );
+    }
+    doc
+}
+
+fn format_count(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kde_integrates_to_roughly_one() {
+        let values = vec![10, 20, 20, 30, 40];
+        let pts = kde(&values, 0.0, 50.0, 200);
+        let dx = 50.0 / 199.0;
+        let integral: f64 = pts.iter().map(|(_, d)| d * dx).sum();
+        assert!((integral - 1.0).abs() < 0.15, "integral = {integral}");
+    }
+
+    #[test]
+    fn kde_handles_constant_sample() {
+        let pts = kde(&[5, 5, 5], 0.0, 10.0, 50);
+        assert_eq!(pts.len(), 50);
+        let peak = pts
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!((peak.0 - 5.0).abs() < 0.5, "peak at {}", peak.0);
+    }
+
+    #[test]
+    fn kde_empty_is_empty() {
+        assert!(kde(&[], 0.0, 1.0, 10).is_empty());
+    }
+
+    #[test]
+    fn render_includes_labels_and_max_markers() {
+        let series = vec![
+            ViolinSeries::new("cyclic send", vec![100, 200, 5000, 150]),
+            ViolinSeries::new("range send", vec![900, 1000, 1100, 950]),
+        ];
+        let svg = render(&series, "Violin test").render();
+        assert!(svg.contains("cyclic send"));
+        assert!(svg.contains("range send"));
+        assert!(svg.contains("max 5.0k"));
+        assert!(svg.contains("Violin test"));
+        assert!(svg.contains("polygon"), "density shape rendered");
+    }
+
+    #[test]
+    fn render_of_empty_series_is_safe() {
+        let svg = render(&[ViolinSeries::new("empty", vec![])], "t").render();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn format_count_units() {
+        assert_eq!(format_count(950.0), "950");
+        assert_eq!(format_count(1500.0), "1.5k");
+        assert_eq!(format_count(2_500_000.0), "2.5M");
+    }
+}

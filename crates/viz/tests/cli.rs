@@ -1,0 +1,101 @@
+//! End-to-end tests of the `actorprof-viz` binary — the paper's
+//! visualization scripts, exercised as a real process against trace files
+//! on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn viz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_actorprof-viz"))
+}
+
+/// Write a tiny but complete trace directory by hand.
+fn trace_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("actorprof-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("PE0_send_agg.csv"), "0,0,0,1,40,320\n").unwrap();
+    std::fs::write(dir.join("PE1_send_agg.csv"), "0,1,0,0,10,80\n").unwrap();
+    std::fs::write(
+        dir.join("PE0_PAPI.csv"),
+        "src_node,src_pe,dst_node,dst_pe,pkt_size,MAILBOXID,NUM_SENDS,PAPI_TOT_INS,PAPI_LST_INS\n\
+         0,0,0,1,320,0,40,2400,960\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("PE1_PAPI.csv"),
+        "src_node,src_pe,dst_node,dst_pe,pkt_size,MAILBOXID,NUM_SENDS,PAPI_TOT_INS,PAPI_LST_INS\n\
+         0,1,0,0,80,0,10,600,240\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("physical.txt"),
+        "local_send,512,0,1\nlocal_send,256,1,0\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("overall.txt"),
+        "Absolute [PE0] TCOMM_PROFILING (100, 800, 100)\n\
+         Absolute [PE1] TCOMM_PROFILING (50, 900, 50)\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn logical_flag_renders_heatmap_and_violin() {
+    let dir = trace_dir("l");
+    let out = viz().args(["-l", dir.to_str().unwrap(), "2"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Logical trace"));
+    assert!(stdout.contains("| 40"), "PE0 send total shown");
+    assert!(dir.join("logical_heatmap.svg").exists());
+    assert!(dir.join("logical_violin.svg").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn physical_flag_renders_buffer_heatmap() {
+    let dir = trace_dir("p");
+    let out = viz().args(["-p", dir.to_str().unwrap(), "2"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(dir.join("physical_heatmap.svg").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn papi_flag_renders_one_chart_per_event() {
+    let dir = trace_dir("lp");
+    let out = viz().args(["-lp", dir.to_str().unwrap(), "2"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(dir.join("papi_papi_tot_ins.svg").exists());
+    assert!(dir.join("papi_papi_lst_ins.svg").exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PAPI_TOT_INS"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn overall_flag_renders_stacked_bars() {
+    let dir = trace_dir("s");
+    let out = viz().args(["-s", dir.to_str().unwrap(), "2"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(dir.join("overall_absolute.svg").exists());
+    assert!(dir.join("overall_relative.svg").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = viz().args(["-x", "/nonexistent", "2"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"));
+
+    let out = viz().output().unwrap();
+    assert!(!out.status.success());
+
+    let out = viz().args(["-l", "/nonexistent", "0"]).output().unwrap();
+    assert!(!out.status.success());
+}

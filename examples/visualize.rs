@@ -1,0 +1,85 @@
+//! The visualization pipeline on its own: generate traces with one run,
+//! then — like the paper's `logical.py` / `physical.py` / `Overall.py`
+//! scripts — read the files back from disk and render every chart. This
+//! demonstrates that the on-disk formats round-trip and that charts can be
+//! produced long after the run.
+//!
+//! ```text
+//! cargo run --release --example visualize
+//! ```
+
+use actorprof_suite::actorprof::{reader, writer, Matrix};
+use actorprof_suite::actorprof_trace::{SendType, TraceConfig};
+use actorprof_suite::actorprof_viz::{ascii, bar, heatmap, stacked, violin};
+use actorprof_suite::fabsp_apps::histogram::{self, HistogramConfig};
+use actorprof_suite::fabsp_shmem::Grid;
+
+fn main() {
+    // 1. Produce traces.
+    let grid = Grid::new(2, 3).expect("grid");
+    let mut config = HistogramConfig::new(grid);
+    config.updates_per_pe = 30_000;
+    config.trace = TraceConfig::all();
+    let outcome = histogram::run(&config).expect("histogram");
+    let dir = std::path::PathBuf::from("target/actorprof-visualize");
+    let files = writer::write_all(&dir, &outcome.bundle).expect("write traces");
+    println!("wrote {} trace files to {}", files.len(), dir.display());
+
+    // 2. Read them back from disk (nothing below touches the live bundle).
+    let n_pes = grid.n_pes();
+    let logical = reader::read_logical_matrix(&dir, n_pes).expect("read logical");
+    let physical_records = reader::read_physical(&dir.join("physical.txt")).expect("read physical");
+    let overall = reader::read_overall(&dir.join("overall.txt")).expect("read overall");
+
+    // 3. Render, exactly as `actorprof-viz -l/-p/-lp/-s` would.
+    heatmap::render(&logical, &heatmap::HeatmapSpec::titled("logical sends"))
+        .save(&dir.join("logical_heatmap.svg"))
+        .expect("svg");
+    print!("{}", ascii::heatmap(&logical, "logical sends (from disk)"));
+
+    let mut phys = Matrix::zeros(n_pes);
+    for r in &physical_records {
+        if r.send_type != SendType::NonblockProgress {
+            phys.add(r.src_pe as usize, r.dst_pe as usize, 1);
+        }
+    }
+    heatmap::render(&phys, &heatmap::HeatmapSpec::titled("physical buffers"))
+        .save(&dir.join("physical_heatmap.svg"))
+        .expect("svg");
+
+    violin::render(
+        &[
+            violin::ViolinSeries::new("sends", logical.row_totals()),
+            violin::ViolinSeries::new("recvs", logical.col_totals()),
+        ],
+        "logical quartiles",
+    )
+    .save(&dir.join("violin.svg"))
+    .expect("svg");
+
+    // PAPI bars from the per-PE csv files.
+    let mut tot_ins = vec![0u64; n_pes];
+    for (pe, v) in tot_ins.iter_mut().enumerate() {
+        let path = dir.join(format!("PE{pe}_PAPI.csv"));
+        let (_, records) = reader::read_papi(&path).expect("read papi");
+        *v = records.iter().map(|r| r.counters[0]).sum();
+    }
+    bar::render(
+        &tot_ins,
+        &bar::BarSpec {
+            title: "PAPI_TOT_INS vs PE".into(),
+            log: true,
+            ..Default::default()
+        },
+    )
+    .save(&dir.join("papi_totins.svg"))
+    .expect("svg");
+    print!("{}", ascii::bars(&tot_ins, "PAPI_TOT_INS (send-path)", true));
+
+    stacked::render(&overall, stacked::StackedMode::Relative, "overall (relative)")
+        .save(&dir.join("overall_relative.svg"))
+        .expect("svg");
+    print!("{}", ascii::stacked(&overall, "overall"));
+
+    println!("\ncharts written to {}", dir.display());
+}

@@ -1,0 +1,21 @@
+//! # actorprof-suite — workspace-level examples and integration tests
+//!
+//! This crate re-exports the whole ActorProf reproduction stack so the
+//! `examples/` binaries and `tests/` integration tests can reach every
+//! layer through one dependency:
+//!
+//! - substrates: [`fabsp_shmem`], [`fabsp_conveyors`], [`fabsp_actor`],
+//!   [`fabsp_hwpc`], [`fabsp_graph`];
+//! - the profiler: [`actorprof_trace`], [`actorprof`], [`actorprof_viz`];
+//! - workloads and the evaluation harness: [`fabsp_apps`], [`fabsp_bench`].
+
+pub use actorprof;
+pub use actorprof_trace;
+pub use actorprof_viz;
+pub use fabsp_actor;
+pub use fabsp_apps;
+pub use fabsp_bench;
+pub use fabsp_conveyors;
+pub use fabsp_graph;
+pub use fabsp_hwpc;
+pub use fabsp_shmem;

@@ -1,0 +1,100 @@
+//! Quantify the copy chain per message — the paper's "Note for
+//! self-sends" (§IV-D): Conveyors never bypasses the aggregation path, so
+//! even a self-send pays multiple memcpys, "up to six std::memcpy ops" on
+//! the routed path. `ConveyorStats::item_copies` counts item-granularity
+//! copies at every stage:
+//!
+//! | path | copies | stages |
+//! |---|---|---|
+//! | self-send / same-node direct | 4 | push, local_send put, consume, pull |
+//! | cross-node direct | 5 | push, nbi capture, quiet apply, consume, pull |
+//! | routed (row + column) | 7 | push, local_send put, relay restage, nbi capture, quiet apply, consume, pull |
+
+use actorprof_suite::fabsp_conveyors::{Conveyor, ConveyorOptions, TopologySpec};
+use actorprof_suite::fabsp_shmem::{spmd, Grid};
+
+/// Send exactly one message `src` → `dst` through a fresh conveyor and
+/// return the world-total `item_copies`.
+fn copies_for_single_message(grid: Grid, src: usize, dst: usize) -> u64 {
+    let stats = spmd::run(grid, move |pe| {
+        let mut c = Conveyor::<u64>::new(
+            pe,
+            ConveyorOptions {
+                capacity: 4,
+                topology: TopologySpec::Auto,
+            },
+        )
+        .unwrap();
+        let mut sent = pe.rank() != src;
+        loop {
+            if !sent && c.push(pe, 42, dst).unwrap() {
+                sent = true;
+            }
+            let active = c.advance(pe, sent);
+            while c.pull().is_some() {}
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        c.stats().item_copies
+    })
+    .unwrap();
+    stats.iter().sum()
+}
+
+#[test]
+fn self_send_pays_four_copies() {
+    let copies = copies_for_single_message(Grid::single_node(1).unwrap(), 0, 0);
+    assert_eq!(copies, 4, "push, local_send put, consume, pull");
+}
+
+#[test]
+fn same_node_direct_pays_four_copies() {
+    let copies = copies_for_single_message(Grid::single_node(2).unwrap(), 0, 1);
+    assert_eq!(copies, 4);
+}
+
+#[test]
+fn cross_node_direct_pays_five_copies() {
+    // 2 nodes x 1 PE: destination is in the sender's mesh column.
+    let copies = copies_for_single_message(Grid::new(2, 1).unwrap(), 0, 1);
+    assert_eq!(copies, 5, "push, nbi capture, quiet apply, consume, pull");
+}
+
+#[test]
+fn routed_send_pays_at_least_six_copies() {
+    // 2 nodes x 2 PEs: 0 = (n0,l0) -> 3 = (n1,l1) routes via PE 1.
+    let copies = copies_for_single_message(Grid::new(2, 2).unwrap(), 0, 3);
+    assert_eq!(
+        copies, 7,
+        "push, row put, relay restage, nbi capture, quiet apply, consume, pull"
+    );
+    assert!(copies >= 6, "the paper's 'up to six memcpy' bound");
+}
+
+#[test]
+fn copy_count_scales_linearly_with_messages() {
+    // 10 messages over the routed path: same per-message cost (buffers
+    // amortize flushes, not copies).
+    let grid = Grid::new(2, 2).unwrap();
+    let stats = spmd::run(grid, move |pe| {
+        let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+        let mut sent = 0;
+        let quota = if pe.rank() == 0 { 10 } else { 0 };
+        loop {
+            while sent < quota && c.push(pe, sent as u64, 3).unwrap() {
+                sent += 1;
+            }
+            let active = c.advance(pe, sent == quota);
+            while c.pull().is_some() {}
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        c.stats().item_copies
+    })
+    .unwrap();
+    assert_eq!(stats.iter().sum::<u64>(), 70, "7 copies x 10 messages");
+}

@@ -1,0 +1,106 @@
+//! Property-based testing of the conveyor across random grids,
+//! topologies, capacities, and traffic patterns: every accepted message is
+//! delivered exactly once, to the right PE, in pairwise FIFO order.
+
+use actorprof_suite::fabsp_conveyors::{Conveyor, ConveyorOptions, TopologySpec};
+use actorprof_suite::fabsp_shmem::{spmd, Grid};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    nodes: usize,
+    ppn: usize,
+    capacity: usize,
+    topology: TopologySpec,
+    /// per-PE destination sequences (index = sending PE, truncated/cycled
+    /// to the grid size)
+    traffic: Vec<Vec<usize>>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..=3, 1usize..=3, 1usize..=8, 0usize..=3)
+        .prop_flat_map(|(nodes, ppn, capacity, topo_idx)| {
+            let n_pes = nodes * ppn;
+            let topology = [
+                TopologySpec::Auto,
+                TopologySpec::OneD,
+                TopologySpec::Mesh2D,
+                TopologySpec::Cube3D,
+            ][topo_idx];
+            proptest::collection::vec(
+                proptest::collection::vec(0..n_pes, 0..40),
+                n_pes..=n_pes,
+            )
+            .prop_map(move |traffic| Scenario {
+                nodes,
+                ppn,
+                capacity,
+                topology,
+                traffic,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 20,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn conveyor_delivers_exactly_once_in_pair_order(scenario in arb_scenario()) {
+        let grid = Grid::new(scenario.nodes, scenario.ppn).unwrap();
+        let traffic = std::sync::Arc::new(scenario.traffic.clone());
+        let options = ConveyorOptions {
+            capacity: scenario.capacity,
+            topology: scenario.topology,
+        };
+        let results = spmd::run(grid, {
+            let traffic = std::sync::Arc::clone(&traffic);
+            move |pe| {
+                let mut c = Conveyor::<u64>::new(pe, options).unwrap();
+                let my_traffic = &traffic[pe.rank()];
+                // message payload: (sender, per-pair sequence number)
+                let mut pair_seq = vec![0u64; pe.n_pes()];
+                let mut received: Vec<Vec<u64>> = vec![Vec::new(); pe.n_pes()];
+                let mut next = 0usize;
+                loop {
+                    while next < my_traffic.len() {
+                        let dst = my_traffic[next];
+                        let payload = ((pe.rank() as u64) << 32) | pair_seq[dst];
+                        if c.push(pe, payload, dst).unwrap() {
+                            pair_seq[dst] += 1;
+                            next += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let active = c.advance(pe, next == my_traffic.len());
+                    while let Some((from, payload)) = c.pull() {
+                        assert_eq!((payload >> 32) as u32, from, "origin tag mismatch");
+                        received[from as usize].push(payload & 0xffff_ffff);
+                    }
+                    if !active {
+                        break;
+                    }
+                    pe.poll_yield();
+                }
+                received
+            }
+        })
+        .unwrap();
+
+        // exactly-once, right PE, FIFO per pair
+        let n_pes = grid.n_pes();
+        for (me, received) in results.iter().enumerate() {
+            for src in 0..n_pes {
+                let expected: u64 = traffic[src].iter().filter(|&&d| d == me).count() as u64;
+                let got = &received[src];
+                prop_assert_eq!(got.len() as u64, expected, "count {}->{}", src, me);
+                for (k, &seq) in got.iter().enumerate() {
+                    prop_assert_eq!(seq, k as u64, "pairwise FIFO {}->{}", src, me);
+                }
+            }
+        }
+    }
+}
