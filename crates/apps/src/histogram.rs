@@ -7,7 +7,7 @@
 use actorprof::TraceBundle;
 use actorprof_trace::TraceConfig;
 use fabsp_actor::{Selector, SelectorConfig};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, SchedSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -28,6 +28,12 @@ pub struct HistogramConfig {
     pub trace: TraceConfig,
     /// RNG seed (updates are deterministic given the seed).
     pub seed: u64,
+    /// Thread schedule: OS-free-running (default) or a seeded
+    /// deterministic random walk (testkit).
+    pub sched: SchedSpec,
+    /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
+    /// production).
+    pub faults: FaultSpec,
 }
 
 impl HistogramConfig {
@@ -39,6 +45,8 @@ impl HistogramConfig {
             updates_per_pe: 4096,
             trace: TraceConfig::off(),
             seed: 0x4157_0001,
+            sched: SchedSpec::Os,
+            faults: FaultSpec::NONE,
         }
     }
 }
@@ -58,7 +66,10 @@ pub struct HistogramOutcome {
 /// once (the total table mass equals the number of sends).
 pub fn run(config: &HistogramConfig) -> Result<HistogramOutcome, AppError> {
     let table = config.table_size_per_pe;
-    let outcomes = spmd::run(config.grid, |pe| {
+    let harness = Harness::new(config.grid)
+        .sched(config.sched)
+        .faults(config.faults);
+    let outcomes = spmd::run(harness, |pe| {
         let larray = Rc::new(RefCell::new(vec![0u64; table]));
         let h = Rc::clone(&larray);
         let mut actor = Selector::new(

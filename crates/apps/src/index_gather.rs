@@ -10,7 +10,7 @@
 use actorprof::TraceBundle;
 use actorprof_trace::TraceConfig;
 use fabsp_actor::{Selector, SelectorConfig};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, SchedSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
@@ -31,6 +31,12 @@ pub struct IndexGatherConfig {
     pub trace: TraceConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Thread schedule: OS-free-running (default) or a seeded
+    /// deterministic random walk (testkit).
+    pub sched: SchedSpec,
+    /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
+    /// production).
+    pub faults: FaultSpec,
 }
 
 impl IndexGatherConfig {
@@ -42,6 +48,8 @@ impl IndexGatherConfig {
             reads_per_pe: 2048,
             trace: TraceConfig::off(),
             seed: 0x16A7,
+            sched: SchedSpec::Os,
+            faults: FaultSpec::NONE,
         }
     }
 }
@@ -72,7 +80,10 @@ const VAL_MASK: u64 = (1 << SLOT_SHIFT) - 1;
 /// Run the index-gather kernel.
 pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
     let table = config.table_size_per_pe;
-    let outcomes = spmd::run(config.grid, |pe| {
+    let harness = Harness::new(config.grid)
+        .sched(config.sched)
+        .faults(config.faults);
+    let outcomes = spmd::run(harness, |pe| {
         // local slice of the distributed table
         let my_base = (pe.rank() * table) as u64;
         let local: Vec<u64> = (0..table as u64)

@@ -23,7 +23,7 @@ use fabsp_hwpc::Cost;
 use fabsp_actor::{Selector, SelectorConfig};
 use fabsp_conveyors::ConveyorOptions;
 use fabsp_graph::{triangle_ref, Csr, Distribution};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, SchedSpec};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -71,6 +71,12 @@ pub struct TriangleConfig {
     /// Validate against the sequential reference count (§IV-C's
     /// assertion). Skippable for large benchmark sweeps.
     pub validate: bool,
+    /// Thread schedule: OS-free-running (default) or a seeded
+    /// deterministic random walk (testkit).
+    pub sched: SchedSpec,
+    /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
+    /// production).
+    pub faults: FaultSpec,
 }
 
 impl TriangleConfig {
@@ -82,6 +88,8 @@ impl TriangleConfig {
             trace: TraceConfig::off(),
             conveyor: ConveyorOptions::default(),
             validate: true,
+            sched: SchedSpec::Os,
+            faults: FaultSpec::NONE,
         }
     }
 
@@ -124,7 +132,10 @@ pub fn count_triangles(l: &Csr, config: &TriangleConfig) -> Result<TriangleOutco
     let n_pes = config.grid.n_pes();
     let dist = config.dist.resolve(l, n_pes);
 
-    let outcomes = spmd::run(config.grid, |pe| {
+    let harness = Harness::new(config.grid)
+        .sched(config.sched)
+        .faults(config.faults);
+    let outcomes = spmd::run(harness, |pe| {
         let counter = Rc::new(RefCell::new(0u64));
         let c = Rc::clone(&counter);
         let handler_dist = dist.clone();

@@ -35,6 +35,8 @@ use std::sync::Arc;
 
 use actorprof_trace::{SendType, SharedCollector};
 use fabsp_shmem::{Pe, SymmetricAtomicVec, SymmetricVec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::error::ConveyorError;
 use crate::stats::ConveyorStats;
@@ -118,6 +120,13 @@ pub struct Conveyor<T> {
     need_progress: bool,
     stats: ConveyorStats,
     collector: Option<SharedCollector>,
+    chaos: Option<Chaos>,
+}
+
+/// Chaos-injection state: seeded backpressure on the relay path.
+struct Chaos {
+    rng: StdRng,
+    park_probability: f64,
 }
 
 impl<T: Copy + Default + Send + 'static> Conveyor<T> {
@@ -170,7 +179,28 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             need_progress: false,
             stats: ConveyorStats::default(),
             collector: None,
+            chaos: None,
         })
+    }
+
+    /// Inject relay-buffer backpressure: with probability
+    /// `park_probability`, relay re-staging in `consume_slot` pretends
+    /// the relay buffer is full even when it is not, forcing the
+    /// parked-link path (saved cursor, link resumed on a later advance)
+    /// that real runs only hit under heavy congestion.
+    ///
+    /// The decision stream is seeded per PE, so a given `(seed, schedule)`
+    /// pair replays exactly. Parks are refusals, not drops — every item is
+    /// still delivered — and each retry re-rolls, so forward progress is
+    /// preserved for any probability below 1 (clamped to 0.95). Testing
+    /// hook; leave uncalled in production.
+    pub fn inject_chaos(&mut self, seed: u64, park_probability: f64) {
+        self.chaos = Some(Chaos {
+            rng: StdRng::seed_from_u64(
+                seed ^ (self.me as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            park_probability: park_probability.clamp(0.0, 0.95),
+        });
     }
 
     /// Attach an ActorProf collector; subsequent `local_send` /
@@ -495,6 +525,13 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                 processed += 1;
             } else {
                 let rl = self.topology.relay_link(self.grid, self.me, env.final_dst as usize);
+                if let Some(chaos) = &mut self.chaos {
+                    if chaos.rng.gen_bool(chaos.park_probability) {
+                        self.stats.forced_parks += 1;
+                        blocked = true;
+                        break;
+                    }
+                }
                 if self.links[rl].buf.len() >= self.capacity {
                     self.flush_link(pe, rl);
                 }

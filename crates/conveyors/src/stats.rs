@@ -31,6 +31,10 @@ pub struct ConveyorStats {
     pub item_copies: u64,
     /// Calls to `advance`.
     pub advances: u64,
+    /// Relay-link parks forced by chaos injection
+    /// ([`Conveyor::inject_chaos`](crate::Conveyor::inject_chaos)); always
+    /// zero in production.
+    pub forced_parks: u64,
 }
 
 impl ConveyorStats {
@@ -51,6 +55,7 @@ impl ConveyorStats {
         self.quiets += other.quiets;
         self.item_copies += other.item_copies;
         self.advances += other.advances;
+        self.forced_parks += other.forced_parks;
     }
 }
 

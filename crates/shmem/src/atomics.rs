@@ -13,6 +13,7 @@ use crate::error::ShmemError;
 use crate::grid::Grid;
 use crate::net::TransferClass;
 use crate::pe::Pe;
+use crate::sched::SchedPoint;
 
 struct AtomicInner {
     len: usize,
@@ -40,11 +41,8 @@ impl SymmetricAtomicVec {
     ///
     /// Prefer [`Pe::alloc_sym_atomic`] at call sites.
     pub fn new(pe: &Pe, len: usize) -> Result<SymmetricAtomicVec, ShmemError> {
-        let seq = pe.next_collective_seq();
         let grid = pe.grid();
-        let arc = pe.world().rendezvous.collective(
-            seq,
-            pe.rank(),
+        let arc = pe.run_collective(
             len,
             move |lens| -> Result<SymmetricAtomicVec, ShmemError> {
                 if lens.iter().any(|&l| l != lens[0]) {
@@ -105,6 +103,7 @@ impl SymmetricAtomicVec {
         value: u64,
     ) -> Result<u64, ShmemError> {
         self.check(dst_pe, index)?;
+        pe.sched_point(SchedPoint::Atomic);
         let prev = self.inner.regions[dst_pe][index].fetch_add(value, Ordering::AcqRel);
         if dst_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, 8);
@@ -115,6 +114,7 @@ impl SymmetricAtomicVec {
     /// Atomic store to `dst_pe`'s element (`shmem_atomic_set`).
     pub fn store(&self, pe: &Pe, dst_pe: usize, index: usize, value: u64) -> Result<(), ShmemError> {
         self.check(dst_pe, index)?;
+        pe.sched_point(SchedPoint::Atomic);
         self.inner.regions[dst_pe][index].store(value, Ordering::Release);
         if dst_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, 8);
@@ -125,6 +125,7 @@ impl SymmetricAtomicVec {
     /// Atomic load of `src_pe`'s element (`shmem_atomic_fetch`).
     pub fn load(&self, pe: &Pe, src_pe: usize, index: usize) -> Result<u64, ShmemError> {
         self.check(src_pe, index)?;
+        pe.sched_point(SchedPoint::Atomic);
         let v = self.inner.regions[src_pe][index].load(Ordering::Acquire);
         if src_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, 8);

@@ -36,11 +36,7 @@ impl Pe {
         T: Send + 'static,
         R: Clone + Send + Sync + 'static,
     {
-        let seq = self.next_collective_seq();
-        let arc = self
-            .world()
-            .rendezvous
-            .collective(seq, self.rank(), value, combine);
+        let arc = self.run_collective(value, combine);
         (*arc).clone()
     }
 

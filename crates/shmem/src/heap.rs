@@ -28,7 +28,8 @@ use fabsp_hwpc::cost::model;
 use crate::error::ShmemError;
 use crate::grid::Grid;
 use crate::net::TransferClass;
-use crate::pe::{Pe, PendingPut};
+use crate::pe::Pe;
+use crate::sched::SchedPoint;
 
 struct SymInner<T> {
     len: usize,
@@ -57,11 +58,8 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
     ///
     /// Prefer [`Pe::alloc_sym`], which reads more naturally at call sites.
     pub fn new(pe: &Pe, len: usize) -> Result<SymmetricVec<T>, ShmemError> {
-        let seq = pe.next_collective_seq();
         let grid = pe.grid();
-        let arc = pe.world().rendezvous.collective(
-            seq,
-            pe.rank(),
+        let arc = pe.run_collective(
             len,
             move |lens| -> Result<SymmetricVec<T>, ShmemError> {
                 if lens.iter().any(|&l| l != lens[0]) {
@@ -152,6 +150,7 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
     /// Complete (remotely visible) on return.
     pub fn put(&self, pe: &Pe, dst_pe: usize, offset: usize, src: &[T]) -> Result<(), ShmemError> {
         self.check(dst_pe, offset, src.len())?;
+        pe.sched_point(SchedPoint::Put);
         let bytes = std::mem::size_of_val(src);
         {
             let mut region = self.inner.regions[dst_pe].lock();
@@ -177,6 +176,7 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         dst: &mut [T],
     ) -> Result<(), ShmemError> {
         self.check(src_pe, offset, dst.len())?;
+        pe.sched_point(SchedPoint::Get);
         let bytes = std::mem::size_of_val(dst);
         {
             let region = self.inner.regions[src_pe].lock();
@@ -209,16 +209,17 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         src: &[T],
     ) -> Result<(), ShmemError> {
         self.check(dst_pe, offset, src.len())?;
+        pe.sched_point(SchedPoint::PutNbi);
         let bytes = std::mem::size_of_val(src);
         let inner = Arc::clone(&self.inner);
         let data: Vec<T> = src.to_vec();
-        pe.push_pending(PendingPut {
+        pe.push_pending(
             bytes,
-            apply: Box::new(move || {
+            Box::new(move || {
                 let mut region = inner.regions[dst_pe].lock();
                 region[offset..offset + data.len()].copy_from_slice(&data);
             }),
-        });
+        );
         model::PUTMEM_NBI.charge();
         pe.record_net(TransferClass::NonBlockingPut, bytes);
         Ok(())

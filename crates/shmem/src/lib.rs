@@ -53,6 +53,7 @@ pub mod grid;
 pub mod heap;
 pub mod net;
 pub mod pe;
+pub mod sched;
 pub mod spmd;
 mod sync;
 
@@ -60,5 +61,7 @@ pub use atomics::SymmetricAtomicVec;
 pub use error::ShmemError;
 pub use grid::Grid;
 pub use heap::SymmetricVec;
-pub use net::{NetStats, TransferClass};
+pub use net::{FaultSpec, NetStats, TransferClass};
 pub use pe::Pe;
+pub use sched::{SchedPoint, SchedSpec, Scheduler};
+pub use spmd::Harness;

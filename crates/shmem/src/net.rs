@@ -93,6 +93,48 @@ impl NetStats {
     }
 }
 
+/// Network-level fault injection, installed per-run through
+/// [`crate::spmd::Harness`].
+///
+/// Every fault here stays inside OpenSHMEM's legal envelope — it makes the
+/// substrate exercise freedoms the specification grants but a friendly
+/// in-process implementation never uses:
+///
+/// - Non-blocking puts are already *delayed to the latest legal instant*:
+///   data becomes visible only at the initiator's `quiet` (never earlier),
+///   which is the substrate's baseline behaviour.
+/// - [`nbi_shuffle_seed`](FaultSpec::nbi_shuffle_seed) additionally
+///   *reorders* the puts applied by one `quiet`: between two fences,
+///   OpenSHMEM leaves non-blocking puts unordered, so any permutation of
+///   their delivery is a legal network. Puts separated by a
+///   [`fence`](crate::Pe::fence) keep their relative order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSpec {
+    /// Apply the non-blocking puts completed by each `quiet` in a seeded
+    /// pseudo-random order (per PE, per quiet) instead of issue order.
+    /// `None` keeps issue order.
+    pub nbi_shuffle_seed: Option<u64>,
+}
+
+impl FaultSpec {
+    /// No faults (production behaviour).
+    pub const NONE: FaultSpec = FaultSpec {
+        nbi_shuffle_seed: None,
+    };
+
+    /// Shuffle non-blocking-put delivery order with `seed`.
+    pub fn nbi_shuffle(seed: u64) -> FaultSpec {
+        FaultSpec {
+            nbi_shuffle_seed: Some(seed),
+        }
+    }
+
+    /// Whether any fault is enabled.
+    pub fn any(&self) -> bool {
+        self.nbi_shuffle_seed.is_some()
+    }
+}
+
 /// World-wide traffic ledger: one independently locked slot per source PE.
 pub(crate) struct NetLedger {
     per_pe: Vec<Mutex<NetStats>>,

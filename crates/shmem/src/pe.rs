@@ -11,9 +11,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fabsp_hwpc::cost::model;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 use crate::grid::Grid;
-use crate::net::{NetLedger, NetStats, TransferClass};
+use crate::net::{FaultSpec, NetLedger, NetStats, TransferClass};
+use crate::sched::{SchedPoint, Scheduler};
 use crate::sync::{PoisonBarrier, Rendezvous};
 
 /// Shared state of one SPMD execution.
@@ -23,21 +27,33 @@ pub(crate) struct World {
     pub(crate) rendezvous: Rendezvous,
     pub(crate) ledger: NetLedger,
     pub(crate) poisoned: AtomicBool,
+    /// Serializing scheduler, if this run is under deterministic control.
+    pub(crate) sched: Option<Arc<dyn Scheduler>>,
+    pub(crate) faults: FaultSpec,
 }
 
 impl World {
-    pub(crate) fn new(grid: Grid) -> Arc<World> {
+    pub(crate) fn with_harness(
+        grid: Grid,
+        sched: Option<Arc<dyn Scheduler>>,
+        faults: FaultSpec,
+    ) -> Arc<World> {
         Arc::new(World {
             grid,
             barrier: PoisonBarrier::new(grid.n_pes()),
             rendezvous: Rendezvous::new(grid.n_pes()),
             ledger: NetLedger::new(grid.n_pes()),
             poisoned: AtomicBool::new(false),
+            sched,
+            faults,
         })
     }
 
     pub(crate) fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
+        if let Some(sched) = &self.sched {
+            sched.poison();
+        }
         self.barrier.poison();
         self.rendezvous.poison();
     }
@@ -54,6 +70,9 @@ impl World {
 pub(crate) struct PendingPut {
     pub(crate) apply: Box<dyn FnOnce()>,
     pub(crate) bytes: usize,
+    /// Fence epoch the put was issued in; fault-injected reordering only
+    /// permutes puts within one epoch ([`Pe::fence`] bumps it).
+    pub(crate) epoch: u64,
 }
 
 /// Handle to one processing element, passed to the SPMD closure.
@@ -62,6 +81,8 @@ pub struct Pe {
     world: Arc<World>,
     collective_seq: Cell<u64>,
     pending: RefCell<Vec<PendingPut>>,
+    fence_epoch: Cell<u64>,
+    quiet_seq: Cell<u64>,
 }
 
 impl Pe {
@@ -71,6 +92,8 @@ impl Pe {
             world,
             collective_seq: Cell::new(0),
             pending: RefCell::new(Vec::new()),
+            fence_epoch: Cell::new(0),
+            quiet_seq: Cell::new(0),
         }
     }
 
@@ -118,9 +141,24 @@ impl Pe {
     /// and not before, which is the semantics the paper's `nonblock_progress`
     /// instrumentation captures. Returns the number of bytes flushed.
     pub fn quiet(&self) -> usize {
-        let pending = std::mem::take(&mut *self.pending.borrow_mut());
+        self.sched_point(SchedPoint::Quiet);
+        let mut pending = std::mem::take(&mut *self.pending.borrow_mut());
         if pending.is_empty() {
             return 0;
+        }
+        let qseq = self.quiet_seq.get();
+        self.quiet_seq.set(qseq + 1);
+        if let Some(seed) = self.world.faults.nbi_shuffle_seed {
+            // Between fences, OpenSHMEM leaves nbi puts unordered, so a
+            // hostile-but-legal network may deliver them in any order.
+            // Shuffle, then stable-sort by fence epoch so ordering across
+            // fences is preserved. Seeded per (run, PE, quiet) so every
+            // quiet explores a different permutation, deterministically.
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (self.rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ qseq.rotate_left(17),
+            );
+            pending.shuffle(&mut rng);
+            pending.sort_by_key(|op| op.epoch);
         }
         let mut bytes = 0;
         for op in pending {
@@ -134,6 +172,18 @@ impl Pe {
         bytes
     }
 
+    /// Order non-blocking puts (OpenSHMEM `shmem_fence`): puts issued
+    /// before the fence are delivered before puts issued after it, even
+    /// under fault-injected delivery reordering. Completion is still only
+    /// guaranteed by [`quiet`](Pe::quiet).
+    ///
+    /// The substrate applies pending puts in issue order anyway, so without
+    /// fault injection this is purely an observable scheduling point.
+    pub fn fence(&self) {
+        self.sched_point(SchedPoint::Fence);
+        self.fence_epoch.set(self.fence_epoch.get() + 1);
+    }
+
     /// Number of non-blocking puts issued but not yet completed by `quiet`.
     pub fn pending_nbi(&self) -> usize {
         self.pending.borrow().len()
@@ -143,14 +193,73 @@ impl Pe {
     /// Implies [`quiet`](Pe::quiet), as the OpenSHMEM specification requires.
     pub fn barrier_all(&self) {
         self.quiet();
-        self.world.barrier.wait();
+        match &self.world.sched {
+            None => self.world.barrier.wait(),
+            Some(sched) => {
+                // Under a serializing scheduler a condvar sleep would hold
+                // the execution token forever; poll instead, yielding the
+                // token between checks.
+                sched.yield_point(self.rank, SchedPoint::Barrier);
+                self.world.check_poison();
+                self.world.barrier.wait_with_idle(&|| {
+                    sched.yield_point(self.rank, SchedPoint::Barrier);
+                    self.world.check_poison();
+                });
+            }
+        }
     }
 
     /// Cooperatively yield while polling: checks for world poisoning so a
     /// panic on another PE does not leave this one spinning forever.
     pub fn poll_yield(&self) {
         self.world.check_poison();
-        std::thread::yield_now();
+        match &self.world.sched {
+            None => std::thread::yield_now(),
+            Some(sched) => {
+                sched.yield_point(self.rank, SchedPoint::Poll);
+                self.world.check_poison();
+            }
+        }
+    }
+
+    /// Hit an observable scheduling point (no-op without a scheduler).
+    #[inline]
+    pub(crate) fn sched_point(&self, point: SchedPoint) {
+        if let Some(sched) = &self.world.sched {
+            sched.yield_point(self.rank, point);
+            self.world.check_poison();
+        }
+    }
+
+    /// Run collective number `next_collective_seq()` through the world
+    /// rendezvous, idling scheduler-aware while other PEs arrive.
+    pub(crate) fn run_collective<T, R>(
+        &self,
+        value: T,
+        combine: impl FnOnce(Vec<T>) -> R,
+    ) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+    {
+        let seq = self.next_collective_seq();
+        self.sched_point(SchedPoint::Collective);
+        match &self.world.sched {
+            None => self
+                .world
+                .rendezvous
+                .collective(seq, self.rank, value, combine),
+            Some(sched) => self.world.rendezvous.collective_with_idle(
+                seq,
+                self.rank,
+                value,
+                combine,
+                Some(&|| {
+                    sched.yield_point(self.rank, SchedPoint::Collective);
+                    self.world.check_poison();
+                }),
+            ),
+        }
     }
 
     /// Network statistics attributed to this PE as a source.
@@ -164,18 +273,18 @@ impl Pe {
         self.world.ledger.total()
     }
 
-    pub(crate) fn world(&self) -> &Arc<World> {
-        &self.world
-    }
-
     pub(crate) fn next_collective_seq(&self) -> u64 {
         let seq = self.collective_seq.get();
         self.collective_seq.set(seq + 1);
         seq
     }
 
-    pub(crate) fn push_pending(&self, op: PendingPut) {
-        self.pending.borrow_mut().push(op);
+    pub(crate) fn push_pending(&self, bytes: usize, apply: Box<dyn FnOnce()>) {
+        self.pending.borrow_mut().push(PendingPut {
+            apply,
+            bytes,
+            epoch: self.fence_epoch.get(),
+        });
     }
 
     pub(crate) fn record_net(&self, class: TransferClass, bytes: usize) {

@@ -7,21 +7,100 @@
 //! reported as [`ShmemError::PePanicked`].
 
 use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 
 use crate::error::ShmemError;
 use crate::grid::Grid;
+use crate::net::FaultSpec;
 use crate::pe::{Pe, World};
+use crate::sched::{SchedSpec, Scheduler};
+
+/// How to run one SPMD execution: the PE layout plus the (optional)
+/// deterministic scheduler and fault injection driving it.
+///
+/// A bare [`Grid`] converts into a harness with OS scheduling and no
+/// faults, so `spmd::run(grid, f)` keeps its production meaning while
+/// tests can pass a full harness:
+///
+/// ```
+/// use fabsp_shmem::{spmd, spmd::Harness, sched::SchedSpec, net::FaultSpec, Grid};
+///
+/// let grid = Grid::single_node(2).unwrap();
+/// let harness = Harness::new(grid)
+///     .sched(SchedSpec::random_walk(42))
+///     .faults(FaultSpec::nbi_shuffle(7));
+/// let ranks = spmd::run(harness, |pe| pe.rank()).unwrap();
+/// assert_eq!(ranks, vec![0, 1]);
+/// ```
+#[derive(Clone)]
+pub struct Harness {
+    pub grid: Grid,
+    pub sched: SchedSpec,
+    pub faults: FaultSpec,
+    /// A caller-supplied scheduler, overriding `sched` when set. This is
+    /// the pluggable hook: anything implementing [`Scheduler`] can drive
+    /// the interleaving.
+    custom_sched: Option<Arc<dyn Scheduler>>,
+}
+
+impl Harness {
+    /// OS scheduling, no faults — identical to running with the bare grid.
+    pub fn new(grid: Grid) -> Harness {
+        Harness {
+            grid,
+            sched: SchedSpec::Os,
+            faults: FaultSpec::NONE,
+            custom_sched: None,
+        }
+    }
+
+    /// Select a built-in scheduling spec.
+    pub fn sched(mut self, sched: SchedSpec) -> Harness {
+        self.sched = sched;
+        self
+    }
+
+    /// Enable fault injection.
+    pub fn faults(mut self, faults: FaultSpec) -> Harness {
+        self.faults = faults;
+        self
+    }
+
+    /// Install a custom [`Scheduler`] implementation (overrides `sched`).
+    pub fn scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Harness {
+        self.custom_sched = Some(scheduler);
+        self
+    }
+
+    fn build_scheduler(&self) -> Option<Arc<dyn Scheduler>> {
+        self.custom_sched
+            .clone()
+            .or_else(|| self.sched.build(self.grid.n_pes()))
+    }
+}
+
+impl From<Grid> for Harness {
+    fn from(grid: Grid) -> Harness {
+        Harness::new(grid)
+    }
+}
 
 /// Run `f` once per PE and return the per-PE results in rank order.
 ///
 /// `f` runs concurrently on `grid.n_pes()` threads; the `&Pe` argument is
-/// the calling PE's identity and capability handle.
-pub fn run<R, F>(grid: Grid, f: F) -> Result<Vec<R>, ShmemError>
+/// the calling PE's identity and capability handle. `harness` is either a
+/// bare [`Grid`] (production: OS scheduling, no faults) or a [`Harness`]
+/// selecting a deterministic schedule and fault injection.
+pub fn run<R, F, H>(harness: H, f: F) -> Result<Vec<R>, ShmemError>
 where
     R: Send,
     F: Fn(&Pe) -> R + Sync,
+    H: Into<Harness>,
 {
-    let world = World::new(grid);
+    let harness = harness.into();
+    let grid = harness.grid;
+    let sched = harness.build_scheduler();
+    let world = World::with_harness(grid, sched.clone(), harness.faults);
     let mut outcomes: Vec<Option<std::thread::Result<R>>> =
         (0..grid.n_pes()).map(|_| None).collect();
 
@@ -29,10 +108,20 @@ where
         let handles: Vec<_> = (0..grid.n_pes())
             .map(|rank| {
                 let world = world.clone();
+                let sched = sched.clone();
                 let f = &f;
                 scope.spawn(move || {
                     let pe = Pe::new(rank, world.clone());
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&pe)));
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(sched) = &sched {
+                            sched.register(rank);
+                            world.check_poison();
+                        }
+                        f(&pe)
+                    }));
+                    if let Some(sched) = &sched {
+                        sched.finished(rank);
+                    }
                     if result.is_err() {
                         world.poison();
                     }

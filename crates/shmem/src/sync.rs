@@ -60,6 +60,34 @@ impl PoisonBarrier {
         }
     }
 
+    /// Like [`wait`](PoisonBarrier::wait), but poll instead of sleeping on
+    /// the condvar, calling `idle` between checks. Required under a
+    /// serializing scheduler, where a condvar sleep would hold the
+    /// execution token and deadlock the world: `idle` is where the waiting
+    /// PE hands the token to the PEs it is waiting for.
+    pub(crate) fn wait_with_idle(&self, idle: &dyn Fn()) {
+        assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
+        let generation = {
+            let mut state = self.state.lock();
+            let generation = state.1;
+            state.0 += 1;
+            if state.0 == self.n {
+                state.0 = 0;
+                state.1 = state.1.wrapping_add(1);
+                self.cv.notify_all();
+                return;
+            }
+            generation
+        };
+        loop {
+            idle();
+            assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
+            if self.state.lock().1 != generation {
+                return;
+            }
+        }
+    }
+
     pub(crate) fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
         let _guard = self.state.lock();
@@ -117,6 +145,25 @@ impl Rendezvous {
         T: Send + 'static,
         R: Send + Sync + 'static,
     {
+        self.collective_with_idle(seq, pe, value, combine, None)
+    }
+
+    /// [`collective`](Rendezvous::collective), with an optional `idle`
+    /// callback: when present, non-final arrivers poll for the result
+    /// calling `idle` between checks instead of sleeping on the condvar —
+    /// see [`PoisonBarrier::wait_with_idle`] for why schedulers need this.
+    pub(crate) fn collective_with_idle<T, R>(
+        &self,
+        seq: u64,
+        pe: usize,
+        value: T,
+        combine: impl FnOnce(Vec<T>) -> R,
+        idle: Option<&dyn Fn()>,
+    ) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+    {
         assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
         let mut state = self.state.lock();
         let cell = state.entry(seq).or_insert_with(|| Cell {
@@ -162,7 +209,14 @@ impl Rendezvous {
                     return out;
                 }
             }
-            self.cv.wait(&mut state);
+            match idle {
+                None => self.cv.wait(&mut state),
+                Some(idle) => {
+                    drop(state);
+                    idle();
+                    state = self.state.lock();
+                }
+            }
             assert!(!self.poisoned.load(Ordering::Acquire), "{POISON_MSG}");
         }
     }

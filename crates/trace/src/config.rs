@@ -12,7 +12,6 @@
 //! branch on a bool (measured by the `overhead_tracing` bench).
 
 use fabsp_hwpc::{Event, MAX_EVENTS};
-use serde::{Deserialize, Serialize};
 
 /// Errors constructing a trace configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,30 +45,27 @@ pub struct PapiConfig {
     events: Vec<Event>,
 }
 
-// Serialize events by their PAPI preset names: stable, readable, and avoids
-// coupling the hwpc crate to serde.
-impl Serialize for PapiConfig {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let names: Vec<&str> = self.events.iter().map(|e| e.papi_name()).collect();
-        names.serialize(serializer)
+impl PapiConfig {
+    /// The configured events by their stable PAPI preset names — the
+    /// on-disk/config-file representation (stable, readable, and avoids
+    /// coupling the hwpc crate to an encoding library).
+    pub fn papi_names(&self) -> Vec<&'static str> {
+        self.events.iter().map(|e| e.papi_name()).collect()
     }
-}
 
-impl<'de> Deserialize<'de> for PapiConfig {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let names = Vec::<String>::deserialize(deserializer)?;
+    /// Reconstruct a config from PAPI preset names, the inverse of
+    /// [`PapiConfig::papi_names`]. Unknown names are reported verbatim.
+    pub fn from_papi_names<S: AsRef<str>>(names: &[S]) -> Result<PapiConfig, String> {
         let events = names
             .iter()
             .map(|n| {
-                Event::from_papi_name(n)
-                    .ok_or_else(|| serde::de::Error::custom(format!("unknown PAPI event: {n}")))
+                Event::from_papi_name(n.as_ref())
+                    .ok_or_else(|| format!("unknown PAPI event: {}", n.as_ref()))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        PapiConfig::new(&events).map_err(serde::de::Error::custom)
+        PapiConfig::new(&events).map_err(|e| e.to_string())
     }
-}
 
-impl PapiConfig {
     /// Configure up to [`MAX_EVENTS`] distinct events.
     pub fn new(events: &[Event]) -> Result<PapiConfig, TraceConfigError> {
         if events.is_empty() {
@@ -102,7 +98,7 @@ impl PapiConfig {
 }
 
 /// What to trace during an FA-BSP run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TraceConfig {
     /// Record the pre-aggregation logical trace (`-DENABLE_TRACE`).
     pub logical: bool,
@@ -273,14 +269,15 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
-        let c = TraceConfig::all()
-            .with_logical_sampling(4)
-            .with_streaming("/tmp/traces");
-        let json = serde_json::to_string(&c).unwrap();
-        assert!(json.contains("PAPI_TOT_INS"), "events serialized by name");
-        let back: TraceConfig = serde_json::from_str(&json).unwrap();
+    fn papi_config_name_roundtrip() {
+        let c = PapiConfig::case_study();
+        let names = c.papi_names();
+        assert!(names.contains(&"PAPI_TOT_INS"), "events named by preset");
+        let back = PapiConfig::from_papi_names(&names).unwrap();
         assert_eq!(back, c);
+        assert!(PapiConfig::from_papi_names(&["PAPI_NOPE"])
+            .unwrap_err()
+            .contains("PAPI_NOPE"));
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Trace record types, one per ActorProf trace file format (§III).
 
-use serde::{Deserialize, Serialize};
 
 /// One pre-aggregation point-to-point send, as recorded at the HClib-Actor
 /// `send` call. One line of `PEi_send.csv`:
 /// `source node, source PE, destination node, destination PE, message size`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogicalRecord {
     /// Node of the sending PE.
     pub src_node: u32,
@@ -27,7 +26,7 @@ pub struct LogicalRecord {
 /// mailbox): `num_sends` counts how many sends the line covers, and the
 /// counter values are the deltas accumulated over those sends while inside
 /// the instrumented user regions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PapiRecord {
     /// Node of the sending PE.
     pub src_node: u32,
@@ -49,7 +48,7 @@ pub struct PapiRecord {
 
 /// The Conveyors communication call a physical-trace entry came from
 /// (§III-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SendType {
     /// Intra-node buffer delivery: `std::memcpy` through `shmem_ptr`.
     LocalSend,
@@ -88,7 +87,7 @@ impl std::fmt::Display for SendType {
 
 /// One post-aggregation send recorded inside Conveyors. One line of
 /// `physical.txt`: `send type, buffer size, source PE, destination PE`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhysicalRecord {
     /// Which Conveyors call produced this entry.
     pub send_type: SendType,
@@ -102,7 +101,7 @@ pub struct PhysicalRecord {
 
 /// The per-PE overall breakdown (§III-B), in rdtsc cycles. One absolute and
 /// one relative line of `overall.txt` per PE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OverallRecord {
     /// PE rank.
     pub pe: u32,

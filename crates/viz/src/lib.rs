@@ -12,7 +12,7 @@
 //!   the orders-of-magnitude ranges of Fig 10–11;
 //! - [`stacked`] — MAIN/COMM/PROC stacked bars, absolute and relative
 //!   (Figs 12–13);
-//! - [`line`] — multi-series line charts for the scaling harnesses.
+//! - [`mod@line`] — multi-series line charts for the scaling harnesses.
 //!
 //! The `actorprof-viz` binary mirrors the paper's run-time flags
 //! (`-l`, `-p`, `-lp`, `-s`) against a trace directory.

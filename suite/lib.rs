@@ -7,7 +7,8 @@
 //! - substrates: [`fabsp_shmem`], [`fabsp_conveyors`], [`fabsp_actor`],
 //!   [`fabsp_hwpc`], [`fabsp_graph`];
 //! - the profiler: [`actorprof_trace`], [`actorprof`], [`actorprof_viz`];
-//! - workloads and the evaluation harness: [`fabsp_apps`], [`fabsp_bench`].
+//! - workloads and the evaluation harness: [`fabsp_apps`], [`fabsp_bench`];
+//! - deterministic testing: [`fabsp_testkit`].
 
 pub use actorprof;
 pub use actorprof_trace;
@@ -19,3 +20,4 @@ pub use fabsp_conveyors;
 pub use fabsp_graph;
 pub use fabsp_hwpc;
 pub use fabsp_shmem;
+pub use fabsp_testkit;

@@ -1,0 +1,203 @@
+//! Schedule fuzzing: the three workloads must be *schedule independent*.
+//!
+//! Every kernel's logical trace matrix and application result are pure
+//! functions of the app seed — the thread interleaving, put/quiet timing,
+//! and conveyor buffer boundaries may vary freely underneath. This sweep
+//! runs each kernel under ≥100 seeded random-walk schedules (34 per app,
+//! half of them with `nbi_shuffle` fault injection) and asserts every one
+//! reproduces the OS-scheduled baseline bit-for-bit. A divergence names
+//! the seed, which replays that exact schedule.
+//!
+//! Physical traces and timings are intentionally *not* compared: buffer
+//! flush boundaries legitimately depend on the schedule.
+//!
+//! `FABSP_TESTKIT_SEED` offsets the seed range so CI can sweep disjoint
+//! schedule sets across jobs without code changes.
+
+use actorprof_suite::actorprof::TraceBundle;
+use actorprof_suite::actorprof_trace::TraceConfig;
+use actorprof_suite::fabsp_apps::histogram::{self, HistogramConfig};
+use actorprof_suite::fabsp_apps::index_gather::{self, IndexGatherConfig};
+use actorprof_suite::fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
+use actorprof_suite::fabsp_conveyors::ConveyorOptions;
+use actorprof_suite::fabsp_graph::Csr;
+use actorprof_suite::fabsp_shmem::{FaultSpec, Grid, SchedSpec};
+use actorprof_suite::fabsp_testkit::DEFAULT_STEP_BUDGET;
+
+/// Seeds per (app, fault) combination: 3 apps × 2 fault modes × 17 = 102
+/// schedules, comfortably past the 100-schedule floor.
+const SEEDS_PER_SWEEP: u64 = 17;
+
+/// CI seed offset: disjoint jobs explore disjoint schedule sets.
+fn seed_base() -> u64 {
+    std::env::var("FABSP_TESTKIT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The two fault modes every sweep runs under. `nbi_shuffle` delivers
+/// non-blocking puts in a hostile-but-legal order at each quiet.
+fn fault_modes() -> [FaultSpec; 2] {
+    [FaultSpec::NONE, FaultSpec::nbi_shuffle(0xFA_B5)]
+}
+
+fn sweep_seeds(mode: usize) -> impl Iterator<Item = u64> {
+    let lo = seed_base() + (mode as u64) * 10_000;
+    lo..lo + SEEDS_PER_SWEEP
+}
+
+fn logical(bundle: &TraceBundle) -> actorprof_suite::actorprof::Matrix {
+    bundle.logical_matrix().expect("logical trace collected")
+}
+
+#[test]
+fn histogram_is_schedule_independent() {
+    let mut cfg = HistogramConfig::new(Grid::new(2, 2).unwrap());
+    cfg.updates_per_pe = 48;
+    cfg.table_size_per_pe = 16;
+    cfg.trace = TraceConfig::off().with_logical();
+    let base = histogram::run(&cfg).expect("baseline run");
+    let base_matrix = logical(&base.bundle);
+
+    for (mode, faults) in fault_modes().into_iter().enumerate() {
+        for seed in sweep_seeds(mode) {
+            let mut c = cfg.clone();
+            c.sched = SchedSpec::random_walk(seed);
+            c.faults = faults;
+            let out = histogram::run(&c)
+                .unwrap_or_else(|e| panic!("histogram seed {seed} ({faults:?}): {e}"));
+            assert_eq!(
+                out.per_pe_updates, base.per_pe_updates,
+                "histogram result diverged, seed {seed} ({faults:?})"
+            );
+            assert_eq!(
+                logical(&out.bundle),
+                base_matrix,
+                "histogram logical trace diverged, seed {seed} ({faults:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_gather_is_schedule_independent() {
+    let mut cfg = IndexGatherConfig::new(Grid::new(2, 2).unwrap());
+    cfg.reads_per_pe = 40;
+    cfg.table_size_per_pe = 16;
+    cfg.trace = TraceConfig::off().with_logical();
+    let base = index_gather::run(&cfg).expect("baseline run");
+    let base_matrix = logical(&base.bundle);
+
+    for (mode, faults) in fault_modes().into_iter().enumerate() {
+        for seed in sweep_seeds(mode) {
+            let mut c = cfg.clone();
+            c.sched = SchedSpec::random_walk(seed);
+            c.faults = faults;
+            let out = index_gather::run(&c)
+                .unwrap_or_else(|e| panic!("index-gather seed {seed} ({faults:?}): {e}"));
+            // run() already validates every read; cross-check the count
+            // and the request/response message matrix.
+            assert_eq!(out.correct_reads, base.correct_reads, "seed {seed}");
+            assert_eq!(
+                logical(&out.bundle),
+                base_matrix,
+                "index-gather logical trace diverged, seed {seed} ({faults:?})"
+            );
+        }
+    }
+}
+
+/// A 6-vertex graph with hub structure: K4 on {0..3} plus pendant
+/// triangles through 4 and 5 — small enough to fuzz, non-trivial enough
+/// to route wedges between all PEs.
+fn fuzz_graph() -> Csr {
+    let edges = [
+        (1, 0),
+        (2, 0),
+        (3, 0),
+        (2, 1),
+        (3, 1),
+        (3, 2),
+        (4, 0),
+        (4, 1),
+        (5, 2),
+        (5, 3),
+        (5, 4),
+    ];
+    Csr::from_edges(6, &edges)
+}
+
+#[test]
+fn triangle_count_is_schedule_independent() {
+    let l = fuzz_graph();
+    let cfg = TriangleConfig::new(Grid::new(2, 2).unwrap())
+        .with_dist(DistKind::Cyclic)
+        .with_trace(TraceConfig::off().with_logical());
+    let base = count_triangles(&l, &cfg).expect("baseline run");
+    let base_matrix = logical(&base.bundle);
+
+    for (mode, faults) in fault_modes().into_iter().enumerate() {
+        for seed in sweep_seeds(mode) {
+            let mut c = cfg.clone();
+            c.sched = SchedSpec::random_walk(seed);
+            c.faults = faults;
+            // validate=true: every schedule must also match the sequential
+            // reference count, not just the baseline.
+            let out = count_triangles(&l, &c)
+                .unwrap_or_else(|e| panic!("triangle seed {seed} ({faults:?}): {e}"));
+            assert_eq!(out.triangles, base.triangles, "seed {seed}");
+            assert_eq!(out.per_pe_triangles, base.per_pe_triangles, "seed {seed}");
+            assert_eq!(
+                logical(&out.bundle),
+                base_matrix,
+                "triangle logical trace diverged, seed {seed} ({faults:?})"
+            );
+        }
+    }
+    // Sanity: the sweep really covers >= 100 schedules across the suite.
+    const { assert!(3 * 2 * SEEDS_PER_SWEEP >= 100) };
+}
+
+#[test]
+fn triangle_survives_capacity_one_aggregation() {
+    // Shrink every aggregation buffer and landing slot to a single item:
+    // maximal buffer-boundary pressure, constant flushing, and (on the
+    // mesh) relay traffic at every step. Results must be unchanged.
+    let l = fuzz_graph();
+    let mut cfg = TriangleConfig::new(Grid::new(2, 2).unwrap())
+        .with_dist(DistKind::RangeByNnz)
+        .with_trace(TraceConfig::off().with_logical());
+    cfg.conveyor = ConveyorOptions {
+        capacity: 1,
+        ..ConveyorOptions::default()
+    };
+    let base = count_triangles(&l, &cfg).expect("capacity-1 baseline");
+    let base_matrix = logical(&base.bundle);
+
+    for (mode, faults) in fault_modes().into_iter().enumerate() {
+        for seed in sweep_seeds(mode).take(5) {
+            let mut c = cfg.clone();
+            c.sched = SchedSpec::random_walk(seed);
+            c.faults = faults;
+            let out = count_triangles(&l, &c)
+                .unwrap_or_else(|e| panic!("capacity-1 seed {seed} ({faults:?}): {e}"));
+            assert_eq!(out.triangles, base.triangles, "seed {seed}");
+            assert_eq!(logical(&out.bundle), base_matrix, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn step_budget_is_generous_enough_for_the_workloads() {
+    // The termination checker (step budget) must never fire on a healthy
+    // run; document the headroom so scale bumps don't silently approach it.
+    let mut cfg = HistogramConfig::new(Grid::single_node(2).unwrap());
+    cfg.updates_per_pe = 8;
+    cfg.table_size_per_pe = 8;
+    cfg.sched = SchedSpec::RandomWalk {
+        seed: seed_base(),
+        max_steps: DEFAULT_STEP_BUDGET,
+    };
+    histogram::run(&cfg).expect("healthy run must stay far under the step budget");
+}

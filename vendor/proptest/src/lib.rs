@@ -1,0 +1,394 @@
+//! Minimal `proptest`-compatible shim.
+//!
+//! Registry access is unavailable in the build environment, so the real
+//! `proptest` cannot be fetched. This crate implements the subset of its
+//! API the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (multiple `#[test]` fns, `pat in strategy`
+//!   bindings, optional `#![proptest_config(..)]`),
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! - ranges, tuples, and [`strategy::Just`] as strategies,
+//! - [`fn@collection::vec`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (reproducible runs, overridable with the
+//! `PROPTEST_BASE_SEED` environment variable) and failing cases are
+//! reported but **not shrunk**.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Value generator. Unlike upstream there is no value tree — we only
+    /// generate, never shrink.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.gen_range(self.start as u64..self.end as u64) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    assert!(lo <= hi, "empty range strategy");
+                    if lo == hi {
+                        return lo as $t;
+                    }
+                    rng.gen_range(lo..hi + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+
+    /// Length specification for [`fn@vec`]: a fixed size or a range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = if self.size.lo == self.size.hi_inclusive {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo as u64..self.size.hi_inclusive as u64 + 1) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-`proptest!` configuration. Only `cases` and `base_seed` are
+    /// honoured; the struct-update syntax `.. ProptestConfig::default()`
+    /// works as in upstream.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Base seed mixed into every case's RNG. Defaults to 0, can be
+        /// swept via the `PROPTEST_BASE_SEED` environment variable.
+        pub base_seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 64,
+                base_seed: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// Drives one `proptest!` test: seeds each case deterministically from
+    /// the test name, the case index, and the base seed.
+    pub struct Runner {
+        config: ProptestConfig,
+        name_hash: u64,
+        env_seed: u64,
+    }
+
+    impl Runner {
+        pub fn new(config: ProptestConfig, name: &str) -> Runner {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let env_seed = std::env::var("PROPTEST_BASE_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            Runner {
+                config,
+                name_hash: h,
+                env_seed,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        pub fn case_seed(&self, case: u32) -> u64 {
+            self.name_hash
+                .wrapping_add(case as u64)
+                .wrapping_add(self.config.base_seed.rotate_left(17))
+                .wrapping_add(self.env_seed.rotate_left(33))
+        }
+
+        pub fn rng_for_case(&self, case: u32) -> StdRng {
+            StdRng::seed_from_u64(self.case_seed(case))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a proptest body. Without shrinking there is nothing to
+/// return early for, so this is `assert!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: accepts an optional
+/// `#![proptest_config(<expr>)]` followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let runner = $crate::test_runner::Runner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+
+                );
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed (case seed {:#x}); rerun is deterministic",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        runner.case_seed(case),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Combo {
+        n: usize,
+        values: Vec<u32>,
+    }
+
+    fn arb_combo() -> impl Strategy<Value = Combo> {
+        (2usize..=5).prop_flat_map(|n| {
+            (Just(n), collection::vec(0u32..100, n..=n))
+                .prop_map(|(n, values)| Combo { n, values })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+        /// Doc comments and config blocks parse; dependent sizes hold.
+        #[test]
+        fn flat_map_links_length(combo in arb_combo()) {
+            prop_assert_eq!(combo.values.len(), combo.n);
+            prop_assert!(combo.values.iter().all(|&v| v < 100));
+        }
+
+        #[test]
+        fn tuples_and_ranges((a, b) in (1u64..10, 5usize..=6), c in 0u32..3) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b == 5 || b == 6);
+            prop_assert!(c < 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in collection::vec(0u64..1000, 0..20)) {
+            prop_assert!(v.len() < 20);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let runner =
+            crate::test_runner::Runner::new(ProptestConfig::with_cases(4), "determinism");
+        let s = collection::vec(0u32..1_000_000, 3..10);
+        let a: Vec<_> = (0..4).map(|c| s.generate(&mut runner.rng_for_case(c))).collect();
+        let b: Vec<_> = (0..4).map(|c| s.generate(&mut runner.rng_for_case(c))).collect();
+        assert_eq!(a, b);
+    }
+}
