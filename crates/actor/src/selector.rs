@@ -32,10 +32,10 @@
 //! signalled automatically once the upstream mailbox terminates, which is
 //! HClib-Actor's mailbox-chaining termination pattern.
 
-use actorprof_trace::{PeCollector, SharedCollector, TraceConfig};
+use actorprof_trace::{PeCollector, SharedCollector, TraceBuffer, TraceConfig};
 use fabsp_conveyors::{Conveyor, ConveyorOptions, ConveyorStats};
 use fabsp_hwpc::cost::model;
-use fabsp_hwpc::{counters, Region, RegionTimer};
+use fabsp_hwpc::{counters, Region, RegionTimer, MAX_EVENTS};
 use fabsp_shmem::Pe;
 
 use crate::error::ActorError;
@@ -82,6 +82,10 @@ pub struct Selector<'h, T: Copy + Default + Send + 'static> {
     handler: Option<Handler<'h, T>>,
     timer: RegionTimer,
     collector: SharedCollector,
+    /// Batched logical/PAPI send events; the per-send fast path appends
+    /// here (a plain `Vec` push — no shared borrow, no mutex) and the batch
+    /// drains into the collector at progress boundaries.
+    send_buf: TraceBuffer,
     papi_events: Vec<fabsp_hwpc::Event>,
     executed: bool,
 }
@@ -187,6 +191,7 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
             handler: Some(Box::new(handler)),
             timer: RegionTimer::new(),
             collector,
+            send_buf: TraceBuffer::for_config(&config.trace),
             papi_events,
             executed: false,
         })
@@ -267,12 +272,14 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
             pe.poll_yield();
         }
 
-        // Overall breakdown + region profile into the collector.
+        // Overall breakdown + region profile into the collector, together
+        // with any send events still batched from the endgame.
         self.timer.stop_total();
         let total = self.timer.total_cycles();
         let profile = self.timer.profile().clone();
         {
             let mut c = self.collector.borrow_mut();
+            c.drain(&mut self.send_buf);
             c.set_overall(profile.main.cycles, profile.proc.cycles, total);
             c.set_region_profile(profile);
         }
@@ -295,30 +302,22 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
 
         // The push fast path is MAIN work (T_MAIN = "time taken by the
         // application to generate a message and append it to the mailbox").
+        // The trace event is batched, not recorded — no shared borrow here.
         let papi_before = self.papi_snapshot();
         model::SEND_PUSH.charge();
-        let mut accepted = self.mailboxes[mailbox].conveyor.push(pe, msg, dst)?;
+        let mut outcome = self.mailboxes[mailbox].conveyor.push(pe, msg, dst)?;
         let deltas = self.papi_deltas(&papi_before);
-        {
-            let mut c = self.collector.borrow_mut();
-            if c.wants_send_events() {
-                c.record_send(
-                    dst,
-                    std::mem::size_of::<T>() as u32,
-                    mailbox as u32,
-                    deltas.as_deref(),
-                );
-            }
-        }
+        self.send_buf
+            .record_send(dst, std::mem::size_of::<T>() as u32, mailbox as u32, deltas);
 
         // Buffers full: leave MAIN, make progress (handlers run here —
         // the RED interleaved into the BLUE of Fig. 1), retry.
-        if !accepted {
+        if !outcome.is_accepted() {
             self.timer.exit(Region::Main);
             loop {
                 self.progress_once(pe);
-                accepted = self.mailboxes[mailbox].conveyor.push(pe, msg, dst)?;
-                if accepted {
+                outcome = self.mailboxes[mailbox].conveyor.push(pe, msg, dst)?;
+                if outcome.is_accepted() {
                     break;
                 }
                 pe.poll_yield();
@@ -334,28 +333,42 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
         Ok(())
     }
 
-    fn papi_snapshot(&self) -> Option<Vec<u64>> {
+    /// Read the configured counters into a fixed bank — no allocation on
+    /// the per-send path.
+    fn papi_snapshot(&self) -> Option<[u64; MAX_EVENTS]> {
         if self.papi_events.is_empty() {
             return None;
         }
-        Some(self.papi_events.iter().map(|e| counters::read(*e)).collect())
+        let mut bank = [0u64; MAX_EVENTS];
+        for (slot, e) in bank.iter_mut().zip(&self.papi_events) {
+            *slot = counters::read(*e);
+        }
+        Some(bank)
     }
 
-    fn papi_deltas(&self, before: &Option<Vec<u64>>) -> Option<Vec<u64>> {
+    fn papi_deltas(&self, before: &Option<[u64; MAX_EVENTS]>) -> Option<[u64; MAX_EVENTS]> {
         let before = before.as_ref()?;
-        Some(
-            self.papi_events
-                .iter()
-                .zip(before)
-                .map(|(e, b)| counters::read(*e).wrapping_sub(*b))
-                .collect(),
-        )
+        let mut bank = [0u64; MAX_EVENTS];
+        for ((slot, e), b) in bank.iter_mut().zip(&self.papi_events).zip(before) {
+            *slot = counters::read(*e).wrapping_sub(*b);
+        }
+        Some(bank)
+    }
+
+    /// Hand the batched send events to the collector in one borrow.
+    fn drain_trace(&mut self) {
+        if !self.send_buf.is_empty() {
+            self.collector.borrow_mut().drain(&mut self.send_buf);
+        }
     }
 
     /// One COMM round: push staged handler sends, advance every conveyor,
     /// deliver incoming messages through the handler. Returns whether any
     /// mailbox is still active.
     fn progress_once(&mut self, pe: &Pe) -> bool {
+        // Progress is a drain boundary: batched send events flow to the
+        // collector here, once per round instead of once per message.
+        self.drain_trace();
         self.drain_outboxes(pe);
 
         let mut any_active = false;
@@ -385,7 +398,8 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
         let n_pes = pe.n_pes();
         let rank = pe.rank();
         for mb in 0..self.mailboxes.len() {
-            while let Some((from, msg)) = self.mailboxes[mb].conveyor.pull() {
+            while let Some(delivery) = self.mailboxes[mb].conveyor.pull() {
+                let (from, msg) = (delivery.src, delivery.item);
                 model::PULL.charge();
                 let done_flags: Vec<(bool, bool)> = self
                     .mailboxes
@@ -437,24 +451,17 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
                 );
                 let papi_before = self.papi_snapshot();
                 model::SEND_PUSH.charge();
-                let accepted = self.mailboxes[mb]
+                let outcome = self.mailboxes[mb]
                     .conveyor
                     .push(pe, msg, dst)
                     .expect("outbox destinations were validated at staging");
-                if !accepted {
+                if !outcome.is_accepted() {
                     break;
                 }
                 let deltas = self.papi_deltas(&papi_before);
                 self.mailboxes[mb].outbox.pop_front();
-                let mut c = self.collector.borrow_mut();
-                if c.wants_send_events() {
-                    c.record_send(
-                        dst,
-                        std::mem::size_of::<T>() as u32,
-                        mb as u32,
-                        deltas.as_deref(),
-                    );
-                }
+                self.send_buf
+                    .record_send(dst, std::mem::size_of::<T>() as u32, mb as u32, deltas);
             }
         }
     }
@@ -483,7 +490,8 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
     ///
     /// # Panics
     /// Panics if collector handles are still held elsewhere.
-    pub fn into_collector(self) -> PeCollector {
+    pub fn into_collector(mut self) -> PeCollector {
+        self.drain_trace();
         let Selector {
             mailboxes,
             handler,

@@ -1,9 +1,97 @@
 //! Shared application plumbing.
 
 use actorprof::{ProfError, TraceBundle};
-use actorprof_trace::PeCollector;
+use actorprof_trace::{PeCollector, TraceConfig};
 use fabsp_actor::ActorError;
-use fabsp_shmem::ShmemError;
+use fabsp_conveyors::ConveyorOptions;
+use fabsp_shmem::{FaultSpec, Grid, Harness, SchedSpec, ShmemError};
+
+/// Run configuration shared by every bundled application: layout, tracing,
+/// aggregation, randomness, and testkit controls in one place.
+///
+/// Per-app configs ([`HistogramConfig`](crate::histogram::HistogramConfig),
+/// [`IndexGatherConfig`](crate::index_gather::IndexGatherConfig),
+/// [`TriangleConfig`](crate::triangle::TriangleConfig)) are thin typed
+/// wrappers that `Deref` to this, so `cfg.trace = …` / `cfg.sched = …`
+/// keep working at every call site while the wiring lives here once.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// PE/node layout.
+    pub grid: Grid,
+    /// What to trace.
+    pub trace: TraceConfig,
+    /// Conveyor aggregation options.
+    pub conveyor: ConveyorOptions,
+    /// RNG seed for workload generation (apps derive per-PE streams from
+    /// it; runs are deterministic given the seed).
+    pub seed: u64,
+    /// Thread schedule: OS-free-running (default) or a seeded
+    /// deterministic random walk (testkit).
+    pub sched: SchedSpec,
+    /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
+    /// production).
+    pub faults: FaultSpec,
+}
+
+impl RunConfig {
+    /// Defaults on the given grid: no tracing, default conveyor options,
+    /// seed 0, OS scheduling, no faults.
+    pub fn new(grid: Grid) -> RunConfig {
+        RunConfig {
+            grid,
+            trace: TraceConfig::off(),
+            conveyor: ConveyorOptions::default(),
+            seed: 0,
+            sched: SchedSpec::Os,
+            faults: FaultSpec::NONE,
+        }
+    }
+
+    /// Select what to trace.
+    pub fn with_trace(mut self, trace: TraceConfig) -> RunConfig {
+        self.trace = trace;
+        self
+    }
+
+    /// Override conveyor aggregation options.
+    pub fn with_conveyor(mut self, conveyor: ConveyorOptions) -> RunConfig {
+        self.conveyor = conveyor;
+        self
+    }
+
+    /// Set the workload RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> RunConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Select the thread schedule.
+    pub fn with_sched(mut self, sched: SchedSpec) -> RunConfig {
+        self.sched = sched;
+        self
+    }
+
+    /// Inject substrate faults.
+    pub fn with_faults(mut self, faults: FaultSpec) -> RunConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// The SPMD harness this configuration describes.
+    pub fn harness(&self) -> Harness {
+        Harness::new(self.grid).sched(self.sched).faults(self.faults)
+    }
+
+    /// An [`actorprof::Profiler`] carrying this configuration — the apps
+    /// delegate their run wiring to the facade through this.
+    pub fn profiler(&self) -> actorprof::Profiler {
+        actorprof::Profiler::new(self.grid)
+            .trace_config(self.trace.clone())
+            .conveyor(self.conveyor)
+            .sched(self.sched)
+            .faults(self.faults)
+    }
+}
 
 /// Errors surfaced by the bundled applications.
 #[derive(Debug)]
@@ -49,6 +137,16 @@ impl From<ProfError> for AppError {
     }
 }
 
+impl From<actorprof::RunError> for AppError {
+    fn from(e: actorprof::RunError) -> Self {
+        match e {
+            actorprof::RunError::Shmem(e) => AppError::Shmem(e),
+            actorprof::RunError::Actor(e) => AppError::Actor(e),
+            actorprof::RunError::Prof(e) => AppError::Prof(e),
+        }
+    }
+}
+
 /// Assemble per-PE `(result, collector)` pairs into results + bundle.
 pub fn split_outcomes<R>(outcomes: Vec<(R, PeCollector)>) -> Result<(Vec<R>, TraceBundle), AppError> {
     let mut results = Vec::with_capacity(outcomes.len());
@@ -74,6 +172,23 @@ mod tests {
         let (results, bundle) = split_outcomes::<usize>(outcomes).unwrap();
         assert_eq!(results, vec![0, 10, 20]);
         assert_eq!(bundle.n_pes(), 3);
+    }
+
+    #[test]
+    fn run_config_builder_sets_fields() {
+        let grid = Grid::single_node(2).unwrap();
+        let cfg = RunConfig::new(grid)
+            .with_trace(TraceConfig::off().with_logical())
+            .with_seed(7)
+            .with_sched(fabsp_shmem::SchedSpec::random_walk(3))
+            .with_faults(FaultSpec::NONE)
+            .with_conveyor(ConveyorOptions::default());
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.trace.logical);
+        assert!(matches!(
+            cfg.sched,
+            fabsp_shmem::SchedSpec::RandomWalk { seed: 3, .. }
+        ));
     }
 
     #[test]

@@ -5,49 +5,49 @@
 //! *without atomics* (single-threaded PEs process one message at a time).
 
 use actorprof::TraceBundle;
-use actorprof_trace::TraceConfig;
-use fabsp_actor::{Selector, SelectorConfig};
-use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, SchedSpec};
+use fabsp_shmem::Grid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{split_outcomes, AppError};
+use crate::common::{AppError, RunConfig};
 
-/// Configuration for a histogram run.
+/// Configuration for a histogram run: the shared [`RunConfig`] plus the
+/// histogram-specific workload knobs. Derefs to [`RunConfig`], so
+/// `cfg.trace = …` / `cfg.sched = …` work as before.
 #[derive(Debug, Clone)]
 pub struct HistogramConfig {
-    /// PE/node layout.
-    pub grid: Grid,
+    /// Shared run configuration (layout, tracing, schedule, faults).
+    pub run: RunConfig,
     /// Table slots owned by each PE.
     pub table_size_per_pe: usize,
     /// Increment messages issued by each PE.
     pub updates_per_pe: usize,
-    /// What to trace.
-    pub trace: TraceConfig,
-    /// RNG seed (updates are deterministic given the seed).
-    pub seed: u64,
-    /// Thread schedule: OS-free-running (default) or a seeded
-    /// deterministic random walk (testkit).
-    pub sched: SchedSpec,
-    /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
-    /// production).
-    pub faults: FaultSpec,
 }
 
 impl HistogramConfig {
     /// A small default on the given grid.
     pub fn new(grid: Grid) -> HistogramConfig {
         HistogramConfig {
-            grid,
+            run: RunConfig::new(grid).with_seed(0x4157_0001),
             table_size_per_pe: 1024,
             updates_per_pe: 4096,
-            trace: TraceConfig::off(),
-            seed: 0x4157_0001,
-            sched: SchedSpec::Os,
-            faults: FaultSpec::NONE,
         }
+    }
+}
+
+impl Deref for HistogramConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.run
+    }
+}
+
+impl DerefMut for HistogramConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.run
     }
 }
 
@@ -66,23 +66,16 @@ pub struct HistogramOutcome {
 /// once (the total table mass equals the number of sends).
 pub fn run(config: &HistogramConfig) -> Result<HistogramOutcome, AppError> {
     let table = config.table_size_per_pe;
-    let harness = Harness::new(config.grid)
-        .sched(config.sched)
-        .faults(config.faults);
-    let outcomes = spmd::run(harness, |pe| {
+    let report = config.profiler().run(|pe, prof| {
         let larray = Rc::new(RefCell::new(vec![0u64; table]));
         let h = Rc::clone(&larray);
-        let mut actor = Selector::new(
-            pe,
-            1,
-            SelectorConfig::traced(config.trace.clone()),
-            move |_mb, slot: u64, _from, _ctx| {
+        let mut actor = prof
+            .selector(1, move |_mb, slot: u64, _from, _ctx| {
                 // handler work: one table update
                 fabsp_hwpc::Cost::instructions(6).charge();
                 h.borrow_mut()[slot as usize] += 1;
-            },
-        )
-        .expect("selector construction");
+            })
+            .expect("selector construction");
         let n_pes = pe.n_pes();
         actor
             .execute(pe, |ctx| {
@@ -96,10 +89,10 @@ pub fn run(config: &HistogramConfig) -> Result<HistogramOutcome, AppError> {
             })
             .expect("histogram execute");
         let local_sum: u64 = larray.borrow().iter().sum();
-        (local_sum, actor.into_collector())
+        local_sum
     })?;
 
-    let (per_pe_updates, bundle) = split_outcomes(outcomes)?;
+    let (per_pe_updates, bundle) = (report.results, report.bundle);
     let total_updates: u64 = per_pe_updates.iter().sum();
     let expected = (config.updates_per_pe * config.grid.n_pes()) as u64;
     if total_updates != expected {
@@ -117,6 +110,7 @@ pub fn run(config: &HistogramConfig) -> Result<HistogramOutcome, AppError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use actorprof_trace::TraceConfig;
 
     #[test]
     fn histogram_conserves_updates_one_node() {

@@ -8,49 +8,48 @@
 //! pattern of HClib-Actor selectors.
 
 use actorprof::TraceBundle;
-use actorprof_trace::TraceConfig;
-use fabsp_actor::{Selector, SelectorConfig};
-use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, SchedSpec};
+use fabsp_shmem::Grid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{split_outcomes, AppError};
+use crate::common::{AppError, RunConfig};
 
-/// Configuration for an index-gather run.
+/// Configuration for an index-gather run: the shared [`RunConfig`] plus
+/// the index-gather workload knobs. Derefs to [`RunConfig`].
 #[derive(Debug, Clone)]
 pub struct IndexGatherConfig {
-    /// PE/node layout.
-    pub grid: Grid,
+    /// Shared run configuration (layout, tracing, schedule, faults).
+    pub run: RunConfig,
     /// Table entries owned by each PE.
     pub table_size_per_pe: usize,
     /// Reads issued by each PE.
     pub reads_per_pe: usize,
-    /// What to trace.
-    pub trace: TraceConfig,
-    /// RNG seed.
-    pub seed: u64,
-    /// Thread schedule: OS-free-running (default) or a seeded
-    /// deterministic random walk (testkit).
-    pub sched: SchedSpec,
-    /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
-    /// production).
-    pub faults: FaultSpec,
 }
 
 impl IndexGatherConfig {
     /// A small default on the given grid.
     pub fn new(grid: Grid) -> IndexGatherConfig {
         IndexGatherConfig {
-            grid,
+            run: RunConfig::new(grid).with_seed(0x16A7),
             table_size_per_pe: 512,
             reads_per_pe: 2048,
-            trace: TraceConfig::off(),
-            seed: 0x16A7,
-            sched: SchedSpec::Os,
-            faults: FaultSpec::NONE,
         }
+    }
+}
+
+impl Deref for IndexGatherConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.run
+    }
+}
+
+impl DerefMut for IndexGatherConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.run
     }
 }
 
@@ -80,10 +79,7 @@ const VAL_MASK: u64 = (1 << SLOT_SHIFT) - 1;
 /// Run the index-gather kernel.
 pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
     let table = config.table_size_per_pe;
-    let harness = Harness::new(config.grid)
-        .sched(config.sched)
-        .faults(config.faults);
-    let outcomes = spmd::run(harness, |pe| {
+    let report = config.profiler().run(|pe, prof| {
         // local slice of the distributed table
         let my_base = (pe.rank() * table) as u64;
         let local: Vec<u64> = (0..table as u64)
@@ -91,11 +87,8 @@ pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
             .collect();
         let gathered = Rc::new(RefCell::new(vec![0u64; config.reads_per_pe]));
         let g = Rc::clone(&gathered);
-        let mut actor = Selector::new(
-            pe,
-            2,
-            SelectorConfig::traced(config.trace.clone()),
-            move |mb, msg: u64, from, ctx| match mb {
+        let mut actor = prof
+            .selector(2, move |mb, msg: u64, from, ctx| match mb {
                 0 => {
                     // request: answer with the table value, same packing
                     let slot = msg >> SLOT_SHIFT;
@@ -109,9 +102,8 @@ pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
                     g.borrow_mut()[slot] = msg & VAL_MASK;
                 }
                 _ => unreachable!(),
-            },
-        )
-        .expect("selector construction");
+            })
+            .expect("selector construction");
         actor.chain_done(1, 0).expect("chain response after request");
         let n_pes = pe.n_pes();
         let indices: Vec<u64> = {
@@ -137,10 +129,10 @@ pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
             .zip(&indices)
             .filter(|(got, &global)| **got == table_value(global) & VAL_MASK)
             .count() as u64;
-        (correct, actor.into_collector())
+        correct
     })?;
 
-    let (per_pe_correct, bundle) = split_outcomes(outcomes)?;
+    let (per_pe_correct, bundle) = (report.results, report.bundle);
     let correct_reads: u64 = per_pe_correct.iter().sum();
     let expected = (config.reads_per_pe * config.grid.n_pes()) as u64;
     if correct_reads != expected {
@@ -157,6 +149,7 @@ pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use actorprof_trace::TraceConfig;
 
     #[test]
     fn gathers_correct_values_one_node() {

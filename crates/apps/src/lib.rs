@@ -34,5 +34,5 @@ pub mod index_gather;
 pub mod permute;
 pub mod triangle;
 
-pub use common::AppError;
+pub use common::{AppError, RunConfig};
 pub use triangle::{count_triangles, DistKind, TriangleConfig, TriangleOutcome};

@@ -19,15 +19,14 @@
 
 use actorprof::TraceBundle;
 use actorprof_trace::TraceConfig;
-use fabsp_hwpc::Cost;
-use fabsp_actor::{Selector, SelectorConfig};
-use fabsp_conveyors::ConveyorOptions;
 use fabsp_graph::{triangle_ref, Csr, Distribution};
-use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, SchedSpec};
+use fabsp_hwpc::Cost;
+use fabsp_shmem::Grid;
 use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{split_outcomes, AppError};
+use crate::common::{AppError, RunConfig};
 
 /// Which row distribution to run under (§IV-B2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,40 +55,30 @@ impl DistKind {
     }
 }
 
-/// Configuration for a triangle-counting run.
+/// Configuration for a triangle-counting run: the shared [`RunConfig`]
+/// plus the case-study knobs. Derefs to [`RunConfig`], so `cfg.trace`,
+/// `cfg.conveyor`, `cfg.sched`, … keep working at every call site.
 #[derive(Debug, Clone)]
 pub struct TriangleConfig {
-    /// PE/node layout (the paper uses 1×16 and 2×16).
-    pub grid: Grid,
+    /// Shared run configuration (layout, tracing, aggregation, schedule,
+    /// faults). The paper uses 1×16 and 2×16 grids and profiles only the
+    /// counting kernel; graph construction and validation are outside the
+    /// trace window, as here.
+    pub run: RunConfig,
     /// Row distribution.
     pub dist: DistKind,
-    /// What to trace (the paper profiles only the counting kernel; graph
-    /// construction and validation are outside the window, as here).
-    pub trace: TraceConfig,
-    /// Conveyor aggregation options.
-    pub conveyor: ConveyorOptions,
     /// Validate against the sequential reference count (§IV-C's
     /// assertion). Skippable for large benchmark sweeps.
     pub validate: bool,
-    /// Thread schedule: OS-free-running (default) or a seeded
-    /// deterministic random walk (testkit).
-    pub sched: SchedSpec,
-    /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
-    /// production).
-    pub faults: FaultSpec,
 }
 
 impl TriangleConfig {
     /// Defaults: cyclic distribution, no tracing, validation on.
     pub fn new(grid: Grid) -> TriangleConfig {
         TriangleConfig {
-            grid,
+            run: RunConfig::new(grid),
             dist: DistKind::Cyclic,
-            trace: TraceConfig::off(),
-            conveyor: ConveyorOptions::default(),
             validate: true,
-            sched: SchedSpec::Os,
-            faults: FaultSpec::NONE,
         }
     }
 
@@ -101,8 +90,21 @@ impl TriangleConfig {
 
     /// Enable tracing.
     pub fn with_trace(mut self, trace: TraceConfig) -> TriangleConfig {
-        self.trace = trace;
+        self.run.trace = trace;
         self
+    }
+}
+
+impl Deref for TriangleConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.run
+    }
+}
+
+impl DerefMut for TriangleConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.run
     }
 }
 
@@ -132,21 +134,12 @@ pub fn count_triangles(l: &Csr, config: &TriangleConfig) -> Result<TriangleOutco
     let n_pes = config.grid.n_pes();
     let dist = config.dist.resolve(l, n_pes);
 
-    let harness = Harness::new(config.grid)
-        .sched(config.sched)
-        .faults(config.faults);
-    let outcomes = spmd::run(harness, |pe| {
+    let report = config.profiler().run(|pe, prof| {
         let counter = Rc::new(RefCell::new(0u64));
         let c = Rc::clone(&counter);
         let handler_dist = dist.clone();
-        let mut actor = Selector::new(
-            pe,
-            1,
-            SelectorConfig {
-                conveyor: config.conveyor,
-                trace: config.trace.clone(),
-            },
-            move |_mb, msg: u64, _from, _ctx| {
+        let mut actor = prof
+            .selector(1, move |_mb, msg: u64, _from, _ctx| {
                 // ActorProcess(j, k): if l_jk exists, count a triangle.
                 let j = (msg >> 32) as usize;
                 let k = (msg & 0xffff_ffff) as u32;
@@ -157,9 +150,8 @@ pub fn count_triangles(l: &Csr, config: &TriangleConfig) -> Result<TriangleOutco
                 if l.has_edge(j, k) {
                     *c.borrow_mut() += 1;
                 }
-            },
-        )
-        .expect("selector construction");
+            })
+            .expect("selector construction");
 
         actor
             .execute(pe, |ctx| {
@@ -179,10 +171,10 @@ pub fn count_triangles(l: &Csr, config: &TriangleConfig) -> Result<TriangleOutco
             .expect("triangle execute");
 
         let local = *counter.borrow();
-        (local, actor.into_collector())
+        local
     })?;
 
-    let (per_pe_triangles, bundle) = split_outcomes(outcomes)?;
+    let (per_pe_triangles, bundle) = (report.results, report.bundle);
     let triangles: u64 = per_pe_triangles.iter().sum();
     let wedges = l.wedge_count();
 

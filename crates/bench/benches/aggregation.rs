@@ -14,7 +14,7 @@ fn all_to_all_time(grid: Grid, options: ConveyorOptions, msgs_per_pe: u64) -> st
         let start = std::time::Instant::now();
         let mut sent = 0u64;
         loop {
-            while sent < msgs_per_pe && c.push(pe, sent, (sent as usize) % n).unwrap() {
+            while sent < msgs_per_pe && c.push(pe, sent, (sent as usize) % n).unwrap().is_accepted() {
                 sent += 1;
             }
             let active = c.advance(pe, sent == msgs_per_pe);

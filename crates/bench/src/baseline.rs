@@ -1,0 +1,375 @@
+//! Frozen pre-SPSC conveyor: the mutex-guarded implementation the ring
+//! buffers replaced, kept verbatim (minus tracing/chaos hooks) as the
+//! baseline for `bench_hotpath`'s same-machine comparison.
+//!
+//! Landing slots live in a [`SymmetricVec`] (every access takes the
+//! region's `parking_lot::Mutex`), ready/ack words in two
+//! [`SymmetricAtomicVec`]s, and every remote flush allocates: `put_nbi`
+//! captures the staged buffer with a `to_vec`. Those three costs are
+//! exactly what `fabsp_conveyors::Conveyor` no longer pays; do not
+//! "improve" this module, or the comparison stops measuring the change.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fabsp_conveyors::{ConveyorError, ConveyorOptions, Envelope, LinkKind, Topology};
+use fabsp_shmem::{Pe, SymmetricAtomicVec, SymmetricVec};
+
+/// Shared termination ledger (as in the frozen implementation).
+struct SharedState {
+    pushed: AtomicU64,
+    pulled: AtomicU64,
+    done: AtomicU64,
+}
+
+struct OutLink<T> {
+    peer: usize,
+    kind: LinkKind,
+    buf: Vec<Envelope<T>>,
+    /// Sends issued per slot; slot is free when the receiver's acks catch up.
+    slot_sent: [u64; 2],
+    /// Remote slots delivered but not yet signalled: (seq, item_count).
+    in_flight: [Option<(u64, usize)>; 2],
+    /// Per-link flush sequence (1-based).
+    flush_seq: u64,
+}
+
+/// The pre-change conveyor: mutex-guarded landing slots, separate
+/// ready/ack signal vectors, per-flush allocation on the remote path.
+pub struct MutexConveyor<T> {
+    me: usize,
+    grid: fabsp_shmem::Grid,
+    topology: Topology,
+    capacity: usize,
+    links: Vec<OutLink<T>>,
+    landing: SymmetricVec<Envelope<T>>,
+    /// Receiver-side ready words, one per (link, slot):
+    /// `0` = free, else `(seq << 32) | (count + 1)`.
+    ready: SymmetricAtomicVec,
+    /// Sender-side ack counters, one per (link, slot).
+    acks: SymmetricAtomicVec,
+    /// Receiver-side consumption cursor per (link, slot).
+    cursors: Vec<usize>,
+    /// Next flush sequence expected per incoming link.
+    expect_seq: Vec<u64>,
+    pull_queue: VecDeque<(u32, T)>,
+    scratch: Vec<Envelope<T>>,
+    shared: Arc<SharedState>,
+    done_signaled: bool,
+    complete: bool,
+    need_progress: bool,
+}
+
+impl<T: Copy + Default + Send + 'static> MutexConveyor<T> {
+    /// Collectively create a conveyor across all PEs.
+    pub fn new(pe: &Pe, options: ConveyorOptions) -> Result<MutexConveyor<T>, ConveyorError> {
+        if options.capacity == 0 {
+            return Err(ConveyorError::ZeroCapacity);
+        }
+        let grid = pe.grid();
+        let topology = Topology::resolve(options.topology, grid);
+        let n_links = topology.n_links(grid);
+        let landing = SymmetricVec::new(pe, n_links * 2 * options.capacity)?;
+        let ready = SymmetricAtomicVec::new(pe, n_links * 2)?;
+        let acks = SymmetricAtomicVec::new(pe, n_links * 2)?;
+        let shared = pe.allreduce((), |_| {
+            Arc::new(SharedState {
+                pushed: AtomicU64::new(0),
+                pulled: AtomicU64::new(0),
+                done: AtomicU64::new(0),
+            })
+        });
+        let me = pe.rank();
+        let links = (0..n_links)
+            .map(|link| OutLink {
+                peer: topology.link_peer(grid, me, link),
+                kind: topology.link_kind(grid, me, link),
+                buf: Vec::with_capacity(options.capacity),
+                slot_sent: [0, 0],
+                in_flight: [None, None],
+                flush_seq: 1,
+            })
+            .collect();
+        Ok(MutexConveyor {
+            me,
+            grid,
+            topology,
+            capacity: options.capacity,
+            links,
+            landing,
+            ready,
+            acks,
+            cursors: vec![0; n_links * 2],
+            expect_seq: vec![1; n_links],
+            pull_queue: VecDeque::new(),
+            scratch: Vec::with_capacity(options.capacity),
+            shared,
+            done_signaled: false,
+            complete: false,
+            need_progress: false,
+        })
+    }
+
+    /// Try to enqueue `item` for `dst`; `Ok(false)` means buffers full.
+    pub fn push(&mut self, pe: &Pe, item: T, dst: usize) -> Result<bool, ConveyorError> {
+        if dst >= self.grid.n_pes() {
+            return Err(ConveyorError::InvalidDestination {
+                dst,
+                n_pes: self.grid.n_pes(),
+            });
+        }
+        if self.done_signaled {
+            return Err(ConveyorError::PushAfterDone);
+        }
+        let route = self.topology.route(self.grid, self.me, dst);
+        if self.links[route.link].buf.len() >= self.capacity {
+            self.flush_link(pe, route.link);
+            if self.links[route.link].buf.len() >= self.capacity {
+                return Ok(false);
+            }
+        }
+        self.links[route.link].buf.push(Envelope {
+            final_dst: dst as u32,
+            origin: self.me as u32,
+            item,
+        });
+        self.shared.pushed.fetch_add(1, Ordering::SeqCst);
+        Ok(true)
+    }
+
+    /// Take one delivered item, if any: `(origin PE, item)`.
+    pub fn pull(&mut self) -> Option<(u32, T)> {
+        let out = self.pull_queue.pop_front();
+        if out.is_some() {
+            self.shared.pulled.fetch_add(1, Ordering::SeqCst);
+        }
+        out
+    }
+
+    /// Make communication progress; `false` once terminated.
+    pub fn advance(&mut self, pe: &Pe, done: bool) -> bool {
+        if self.complete {
+            return false;
+        }
+        if done && !self.done_signaled {
+            self.done_signaled = true;
+            self.shared.done.fetch_add(1, Ordering::SeqCst);
+        }
+
+        self.consume_incoming(pe);
+
+        for link in 0..self.links.len() {
+            let len = self.links[link].buf.len();
+            if len >= self.capacity || (self.done_signaled && len > 0) {
+                self.flush_link(pe, link);
+            }
+        }
+
+        if self.need_progress || (self.done_signaled && self.has_in_flight()) {
+            self.progress(pe);
+        }
+
+        self.consume_incoming(pe);
+
+        if self.shared.done.load(Ordering::SeqCst) == self.grid.n_pes() as u64 {
+            let pushed = self.shared.pushed.load(Ordering::SeqCst);
+            let pulled = self.shared.pulled.load(Ordering::SeqCst);
+            if pushed == pulled {
+                self.complete = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn has_in_flight(&self) -> bool {
+        self.links
+            .iter()
+            .any(|l| l.in_flight.iter().any(|s| s.is_some()))
+    }
+
+    fn slot_index(link: usize, slot: usize) -> usize {
+        link * 2 + slot
+    }
+
+    fn flush_link(&mut self, pe: &Pe, link: usize) {
+        if self.links[link].buf.is_empty() {
+            return;
+        }
+        let slot = {
+            let l = &self.links[link];
+            (0..2).find(|&s| {
+                l.in_flight[s].is_none()
+                    && self.acks.local_load(pe, Self::slot_index(link, s)) == l.slot_sent[s]
+            })
+        };
+        let Some(slot) = slot else {
+            if self.links[link].in_flight.iter().any(|s| s.is_some()) {
+                self.need_progress = true;
+            }
+            return;
+        };
+
+        let peer = self.links[link].peer;
+        let kind = self.links[link].kind;
+        let count = self.links[link].buf.len();
+        let seq = self.links[link].flush_seq;
+        let rev = self.topology.reverse_link(self.grid, peer, self.me);
+        let base = (Self::slot_index(rev, slot)) * self.capacity;
+        let ready_word = (seq << 32) | (count as u64 + 1);
+
+        match kind {
+            LinkKind::Local => {
+                self.landing
+                    .put(pe, peer, base, &self.links[link].buf)
+                    .expect("landing slot bounds are static");
+                self.ready
+                    .store(pe, peer, Self::slot_index(rev, slot), ready_word)
+                    .expect("ready word bounds are static");
+            }
+            LinkKind::Remote => {
+                self.landing
+                    .put_nbi(pe, peer, base, &self.links[link].buf)
+                    .expect("landing slot bounds are static");
+                self.links[link].in_flight[slot] = Some((seq, count));
+            }
+        }
+        self.links[link].slot_sent[slot] += 1;
+        self.links[link].flush_seq += 1;
+        self.links[link].buf.clear();
+    }
+
+    fn progress(&mut self, pe: &Pe) {
+        if !self.has_in_flight() {
+            self.need_progress = false;
+            return;
+        }
+        pe.quiet();
+        for link in 0..self.links.len() {
+            for slot in 0..2 {
+                if let Some((seq, count)) = self.links[link].in_flight[slot].take() {
+                    let peer = self.links[link].peer;
+                    let rev = self.topology.reverse_link(self.grid, peer, self.me);
+                    let ready_word = (seq << 32) | (count as u64 + 1);
+                    self.ready
+                        .store(pe, peer, Self::slot_index(rev, slot), ready_word)
+                        .expect("ready word bounds are static");
+                }
+            }
+        }
+        self.need_progress = false;
+    }
+
+    fn consume_incoming(&mut self, pe: &Pe) {
+        let n_links = self.links.len();
+        for link in 0..n_links {
+            loop {
+                let expected = self.expect_seq[link];
+                let Some(slot) = (0..2).find(|&s| {
+                    let word = self.ready.local_load(pe, Self::slot_index(link, s));
+                    word != 0 && (word >> 32) == expected
+                }) else {
+                    break;
+                };
+                if !self.consume_slot(pe, link, slot) {
+                    break;
+                }
+                self.expect_seq[link] += 1;
+            }
+        }
+    }
+
+    fn consume_slot(&mut self, pe: &Pe, link: usize, slot: usize) -> bool {
+        let idx = Self::slot_index(link, slot);
+        let word = self.ready.local_load(pe, idx);
+        let count = ((word & 0xffff_ffff) - 1) as usize;
+        let base = idx * self.capacity;
+        let start = self.cursors[idx];
+
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.landing.read_local(pe, |region| {
+            scratch.extend_from_slice(&region[base + start..base + count]);
+        });
+
+        let mut processed = 0;
+        let mut blocked = false;
+        for env in &scratch {
+            if env.final_dst as usize == self.me {
+                self.pull_queue.push_back((env.origin, env.item));
+                processed += 1;
+            } else {
+                let rl = self
+                    .topology
+                    .relay_link(self.grid, self.me, env.final_dst as usize);
+                if self.links[rl].buf.len() >= self.capacity {
+                    self.flush_link(pe, rl);
+                }
+                if self.links[rl].buf.len() >= self.capacity {
+                    blocked = true;
+                    break;
+                }
+                self.links[rl].buf.push(*env);
+                processed += 1;
+            }
+        }
+        self.scratch = scratch;
+        self.cursors[idx] = start + processed;
+
+        if blocked {
+            return false;
+        }
+
+        debug_assert_eq!(self.cursors[idx], count);
+        self.cursors[idx] = 0;
+        self.ready
+            .store(pe, self.me, idx, 0)
+            .expect("own ready word");
+        let src = self.topology.link_peer(self.grid, self.me, link);
+        let src_link = self.topology.reverse_link(self.grid, src, self.me);
+        self.acks
+            .fetch_add(pe, src, Self::slot_index(src_link, slot), 1)
+            .expect("ack word bounds are static");
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabsp_shmem::{spmd, Grid};
+
+    #[test]
+    fn baseline_still_delivers_all_to_all() {
+        for grid in [Grid::single_node(4).unwrap(), Grid::new(2, 2).unwrap()] {
+            let got = spmd::run(grid, |pe| {
+                let mut c = MutexConveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+                let n = pe.n_pes();
+                let mut received = 0u64;
+                let mut next = 0usize;
+                let total = n * 8;
+                loop {
+                    while next < total {
+                        if c.push(pe, next as u64, next % n).unwrap() {
+                            next += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let active = c.advance(pe, next == total);
+                    while c.pull().is_some() {
+                        received += 1;
+                    }
+                    if !active {
+                        break;
+                    }
+                    pe.poll_yield();
+                }
+                received
+            })
+            .unwrap();
+            assert_eq!(got.iter().sum::<u64>(), (grid.n_pes() * grid.n_pes() * 8) as u64);
+        }
+    }
+}

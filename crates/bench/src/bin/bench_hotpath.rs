@@ -1,0 +1,181 @@
+//! Hot-path microbenchmark: conveyor push/advance throughput, SPSC rings
+//! vs the frozen mutex baseline, plus traced-vs-untraced overhead.
+//!
+//! Writes `BENCH_hotpath.json` (path relative to the working directory —
+//! run from the repo root to update the checked-in copy).
+//!
+//! ```text
+//! cargo run --release -p fabsp-bench --bin bench_hotpath
+//! ACTORPROF_HOTPATH_ITEMS=20000 ACTORPROF_HOTPATH_PES=4 \
+//!   cargo run --release -p fabsp-bench --bin bench_hotpath   # CI smoke
+//! ```
+//!
+//! Environment knobs: `ACTORPROF_HOTPATH_ITEMS` (items per PE, default
+//! 200000), `ACTORPROF_HOTPATH_PES` (default 8, must be even),
+//! `ACTORPROF_HOTPATH_REPS` (default 3, best-of), `ACTORPROF_HOTPATH_OUT`
+//! (default `BENCH_hotpath.json`).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use actorprof_trace::{PeCollector, TraceConfig};
+use fabsp_bench::baseline::MutexConveyor;
+use fabsp_conveyors::{Conveyor, ConveyorOptions};
+use fabsp_shmem::{spmd, Grid};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One all-to-all superstep on the SPSC conveyor: `items` pushes per PE,
+/// round-robin destinations, drained to termination. Returns the slowest
+/// PE's wall time for the push/advance/pull loop (construction excluded).
+fn run_spsc(grid: Grid, items: usize, traced: bool) -> f64 {
+    let per_pe = spmd::run(grid, |pe| {
+        let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).expect("conveyor");
+        if traced {
+            c.attach_collector(Rc::new(RefCell::new(PeCollector::new(
+                pe.rank(),
+                pe.n_pes(),
+                pe.grid().pes_per_node(),
+                TraceConfig::off().with_physical(),
+            ))));
+        }
+        let n = pe.n_pes();
+        let me = pe.rank();
+        pe.barrier_all();
+        let t0 = Instant::now();
+        let mut next = 0usize;
+        let mut received = 0u64;
+        loop {
+            while next < items {
+                let dst = (me + next) % n;
+                if c.push(pe, next as u64, dst).expect("push").is_accepted() {
+                    next += 1;
+                } else {
+                    break;
+                }
+            }
+            let active = c.advance(pe, next == items);
+            while c.pull().is_some() {
+                received += 1;
+            }
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(received, items as u64, "all-to-all must balance");
+        secs
+    })
+    .expect("SPMD run");
+    per_pe.into_iter().fold(0.0f64, f64::max)
+}
+
+/// The same superstep on the frozen mutex baseline.
+fn run_mutex(grid: Grid, items: usize) -> f64 {
+    let per_pe = spmd::run(grid, |pe| {
+        let mut c = MutexConveyor::<u64>::new(pe, ConveyorOptions::default()).expect("conveyor");
+        let n = pe.n_pes();
+        let me = pe.rank();
+        pe.barrier_all();
+        let t0 = Instant::now();
+        let mut next = 0usize;
+        let mut received = 0u64;
+        loop {
+            while next < items {
+                let dst = (me + next) % n;
+                if c.push(pe, next as u64, dst).expect("push") {
+                    next += 1;
+                } else {
+                    break;
+                }
+            }
+            let active = c.advance(pe, next == items);
+            while c.pull().is_some() {
+                received += 1;
+            }
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(received, items as u64, "all-to-all must balance");
+        secs
+    })
+    .expect("SPMD run");
+    per_pe.into_iter().fold(0.0f64, f64::max)
+}
+
+/// Best-of-`reps` throughput in items/sec.
+fn best_tput(reps: usize, total_items: usize, mut run: impl FnMut() -> f64) -> f64 {
+    (0..reps)
+        .map(|_| total_items as f64 / run())
+        .fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let items = env_usize("ACTORPROF_HOTPATH_ITEMS", 200_000);
+    let pes = env_usize("ACTORPROF_HOTPATH_PES", 8);
+    let reps = env_usize("ACTORPROF_HOTPATH_REPS", 3);
+    let out = std::env::var("ACTORPROF_HOTPATH_OUT")
+        .unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+    assert!(
+        pes >= 2 && pes.is_multiple_of(2),
+        "ACTORPROF_HOTPATH_PES must be even"
+    );
+
+    let topologies = [
+        ("oned", Grid::single_node(pes).expect("grid")),
+        ("mesh2d", Grid::new(2, pes / 2).expect("grid")),
+    ];
+
+    let mut sections = Vec::new();
+    for (name, grid) in topologies {
+        let total = items * grid.n_pes();
+        eprintln!("[{name}] {} PEs x {items} items, best of {reps}", grid.n_pes());
+        let mutex = best_tput(reps, total, || run_mutex(grid, items));
+        let spsc = best_tput(reps, total, || run_spsc(grid, items, false));
+        let traced = best_tput(reps, total, || run_spsc(grid, items, true));
+        let speedup = spsc / mutex;
+        let overhead = (1.0 - traced / spsc) * 100.0;
+        eprintln!(
+            "[{name}] mutex {:.2e} it/s | spsc {:.2e} it/s ({speedup:.2}x) | traced {:.2e} it/s ({overhead:.1}% overhead)",
+            mutex, spsc, traced
+        );
+        sections.push(format!(
+            r#"    "{name}": {{
+      "mutex_baseline_items_per_sec": {mutex:.0},
+      "spsc_items_per_sec": {spsc:.0},
+      "speedup_vs_mutex": {speedup:.3},
+      "traced_items_per_sec": {traced:.0},
+      "tracing_overhead_percent": {overhead:.2}
+    }}"#
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "benchmark": "conveyor_hotpath",
+  "workload": "all-to-all push/advance/pull, round-robin destinations",
+  "items_per_pe": {items},
+  "pes": {pes},
+  "reps_best_of": {reps},
+  "capacity": {capacity},
+  "topologies": {{
+{body}
+  }}
+}}
+"#,
+        capacity = ConveyorOptions::default().capacity,
+        body = sections.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_hotpath.json");
+    println!("wrote {out}");
+}

@@ -17,6 +17,7 @@
 //! - `ACTORPROF_OUT` — output directory for figures (default
 //!   `target/actorprof-figures`).
 
+pub mod baseline;
 pub mod experiment;
 pub mod figures;
 pub mod overhead;

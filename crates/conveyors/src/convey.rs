@@ -3,22 +3,32 @@
 //!
 //! ## Delivery protocol
 //!
-//! Each directed link owns **two landing slots** at the receiver (double
-//! buffering). The sender stages items in a per-link buffer; a flush claims
-//! a free slot and delivers:
+//! Each directed link owns **two landing cells** at the receiver — lock-free
+//! SPSC ring cells ([`SpscRing`]) whose state word doubles as ready signal
+//! and free-list entry (`0` = free for the sender, non-zero = published).
+//! The sender stages items in a pooled per-link buffer; a flush claims a
+//! free cell and delivers:
 //!
-//! - **local_send** (same node): a blocking [`SymmetricVec::put`] (the
-//!   `shmem_ptr` memcpy) immediately followed by a *ready* signal.
-//! - **nonblock_send** (cross node): a [`SymmetricVec::put_nbi`]
-//!   (`shmem_putmem_nbi`) whose data is *not yet visible*; the slot is
-//!   marked in-flight. A later **nonblock_progress** issues one
-//!   [`Pe::quiet`] and then a signalling atomic put per in-flight
-//!   destination — the exact `quiet`-then-signal sequence §III-C traces.
+//! - **local_send** (same node): a blocking [`SpscRing::write`] (the
+//!   `shmem_ptr` memcpy) immediately followed by the *ready* publication.
+//! - **nonblock_send** (cross node): a [`SpscRing::write_nbi`]
+//!   (`shmem_putmem_nbi`) whose data is *not yet visible* — the cell stays
+//!   unpublished and the slot is marked in-flight. A later
+//!   **nonblock_progress** issues one [`Pe::quiet`] and then publishes each
+//!   in-flight cell — the exact `quiet`-then-signal sequence §III-C traces.
 //!
-//! Ready signals carry a per-link flush sequence number; the receiver
-//! consumes slots strictly in sequence, so message order between any PE
+//! Ready words carry a per-link flush sequence number; the receiver
+//! consumes cells strictly in sequence, so message order between any PE
 //! pair is preserved (the "ordering guarantees... restricted for a pair of
 //! PEs" of §IV-E) even when double-buffered flushes complete out of order.
+//! Consumption ends with a [`SpscRing::release`] — the ack that returns the
+//! cell to the sender — so no separate ack counters exist and the
+//! per-message path (`push`, `pull`, flush, consume) acquires **no mutex**;
+//! debug builds assert this against the lock-acquisition counter.
+//!
+//! Trace events are likewise batched: physical sends land in a thread-local
+//! [`TraceBuffer`] and drain into the attached collector once per
+//! [`advance`](Conveyor::advance), not per event.
 //!
 //! ## Termination
 //!
@@ -33,8 +43,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use actorprof_trace::{SendType, SharedCollector};
-use fabsp_shmem::{Pe, SymmetricAtomicVec, SymmetricVec};
+use actorprof_trace::{SendType, SharedCollector, TraceBuffer};
+use fabsp_shmem::{Pe, SpscRing};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,7 +55,7 @@ use crate::topology::{LinkKind, Topology, TopologySpec};
 /// Construction options for a [`Conveyor`].
 #[derive(Debug, Clone, Copy)]
 pub struct ConveyorOptions {
-    /// Items per aggregation buffer (and per landing slot). Default 64 —
+    /// Items per aggregation buffer (and per landing cell). Default 64 —
     /// with 8–32-byte items this yields the 0.5–2 KiB network packets
     /// aggregation libraries target.
     pub capacity: usize,
@@ -74,6 +84,37 @@ pub struct Envelope<T> {
     pub item: T,
 }
 
+/// What happened to a [`Conveyor::push`].
+///
+/// A refused push is not an error — it is the aggregation layer's
+/// backpressure, and the FA-BSP contract is that the caller makes progress
+/// ([`Conveyor::advance`], draining pulls) and retries the same item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a Retry outcome means the item was NOT enqueued"]
+pub enum PushOutcome {
+    /// The item was staged for delivery.
+    Accepted,
+    /// Buffers toward that destination are full; advance and retry.
+    Retry,
+}
+
+impl PushOutcome {
+    /// `true` when the item was accepted.
+    #[inline]
+    pub fn is_accepted(self) -> bool {
+        matches!(self, PushOutcome::Accepted)
+    }
+}
+
+/// One item handed out by [`Conveyor::pull`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery<T> {
+    /// The PE that pushed the item.
+    pub src: u32,
+    /// The payload.
+    pub item: T,
+}
+
 /// Shared termination ledger (the in-process stand-in for Conveyors'
 /// endgame reductions).
 struct SharedState {
@@ -82,13 +123,43 @@ struct SharedState {
     done: AtomicU64,
 }
 
+/// Free-list of staging/scratch buffers. All `Vec<Envelope<T>>` the
+/// conveyor ever uses come from here, so steady-state supersteps allocate
+/// nothing: buffers cycle take → use → give. [`ConveyorStats::buffer_allocs`]
+/// exposes the (construction-time) allocation count.
+struct BufferPool<T> {
+    free: Vec<Vec<Envelope<T>>>,
+    capacity: usize,
+    allocs: u64,
+}
+
+impl<T> BufferPool<T> {
+    fn new(capacity: usize) -> BufferPool<T> {
+        BufferPool {
+            free: Vec::new(),
+            capacity,
+            allocs: 0,
+        }
+    }
+
+    fn take(&mut self) -> Vec<Envelope<T>> {
+        self.free.pop().unwrap_or_else(|| {
+            self.allocs += 1;
+            Vec::with_capacity(self.capacity)
+        })
+    }
+
+    fn give(&mut self, mut buf: Vec<Envelope<T>>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+}
+
 struct OutLink<T> {
     peer: usize,
     kind: LinkKind,
     buf: Vec<Envelope<T>>,
-    /// Sends issued per slot; slot is free when the receiver's acks catch up.
-    slot_sent: [u64; 2],
-    /// Remote slots delivered but not yet signalled: (seq, item_count).
+    /// Remote cells written but not yet published: (seq, item_count).
     in_flight: [Option<(u64, usize)>; 2],
     /// Per-link flush sequence (1-based).
     flush_seq: u64,
@@ -102,24 +173,31 @@ pub struct Conveyor<T> {
     topology: Topology,
     capacity: usize,
     links: Vec<OutLink<T>>,
-    landing: SymmetricVec<Envelope<T>>,
-    /// Receiver-side ready words, one per (link, slot):
-    /// `0` = free, else `(seq << 32) | (count + 1)`.
-    ready: SymmetricAtomicVec,
-    /// Sender-side ack counters, one per (link, slot).
-    acks: SymmetricAtomicVec,
+    /// Landing cells, one SPSC cell per (incoming link, slot); the cell
+    /// state word is ready signal and free-list entry in one.
+    cells: SpscRing<Envelope<T>>,
     /// Receiver-side consumption cursor per (link, slot).
     cursors: Vec<usize>,
     /// Next flush sequence expected per incoming link.
     expect_seq: Vec<u64>,
     pull_queue: VecDeque<(u32, T)>,
-    scratch: Vec<Envelope<T>>,
+    pool: BufferPool<T>,
     shared: Arc<SharedState>,
+    /// Pushes/pulls not yet posted to the shared termination ledger. The
+    /// ledger is contended by every PE, so the hot path only bumps these
+    /// locals; `advance` posts the deltas once per call, which is all the
+    /// endgame check needs (a PE with unposted deltas cannot be terminal —
+    /// it will call `advance` again).
+    pending_pushed: u64,
+    pending_pulled: u64,
     done_signaled: bool,
     complete: bool,
     need_progress: bool,
     stats: ConveyorStats,
     collector: Option<SharedCollector>,
+    /// Batched physical-trace events; drained into `collector` once per
+    /// `advance`, never on the per-message path.
+    trace_buf: TraceBuffer,
     chaos: Option<Chaos>,
 }
 
@@ -139,9 +217,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         let grid = pe.grid();
         let topology = Topology::resolve(options.topology, grid);
         let n_links = topology.n_links(grid);
-        let landing = SymmetricVec::new(pe, n_links * 2 * options.capacity)?;
-        let ready = SymmetricAtomicVec::new(pe, n_links * 2)?;
-        let acks = SymmetricAtomicVec::new(pe, n_links * 2)?;
+        let cells = SpscRing::new(pe, n_links * 2, options.capacity)?;
         let shared = pe.allreduce((), |_| {
             Arc::new(SharedState {
                 pushed: AtomicU64::new(0),
@@ -150,12 +226,12 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             })
         });
         let me = pe.rank();
+        let mut pool = BufferPool::new(options.capacity);
         let links = (0..n_links)
             .map(|link| OutLink {
                 peer: topology.link_peer(grid, me, link),
                 kind: topology.link_kind(grid, me, link),
-                buf: Vec::with_capacity(options.capacity),
-                slot_sent: [0, 0],
+                buf: pool.take(),
                 in_flight: [None, None],
                 flush_seq: 1,
             })
@@ -166,19 +242,20 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             topology,
             capacity: options.capacity,
             links,
-            landing,
-            ready,
-            acks,
+            cells,
             cursors: vec![0; n_links * 2],
             expect_seq: vec![1; n_links],
             pull_queue: VecDeque::new(),
-            scratch: Vec::with_capacity(options.capacity),
+            pending_pushed: 0,
+            pending_pulled: 0,
+            pool,
             shared,
             done_signaled: false,
             complete: false,
             need_progress: false,
             stats: ConveyorStats::default(),
             collector: None,
+            trace_buf: TraceBuffer::default(),
             chaos: None,
         })
     }
@@ -204,9 +281,11 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
     }
 
     /// Attach an ActorProf collector; subsequent `local_send` /
-    /// `nonblock_send` / `nonblock_progress` events are recorded into its
-    /// physical trace (§III-C).
+    /// `nonblock_send` / `nonblock_progress` events are batched and drained
+    /// into its physical trace (§III-C) at `advance` boundaries.
     pub fn attach_collector(&mut self, collector: SharedCollector) {
+        let config = collector.borrow().config().clone();
+        self.trace_buf = TraceBuffer::for_config(&config);
         self.collector = Some(collector);
     }
 
@@ -222,7 +301,10 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
 
     /// This PE's operation counters.
     pub fn stats(&self) -> ConveyorStats {
-        self.stats
+        ConveyorStats {
+            buffer_allocs: self.pool.allocs,
+            ..self.stats
+        }
     }
 
     /// Whether this PE already signalled done.
@@ -238,8 +320,10 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
 
     /// Collectively re-arm a terminated conveyor for another superstep
     /// (Conveyors' `convey_reset`/`convey_begin` reuse pattern). Buffers,
-    /// landing zones, and sequence numbers carry over — termination left
-    /// them empty and consistent — only the endgame ledger is replaced.
+    /// landing cells, and sequence numbers carry over — termination left
+    /// them empty and consistent — and the endgame ledger is zeroed in
+    /// place during the collective rendezvous, so `reset` allocates
+    /// nothing.
     ///
     /// All PEs must call `reset` together, and only after every PE's
     /// `advance` returned `false`.
@@ -257,23 +341,51 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             self.links.iter().all(|l| l.buf.is_empty()),
             "termination implies flushed"
         );
-        self.shared = pe.allreduce((), |_| {
-            Arc::new(SharedState {
-                pushed: AtomicU64::new(0),
-                pulled: AtomicU64::new(0),
-                done: AtomicU64::new(0),
-            })
+        debug_assert!(
+            self.trace_buf.is_empty(),
+            "the final advance drains the trace batch"
+        );
+        debug_assert!(
+            self.pending_pushed == 0 && self.pending_pulled == 0,
+            "the final advance posts all ledger deltas"
+        );
+        // The combine closure runs exactly once, inside the rendezvous all
+        // PEs are parked at, so zeroing in place is race-free and the Arc
+        // is reused across supersteps.
+        let shared = Arc::clone(&self.shared);
+        pe.allreduce((), move |_| {
+            shared.pushed.store(0, Ordering::SeqCst);
+            shared.pulled.store(0, Ordering::SeqCst);
+            shared.done.store(0, Ordering::SeqCst);
         });
         self.done_signaled = false;
         self.complete = false;
         self.need_progress = false;
     }
 
-    /// Try to enqueue `item` for `dst`. Returns `Ok(false)` — item *not*
-    /// accepted — when aggregation buffers are full; the caller must
+    /// Try to enqueue `item` for `dst`. [`PushOutcome::Retry`] — item *not*
+    /// accepted — means aggregation buffers are full; the caller must
     /// [`advance`](Conveyor::advance) and retry (HClib-Actor's send loop
     /// does this on the user's behalf).
-    pub fn push(&mut self, pe: &Pe, item: T, dst: usize) -> Result<bool, ConveyorError> {
+    ///
+    /// This is the per-message hot path: it acquires no mutex (debug builds
+    /// assert a zero lock-acquisition delta in free-running worlds).
+    pub fn push(&mut self, pe: &Pe, item: T, dst: usize) -> Result<PushOutcome, ConveyorError> {
+        #[cfg(debug_assertions)]
+        let lock_probe = (!pe.is_scheduled()).then(fabsp_shmem::debug_lock_acquisitions);
+        let outcome = self.push_impl(pe, item, dst);
+        #[cfg(debug_assertions)]
+        if let Some(before) = lock_probe {
+            assert_eq!(
+                fabsp_shmem::debug_lock_acquisitions(),
+                before,
+                "Conveyor::push acquired a mutex on the hot path"
+            );
+        }
+        outcome
+    }
+
+    fn push_impl(&mut self, pe: &Pe, item: T, dst: usize) -> Result<PushOutcome, ConveyorError> {
         if dst >= self.grid.n_pes() {
             return Err(ConveyorError::InvalidDestination {
                 dst,
@@ -288,7 +400,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             self.flush_link(pe, route.link);
             if self.links[route.link].buf.len() >= self.capacity {
                 self.stats.push_refusals += 1;
-                return Ok(false);
+                return Ok(PushOutcome::Retry);
             }
         }
         self.links[route.link].buf.push(Envelope {
@@ -298,19 +410,27 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         });
         self.stats.pushed += 1;
         self.stats.item_copies += 1;
-        self.shared.pushed.fetch_add(1, Ordering::SeqCst);
-        Ok(true)
+        self.pending_pushed += 1;
+        Ok(PushOutcome::Accepted)
     }
 
-    /// Take one delivered item, if any: `(origin PE, item)`.
-    pub fn pull(&mut self) -> Option<(u32, T)> {
+    /// Take one delivered item, if any. Mutex-free like `push`.
+    pub fn pull(&mut self) -> Option<Delivery<T>> {
+        #[cfg(debug_assertions)]
+        let before = fabsp_shmem::debug_lock_acquisitions();
         let out = self.pull_queue.pop_front();
         if out.is_some() {
             self.stats.pulled += 1;
             self.stats.item_copies += 1;
-            self.shared.pulled.fetch_add(1, Ordering::SeqCst);
+            self.pending_pulled += 1;
         }
-        out
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            fabsp_shmem::debug_lock_acquisitions(),
+            before,
+            "Conveyor::pull acquired a mutex on the hot path"
+        );
+        out.map(|(src, item)| Delivery { src, item })
     }
 
     /// Number of delivered-but-unpulled items.
@@ -328,7 +448,34 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         if self.complete {
             return false;
         }
+        let active = self.advance_impl(pe, done);
+        // Drain boundary: hand the batched physical events to the
+        // collector in one borrow, covering push-triggered flushes since
+        // the previous advance as well.
+        if let Some(c) = &self.collector {
+            if !self.trace_buf.is_empty() {
+                c.borrow_mut().drain(&mut self.trace_buf);
+            }
+        }
+        active
+    }
+
+    fn advance_impl(&mut self, pe: &Pe, done: bool) -> bool {
         self.stats.advances += 1;
+        // Post the hot path's batched ledger deltas before anything that
+        // could observe termination, `done` signalling included.
+        if self.pending_pushed != 0 {
+            self.shared
+                .pushed
+                .fetch_add(self.pending_pushed, Ordering::SeqCst);
+            self.pending_pushed = 0;
+        }
+        if self.pending_pulled != 0 {
+            self.shared
+                .pulled
+                .fetch_add(self.pending_pulled, Ordering::SeqCst);
+            self.pending_pulled = 0;
+        }
         if done && !self.done_signaled {
             self.done_signaled = true;
             self.shared.done.fetch_add(1, Ordering::SeqCst);
@@ -377,23 +524,24 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         link * 2 + slot
     }
 
-    /// Deliver `link`'s staged buffer into a free landing slot at the peer,
+    /// Deliver `link`'s staged buffer into a free landing cell at the peer,
     /// if one is available.
     fn flush_link(&mut self, pe: &Pe, link: usize) {
         if self.links[link].buf.is_empty() {
             return;
         }
-        // A slot is free when every send on it has been acked and no
-        // unsignalled delivery occupies it.
+        let peer = self.links[link].peer;
+        let rev = self.topology.reverse_link(self.grid, peer, self.me);
+        // A cell is free when its state word is 0 (the receiver released
+        // it) and no unpublished delivery of ours occupies it.
         let slot = {
             let l = &self.links[link];
             (0..2).find(|&s| {
-                l.in_flight[s].is_none()
-                    && self.acks.local_load(pe, Self::slot_index(link, s)) == l.slot_sent[s]
+                l.in_flight[s].is_none() && self.cells.state(peer, Self::slot_index(rev, s)) == 0
             })
         };
         let Some(slot) = slot else {
-            // Both slots busy. If any are merely unsignalled, a progress
+            // Both cells busy. If any are merely unpublished, a progress
             // call will free the pipeline — the paper's "quiet when the
             // second buffer is full for a particular destination" trigger.
             if self.links[link].in_flight.iter().any(|s| s.is_some()) {
@@ -402,48 +550,47 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             return;
         };
 
-        let peer = self.links[link].peer;
         let kind = self.links[link].kind;
         let count = self.links[link].buf.len();
         let bytes = (count * std::mem::size_of::<Envelope<T>>()) as u64;
         let seq = self.links[link].flush_seq;
-        let rev = self.topology.reverse_link(self.grid, peer, self.me);
-        let base = (Self::slot_index(rev, slot)) * self.capacity;
+        let cell = Self::slot_index(rev, slot);
         let ready_word = (seq << 32) | (count as u64 + 1);
 
         match kind {
             LinkKind::Local => {
                 // local_send: shmem_ptr + memcpy, immediately visible,
-                // then the ready signal.
-                self.landing
-                    .put(pe, peer, base, &self.links[link].buf)
-                    .expect("landing slot bounds are static");
-                self.ready
-                    .store(pe, peer, Self::slot_index(rev, slot), ready_word)
-                    .expect("ready word bounds are static");
+                // then the ready publication.
+                self.cells
+                    .write(pe, peer, cell, &self.links[link].buf)
+                    .expect("landing cell bounds are static");
+                self.cells
+                    .publish(pe, peer, cell, ready_word)
+                    .expect("landing cell bounds are static");
                 self.stats.local_sends += 1;
                 self.stats.item_copies += count as u64;
-                self.record_physical(SendType::LocalSend, bytes, peer);
+                self.trace_buf.record_physical(SendType::LocalSend, bytes, peer);
             }
             LinkKind::Remote => {
-                // nonblock_send: shmem_putmem_nbi; data invisible until a
-                // later quiet. The nbi capture is one item copy, the apply
-                // at quiet is another.
-                self.landing
-                    .put_nbi(pe, peer, base, &self.links[link].buf)
-                    .expect("landing slot bounds are static");
+                // nonblock_send: shmem_putmem_nbi; the cell stays
+                // unpublished (invisible) until a later quiet. The copy
+                // count models the nbi capture + apply pair of the real
+                // transport, though the SPSC cell needs no capture copy.
+                self.cells
+                    .write_nbi(pe, peer, cell, &self.links[link].buf)
+                    .expect("landing cell bounds are static");
                 self.links[link].in_flight[slot] = Some((seq, count));
                 self.stats.nonblock_sends += 1;
                 self.stats.item_copies += 2 * count as u64;
-                self.record_physical(SendType::NonblockSend, bytes, peer);
+                self.trace_buf
+                    .record_physical(SendType::NonblockSend, bytes, peer);
             }
         }
-        self.links[link].slot_sent[slot] += 1;
         self.links[link].flush_seq += 1;
         self.links[link].buf.clear();
     }
 
-    /// nonblock_progress: one `shmem_quiet`, then a signalling put per
+    /// nonblock_progress: one `shmem_quiet`, then a publishing put per
     /// in-flight delivery.
     fn progress(&mut self, pe: &Pe) {
         if !self.has_in_flight() {
@@ -458,30 +605,31 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                     let peer = self.links[link].peer;
                     let rev = self.topology.reverse_link(self.grid, peer, self.me);
                     let ready_word = (seq << 32) | (count as u64 + 1);
-                    self.ready
-                        .store(pe, peer, Self::slot_index(rev, slot), ready_word)
-                        .expect("ready word bounds are static");
+                    self.cells
+                        .publish(pe, peer, Self::slot_index(rev, slot), ready_word)
+                        .expect("landing cell bounds are static");
                     let bytes = (count * std::mem::size_of::<Envelope<T>>()) as u64;
                     self.stats.nonblock_progress += 1;
-                    self.record_physical(SendType::NonblockProgress, bytes, peer);
+                    self.trace_buf
+                        .record_physical(SendType::NonblockProgress, bytes, peer);
                 }
             }
         }
         self.need_progress = false;
     }
 
-    /// Drain ready landing slots, in per-link flush order: deliver items
-    /// addressed to this PE to the pull queue, re-stage relayed items on
-    /// their column link.
+    /// Drain published landing cells, in per-link flush order: deliver
+    /// items addressed to this PE to the pull queue, re-stage relayed items
+    /// on their column link.
     fn consume_incoming(&mut self, pe: &Pe) {
         let n_links = self.links.len();
         for link in 0..n_links {
             // Consume strictly in sequence so pairwise ordering holds even
-            // when double-buffered flushes are signalled out of order.
+            // when double-buffered flushes are published out of order.
             loop {
                 let expected = self.expect_seq[link];
                 let Some(slot) = (0..2).find(|&s| {
-                    let word = self.ready.local_load(pe, Self::slot_index(link, s));
+                    let word = self.cells.state(self.me, Self::slot_index(link, s));
                     word != 0 && (word >> 32) == expected
                 }) else {
                     break;
@@ -490,7 +638,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                     // Relay buffer blocked: park THIS link (cursor saved)
                     // but keep draining the others — final-destination
                     // consumption elsewhere is what frees the relay's
-                    // column slots, so returning here could deadlock a
+                    // column cells, so returning here could deadlock a
                     // cycle of relays.
                     break;
                 }
@@ -499,21 +647,19 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         }
     }
 
-    /// Consume one ready slot. Returns `false` if consumption blocked on a
-    /// full relay buffer (cursor saved for resumption).
+    /// Consume one published cell. Returns `false` if consumption blocked
+    /// on a full relay buffer (cursor saved for resumption).
     fn consume_slot(&mut self, pe: &Pe, link: usize, slot: usize) -> bool {
         let idx = Self::slot_index(link, slot);
-        let word = self.ready.local_load(pe, idx);
+        let word = self.cells.state(self.me, idx);
         let count = ((word & 0xffff_ffff) - 1) as usize;
-        let base = idx * self.capacity;
         let start = self.cursors[idx];
 
-        // Copy the unconsumed remainder out of the landing region (the
-        // receive-side memcpy), then process from the scratch buffer.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        self.landing.read_local(pe, |region| {
-            scratch.extend_from_slice(&region[base + start..base + count]);
+        // Copy the unconsumed remainder out of the landing cell (the
+        // receive-side memcpy), then process from a pooled scratch buffer.
+        let mut scratch = self.pool.take();
+        self.cells.read_local(pe, idx, |cell| {
+            scratch.extend_from_slice(&cell[start..count]);
         });
 
         let mut processed = 0;
@@ -545,34 +691,22 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                 processed += 1;
             }
         }
-        self.scratch = scratch;
+        self.pool.give(scratch);
         self.cursors[idx] = start + processed;
 
         if blocked {
             return false;
         }
 
-        // Fully consumed: free the slot and ack the sender.
+        // Fully consumed: release the cell, which is also the ack that
+        // hands the buffer back to the sender's free list.
         debug_assert_eq!(self.cursors[idx], count);
         self.cursors[idx] = 0;
-        self.ready
-            .store(pe, self.me, idx, 0)
-            .expect("own ready word");
         let src = self.topology.link_peer(self.grid, self.me, link);
-        let src_link = self.topology.reverse_link(self.grid, src, self.me);
-        self.acks
-            .fetch_add(pe, src, Self::slot_index(src_link, slot), 1)
-            .expect("ack word bounds are static");
+        self.cells
+            .release(pe, idx, src)
+            .expect("own landing cell bounds are static");
         true
-    }
-
-    fn record_physical(&mut self, send_type: SendType, bytes: u64, dst: usize) {
-        if let Some(c) = &self.collector {
-            let mut c = c.borrow_mut();
-            if c.wants_physical() {
-                c.record_physical(send_type, bytes, dst);
-            }
-        }
     }
 }
 
@@ -604,7 +738,7 @@ mod tests {
             loop {
                 while next < outbox.len() {
                     let (item, dst) = outbox[next];
-                    if c.push(pe, item, dst).unwrap() {
+                    if c.push(pe, item, dst).unwrap().is_accepted() {
                         next += 1;
                     } else {
                         break;
@@ -614,8 +748,8 @@ mod tests {
                     done = true;
                 }
                 let active = c.advance(pe, done);
-                while let Some((from, item)) = c.pull() {
-                    received[from as usize].push(item);
+                while let Some(d) = c.pull() {
+                    received[d.src as usize].push(d.item);
                 }
                 if !active {
                     break;
@@ -767,7 +901,7 @@ mod tests {
         let grid = Grid::single_node(1).unwrap();
         spmd::run(grid, |pe| {
             let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
-            c.push(pe, 1, 0).unwrap();
+            let _ = c.push(pe, 1, 0).unwrap();
             while c.advance(pe, true) {
                 while c.pull().is_some() {}
             }
@@ -826,7 +960,7 @@ mod tests {
             let mut pending: Vec<usize> = (0..n).flat_map(|d| std::iter::repeat_n(d, 5)).collect();
             let mut i = 0;
             loop {
-                while i < pending.len() && c.push(pe, 7, pending[i]).unwrap() {
+                while i < pending.len() && c.push(pe, 7, pending[i]).unwrap().is_accepted() {
                     i += 1;
                 }
                 let active = c.advance(pe, i == pending.len());
@@ -903,12 +1037,12 @@ mod tests {
             for round in 0..3u64 {
                 let mut sent = 0usize;
                 loop {
-                    while sent < n && c.push(pe, round, sent).unwrap() {
+                    while sent < n && c.push(pe, round, sent).unwrap().is_accepted() {
                         sent += 1;
                     }
                     let active = c.advance(pe, sent == n);
-                    while let Some((_, msg)) = c.pull() {
-                        assert_eq!(msg, round, "stale message crossed supersteps");
+                    while let Some(d) = c.pull() {
+                        assert_eq!(d.item, round, "stale message crossed supersteps");
                         received += 1;
                     }
                     if !active {
@@ -928,11 +1062,51 @@ mod tests {
     }
 
     #[test]
+    fn supersteps_reuse_pooled_buffers_without_allocating() {
+        // The free-list claim: buffer allocations settle at construction
+        // and stay flat across arbitrarily many reset supersteps.
+        let grid = Grid::new(2, 2).unwrap();
+        let allocs = spmd::run(grid, |pe| {
+            let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+            let n = pe.n_pes();
+            let mut per_round = Vec::new();
+            for round in 0..4u64 {
+                let mut sent = 0usize;
+                loop {
+                    while sent < n && c.push(pe, round, sent).unwrap().is_accepted() {
+                        sent += 1;
+                    }
+                    let active = c.advance(pe, sent == n);
+                    while c.pull().is_some() {}
+                    if !active {
+                        break;
+                    }
+                    pe.poll_yield();
+                }
+                per_round.push(c.stats().buffer_allocs);
+                pe.barrier_all();
+                c.reset(pe);
+            }
+            per_round
+        })
+        .unwrap();
+        for per_round in &allocs {
+            assert!(per_round[0] > 0, "construction takes buffers from the pool");
+            for later in &per_round[1..] {
+                assert_eq!(
+                    *later, per_round[0],
+                    "steady-state supersteps must not allocate"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn reset_before_termination_panics_world() {
         let grid = Grid::single_node(1).unwrap();
         let err = spmd::run(grid, |pe| {
             let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
-            c.push(pe, 1, 0).unwrap();
+            let _ = c.push(pe, 1, 0).unwrap();
             c.reset(pe); // not terminated: must panic
         })
         .unwrap_err();
@@ -952,5 +1126,56 @@ mod tests {
             "self-send must pay the full copy chain, got {}",
             stats.item_copies
         );
+    }
+
+    #[test]
+    fn physical_events_drain_at_advance_not_per_event() {
+        // Batching contract: push-triggered flushes buffer their physical
+        // events; the collector sees them only after the next advance.
+        let grid = Grid::single_node(2).unwrap();
+        spmd::run(grid, |pe| {
+            let collector = PeCollector::new(
+                pe.rank(),
+                pe.n_pes(),
+                pe.grid().pes_per_node(),
+                TraceConfig::off().with_physical(),
+            )
+            .into_shared();
+            let mut c = Conveyor::<u64>::new(
+                pe,
+                ConveyorOptions {
+                    capacity: 1,
+                    topology: TopologySpec::OneD,
+                },
+            )
+            .unwrap();
+            c.attach_collector(collector.clone());
+            if pe.rank() == 0 {
+                // capacity 1: the second push flushes the first buffer
+                assert!(c.push(pe, 1, 1).unwrap().is_accepted());
+                assert!(c.push(pe, 2, 1).unwrap().is_accepted());
+                assert!(
+                    collector.borrow().physical_records().is_empty(),
+                    "flush events stay batched until an advance"
+                );
+            }
+            let mut done = pe.rank() != 0;
+            loop {
+                let active = c.advance(pe, done);
+                while c.pull().is_some() {}
+                done = true;
+                if !active {
+                    break;
+                }
+                pe.poll_yield();
+            }
+            if pe.rank() == 0 {
+                assert!(
+                    !collector.borrow().physical_records().is_empty(),
+                    "advance drained the batch"
+                );
+            }
+        })
+        .unwrap();
     }
 }

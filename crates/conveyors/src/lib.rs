@@ -47,12 +47,12 @@
 //!     let mut sent = false;
 //!     let mut got = 0u64;
 //!     loop {
-//!         if !sent && c.push(pe, 40 + pe.rank() as u64, other).unwrap() {
+//!         if !sent && c.push(pe, 40 + pe.rank() as u64, other).unwrap().is_accepted() {
 //!             sent = true;
 //!         }
 //!         let active = c.advance(pe, sent);
-//!         while let Some((_from, msg)) = c.pull() {
-//!             got = msg;
+//!         while let Some(delivery) = c.pull() {
+//!             got = delivery.item;
 //!         }
 //!         if !active {
 //!             break;
@@ -77,7 +77,7 @@ pub mod error;
 pub mod stats;
 pub mod topology;
 
-pub use convey::{Conveyor, ConveyorOptions, Envelope};
+pub use convey::{Conveyor, ConveyorOptions, Delivery, Envelope, PushOutcome};
 pub use error::ConveyorError;
 pub use stats::ConveyorStats;
 pub use topology::{LinkKind, Topology, TopologySpec};

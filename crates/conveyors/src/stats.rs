@@ -35,6 +35,10 @@ pub struct ConveyorStats {
     /// ([`Conveyor::inject_chaos`](crate::Conveyor::inject_chaos)); always
     /// zero in production.
     pub forced_parks: u64,
+    /// Staging/scratch buffers allocated from the conveyor's pool. Settles
+    /// at construction and stays flat across supersteps — the free-list
+    /// keeps routed double-buffering from allocating per superstep.
+    pub buffer_allocs: u64,
 }
 
 impl ConveyorStats {
@@ -56,6 +60,7 @@ impl ConveyorStats {
         self.item_copies += other.item_copies;
         self.advances += other.advances;
         self.forced_parks += other.forced_parks;
+        self.buffer_allocs += other.buffer_allocs;
     }
 }
 

@@ -40,11 +40,14 @@ pub mod error;
 pub mod export;
 pub mod overall;
 pub mod papi;
+pub mod profiler;
 pub mod reader;
 pub mod report;
 pub mod stats;
 pub mod writer;
 
+pub use actorprof_trace::{PapiConfig, TraceConfig};
 pub use bundle::TraceBundle;
 pub use error::ProfError;
+pub use profiler::{Profiler, ProfilerCtx, Report, RunError};
 pub use stats::{Matrix, Quartiles};

@@ -1,0 +1,390 @@
+//! The one-stop ActorProf entry point: configure what to profile with a
+//! builder, run an SPMD body, get a [`Report`] back.
+//!
+//! This facade replaces the hand-wired pipeline (build a `TraceConfig`,
+//! thread it into every `Selector`, carry `PeCollector`s out of the SPMD
+//! closure, assemble a `TraceBundle`) with one fluent call chain:
+//!
+//! ```
+//! use actorprof::{PapiConfig, Profiler};
+//! use std::{cell::RefCell, rc::Rc};
+//!
+//! let report = Profiler::new(fabsp_shmem::Grid::new(1, 2).unwrap())
+//!     .logical()
+//!     .overall()
+//!     .papi(PapiConfig::case_study())
+//!     .run(|pe, ctx| {
+//!         // one selector per PE; the profiler wires tracing into it
+//!         let seen = Rc::new(RefCell::new(0u64));
+//!         let s = Rc::clone(&seen);
+//!         let mut actor = ctx
+//!             .selector(1, move |_mb, _msg: u64, _from, _ctx| *s.borrow_mut() += 1)
+//!             .expect("selector");
+//!         actor
+//!             .execute(pe, |main| {
+//!                 for i in 0..10u64 {
+//!                     main.send(0, i, (i as usize) % main.n_pes()).expect("send");
+//!                 }
+//!                 main.done(0).expect("done");
+//!             })
+//!             .expect("execute");
+//!         let got = *seen.borrow();
+//!         got
+//!     })
+//!     .unwrap();
+//! assert_eq!(report.results.iter().sum::<u64>(), 20);
+//! assert_eq!(report.bundle.logical_matrix().unwrap().total(), 20);
+//! ```
+
+use std::path::Path;
+use std::rc::Rc;
+
+use actorprof_trace::{PapiConfig, SharedCollector, TraceConfig};
+use fabsp_actor::{ActorError, ProcCtx, Selector, SelectorConfig};
+use fabsp_conveyors::ConveyorOptions;
+use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, Pe, SchedSpec, ShmemError};
+
+use crate::bundle::TraceBundle;
+use crate::error::ProfError;
+
+/// Anything a profiled run can fail with: the SPMD substrate, the actor
+/// runtime, or trace assembly.
+#[derive(Debug)]
+pub enum RunError {
+    /// SPMD / symmetric-memory failure.
+    Shmem(ShmemError),
+    /// Actor-runtime failure.
+    Actor(ActorError),
+    /// Trace assembly failure.
+    Prof(ProfError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Shmem(e) => write!(f, "shmem: {e}"),
+            RunError::Actor(e) => write!(f, "actor: {e}"),
+            RunError::Prof(e) => write!(f, "profiler: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ShmemError> for RunError {
+    fn from(e: ShmemError) -> Self {
+        RunError::Shmem(e)
+    }
+}
+
+impl From<ActorError> for RunError {
+    fn from(e: ActorError) -> Self {
+        RunError::Actor(e)
+    }
+}
+
+impl From<ProfError> for RunError {
+    fn from(e: ProfError) -> Self {
+        RunError::Prof(e)
+    }
+}
+
+/// Builder for a profiled FA-BSP run (see the [module docs](self) for the
+/// full example).
+///
+/// Each `logical()`/`physical()`/`papi()`/… call enables one of the trace
+/// kinds the paper's compile-time flags enable; `run` executes the body
+/// once per PE and assembles everything into a [`Report`].
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    grid: Grid,
+    trace: TraceConfig,
+    conveyor: ConveyorOptions,
+    sched: SchedSpec,
+    faults: FaultSpec,
+}
+
+impl Profiler {
+    /// A profiler on the given grid with all tracing off.
+    pub fn new(grid: Grid) -> Profiler {
+        Profiler {
+            grid,
+            trace: TraceConfig::off(),
+            conveyor: ConveyorOptions::default(),
+            sched: SchedSpec::Os,
+            faults: FaultSpec::NONE,
+        }
+    }
+
+    /// Record the pre-aggregation logical send matrix (`-DENABLE_TRACE`).
+    pub fn logical(mut self) -> Profiler {
+        self.trace = self.trace.with_logical();
+        self
+    }
+
+    /// Additionally keep the exact per-send record list
+    /// (`PEi_send.csv` rows rather than just the matrix).
+    pub fn logical_records(mut self) -> Profiler {
+        self.trace = self.trace.with_logical_records();
+        self
+    }
+
+    /// Record the post-aggregation physical trace inside Conveyors
+    /// (`-DENABLE_TRACE_PHYSICAL`).
+    pub fn physical(mut self) -> Profiler {
+        self.trace = self.trace.with_physical();
+        self
+    }
+
+    /// Record the MAIN/COMM/PROC overall breakdown
+    /// (`-DENABLE_TCOMM_PROFILING`).
+    pub fn overall(mut self) -> Profiler {
+        self.trace = self.trace.with_overall();
+        self
+    }
+
+    /// Record the PAPI message trace for these hardware events.
+    pub fn papi(mut self, papi: PapiConfig) -> Profiler {
+        self.trace = self.trace.with_papi(papi);
+        self
+    }
+
+    /// Enable every trace kind (the paper's full instrumentation).
+    pub fn all_traces(mut self) -> Profiler {
+        self.trace = TraceConfig::all();
+        self
+    }
+
+    /// Replace the trace configuration wholesale (escape hatch for
+    /// sampling/streaming options the named methods don't cover).
+    pub fn trace_config(mut self, trace: TraceConfig) -> Profiler {
+        self.trace = trace;
+        self
+    }
+
+    /// Override conveyor aggregation options for the run's selectors.
+    pub fn conveyor(mut self, conveyor: ConveyorOptions) -> Profiler {
+        self.conveyor = conveyor;
+        self
+    }
+
+    /// Select the thread schedule (deterministic random walk for tests).
+    pub fn sched(mut self, sched: SchedSpec) -> Profiler {
+        self.sched = sched;
+        self
+    }
+
+    /// Inject substrate faults (testkit).
+    pub fn faults(mut self, faults: FaultSpec) -> Profiler {
+        self.faults = faults;
+        self
+    }
+
+    /// Run `body` once per PE and assemble the traces.
+    ///
+    /// The body must create **exactly one** selector through
+    /// [`ProfilerCtx::selector`] — that selector's collector becomes the
+    /// PE's contribution to [`Report::bundle`]. The per-PE return values
+    /// come back in rank order as [`Report::results`].
+    pub fn run<R, F>(self, body: F) -> Result<Report<R>, RunError>
+    where
+        R: Send,
+        F: Fn(&Pe, &mut ProfilerCtx<'_>) -> R + Sync,
+    {
+        let harness = Harness::new(self.grid).sched(self.sched).faults(self.faults);
+        let trace = &self.trace;
+        let conveyor = self.conveyor;
+        let outcomes = spmd::run(harness, |pe| {
+            let mut ctx = ProfilerCtx {
+                pe,
+                trace: trace.clone(),
+                conveyor,
+                collectors: Vec::new(),
+            };
+            let result = body(pe, &mut ctx);
+            let n = ctx.collectors.len();
+            let collector = (n == 1).then(|| {
+                let rc = ctx.collectors.pop().expect("len checked");
+                let mut collector = Rc::try_unwrap(rc)
+                    .map(std::cell::RefCell::into_inner)
+                    .expect("drop the selector before the profiler body returns");
+                // Streamed per-send files must be complete on disk before
+                // the report hands them to a reader.
+                collector.flush_stream();
+                collector
+            });
+            (result, collector, n)
+        })?;
+
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut collectors = Vec::with_capacity(outcomes.len());
+        for (rank, (result, collector, n)) in outcomes.into_iter().enumerate() {
+            let Some(collector) = collector else {
+                return Err(ProfError::BadBundle(format!(
+                    "profiler body must create exactly one selector per PE \
+                     (PE {rank} created {n})"
+                ))
+                .into());
+            };
+            results.push(result);
+            collectors.push(collector);
+        }
+        let bundle = TraceBundle::from_collectors(collectors)?;
+        Ok(Report { results, bundle })
+    }
+}
+
+/// Per-PE handle the profiler passes to the run body: identity plus the
+/// selector factory that wires tracing in.
+pub struct ProfilerCtx<'p> {
+    pe: &'p Pe,
+    trace: TraceConfig,
+    conveyor: ConveyorOptions,
+    collectors: Vec<SharedCollector>,
+}
+
+impl<'p> ProfilerCtx<'p> {
+    /// The calling PE.
+    pub fn pe(&self) -> &'p Pe {
+        self.pe
+    }
+
+    /// This PE's rank.
+    pub fn rank(&self) -> usize {
+        self.pe.rank()
+    }
+
+    /// World size.
+    pub fn n_pes(&self) -> usize {
+        self.pe.n_pes()
+    }
+
+    /// The trace configuration this run profiles under.
+    pub fn trace(&self) -> &TraceConfig {
+        &self.trace
+    }
+
+    /// Collectively create a selector wired to the profiler's trace and
+    /// conveyor configuration. `handler` is invoked as
+    /// `(mailbox, message, sender, ctx)` for every delivered message.
+    pub fn selector<'h, T>(
+        &mut self,
+        n_mailboxes: usize,
+        handler: impl FnMut(usize, T, u32, &mut ProcCtx<'_, T>) + 'h,
+    ) -> Result<Selector<'h, T>, ActorError>
+    where
+        T: Copy + Default + Send + 'static,
+    {
+        let selector = Selector::new(
+            self.pe,
+            n_mailboxes,
+            SelectorConfig {
+                conveyor: self.conveyor,
+                trace: self.trace.clone(),
+            },
+            handler,
+        )?;
+        self.collectors.push(selector.collector());
+        Ok(selector)
+    }
+}
+
+/// What a profiled run produced: per-PE results plus the assembled traces.
+#[derive(Debug)]
+pub struct Report<R = ()> {
+    /// Per-PE body return values, in rank order.
+    pub results: Vec<R>,
+    /// The assembled traces — ask it for matrices, quartiles, PAPI
+    /// totals, the overall breakdown, or feed it to [`crate::writer`].
+    pub bundle: TraceBundle,
+}
+
+impl<R> Report<R> {
+    /// Render the plain-text analysis report (load balance, bottlenecks).
+    pub fn render(&self, title: &str) -> String {
+        crate::report::render(&self.bundle, title)
+    }
+
+    /// Write the paper-format trace files into `dir`; returns the file
+    /// names written.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> Result<Vec<String>, ProfError> {
+        crate::writer::write_all(dir.as_ref(), &self.bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_histogram(p: Profiler) -> Report<u64> {
+        p.run(|pe, ctx| {
+            let mass = Rc::new(RefCell::new(0u64));
+            let m = Rc::clone(&mass);
+            let mut actor = ctx
+                .selector(1, move |_mb, _msg: u64, _from, _ctx| *m.borrow_mut() += 1)
+                .expect("selector");
+            actor
+                .execute(pe, |main| {
+                    for i in 0..50u64 {
+                        main.send(0, i, (i as usize) % main.n_pes()).expect("send");
+                    }
+                    main.done(0).expect("done");
+                })
+                .expect("execute");
+            let got = *mass.borrow();
+            got
+        })
+        .expect("profiled run")
+    }
+
+    #[test]
+    fn facade_collects_all_enabled_traces() {
+        let report = run_histogram(
+            Profiler::new(Grid::new(2, 2).unwrap())
+                .logical()
+                .overall()
+                .physical()
+                .papi(PapiConfig::case_study()),
+        );
+        assert_eq!(report.results.iter().sum::<u64>(), 200);
+        let m = report.bundle.logical_matrix().unwrap();
+        assert_eq!(m.total(), 200);
+        assert!(report.bundle.has_overall());
+        assert!(report.bundle.has_physical());
+        assert!(!report.render("t").is_empty());
+    }
+
+    #[test]
+    fn facade_runs_untraced() {
+        let report = run_histogram(Profiler::new(Grid::single_node(2).unwrap()));
+        assert_eq!(report.results.iter().sum::<u64>(), 100);
+        assert!(report.bundle.logical_matrix().is_err());
+    }
+
+    #[test]
+    fn facade_is_deterministic_under_seeded_schedule() {
+        let traced = || {
+            run_histogram(
+                Profiler::new(Grid::new(2, 2).unwrap())
+                    .logical()
+                    .sched(SchedSpec::random_walk(11)),
+            )
+        };
+        let (a, b) = (traced(), traced());
+        assert_eq!(
+            a.bundle.logical_matrix().unwrap(),
+            b.bundle.logical_matrix().unwrap()
+        );
+    }
+
+    #[test]
+    fn body_without_selector_is_an_error() {
+        let err = Profiler::new(Grid::single_node(2).unwrap())
+            .run(|_pe, _ctx| 0u64)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Prof(ProfError::BadBundle(_))));
+        assert!(err.to_string().contains("exactly one selector"));
+    }
+}

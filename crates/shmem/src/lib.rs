@@ -53,6 +53,7 @@ pub mod grid;
 pub mod heap;
 pub mod net;
 pub mod pe;
+pub mod ring;
 pub mod sched;
 pub mod spmd;
 mod sync;
@@ -63,5 +64,16 @@ pub use grid::Grid;
 pub use heap::SymmetricVec;
 pub use net::{FaultSpec, NetStats, TransferClass};
 pub use pe::Pe;
+pub use ring::SpscRing;
 pub use sched::{SchedPoint, SchedSpec, Scheduler};
 pub use spmd::Harness;
+
+/// Mutex acquisitions by the calling thread so far (debug builds; release
+/// builds return 0). Re-exported so lock-freedom claims about the message
+/// hot path are testable from any layer: sample before/after and assert a
+/// zero delta.
+pub use parking_lot::lock_acquisitions as debug_lock_acquisitions;
+
+/// The vendored lock shim itself, re-exported so tests can sanity-check
+/// the acquisition counter against a deliberate `Mutex::lock`.
+pub use parking_lot;

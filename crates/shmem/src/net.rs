@@ -3,10 +3,12 @@
 //! Each transfer the symmetric heap performs is classified and counted so
 //! the substrate's traffic is observable even without the profiler: the
 //! physical trace of §III-C is the per-event view; these are the aggregate
-//! counters. Counters are kept per *source* PE (uncontended in the common
-//! case) and merged on demand.
+//! counters. Counters are kept per *source* PE as plain atomics — each PE
+//! only ever records against its own slot, so the per-message/per-flush
+//! recording path is wait-free and mutex-free (readers merging the ledger
+//! tolerate the usual snapshot skew of concurrent counters).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Classification of a transfer at the SHMEM level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,33 +137,70 @@ impl FaultSpec {
     }
 }
 
-/// World-wide traffic ledger: one independently locked slot per source PE.
+/// Atomic (ops, bytes) pair per transfer class for one source PE.
+#[derive(Default)]
+struct PeNetCells {
+    cells: [(AtomicU64, AtomicU64); 6],
+}
+
+impl PeNetCells {
+    fn slot(class: TransferClass) -> usize {
+        match class {
+            TransferClass::LocalCopy => 0,
+            TransferClass::RemotePut => 1,
+            TransferClass::RemoteGet => 2,
+            TransferClass::NonBlockingPut => 3,
+            TransferClass::Quiet => 4,
+            TransferClass::Atomic => 5,
+        }
+    }
+
+    fn snapshot(&self) -> NetStats {
+        let read = |i: usize| ClassStats {
+            ops: self.cells[i].0.load(Ordering::Relaxed),
+            bytes: self.cells[i].1.load(Ordering::Relaxed),
+        };
+        NetStats {
+            local_copy: read(0),
+            remote_put: read(1),
+            remote_get: read(2),
+            nbi_put: read(3),
+            quiet: read(4),
+            atomic: read(5),
+        }
+    }
+}
+
+/// World-wide traffic ledger: one atomically counted slot per source PE.
+/// Recording is wait-free — no mutex on the conveyor flush path.
 pub(crate) struct NetLedger {
-    per_pe: Vec<Mutex<NetStats>>,
+    per_pe: Vec<PeNetCells>,
 }
 
 impl NetLedger {
     pub(crate) fn new(n_pes: usize) -> NetLedger {
         NetLedger {
-            per_pe: (0..n_pes).map(|_| Mutex::new(NetStats::default())).collect(),
+            per_pe: (0..n_pes).map(|_| PeNetCells::default()).collect(),
         }
     }
 
     #[inline]
     pub(crate) fn record(&self, src_pe: usize, class: TransferClass, bytes: usize) {
-        self.per_pe[src_pe].lock().record(class, bytes);
+        let (ops, b) = &self.per_pe[src_pe].cells[PeNetCells::slot(class)];
+        ops.fetch_add(1, Ordering::Relaxed);
+        b.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Stats attributed to one source PE.
     pub(crate) fn pe_stats(&self, pe: usize) -> NetStats {
-        *self.per_pe[pe].lock()
+        self.per_pe[pe].snapshot()
     }
 
     /// Merged stats over all source PEs.
     pub(crate) fn total(&self) -> NetStats {
         let mut total = NetStats::default();
         for slot in &self.per_pe {
-            total.merge(&slot.lock());
+            total.merge(&slot.snapshot());
         }
         total
     }

@@ -133,6 +133,15 @@ impl Pe {
         self.world.grid.same_node(self.rank, other)
     }
 
+    /// Whether a deterministic [`Scheduler`] is driving
+    /// this world. Scheduler yield points take the rendezvous mutex, so
+    /// lock-freedom assertions about the message hot path only hold in
+    /// free-running (OS-scheduled) worlds.
+    #[inline]
+    pub fn is_scheduled(&self) -> bool {
+        self.world.sched.is_some()
+    }
+
     /// Complete all outstanding non-blocking puts issued by this PE
     /// (OpenSHMEM `shmem_quiet`).
     ///

@@ -1,0 +1,439 @@
+//! Lock-free single-producer/single-consumer link cells.
+//!
+//! A [`SpscRing`] gives every PE a fixed set of *cells*; each cell is one
+//! landing slot of a directed communication link: a data buffer of
+//! `capacity` items plus one atomic *state word*. The state word doubles as
+//! ready signal and free-list entry:
+//!
+//! - `0` — the cell is **free**: owned by its (single) remote producer,
+//!   which may fill the buffer and publish.
+//! - non-zero — the cell is **published**: owned by the consumer (the PE
+//!   the cell lives on) until it calls [`release`](SpscRing::release),
+//!   which hands the cell back to the producer. The word's payload
+//!   (sequence numbers, item counts, ...) is the caller's business.
+//!
+//! Publication is a `Release` store matched by `Acquire` loads, so the
+//! buffer contents written before [`publish`](SpscRing::publish) are
+//! visible to a consumer that observed the word — and the `Release` store
+//! of 0 in `release` conversely hands the (now consumed) buffer back to a
+//! producer that observes the cell free. No mutex anywhere: this is the
+//! conveyor hot path, and it replaces the mutex-guarded symmetric-heap
+//! landing zones plus the separate ack counters of the original design.
+//!
+//! ## Accounting
+//!
+//! The cost-model and network-ledger charges mirror the symmetric-heap
+//! operations each call models (so swapping the transport does not change
+//! what the profiler observes):
+//!
+//! - [`write`](SpscRing::write) ≙ [`SymmetricVec::put`]: the `shmem_ptr` +
+//!   memcpy (same node) or blocking put (cross node).
+//! - [`write_nbi`](SpscRing::write_nbi) ≙ [`SymmetricVec::put_nbi`]: a
+//!   `shmem_putmem_nbi` — it registers with the PE's pending-put queue so
+//!   [`Pe::quiet`]/[`Pe::pending_nbi`] behave identically, but (unlike the
+//!   mutex path) captures no data and allocates nothing: the bytes land in
+//!   the cell immediately and simply stay unpublished until after `quiet`.
+//! - [`publish`](SpscRing::publish) / [`release`](SpscRing::release) ≙ the
+//!   signalling atomic puts ([`crate::SymmetricAtomicVec::store`] /
+//!   `fetch_add`).
+//!
+//! ## Protocol obligations (checked by debug assertions)
+//!
+//! The type is safe to *use* but the single-producer/single-consumer
+//! discipline is structural: exactly one PE may produce into a given cell
+//! (in the conveyor, topology construction guarantees it — each cell
+//! belongs to one directed link), writes may only target **free** cells,
+//! and reads may only touch **published** cells. Violations are caught by
+//! `debug_assert!`s on the state word.
+//!
+//! [`SymmetricVec::put`]: crate::SymmetricVec::put
+//! [`SymmetricVec::put_nbi`]: crate::SymmetricVec::put_nbi
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fabsp_hwpc::cost::model;
+
+use crate::error::ShmemError;
+use crate::grid::Grid;
+use crate::net::TransferClass;
+use crate::pe::Pe;
+use crate::sched::SchedPoint;
+
+struct RingCell<T> {
+    state: AtomicU64,
+    data: UnsafeCell<Box<[T]>>,
+}
+
+struct RingInner<T> {
+    grid: Grid,
+    cells_per_pe: usize,
+    capacity: usize,
+    /// `regions[pe][cell]`.
+    regions: Vec<Box<[RingCell<T>]>>,
+}
+
+// SAFETY: cross-thread access to the UnsafeCell'd buffers follows the SPSC
+// protocol documented above — a producer writes only while it owns the cell
+// (state == 0, single producer per cell), a consumer reads only while the
+// cell is published, and ownership transfers through Release/Acquire on the
+// state word. `T: Send` is required because values move between threads.
+unsafe impl<T: Send> Sync for RingInner<T> {}
+unsafe impl<T: Send> Send for RingInner<T> {}
+
+/// Symmetric lock-free SPSC link cells; see the module docs.
+///
+/// Clone is shallow (all clones refer to the same allocation).
+pub struct SpscRing<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+impl<T> Clone for SpscRing<T> {
+    fn clone(&self) -> Self {
+        SpscRing {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Copy + Default + Send + 'static> SpscRing<T> {
+    /// Collectively allocate `cells` cells of `capacity` items on every PE.
+    /// All PEs must call with the same shape (checked).
+    pub fn new(pe: &Pe, cells: usize, capacity: usize) -> Result<SpscRing<T>, ShmemError> {
+        let grid = pe.grid();
+        let arc = pe.run_collective(
+            (cells, capacity),
+            move |shapes| -> Result<SpscRing<T>, ShmemError> {
+                if shapes.iter().any(|&s| s != shapes[0]) {
+                    return Err(ShmemError::CollectiveMismatch(format!(
+                        "SpscRing shapes differ across PEs: {shapes:?}"
+                    )));
+                }
+                let regions = (0..grid.n_pes())
+                    .map(|_| {
+                        (0..cells)
+                            .map(|_| RingCell {
+                                state: AtomicU64::new(0),
+                                data: UnsafeCell::new(
+                                    vec![T::default(); capacity].into_boxed_slice(),
+                                ),
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Ok(SpscRing {
+                    inner: Arc::new(RingInner {
+                        grid,
+                        cells_per_pe: cells,
+                        capacity,
+                        regions,
+                    }),
+                })
+            },
+        );
+        (*arc).clone()
+    }
+
+    /// Cells per PE.
+    #[inline]
+    pub fn cells_per_pe(&self) -> usize {
+        self.inner.cells_per_pe
+    }
+
+    /// Items per cell buffer.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    fn check(&self, pe: usize, cell: usize, len: usize) -> Result<(), ShmemError> {
+        self.inner.grid.check_pe(pe)?;
+        if cell >= self.inner.cells_per_pe || len > self.inner.capacity {
+            return Err(ShmemError::OutOfBounds {
+                offset: cell,
+                len,
+                region_len: self.inner.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Poll `owner_pe`'s cell state word (`Acquire`; unaccounted — this
+    /// models spinning on an in-memory delivery flag). Producers poll for
+    /// `0` (free), consumers for non-zero (published).
+    #[inline]
+    pub fn state(&self, owner_pe: usize, cell: usize) -> u64 {
+        debug_assert!(owner_pe < self.inner.grid.n_pes());
+        debug_assert!(cell < self.inner.cells_per_pe);
+        self.inner.regions[owner_pe][cell].state.load(Ordering::Acquire)
+    }
+
+    /// Copy `src` into `dst_pe`'s cell buffer as a *blocking* put: the data
+    /// is in place on return (visible once the caller publishes). The cell
+    /// must be free and owned by this producer.
+    pub fn write(&self, pe: &Pe, dst_pe: usize, cell: usize, src: &[T]) -> Result<(), ShmemError> {
+        self.check(dst_pe, cell, src.len())?;
+        pe.sched_point(SchedPoint::Put);
+        let bytes = std::mem::size_of_val(src);
+        self.fill(dst_pe, cell, src);
+        if pe.same_node_as(dst_pe) {
+            model::MEMCPY_PER_BYTE.times(bytes as u64).charge();
+            pe.record_net(TransferClass::LocalCopy, bytes);
+        } else {
+            model::PUTMEM_NBI.charge();
+            model::MEMCPY_PER_BYTE.times(bytes as u64).charge();
+            pe.record_net(TransferClass::RemotePut, bytes);
+        }
+        Ok(())
+    }
+
+    /// Copy `src` into `dst_pe`'s cell buffer as a non-blocking put
+    /// (`shmem_putmem_nbi`): the caller must not publish the cell until
+    /// after its next [`Pe::quiet`]. Registers with the pending-put queue
+    /// (so `pending_nbi`/`quiet` byte accounting are exact) but captures no
+    /// data — the double-buffered source is stable until the slot recycles,
+    /// so, unlike the symmetric-heap path, no per-flush allocation happens.
+    pub fn write_nbi(
+        &self,
+        pe: &Pe,
+        dst_pe: usize,
+        cell: usize,
+        src: &[T],
+    ) -> Result<(), ShmemError> {
+        self.check(dst_pe, cell, src.len())?;
+        pe.sched_point(SchedPoint::PutNbi);
+        let bytes = std::mem::size_of_val(src);
+        self.fill(dst_pe, cell, src);
+        // Zero-sized closure: Box::new performs no allocation.
+        pe.push_pending(bytes, Box::new(|| {}));
+        model::PUTMEM_NBI.charge();
+        pe.record_net(TransferClass::NonBlockingPut, bytes);
+        Ok(())
+    }
+
+    fn fill(&self, dst_pe: usize, cell: usize, src: &[T]) {
+        let c = &self.inner.regions[dst_pe][cell];
+        debug_assert_eq!(
+            c.state.load(Ordering::Acquire),
+            0,
+            "SPSC protocol violation: write into a published cell"
+        );
+        // SAFETY: the cell is free (state == 0) and this PE is its single
+        // producer, so no other thread reads or writes the buffer until we
+        // publish (see RingInner's Sync justification).
+        let dst = unsafe { &mut *c.data.get() };
+        dst[..src.len()].copy_from_slice(src);
+    }
+
+    /// Publish `dst_pe`'s cell with a non-zero state `word` (`Release`) —
+    /// the signalling atomic put that makes a prior [`write`](Self::write)
+    /// or quiesced [`write_nbi`](Self::write_nbi) consumable.
+    pub fn publish(
+        &self,
+        pe: &Pe,
+        dst_pe: usize,
+        cell: usize,
+        word: u64,
+    ) -> Result<(), ShmemError> {
+        self.check(dst_pe, cell, 0)?;
+        debug_assert_ne!(word, 0, "0 is the free-cell sentinel");
+        pe.sched_point(SchedPoint::Atomic);
+        let c = &self.inner.regions[dst_pe][cell];
+        debug_assert_eq!(
+            c.state.load(Ordering::Relaxed),
+            0,
+            "SPSC protocol violation: double publish"
+        );
+        c.state.store(word, Ordering::Release);
+        if dst_pe != pe.rank() {
+            pe.record_net(TransferClass::Atomic, std::mem::size_of::<u64>());
+        }
+        Ok(())
+    }
+
+    /// Read `range` of the calling PE's own published cell buffer.
+    pub fn read_local<R>(&self, pe: &Pe, cell: usize, f: impl FnOnce(&[T]) -> R) -> R {
+        debug_assert!(cell < self.inner.cells_per_pe);
+        let c = &self.inner.regions[pe.rank()][cell];
+        debug_assert_ne!(
+            c.state.load(Ordering::Acquire),
+            0,
+            "SPSC protocol violation: read of a free cell"
+        );
+        // SAFETY: the cell is published, so its single producer will not
+        // touch the buffer until this PE releases it.
+        f(unsafe { &*c.data.get() })
+    }
+
+    /// Mark the calling PE's own cell free again (`Release` store of 0) —
+    /// the ack that returns the buffer to `producer_pe`'s free list.
+    pub fn release(&self, pe: &Pe, cell: usize, producer_pe: usize) -> Result<(), ShmemError> {
+        self.check(pe.rank(), cell, 0)?;
+        self.inner.grid.check_pe(producer_pe)?;
+        pe.sched_point(SchedPoint::Atomic);
+        let c = &self.inner.regions[pe.rank()][cell];
+        debug_assert_ne!(
+            c.state.load(Ordering::Relaxed),
+            0,
+            "SPSC protocol violation: release of a free cell"
+        );
+        c.state.store(0, Ordering::Release);
+        if producer_pe != pe.rank() {
+            pe.record_net(TransferClass::Atomic, std::mem::size_of::<u64>());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedSpec;
+    use crate::spmd::{self, Harness};
+
+    /// Ping a stream of buffers 0 -> 1 through `cells` cells reused
+    /// round-robin; the consumer checks strict FIFO via the sequence
+    /// embedded in the state word. Exercises wrap-around: `rounds` is far
+    /// larger than the cell count.
+    fn fifo_roundtrip(grid: Grid, cells: usize, rounds: u64, sched: Option<u64>) {
+        let harness = match sched {
+            Some(seed) => Harness::new(grid).sched(SchedSpec::random_walk(seed)),
+            None => Harness::new(grid),
+        };
+        let results = spmd::run(harness, move |pe| {
+            let ring = SpscRing::<u64>::new(pe, cells, 4).unwrap();
+            let mut seen = Vec::new();
+            if pe.rank() == 0 {
+                for seq in 0..rounds {
+                    let cell = (seq as usize) % cells;
+                    while ring.state(1, cell) != 0 {
+                        pe.poll_yield();
+                    }
+                    ring.write(pe, 1, cell, &[seq * 10, seq * 10 + 1]).unwrap();
+                    ring.publish(pe, 1, cell, (seq << 32) | 3).unwrap();
+                }
+            } else {
+                let mut expect = 0u64;
+                while expect < rounds {
+                    let cell = (expect as usize) % cells;
+                    let word = ring.state(pe.rank(), cell);
+                    if word == 0 || (word >> 32) != expect {
+                        pe.poll_yield();
+                        continue;
+                    }
+                    let count = ((word & 0xffff_ffff) - 1) as usize;
+                    ring.read_local(pe, cell, |buf| seen.extend_from_slice(&buf[..count]));
+                    ring.release(pe, cell, 0).unwrap();
+                    expect += 1;
+                }
+            }
+            pe.barrier_all();
+            seen
+        })
+        .unwrap();
+        let expected: Vec<u64> = (0..rounds).flat_map(|s| [s * 10, s * 10 + 1]).collect();
+        assert_eq!(results[1], expected, "FIFO order violated");
+    }
+
+    #[test]
+    fn fifo_survives_cell_wraparound() {
+        fifo_roundtrip(Grid::single_node(2).unwrap(), 2, 100, None);
+    }
+
+    #[test]
+    fn fifo_holds_under_seeded_scheduler() {
+        for seed in 0..4 {
+            fifo_roundtrip(Grid::single_node(2).unwrap(), 2, 25, Some(seed));
+        }
+    }
+
+    #[test]
+    fn single_cell_backpressure_blocks_producer_until_release() {
+        // With one cell the producer must observe the consumer's release
+        // before every send: full/empty alternation, still FIFO.
+        fifo_roundtrip(Grid::single_node(2).unwrap(), 1, 50, None);
+        fifo_roundtrip(Grid::single_node(2).unwrap(), 1, 20, Some(7));
+    }
+
+    #[test]
+    fn bounds_and_shape_are_checked() {
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let ring = SpscRing::<u8>::new(pe, 2, 4).unwrap();
+            assert!(matches!(
+                ring.write(pe, 0, 5, &[1]),
+                Err(ShmemError::OutOfBounds { .. })
+            ));
+            assert!(matches!(
+                ring.write(pe, 0, 0, &[0; 9]),
+                Err(ShmemError::OutOfBounds { .. })
+            ));
+            assert!(matches!(
+                ring.write(pe, 3, 0, &[1]),
+                Err(ShmemError::InvalidPe { .. })
+            ));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mismatched_shapes_error_collectively() {
+        let grid = Grid::single_node(2).unwrap();
+        let results = spmd::run(grid, |pe| {
+            SpscRing::<u8>::new(pe, pe.rank() + 1, 4).err().is_some()
+        })
+        .unwrap();
+        assert_eq!(results, vec![true, true]);
+    }
+
+    #[test]
+    fn write_nbi_registers_pending_and_quiet_flushes_bytes() {
+        let grid = Grid::new(2, 1).unwrap();
+        spmd::run(grid, |pe| {
+            let ring = SpscRing::<u64>::new(pe, 1, 4).unwrap();
+            if pe.rank() == 0 {
+                ring.write_nbi(pe, 1, 0, &[1, 2, 3]).unwrap();
+                assert_eq!(pe.pending_nbi(), 1);
+                assert_eq!(pe.quiet(), 24, "3 u64s flushed");
+                ring.publish(pe, 1, 0, 4).unwrap();
+                let s = pe.net_stats();
+                assert_eq!(s.nbi_put.ops, 1);
+                assert_eq!(s.nbi_put.bytes, 24);
+                assert_eq!(s.quiet.ops, 1);
+                assert_eq!(s.atomic.ops, 1, "cross-PE publish is one atomic");
+            } else {
+                while ring.state(1, 0) == 0 {
+                    pe.poll_yield();
+                }
+                ring.read_local(pe, 0, |b| assert_eq!(&b[..3], &[1, 2, 3]));
+                ring.release(pe, 0, 0).unwrap();
+            }
+            pe.barrier_all();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn accounting_matches_symmetric_heap_classes() {
+        let grid = Grid::new(2, 2).unwrap();
+        spmd::run(grid, |pe| {
+            let ring = SpscRing::<u8>::new(pe, 1, 16).unwrap();
+            if pe.rank() == 0 {
+                ring.write(pe, 1, 0, &[7; 16]).unwrap(); // same node
+                let s = pe.net_stats();
+                assert_eq!(s.local_copy, crate::net::ClassStats { ops: 1, bytes: 16 });
+                ring.publish(pe, 1, 0, 1).unwrap();
+                assert_eq!(pe.net_stats().atomic.ops, 1);
+            }
+            pe.barrier_all();
+            if pe.rank() == 1 {
+                ring.release(pe, 0, 0).unwrap();
+                // releasing to a same-node producer still models the ack put
+                assert_eq!(pe.net_stats().atomic.ops, 1);
+            }
+            pe.barrier_all();
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Batched trace write buffers — the contention-free hot path.
+//!
+//! Recording straight into a [`PeCollector`] from the send/flush fast path
+//! means a `RefCell` borrow (and, for the aggregate structures, hash-map and
+//! matrix updates) *per message*. §IV-E's premise is that tracing must stay
+//! cheap enough to leave on, so the runtime layers instead write fixed-size
+//! [`SendEvent`]/[`PhysicalEvent`] values into a thread-local
+//! [`TraceBuffer`] — a plain `Vec` push, no locks, no shared borrows — and
+//! the collector replays the batch at natural drain boundaries
+//! (`Conveyor::advance`, selector progress, termination) via
+//! [`PeCollector::drain`].
+//!
+//! Exactness is preserved: every event carries everything `record_send` /
+//! `record_physical` would have been told at event time, including the
+//! hardware-counter deltas and the cycle timestamp, so the drained
+//! collector state is identical to the eager one — the paper's exact
+//! `local_send` / `nonblock_send` / `nonblock_progress` counts and FIFO
+//! order survive batching.
+//!
+//! [`PeCollector`]: crate::PeCollector
+//! [`PeCollector::drain`]: crate::PeCollector::drain
+
+use fabsp_hwpc::MAX_EVENTS;
+
+use crate::config::TraceConfig;
+use crate::record::SendType;
+
+/// One logical send, captured on the fast path for deferred replay.
+#[derive(Debug, Clone, Copy)]
+pub struct SendEvent {
+    /// Destination PE.
+    pub dst_pe: u32,
+    /// Payload bytes.
+    pub msg_size: u32,
+    /// Mailbox the send went through.
+    pub mailbox_id: u32,
+    /// Hardware-counter deltas around the send (configured-event order,
+    /// prefix of the bank), when PAPI tracing measured them.
+    pub papi: Option<[u64; MAX_EVENTS]>,
+}
+
+/// One physical (post-aggregation) send, captured on the flush path.
+#[derive(Debug, Clone, Copy)]
+pub struct PhysicalEvent {
+    /// `local_send` / `nonblock_send` / `nonblock_progress`.
+    pub send_type: SendType,
+    /// Bytes in the delivered buffer.
+    pub buffer_size: u64,
+    /// Destination PE.
+    pub dst_pe: u32,
+    /// Absolute cycle stamp taken at event time ([`fabsp_hwpc::cycles_now`]),
+    /// so deferred draining does not skew the physical timeline.
+    pub cycles: u64,
+}
+
+/// Thread-local batch of trace events awaiting a drain into the PE's
+/// collector. Construct with [`for_config`](TraceBuffer::for_config) so
+/// disabled trace dimensions cost a single branch per event.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    wants_sends: bool,
+    wants_physical: bool,
+    sends: Vec<SendEvent>,
+    physical: Vec<PhysicalEvent>,
+}
+
+impl TraceBuffer {
+    /// A buffer that records only the dimensions `config` enables.
+    pub fn for_config(config: &TraceConfig) -> TraceBuffer {
+        TraceBuffer {
+            wants_sends: config.logical || config.papi.is_some(),
+            wants_physical: config.physical,
+            sends: Vec::new(),
+            physical: Vec::new(),
+        }
+    }
+
+    /// Whether logical/PAPI send events are being captured.
+    #[inline]
+    pub fn wants_sends(&self) -> bool {
+        self.wants_sends
+    }
+
+    /// Whether physical events are being captured.
+    #[inline]
+    pub fn wants_physical(&self) -> bool {
+        self.wants_physical
+    }
+
+    /// Capture one logical send. A `Vec` push — nothing shared, no borrow.
+    #[inline]
+    pub fn record_send(
+        &mut self,
+        dst_pe: usize,
+        msg_size: u32,
+        mailbox_id: u32,
+        papi: Option<[u64; MAX_EVENTS]>,
+    ) {
+        if self.wants_sends {
+            self.sends.push(SendEvent {
+                dst_pe: dst_pe as u32,
+                msg_size,
+                mailbox_id,
+                papi,
+            });
+        }
+    }
+
+    /// Capture one physical send, stamping the cycle counter now so the
+    /// timeline reflects event time, not drain time.
+    #[inline]
+    pub fn record_physical(&mut self, send_type: SendType, buffer_size: u64, dst_pe: usize) {
+        if self.wants_physical {
+            self.physical.push(PhysicalEvent {
+                send_type,
+                buffer_size,
+                dst_pe: dst_pe as u32,
+                cycles: fabsp_hwpc::cycles_now(),
+            });
+        }
+    }
+
+    /// Whether any captured events await draining.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.physical.is_empty()
+    }
+
+    /// Captured-but-undrained logical sends.
+    pub fn pending_sends(&self) -> &[SendEvent] {
+        &self.sends
+    }
+
+    /// Captured-but-undrained physical events.
+    pub fn pending_physical(&self) -> &[PhysicalEvent] {
+        &self.physical
+    }
+
+    pub(crate) fn take_events(&mut self) -> (Vec<SendEvent>, Vec<PhysicalEvent>) {
+        (
+            std::mem::take(&mut self.sends),
+            std::mem::take(&mut self.physical),
+        )
+    }
+
+    pub(crate) fn put_back_storage(&mut self, sends: Vec<SendEvent>, physical: Vec<PhysicalEvent>) {
+        debug_assert!(self.sends.is_empty() && self.physical.is_empty());
+        self.sends = sends;
+        self.physical = physical;
+        self.sends.clear();
+        self.physical.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_dimensions_record_nothing() {
+        let mut b = TraceBuffer::for_config(&TraceConfig::off());
+        assert!(!b.wants_sends() && !b.wants_physical());
+        b.record_send(0, 8, 0, None);
+        b.record_physical(SendType::LocalSend, 64, 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn enabled_dimensions_capture_in_order() {
+        let mut b = TraceBuffer::for_config(&TraceConfig::off().with_logical().with_physical());
+        b.record_send(2, 8, 0, None);
+        b.record_send(3, 16, 1, None);
+        b.record_physical(SendType::NonblockSend, 128, 3);
+        assert_eq!(b.pending_sends().len(), 2);
+        assert_eq!(b.pending_sends()[0].dst_pe, 2);
+        assert_eq!(b.pending_sends()[1].msg_size, 16);
+        assert_eq!(b.pending_physical().len(), 1);
+        assert_eq!(b.pending_physical()[0].buffer_size, 128);
+    }
+
+    #[test]
+    fn physical_stamps_cycles_at_event_time() {
+        let mut b = TraceBuffer::for_config(&TraceConfig::off().with_physical());
+        b.record_physical(SendType::LocalSend, 1, 0);
+        b.record_physical(SendType::LocalSend, 1, 0);
+        let p = b.pending_physical();
+        assert!(p[0].cycles > 0);
+        assert!(p[1].cycles >= p[0].cycles, "monotone per thread");
+    }
+}

@@ -201,6 +201,20 @@ impl PeCollector {
     /// Record one physical (post-aggregation) send observed inside the
     /// conveyor. No-op unless physical tracing is enabled.
     pub fn record_physical(&mut self, send_type: SendType, buffer_size: u64, dst_pe: usize) {
+        self.record_physical_at(send_type, buffer_size, dst_pe, fabsp_hwpc::cycles_now());
+    }
+
+    /// Like [`record_physical`](PeCollector::record_physical), but with the
+    /// absolute cycle stamp the event was *observed* at — used when events
+    /// are batched in a [`TraceBuffer`](crate::TraceBuffer) and drained
+    /// later, so the physical timeline reflects event time, not drain time.
+    pub fn record_physical_at(
+        &mut self,
+        send_type: SendType,
+        buffer_size: u64,
+        dst_pe: usize,
+        at_cycles: u64,
+    ) {
         if !self.config.physical {
             return;
         }
@@ -211,7 +225,35 @@ impl PeCollector {
             dst_pe: dst_pe as u32,
         });
         self.physical_timestamps
-            .push(fabsp_hwpc::cycles_now().saturating_sub(self.t0_cycles));
+            .push(at_cycles.saturating_sub(self.t0_cycles));
+    }
+
+    /// Replay a batch of hot-path events captured in a
+    /// [`TraceBuffer`](crate::TraceBuffer) and leave the buffer empty (its
+    /// storage is retained for reuse). Events are replayed in capture
+    /// order, so the drained collector state — matrices, exact records,
+    /// PAPI aggregates, physical timeline — is identical to eager
+    /// per-event recording.
+    pub fn drain(&mut self, buf: &mut crate::TraceBuffer) {
+        let n_events = self
+            .config
+            .papi
+            .as_ref()
+            .map(|p| p.events().len())
+            .unwrap_or(0);
+        let (sends, physical) = buf.take_events();
+        for ev in &sends {
+            self.record_send(
+                ev.dst_pe as usize,
+                ev.msg_size,
+                ev.mailbox_id,
+                ev.papi.as_ref().map(|bank| &bank[..n_events]),
+            );
+        }
+        for ev in &physical {
+            self.record_physical_at(ev.send_type, ev.buffer_size, ev.dst_pe as usize, ev.cycles);
+        }
+        buf.put_back_storage(sends, physical);
     }
 
     /// Store the overall MAIN/PROC/TOTAL cycle measurements. No-op unless
@@ -482,6 +524,41 @@ mod tests {
         assert_eq!(c.physical_timestamps().len(), c.physical_records().len());
         let ts = c.physical_timestamps();
         assert!(ts[1] >= ts[0], "timestamps are monotone per PE");
+    }
+
+    #[test]
+    fn drained_batch_equals_eager_recording() {
+        let cfg = TraceConfig::all().with_logical_records();
+        let mut eager = collector(cfg.clone());
+        let mut batched = collector(cfg.clone());
+        let mut buf = crate::TraceBuffer::for_config(&cfg);
+
+        let mut bank = [0u64; fabsp_hwpc::MAX_EVENTS];
+        bank[0] = 100;
+        bank[1] = 40;
+        for dst in [0usize, 3, 3, 2] {
+            eager.record_send(dst, 16, 1, Some(&bank[..2]));
+            buf.record_send(dst, 16, 1, Some(bank));
+        }
+        eager.record_physical(SendType::LocalSend, 64, 0);
+        eager.record_physical(SendType::NonblockSend, 128, 2);
+        buf.record_physical(SendType::LocalSend, 64, 0);
+        buf.record_physical(SendType::NonblockSend, 128, 2);
+        batched.drain(&mut buf);
+
+        assert!(buf.is_empty(), "drain leaves the buffer reusable");
+        assert_eq!(eager.logical_matrix(), batched.logical_matrix());
+        assert_eq!(eager.logical_records(), batched.logical_records());
+        assert_eq!(eager.papi_records(), batched.papi_records());
+        assert_eq!(eager.physical_records(), batched.physical_records());
+        assert_eq!(
+            eager.physical_timestamps().len(),
+            batched.physical_timestamps().len()
+        );
+        // a second batch keeps accumulating
+        buf.record_send(1, 8, 0, Some(bank));
+        batched.drain(&mut buf);
+        assert_eq!(batched.logical_matrix()[1].sends, 1);
     }
 
     #[test]

@@ -23,10 +23,12 @@
 //! dense per-destination *aggregate matrix* and keeps exact per-send record
 //! lists only when explicitly enabled.
 
+pub mod buffer;
 pub mod collector;
 pub mod config;
 pub mod record;
 
+pub use buffer::{PhysicalEvent, SendEvent, TraceBuffer};
 pub use collector::{PeCollector, SharedCollector};
 pub use config::{PapiConfig, TraceConfig, TraceConfigError};
 pub use record::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType};

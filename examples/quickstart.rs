@@ -1,6 +1,7 @@
 //! Quickstart: the paper's Listings 1–2 (a remote-increment histogram)
-//! with the full ActorProf pipeline — run traced, print the analysis
-//! report, and write the paper-format trace files.
+//! with the full ActorProf pipeline — run traced through the `Profiler`
+//! facade, print the analysis report, and write the paper-format trace
+//! files.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,10 +10,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use actorprof_suite::actorprof::{report, writer, TraceBundle};
-use actorprof_suite::actorprof_trace::{PapiConfig, TraceConfig};
-use actorprof_suite::fabsp_actor::{Selector, SelectorConfig};
-use actorprof_suite::fabsp_shmem::{spmd, Grid};
+use actorprof_suite::actorprof::{PapiConfig, Profiler};
+use actorprof_suite::fabsp_shmem::Grid;
 
 const N: usize = 20_000; // messages per PE
 const TABLE: usize = 512; // per-PE table slots
@@ -22,46 +21,41 @@ fn main() {
     // compiling with -DENABLE_TRACE -DENABLE_TCOMM_PROFILING
     // -DENABLE_TRACE_PHYSICAL).
     let grid = Grid::new(1, 4).expect("grid");
-    let trace = TraceConfig::off()
-        .with_logical()
-        .with_overall()
-        .with_physical()
-        .with_papi(PapiConfig::case_study());
+    let report = Profiler::new(grid)
+        .logical()
+        .overall()
+        .physical()
+        .papi(PapiConfig::case_study())
+        .run(|pe, ctx| {
+            // Listing 1, line 2: each PE allocates a local array.
+            let larray = Rc::new(RefCell::new(vec![0u64; TABLE]));
+            let handler_array = Rc::clone(&larray);
 
-    let outcomes = spmd::run(grid, |pe| {
-        // Listing 1, line 2: each PE allocates a local array.
-        let larray = Rc::new(RefCell::new(vec![0u64; TABLE]));
-        let handler_array = Rc::clone(&larray);
+            // Listing 2: the actor class — one mailbox whose process()
+            // does a plain (non-atomic) increment.
+            let mut actor = ctx
+                .selector(1, move |_mb, idx: u64, _from, _ctx| {
+                    handler_array.borrow_mut()[idx as usize % TABLE] += 1;
+                })
+                .expect("selector");
 
-        // Listing 2: the actor class — one mailbox whose process() does a
-        // plain (non-atomic) increment.
-        let mut actor = Selector::new(
-            pe,
-            1,
-            SelectorConfig::traced(trace.clone()),
-            move |_mb, idx: u64, _from, _ctx| {
-                handler_array.borrow_mut()[idx as usize % TABLE] += 1;
-            },
-        )
-        .expect("selector");
+            // Listing 1, lines 4-12: the finish body sends N async messages.
+            actor
+                .execute(pe, |main| {
+                    for i in 0..N {
+                        let dst = (i * 7 + main.rank()) % main.n_pes();
+                        main.send(0, i as u64, dst).expect("send");
+                    }
+                    main.done(0).expect("done");
+                })
+                .expect("execute");
 
-        // Listing 1, lines 4-12: the finish body sends N async messages.
-        actor
-            .execute(pe, |ctx| {
-                for i in 0..N {
-                    let dst = (i * 7 + ctx.rank()) % ctx.n_pes();
-                    ctx.send(0, i as u64, dst).expect("send");
-                }
-                ctx.done(0).expect("done");
-            })
-            .expect("execute");
+            let mass: u64 = larray.borrow().iter().sum();
+            mass
+        })
+        .expect("profiled run");
 
-        let mass: u64 = larray.borrow().iter().sum();
-        (mass, actor.into_collector())
-    })
-    .expect("SPMD run");
-
-    let total: u64 = outcomes.iter().map(|(m, _)| m).sum();
+    let total: u64 = report.results.iter().sum();
     assert_eq!(total, (N * grid.n_pes()) as u64, "every message handled");
     println!(
         "histogram: {} messages delivered and handled across {} PEs\n",
@@ -69,12 +63,10 @@ fn main() {
         grid.n_pes()
     );
 
-    let bundle =
-        TraceBundle::from_collectors(outcomes.into_iter().map(|(_, c)| c).collect()).expect("bundle");
-    print!("{}", report::render(&bundle, "quickstart histogram"));
+    print!("{}", report.render("quickstart histogram"));
 
     let dir = std::path::Path::new("target/actorprof-quickstart");
-    let files = writer::write_all(dir, &bundle).expect("write traces");
+    let files = report.write_to(dir).expect("write traces");
     println!("\ntrace files written to {}:", dir.display());
     for f in files {
         println!("  {f}");

@@ -1,6 +1,6 @@
 //! The paper's case study end-to-end: distributed triangle counting on an
-//! R-MAT graph, 1D Cyclic vs 1D Range, profiled with ActorProf and
-//! rendered as heatmaps/violins/stacked bars.
+//! R-MAT graph (Algorithm 1), 1D Cyclic vs 1D Range, profiled through the
+//! `Profiler` facade and rendered as heatmaps/violins/stacked bars.
 //!
 //! ```text
 //! cargo run --release --example triangle_counting            # scale 9
@@ -10,14 +10,22 @@
 use actorprof_suite::actorprof::compare::Comparison;
 use actorprof_suite::actorprof::overall::OverallSummary;
 use actorprof_suite::actorprof::stats::Imbalance;
-use actorprof_suite::actorprof::{report, writer};
-use actorprof_suite::actorprof_trace::TraceConfig;
+use actorprof_suite::actorprof::Profiler;
 use actorprof_suite::actorprof_viz::{ascii, heatmap, stacked, violin};
-use actorprof_suite::fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
+use actorprof_suite::fabsp_apps::triangle::DistKind;
 use actorprof_suite::fabsp_graph::edgelist::to_lower_triangular;
 use actorprof_suite::fabsp_graph::rmat::{generate_edges, RmatParams};
-use actorprof_suite::fabsp_graph::Csr;
+use actorprof_suite::fabsp_graph::{triangle_ref, Csr};
+use actorprof_suite::fabsp_hwpc::Cost;
 use actorprof_suite::fabsp_shmem::Grid;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Pack a wedge `(j, k)` into the 8-byte message of Algorithm 1.
+#[inline]
+fn pack(j: u32, k: u32) -> u64 {
+    ((j as u64) << 32) | k as u64
+}
 
 fn main() {
     let scale: u32 = std::env::var("ACTORPROF_SCALE")
@@ -33,25 +41,63 @@ fn main() {
         l.nnz(),
         l.wedge_count()
     );
+    let reference = triangle_ref::count_by_wedges(&l);
 
     let grid = Grid::new(2, 8).expect("grid"); // 2 nodes x 8 PEs
     let out_root = std::path::Path::new("target/actorprof-triangle");
 
     let mut speed = Vec::new();
     let mut bundles = Vec::new();
-    for dist in [DistKind::Cyclic, DistKind::RangeByNnz] {
-        println!("\n################ {} ################", dist.label());
-        let config = TriangleConfig::new(grid)
-            .with_dist(dist)
-            .with_trace(TraceConfig::all());
-        let outcome = count_triangles(&l, &config).expect("triangle run");
-        println!(
-            "triangles: {} (validated against the sequential reference)",
-            outcome.triangles
-        );
+    for dist_kind in [DistKind::Cyclic, DistKind::RangeByNnz] {
+        println!("\n################ {} ################", dist_kind.label());
+        let dist = dist_kind.resolve(&l, grid.n_pes());
+        let l_ref = &l;
+        let dist_ref = &dist;
+
+        // Algorithm 1 on the facade: one selector per PE; ActorProcess
+        // counts a triangle when the probed edge exists.
+        let report = Profiler::new(grid)
+            .all_traces()
+            .run(|pe, ctx| {
+                let counter = Rc::new(RefCell::new(0u64));
+                let c = Rc::clone(&counter);
+                let mut actor = ctx
+                    .selector(1, move |_mb, msg: u64, _from, _ctx| {
+                        let j = (msg >> 32) as usize;
+                        let k = (msg & 0xffff_ffff) as u32;
+                        let probes = (l_ref.degree(j).max(1) as u64).ilog2() as u64 + 1;
+                        Cost::instructions(10 + 6 * probes).charge();
+                        if l_ref.has_edge(j, k) {
+                            *c.borrow_mut() += 1;
+                        }
+                    })
+                    .expect("selector");
+                actor
+                    .execute(pe, |main| {
+                        let me = main.rank();
+                        for i in dist_ref.rows_of(me, l_ref.n()) {
+                            let row = l_ref.row(i);
+                            for (a, &j) in row.iter().enumerate() {
+                                let owner = dist_ref.owner(j as usize);
+                                for &k in &row[..a] {
+                                    main.send(0, pack(j, k), owner).expect("wedge send");
+                                }
+                            }
+                        }
+                        main.done(0).expect("done(0)");
+                    })
+                    .expect("triangle execute");
+                let local = *counter.borrow();
+                local
+            })
+            .expect("triangle run");
+
+        let triangles: u64 = report.results.iter().sum();
+        assert_eq!(triangles, reference, "validated against the sequential reference");
+        println!("triangles: {triangles} (validated against the sequential reference)");
 
         // the two heatmaps of Figs 3/4 and 8/9
-        let logical = outcome.bundle.logical_matrix().expect("logical");
+        let logical = report.bundle.logical_matrix().expect("logical");
         print!("{}", ascii::heatmap(&logical, "logical sends"));
         let sends = Imbalance::of(&logical.row_totals());
         let recvs = Imbalance::of(&logical.col_totals());
@@ -60,13 +106,13 @@ fn main() {
             sends.max_over_mean, sends.argmax, recvs.max_over_mean, recvs.argmax
         );
 
-        let tag = if dist == DistKind::Cyclic { "cyclic" } else { "range" };
+        let tag = if dist_kind == DistKind::Cyclic { "cyclic" } else { "range" };
         let dir = out_root.join(tag);
-        writer::write_all(&dir, &outcome.bundle).expect("write traces");
-        heatmap::render(&logical, &heatmap::HeatmapSpec::titled(dist.label()))
+        report.write_to(&dir).expect("write traces");
+        heatmap::render(&logical, &heatmap::HeatmapSpec::titled(dist_kind.label()))
             .save(&dir.join("logical_heatmap.svg"))
             .expect("svg");
-        let physical = outcome.bundle.physical_matrix(None).expect("physical");
+        let physical = report.bundle.physical_matrix(None).expect("physical");
         heatmap::render(&physical, &heatmap::HeatmapSpec::titled("physical buffers"))
             .save(&dir.join("physical_heatmap.svg"))
             .expect("svg");
@@ -75,12 +121,12 @@ fn main() {
                 violin::ViolinSeries::new("sends", logical.row_totals()),
                 violin::ViolinSeries::new("recvs", logical.col_totals()),
             ],
-            dist.label(),
+            dist_kind.label(),
         )
         .save(&dir.join("violin.svg"))
         .expect("svg");
-        let records = outcome.bundle.overall_records().expect("overall");
-        stacked::render(&records, stacked::StackedMode::Relative, dist.label())
+        let records = report.bundle.overall_records().expect("overall");
+        stacked::render(&records, stacked::StackedMode::Relative, dist_kind.label())
             .save(&dir.join("overall.svg"))
             .expect("svg");
 
@@ -92,10 +138,10 @@ fn main() {
             summary.proc.fraction * 100.0,
             summary.bottleneck
         );
-        print!("{}", report::render(&outcome.bundle, dist.label()));
+        print!("{}", report.render(dist_kind.label()));
         println!("artifacts in {}", dir.display());
-        speed.push((dist.label(), summary.max_total_cycles));
-        bundles.push(outcome.bundle);
+        speed.push((dist_kind.label(), summary.max_total_cycles));
+        bundles.push(report.bundle);
     }
 
     if let [cyclic, range] = &bundles[..] {

@@ -23,7 +23,7 @@ fn hotspot_pattern(grid: Grid, capacity: usize) {
         let mut sent = 0usize;
         let mut received = 0u64;
         loop {
-            while sent < to_send && c.push(pe, sent as u64, 0).unwrap() {
+            while sent < to_send && c.push(pe, sent as u64, 0).unwrap().is_accepted() {
                 sent += 1;
             }
             let active = c.advance(pe, sent == to_send);
@@ -76,7 +76,7 @@ fn capacity_one_mesh_with_relays_makes_progress() {
         loop {
             while next < outbox.len() {
                 let (msg, dst) = outbox[next];
-                if c.push(pe, msg, dst).unwrap() {
+                if c.push(pe, msg, dst).unwrap().is_accepted() {
                     next += 1;
                 } else {
                     break;

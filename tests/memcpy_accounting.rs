@@ -27,7 +27,7 @@ fn copies_for_single_message(grid: Grid, src: usize, dst: usize) -> u64 {
         .unwrap();
         let mut sent = pe.rank() != src;
         loop {
-            if !sent && c.push(pe, 42, dst).unwrap() {
+            if !sent && c.push(pe, 42, dst).unwrap().is_accepted() {
                 sent = true;
             }
             let active = c.advance(pe, sent);
@@ -83,7 +83,7 @@ fn copy_count_scales_linearly_with_messages() {
         let mut sent = 0;
         let quota = if pe.rank() == 0 { 10 } else { 0 };
         loop {
-            while sent < quota && c.push(pe, sent as u64, 3).unwrap() {
+            while sent < quota && c.push(pe, sent as u64, 3).unwrap().is_accepted() {
                 sent += 1;
             }
             let active = c.advance(pe, sent == quota);

@@ -70,7 +70,7 @@ proptest! {
                     while next < my_traffic.len() {
                         let dst = my_traffic[next];
                         let payload = ((pe.rank() as u64) << 32) | pair_seq[dst];
-                        if c.push(pe, payload, dst).unwrap() {
+                        if c.push(pe, payload, dst).unwrap().is_accepted() {
                             pair_seq[dst] += 1;
                             next += 1;
                         } else {
@@ -78,9 +78,9 @@ proptest! {
                         }
                     }
                     let active = c.advance(pe, next == my_traffic.len());
-                    while let Some((from, payload)) = c.pull() {
-                        assert_eq!((payload >> 32) as u32, from, "origin tag mismatch");
-                        received[from as usize].push(payload & 0xffff_ffff);
+                    while let Some(d) = c.pull() {
+                        assert_eq!((d.item >> 32) as u32, d.src, "origin tag mismatch");
+                        received[d.src as usize].push(d.item & 0xffff_ffff);
                     }
                     if !active {
                         break;
@@ -157,7 +157,7 @@ proptest! {
                     while next < my_traffic.len() {
                         let dst = my_traffic[next];
                         let payload = ((pe.rank() as u64) << 32) | pair_seq[dst];
-                        if c.push(pe, payload, dst).unwrap() {
+                        if c.push(pe, payload, dst).unwrap().is_accepted() {
                             log.push(pe.rank(), dst, pair_seq[dst]);
                             pair_seq[dst] += 1;
                             next += 1;
@@ -166,8 +166,8 @@ proptest! {
                         }
                     }
                     let active = c.advance(pe, next == my_traffic.len());
-                    while let Some((from, payload)) = c.pull() {
-                        log.pull(from as usize, pe.rank(), payload & 0xffff_ffff);
+                    while let Some(d) = c.pull() {
+                        log.pull(d.src as usize, pe.rank(), d.item & 0xffff_ffff);
                     }
                     if !active {
                         break;

@@ -45,7 +45,7 @@ fn routed_exchange(
         let mut sent = 0;
         let mut got = 0u64;
         loop {
-            while sent < msgs && c.push(pe, sent as u64, dst).unwrap() {
+            while sent < msgs && c.push(pe, sent as u64, dst).unwrap().is_accepted() {
                 sent += 1;
             }
             let active = c.advance(pe, sent == msgs);
@@ -135,7 +135,7 @@ fn capacity_one_preserves_memcpy_accounting() {
             .unwrap();
             let mut sent = pe.rank() != src;
             loop {
-                if !sent && c.push(pe, 7, dst).unwrap() {
+                if !sent && c.push(pe, 7, dst).unwrap().is_accepted() {
                     sent = true;
                 }
                 let active = c.advance(pe, sent);

@@ -12,6 +12,36 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 
+#[cfg(debug_assertions)]
+thread_local! {
+    static LOCK_ACQUISITIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+#[inline]
+fn note_acquisition() {
+    #[cfg(debug_assertions)]
+    LOCK_ACQUISITIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// Number of mutex acquisitions (successful `lock`/`try_lock`) performed by
+/// the *calling thread* since it started. Debug builds only; release builds
+/// always return 0.
+///
+/// This exists so lock-freedom claims are testable: code that must not take
+/// a mutex (e.g. the conveyor's per-message hot path) samples the counter
+/// before and after and asserts a zero delta.
+#[inline]
+pub fn lock_acquisitions() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        LOCK_ACQUISITIONS.with(|c| c.get())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
 /// A mutex whose `lock` never returns a `Result` (parking_lot semantics).
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
@@ -37,6 +67,7 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        note_acquisition();
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
@@ -44,10 +75,16 @@ impl<T: ?Sized> Mutex<T> {
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
+            Ok(g) => {
+                note_acquisition();
+                Some(MutexGuard { inner: Some(g) })
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                note_acquisition();
+                Some(MutexGuard {
+                    inner: Some(p.into_inner()),
+                })
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -186,6 +223,29 @@ mod tests {
         *m.lock() = true;
         cv.notify_all();
         h.join().unwrap();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn acquisition_counter_is_per_thread_and_counts_locks() {
+        let before = lock_acquisitions();
+        let m = Mutex::new(0u8);
+        drop(m.lock());
+        assert!(m.try_lock().is_some());
+        assert_eq!(lock_acquisitions(), before + 2);
+        // a failed try_lock is not an acquisition
+        let _held = m.lock();
+        let mid = lock_acquisitions();
+        assert!(m.try_lock().is_none());
+        assert_eq!(lock_acquisitions(), mid);
+        // other threads' locks don't bleed into this thread's count
+        thread::spawn(|| {
+            let m = Mutex::new(());
+            drop(m.lock());
+        })
+        .join()
+        .unwrap();
+        assert_eq!(lock_acquisitions(), mid);
     }
 
     #[test]
