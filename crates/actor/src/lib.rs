@@ -64,6 +64,9 @@
 //! breakdown, and (through the conveyors) the physical trace — everything
 //! ActorProf visualizes.
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod selector;
 

@@ -1,0 +1,431 @@
+//! The lint passes. Each pass runs over one scanned file plus the parsed
+//! [`Policy`] and yields [`Finding`]s; [`lint_source`] runs them all.
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `undocumented-unsafe`  | every `unsafe` must carry a `// SAFETY:` comment on the same line or in the contiguous comment block directly above |
+//! | `lock-outside-allowlist` | lock types (`Mutex`, `RwLock`, `Condvar`, guards, `parking_lot`, `std::sync::mpsc`/`Barrier`) only in `[lock-allowlist]` files |
+//! | `unlisted-ordering`    | every `Ordering::*` site must match an `[[ordering]]` rule (file + enclosing fn, or file-wildcard `*`) allowing that variant |
+//! | `ordering-use-import`  | no `use …Ordering::…` imports — orderings must be spelled `Ordering::X` at the use site so the policy table stays greppable |
+//! | `static-mut`           | no `static mut` anywhere |
+//! | `ptr-cast`             | `as *mut` / `as *const` only under `[ptr-cast-allowlist]` path prefixes |
+//! | `missing-forbid`       | crate roots must pin their unsafe posture: `#![forbid(unsafe_code)]`, or for the unsafe-bearing crates (shmem, hwpc) `#![deny(unsafe_op_in_unsafe_fn)]` |
+
+use crate::lexer::{self, ScannedFile};
+use crate::policy::Policy;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Lint identifier (kebab-case).
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Lock-ish identifiers that must not appear outside the allowlist. Full
+/// idents, so `MutexGuard` does not hide behind `Mutex` and `OnceLock`
+/// (non-blocking after init) stays legal.
+const LOCK_IDENTS: [&str; 7] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+    "parking_lot",
+];
+
+/// Crates that legitimately contain `unsafe` and therefore pin
+/// `#![deny(unsafe_op_in_unsafe_fn)]` instead of `#![forbid(unsafe_code)]`.
+const UNSAFE_CRATES: [&str; 2] = ["shmem", "hwpc"];
+
+/// Run every pass over one file. `rel_path` is workspace-relative with
+/// `/` separators (it is matched against the policy verbatim).
+pub fn lint_source(rel_path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    let scanned = lexer::scan(src);
+    let mut findings = Vec::new();
+    lint_unsafe_comments(rel_path, &scanned, &mut findings);
+    lint_locks(rel_path, &scanned, policy, &mut findings);
+    lint_orderings(rel_path, &scanned, policy, &mut findings);
+    lint_static_mut_and_casts(rel_path, &scanned, policy, &mut findings);
+    lint_crate_root_attrs(rel_path, &scanned, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn finding(
+    rel_path: &str,
+    line: usize,
+    lint: &'static str,
+    message: impl Into<String>,
+) -> Finding {
+    Finding {
+        file: rel_path.to_string(),
+        line,
+        lint,
+        message: message.into(),
+    }
+}
+
+/// `unsafe` must carry a SAFETY comment on its line or in the contiguous
+/// comment/blank block directly above.
+fn lint_unsafe_comments(rel_path: &str, scanned: &ScannedFile, findings: &mut Vec<Finding>) {
+    let code_lines: Vec<&str> = scanned.code.lines().collect();
+    let mut unsafe_lines: Vec<usize> = lexer::idents(&scanned.code)
+        .into_iter()
+        .filter(|(_, _, w)| *w == "unsafe")
+        .map(|(line, _, _)| line)
+        .collect();
+    unsafe_lines.dedup();
+
+    let comment_on = |line: usize| -> bool {
+        scanned
+            .comments
+            .iter()
+            .any(|c| c.start_line <= line && line <= c.end_line && c.text.contains("SAFETY:"))
+    };
+    let line_is_commentary = |line: usize| -> bool {
+        code_lines
+            .get(line - 1)
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(false)
+    };
+
+    'sites: for site in unsafe_lines {
+        if comment_on(site) {
+            continue;
+        }
+        let mut line = site;
+        while line > 1 && line_is_commentary(line - 1) {
+            line -= 1;
+            if comment_on(line) {
+                continue 'sites;
+            }
+        }
+        findings.push(finding(
+            rel_path,
+            site,
+            "undocumented-unsafe",
+            "`unsafe` without a `// SAFETY:` comment on the same line or \
+             in the comment block directly above",
+        ));
+    }
+}
+
+fn lint_locks(
+    rel_path: &str,
+    scanned: &ScannedFile,
+    policy: &Policy,
+    findings: &mut Vec<Finding>,
+) {
+    if policy.lock_files.iter().any(|f| f == rel_path) {
+        return;
+    }
+    for (line, _, word) in lexer::idents(&scanned.code) {
+        if LOCK_IDENTS.contains(&word) {
+            findings.push(finding(
+                rel_path,
+                line,
+                "lock-outside-allowlist",
+                format!(
+                    "`{word}` outside the lock allowlist — the message hot path \
+                     is lock-free by contract; add the file to \
+                     [lock-allowlist] in policy.toml only with justification"
+                ),
+            ));
+        }
+    }
+    for (lineno, text) in scanned.code.lines().enumerate() {
+        for needle in ["std::sync::mpsc", "std::sync::Barrier"] {
+            if text.contains(needle) {
+                findings.push(finding(
+                    rel_path,
+                    lineno + 1,
+                    "lock-outside-allowlist",
+                    format!("`{needle}` outside the lock allowlist"),
+                ));
+            }
+        }
+    }
+}
+
+fn lint_orderings(
+    rel_path: &str,
+    scanned: &ScannedFile,
+    policy: &Policy,
+    findings: &mut Vec<Finding>,
+) {
+    // Only the atomic variants: `Ordering::Less`/`Equal`/`Greater` are
+    // `std::cmp::Ordering` and none of this lint's business.
+    const ATOMIC_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    let sites = lexer::ordering_sites(&scanned.code);
+    let fns = lexer::enclosing_fns(&scanned.code);
+    for (line, variant) in sites {
+        if !ATOMIC_VARIANTS.contains(&variant.as_str()) {
+            continue;
+        }
+        let symbol = fns.get(line).and_then(|s| s.as_deref());
+        let rules = policy.allowed_orderings(rel_path, symbol);
+        let allowed = rules
+            .iter()
+            .any(|r| r.allow.iter().any(|v| v == &variant));
+        if !allowed {
+            let symbol = symbol.unwrap_or("<module>");
+            findings.push(finding(
+                rel_path,
+                line,
+                "unlisted-ordering",
+                format!(
+                    "`Ordering::{variant}` in `{symbol}` has no matching \
+                     [[ordering]] policy entry — add one to \
+                     crates/analyzer/policy.toml with a justification"
+                ),
+            ));
+        }
+    }
+    for (lineno, text) in scanned.code.lines().enumerate() {
+        let trimmed = text.trim_start();
+        if (trimmed.starts_with("use ") || trimmed.starts_with("pub use "))
+            && text.contains("Ordering::")
+        {
+            findings.push(finding(
+                rel_path,
+                lineno + 1,
+                "ordering-use-import",
+                "importing `Ordering` variants hides them from the policy \
+                 table; spell `Ordering::X` at the use site",
+            ));
+        }
+    }
+}
+
+fn lint_static_mut_and_casts(
+    rel_path: &str,
+    scanned: &ScannedFile,
+    policy: &Policy,
+    findings: &mut Vec<Finding>,
+) {
+    let cast_allowed = policy
+        .ptr_cast_prefixes
+        .iter()
+        .any(|p| rel_path.starts_with(p.as_str()));
+    for (lineno, text) in scanned.code.lines().enumerate() {
+        let squashed = squash_spaces(text);
+        if squashed.contains("static mut ") {
+            findings.push(finding(
+                rel_path,
+                lineno + 1,
+                "static-mut",
+                "`static mut` is forbidden everywhere (use atomics or \
+                 interior mutability)",
+            ));
+        }
+        if !cast_allowed
+            && (squashed.contains("as *mut") || squashed.contains("as *const"))
+        {
+            findings.push(finding(
+                rel_path,
+                lineno + 1,
+                "ptr-cast",
+                "raw-pointer cast outside the shmem/hwpc allowlist",
+            ));
+        }
+    }
+}
+
+fn squash_spaces(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut prev_space = false;
+    for c in text.chars() {
+        let is_space = c.is_whitespace();
+        if is_space {
+            if !prev_space {
+                out.push(' ');
+            }
+        } else {
+            out.push(c);
+        }
+        prev_space = is_space;
+    }
+    out
+}
+
+/// Crate roots (`crates/<name>/src/lib.rs`) must pin their unsafe posture.
+fn lint_crate_root_attrs(rel_path: &str, scanned: &ScannedFile, findings: &mut Vec<Finding>) {
+    let Some(rest) = rel_path.strip_prefix("crates/") else {
+        return;
+    };
+    let Some(crate_name) = rest.strip_suffix("/src/lib.rs") else {
+        return;
+    };
+    let code = &scanned.code;
+    if UNSAFE_CRATES.contains(&crate_name) {
+        if !code.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+            findings.push(finding(
+                rel_path,
+                1,
+                "missing-forbid",
+                format!(
+                    "crate `{crate_name}` contains unsafe code and must \
+                     declare `#![deny(unsafe_op_in_unsafe_fn)]`"
+                ),
+            ));
+        }
+    } else if !code.contains("#![forbid(unsafe_code)]") {
+        findings.push(finding(
+            rel_path,
+            1,
+            "missing-forbid",
+            format!("crate `{crate_name}` must declare `#![forbid(unsafe_code)]`"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    fn empty_policy() -> Policy {
+        Policy::default()
+    }
+
+    fn lints_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged_documented_is_not() {
+        let src = "\
+// SAFETY: the invariant holds by construction.
+let a = unsafe { f() };
+let b = unsafe { g() };
+";
+        let f = lint_source("x.rs", src, &empty_policy());
+        assert_eq!(lints_of(&f), vec!["undocumented-unsafe"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn safety_comment_spans_blank_and_attr_free_block() {
+        let src = "\
+// SAFETY: single producer per cell; ownership transfers
+// through Release/Acquire on the state word.
+
+unsafe impl<T: Send> Sync for Inner<T> {}
+";
+        assert!(lint_source("x.rs", src, &empty_policy()).is_empty());
+    }
+
+    #[test]
+    fn safety_in_string_does_not_count() {
+        let src = "let s = \"SAFETY: nope\";\nlet a = unsafe { f() };\n";
+        let f = lint_source("x.rs", src, &empty_policy());
+        assert_eq!(lints_of(&f), vec!["undocumented-unsafe"]);
+    }
+
+    #[test]
+    fn locks_flagged_outside_allowlist_only() {
+        let src = "use std::sync::Mutex;\n";
+        let f = lint_source("crates/foo/src/a.rs", src, &empty_policy());
+        assert_eq!(lints_of(&f), vec!["lock-outside-allowlist"]);
+
+        let mut policy = empty_policy();
+        policy.lock_files.push("crates/foo/src/a.rs".to_string());
+        assert!(lint_source("crates/foo/src/a.rs", src, &policy).is_empty());
+    }
+
+    #[test]
+    fn ordering_requires_policy_entry() {
+        let src = "fn publish() {\n    s.store(1, Ordering::Release);\n}\n";
+        let f = lint_source("crates/foo/src/a.rs", src, &empty_policy());
+        assert_eq!(lints_of(&f), vec!["unlisted-ordering"]);
+        assert!(f[0].message.contains("publish"));
+
+        let policy = Policy::parse(
+            "[[ordering]]\nfile = \"crates/foo/src/a.rs\"\nsymbol = \"publish\"\n\
+             allow = [\"Release\"]\nwhy = \"publication store\"\n",
+        )
+        .unwrap();
+        assert!(lint_source("crates/foo/src/a.rs", src, &policy).is_empty());
+        // …but the same ordering in another fn is still a finding.
+        let src2 = "fn other() {\n    s.store(1, Ordering::Release);\n}\n";
+        assert_eq!(
+            lints_of(&lint_source("crates/foo/src/a.rs", src2, &policy)),
+            vec!["unlisted-ordering"]
+        );
+    }
+
+    #[test]
+    fn wildcard_symbol_covers_file() {
+        let policy = Policy::parse(
+            "[[ordering]]\nfile = \"a.rs\"\nsymbol = \"*\"\nallow = [\"SeqCst\"]\nwhy = \"tests\"\n",
+        )
+        .unwrap();
+        let src = "fn any() { x.load(Ordering::SeqCst); }\n";
+        assert!(lint_source("a.rs", src, &policy).is_empty());
+        let src = "fn any() { x.load(Ordering::Relaxed); }\n";
+        assert_eq!(lints_of(&lint_source("a.rs", src, &policy)), vec!["unlisted-ordering"]);
+    }
+
+    #[test]
+    fn cmp_ordering_variants_are_ignored() {
+        let src = "fn f() { match a.cmp(&b) { Ordering::Less => 1, _ => 2 }; }\n";
+        assert!(lint_source("a.rs", src, &empty_policy()).is_empty());
+    }
+
+    #[test]
+    fn ordering_import_evasion_is_flagged() {
+        let src = "use std::sync::atomic::Ordering::Relaxed;\n";
+        let f = lint_source("a.rs", src, &empty_policy());
+        assert!(lints_of(&f).contains(&"ordering-use-import"));
+    }
+
+    #[test]
+    fn static_mut_and_ptr_casts() {
+        let src = "static mut X: u32 = 0;\nlet p = &x as *const u32;\n";
+        let f = lint_source("crates/foo/src/a.rs", src, &empty_policy());
+        assert_eq!(lints_of(&f), vec!["static-mut", "ptr-cast"]);
+
+        let policy = Policy::parse(
+            "[ptr-cast-allowlist]\nprefixes = [\"crates/shmem/\"]\n",
+        )
+        .unwrap();
+        let f = lint_source("crates/shmem/src/a.rs", src, &policy);
+        assert_eq!(lints_of(&f), vec!["static-mut"], "cast allowed, static mut never");
+    }
+
+    #[test]
+    fn crate_roots_must_pin_unsafe_posture() {
+        let f = lint_source("crates/actor/src/lib.rs", "fn f() {}\n", &empty_policy());
+        assert_eq!(lints_of(&f), vec!["missing-forbid"]);
+        assert!(lint_source(
+            "crates/actor/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() {}\n",
+            &empty_policy()
+        )
+        .is_empty());
+        let f = lint_source("crates/shmem/src/lib.rs", "fn f() {}\n", &empty_policy());
+        assert_eq!(lints_of(&f), vec!["missing-forbid"]);
+        assert!(lint_source(
+            "crates/shmem/src/lib.rs",
+            "#![deny(unsafe_op_in_unsafe_fn)]\nfn f() {}\n",
+            &empty_policy()
+        )
+        .is_empty());
+    }
+}

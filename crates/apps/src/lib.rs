@@ -24,6 +24,9 @@
 //! [`profile::profile_run`] is the one-call driver: handler + MAIN body in,
 //! per-PE results + [`actorprof::TraceBundle`] out.
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod common;
 pub mod histogram;

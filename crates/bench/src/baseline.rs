@@ -289,9 +289,15 @@ impl<T: Copy + Default + Send + 'static> MutexConveyor<T> {
 
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
-        self.landing.read_local(pe, |region| {
-            scratch.extend_from_slice(&region[base + start..base + count]);
-        });
+        // Ranged read, same single lock acquisition as read_local: other
+        // producers legitimately put into disjoint slots of this landing
+        // region concurrently, so only the consumed slot's span may be
+        // reported as accessed.
+        self.landing
+            .read_local_range(pe, base + start, count - start, |span| {
+                scratch.extend_from_slice(span);
+            })
+            .expect("landing slot bounds are static");
 
         let mut processed = 0;
         let mut blocked = false;

@@ -17,6 +17,9 @@
 //! - `ACTORPROF_OUT` — output directory for figures (default
 //!   `target/actorprof-figures`).
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod experiment;
 pub mod figures;

@@ -121,6 +121,11 @@ struct SharedState {
     pushed: AtomicU64,
     pulled: AtomicU64,
     done: AtomicU64,
+    /// The ledger's identity for the race detector: its SeqCst posts and
+    /// the termination check are real synchronization, so they are modeled
+    /// as edges on this object.
+    #[cfg(feature = "race-detect")]
+    hb: fabsp_shmem::race::HbObject,
 }
 
 /// Free-list of staging/scratch buffers. All `Vec<Envelope<T>>` the
@@ -223,6 +228,8 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                 pushed: AtomicU64::new(0),
                 pulled: AtomicU64::new(0),
                 done: AtomicU64::new(0),
+                #[cfg(feature = "race-detect")]
+                hb: fabsp_shmem::race::HbObject::new(),
             })
         });
         let me = pe.rank();
@@ -386,6 +393,8 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
     }
 
     fn push_impl(&mut self, pe: &Pe, item: T, dst: usize) -> Result<PushOutcome, ConveyorError> {
+        #[cfg(feature = "race-detect")]
+        pe.race_note("Conveyor::push");
         if dst >= self.grid.n_pes() {
             return Err(ConveyorError::InvalidDestination {
                 dst,
@@ -480,6 +489,10 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             self.done_signaled = true;
             self.shared.done.fetch_add(1, Ordering::SeqCst);
         }
+        // The SeqCst posts above are release-and-acquire on the shared
+        // ledger; one modeled RMW edge covers them.
+        #[cfg(feature = "race-detect")]
+        pe.hb_rmw(&self.shared.hb);
 
         self.consume_incoming(pe);
 
@@ -503,6 +516,8 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
 
         // Termination: all PEs done (monotonic; pushes are finished), and
         // every pushed item has been pulled by a user somewhere.
+        #[cfg(feature = "race-detect")]
+        pe.hb_acquire(&self.shared.hb);
         if self.shared.done.load(Ordering::SeqCst) == self.grid.n_pes() as u64 {
             let pushed = self.shared.pushed.load(Ordering::SeqCst);
             let pulled = self.shared.pulled.load(Ordering::SeqCst);
@@ -537,7 +552,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         let slot = {
             let l = &self.links[link];
             (0..2).find(|&s| {
-                l.in_flight[s].is_none() && self.cells.state(peer, Self::slot_index(rev, s)) == 0
+                l.in_flight[s].is_none() && self.cells.state(pe, peer, Self::slot_index(rev, s)) == 0
             })
         };
         let Some(slot) = slot else {
@@ -629,7 +644,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             loop {
                 let expected = self.expect_seq[link];
                 let Some(slot) = (0..2).find(|&s| {
-                    let word = self.cells.state(self.me, Self::slot_index(link, s));
+                    let word = self.cells.state(pe, self.me, Self::slot_index(link, s));
                     word != 0 && (word >> 32) == expected
                 }) else {
                     break;
@@ -651,7 +666,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
     /// on a full relay buffer (cursor saved for resumption).
     fn consume_slot(&mut self, pe: &Pe, link: usize, slot: usize) -> bool {
         let idx = Self::slot_index(link, slot);
-        let word = self.cells.state(self.me, idx);
+        let word = self.cells.state(pe, self.me, idx);
         let count = ((word & 0xffff_ffff) - 1) as usize;
         let start = self.cursors[idx];
 

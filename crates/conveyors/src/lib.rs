@@ -72,6 +72,9 @@
 //! Conveyors never short-circuits, at the cost of several extra memcpys per
 //! message (observable in [`ConveyorStats::item_copies`]).
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod convey;
 pub mod error;
 pub mod stats;

@@ -34,6 +34,9 @@
 //! assert_eq!(m.row_totals(), vec![1, 0]);
 //! ```
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod bundle;
 pub mod compare;
 pub mod error;

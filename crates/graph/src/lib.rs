@@ -19,6 +19,9 @@
 //! land on PE 0 — the root cause of every load-imbalance observation in
 //! the paper's figures.
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod csr;
 pub mod dist;
 pub mod edgelist;

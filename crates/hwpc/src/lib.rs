@@ -36,6 +36,9 @@
 //! assert_eq!(counts[1], 40);
 //! ```
 
+// Every unsafe operation must sit in an explicit, commented block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cost;
 pub mod counters;
 pub mod event;

@@ -17,7 +17,9 @@ pub const NOMINAL_HZ: u64 = 2_450_000_000;
 pub fn cycles_now() -> u64 {
     #[cfg(target_arch = "x86_64")]
     {
-        // SAFETY: `rdtsc` has no preconditions; it only reads the TSC.
+        // SAFETY: `_rdtsc` is baseline x86_64 (no target-feature gate
+        // needed), reads only the time-stamp counter register, touches no
+        // memory, and has no alignment or initialization preconditions.
         unsafe { core::arch::x86_64::_rdtsc() }
     }
     #[cfg(not(target_arch = "x86_64"))]

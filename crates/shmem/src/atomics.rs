@@ -19,6 +19,9 @@ struct AtomicInner {
     len: usize,
     grid: Grid,
     regions: Vec<Box<[AtomicU64]>>,
+    /// Allocation identity for the race detector's location map.
+    #[cfg(feature = "race-detect")]
+    race_id: u64,
 }
 
 /// A symmetric array of `u64` atomics, one region per PE.
@@ -63,6 +66,8 @@ impl SymmetricAtomicVec {
                         len: lens[0],
                         grid,
                         regions,
+                        #[cfg(feature = "race-detect")]
+                        race_id: crate::race::next_alloc_id(),
                     }),
                 })
             },
@@ -94,6 +99,16 @@ impl SymmetricAtomicVec {
         Ok(())
     }
 
+    /// The detector's name for `owner_pe`'s element.
+    #[cfg(feature = "race-detect")]
+    fn loc(&self, owner_pe: usize, index: usize) -> crate::race::Loc {
+        crate::race::Loc {
+            alloc: self.inner.race_id,
+            owner: owner_pe,
+            index,
+        }
+    }
+
     /// Atomic fetch-add on `dst_pe`'s element (`shmem_atomic_fetch_add`).
     pub fn fetch_add(
         &self,
@@ -104,7 +119,16 @@ impl SymmetricAtomicVec {
     ) -> Result<u64, ShmemError> {
         self.check(dst_pe, index)?;
         pe.sched_point(SchedPoint::Atomic);
-        let prev = self.inner.regions[dst_pe][index].fetch_add(value, Ordering::AcqRel);
+        let slot = &self.inner.regions[dst_pe][index];
+        #[cfg(feature = "race-detect")]
+        let prev = match pe.race_detector() {
+            Some(d) => d.sync_rmw(pe.rank(), self.loc(dst_pe, index), || {
+                slot.fetch_add(value, Ordering::AcqRel)
+            }),
+            None => slot.fetch_add(value, Ordering::AcqRel),
+        };
+        #[cfg(not(feature = "race-detect"))]
+        let prev = slot.fetch_add(value, Ordering::AcqRel);
         if dst_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, 8);
         }
@@ -115,7 +139,16 @@ impl SymmetricAtomicVec {
     pub fn store(&self, pe: &Pe, dst_pe: usize, index: usize, value: u64) -> Result<(), ShmemError> {
         self.check(dst_pe, index)?;
         pe.sched_point(SchedPoint::Atomic);
-        self.inner.regions[dst_pe][index].store(value, Ordering::Release);
+        let slot = &self.inner.regions[dst_pe][index];
+        #[cfg(feature = "race-detect")]
+        match pe.race_detector() {
+            Some(d) => d.sync_release(pe.rank(), self.loc(dst_pe, index), || {
+                slot.store(value, Ordering::Release)
+            }),
+            None => slot.store(value, Ordering::Release),
+        }
+        #[cfg(not(feature = "race-detect"))]
+        slot.store(value, Ordering::Release);
         if dst_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, 8);
         }
@@ -126,7 +159,16 @@ impl SymmetricAtomicVec {
     pub fn load(&self, pe: &Pe, src_pe: usize, index: usize) -> Result<u64, ShmemError> {
         self.check(src_pe, index)?;
         pe.sched_point(SchedPoint::Atomic);
-        let v = self.inner.regions[src_pe][index].load(Ordering::Acquire);
+        let slot = &self.inner.regions[src_pe][index];
+        #[cfg(feature = "race-detect")]
+        let v = match pe.race_detector() {
+            Some(d) => d.sync_acquire(pe.rank(), self.loc(src_pe, index), || {
+                slot.load(Ordering::Acquire)
+            }),
+            None => slot.load(Ordering::Acquire),
+        };
+        #[cfg(not(feature = "race-detect"))]
+        let v = slot.load(Ordering::Acquire);
         if src_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, 8);
         }
@@ -136,7 +178,14 @@ impl SymmetricAtomicVec {
     /// Load from the calling PE's own region without traffic accounting.
     #[inline]
     pub fn local_load(&self, pe: &Pe, index: usize) -> u64 {
-        self.inner.regions[pe.rank()][index].load(Ordering::Acquire)
+        let slot = &self.inner.regions[pe.rank()][index];
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = pe.race_detector() {
+            return d.sync_acquire(pe.rank(), self.loc(pe.rank(), index), || {
+                slot.load(Ordering::Acquire)
+            });
+        }
+        slot.load(Ordering::Acquire)
     }
 
     /// Spin until `pred` holds on the calling PE's own element
@@ -146,6 +195,14 @@ impl SymmetricAtomicVec {
     pub fn wait_until(&self, pe: &Pe, index: usize, pred: impl Fn(u64) -> bool) -> u64 {
         let slot = &self.inner.regions[pe.rank()][index];
         loop {
+            #[cfg(feature = "race-detect")]
+            let v = match pe.race_detector() {
+                Some(d) => d.sync_acquire(pe.rank(), self.loc(pe.rank(), index), || {
+                    slot.load(Ordering::Acquire)
+                }),
+                None => slot.load(Ordering::Acquire),
+            };
+            #[cfg(not(feature = "race-detect"))]
             let v = slot.load(Ordering::Acquire);
             if pred(v) {
                 return v;

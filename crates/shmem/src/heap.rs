@@ -35,6 +35,12 @@ struct SymInner<T> {
     len: usize,
     grid: Grid,
     regions: Vec<Mutex<Box<[T]>>>,
+    /// Allocation identity for the race detector's location map. The
+    /// per-region mutex serializes the *bytes* (it models the NIC, not
+    /// program order), so it deliberately contributes no happens-before
+    /// edge: ordering must come from atomics, collectives, or quiet.
+    #[cfg(feature = "race-detect")]
+    race_id: u64,
 }
 
 /// A symmetric array: one same-length region per PE, remotely addressable.
@@ -75,6 +81,8 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
                         len: lens[0],
                         grid,
                         regions,
+                        #[cfg(feature = "race-detect")]
+                        race_id: crate::race::next_alloc_id(),
                     }),
                 })
             },
@@ -106,23 +114,62 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         Ok(())
     }
 
+    /// Record a tracked range access (no-op without a detector).
+    #[cfg(feature = "race-detect")]
+    fn trace_range(&self, pe: &Pe, owner: usize, start: usize, len: usize, write: bool, label: &'static str) {
+        if let Some(d) = pe.race_detector() {
+            if write {
+                d.write_range(pe.rank(), self.inner.race_id, owner, start, len, label);
+            } else {
+                d.read_range(pe.rank(), self.inner.race_id, owner, start, len, label);
+            }
+        }
+    }
+
     /// Read access to the calling PE's own region.
     pub fn read_local<R>(&self, pe: &Pe, f: impl FnOnce(&[T]) -> R) -> R {
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, pe.rank(), 0, self.inner.len, false, "SymmetricVec::read_local");
         f(&self.inner.regions[pe.rank()].lock())
+    }
+
+    /// Read access to `offset..offset + len` of the calling PE's own
+    /// region. Semantically identical to [`read_local`](Self::read_local)
+    /// plus slicing, but tells the race detector exactly which elements are
+    /// touched — use it when other PEs legitimately write disjoint parts of
+    /// the region concurrently.
+    pub fn read_local_range<R>(
+        &self,
+        pe: &Pe,
+        offset: usize,
+        len: usize,
+        f: impl FnOnce(&[T]) -> R,
+    ) -> Result<R, ShmemError> {
+        self.check(pe.rank(), offset, len)?;
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, pe.rank(), offset, len, false, "SymmetricVec::read_local_range");
+        let region = self.inner.regions[pe.rank()].lock();
+        Ok(f(&region[offset..offset + len]))
     }
 
     /// Write access to the calling PE's own region.
     pub fn write_local<R>(&self, pe: &Pe, f: impl FnOnce(&mut [T]) -> R) -> R {
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, pe.rank(), 0, self.inner.len, true, "SymmetricVec::write_local");
         f(&mut self.inner.regions[pe.rank()].lock())
     }
 
     /// Read one element of the calling PE's own region.
     pub fn local_get(&self, pe: &Pe, index: usize) -> T {
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, pe.rank(), index, 1, false, "SymmetricVec::local_get");
         self.inner.regions[pe.rank()].lock()[index]
     }
 
     /// Write one element of the calling PE's own region.
     pub fn local_set(&self, pe: &Pe, index: usize, value: T) {
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, pe.rank(), index, 1, true, "SymmetricVec::local_set");
         self.inner.regions[pe.rank()].lock()[index] = value;
     }
 
@@ -143,6 +190,8 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
                 n_pes: self.inner.grid.n_pes(),
             });
         }
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, target_pe, 0, self.inner.len, true, "SymmetricVec::with_same_node");
         Ok(f(&mut self.inner.regions[target_pe].lock()))
     }
 
@@ -152,6 +201,8 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         self.check(dst_pe, offset, src.len())?;
         pe.sched_point(SchedPoint::Put);
         let bytes = std::mem::size_of_val(src);
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, dst_pe, offset, src.len(), true, "SymmetricVec::put");
         {
             let mut region = self.inner.regions[dst_pe].lock();
             region[offset..offset + src.len()].copy_from_slice(src);
@@ -178,6 +229,8 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         self.check(src_pe, offset, dst.len())?;
         pe.sched_point(SchedPoint::Get);
         let bytes = std::mem::size_of_val(dst);
+        #[cfg(feature = "race-detect")]
+        self.trace_range(pe, src_pe, offset, dst.len(), false, "SymmetricVec::get");
         {
             let region = self.inner.regions[src_pe].lock();
             dst.copy_from_slice(&region[offset..offset + dst.len()]);
@@ -213,9 +266,27 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         let bytes = std::mem::size_of_val(src);
         let inner = Arc::clone(&self.inner);
         let data: Vec<T> = src.to_vec();
+        // The write *event* is deferred with the data: until quiet applies
+        // the copy, the target legitimately sees (and may read) the old
+        // bytes, so staging is not itself an access.
+        #[cfg(feature = "race-detect")]
+        let detector = pe.race_detector().map(Arc::clone);
+        #[cfg(feature = "race-detect")]
+        let rank = pe.rank();
         pe.push_pending(
             bytes,
             Box::new(move || {
+                #[cfg(feature = "race-detect")]
+                if let Some(d) = &detector {
+                    d.write_range(
+                        rank,
+                        inner.race_id,
+                        dst_pe,
+                        offset,
+                        data.len(),
+                        "SymmetricVec::put_nbi (quiet)",
+                    );
+                }
                 let mut region = inner.regions[dst_pe].lock();
                 region[offset..offset + data.len()].copy_from_slice(&data);
             }),

@@ -46,6 +46,9 @@
 //! assert_eq!(results, vec![3, 0, 1, 2]);
 //! ```
 
+// Every unsafe operation must sit in an explicit, commented block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod atomics;
 pub mod collectives;
 pub mod error;
@@ -53,6 +56,8 @@ pub mod grid;
 pub mod heap;
 pub mod net;
 pub mod pe;
+#[cfg(feature = "race-detect")]
+pub mod race;
 pub mod ring;
 pub mod sched;
 pub mod spmd;

@@ -30,6 +30,9 @@ pub(crate) struct World {
     /// Serializing scheduler, if this run is under deterministic control.
     pub(crate) sched: Option<Arc<dyn Scheduler>>,
     pub(crate) faults: FaultSpec,
+    /// Happens-before race detector, when this run checks its schedules.
+    #[cfg(feature = "race-detect")]
+    pub(crate) race: Option<Arc<crate::race::Detector>>,
 }
 
 impl World {
@@ -46,6 +49,8 @@ impl World {
             poisoned: AtomicBool::new(false),
             sched,
             faults,
+            #[cfg(feature = "race-detect")]
+            race: None,
         })
     }
 
@@ -202,6 +207,12 @@ impl Pe {
     /// Implies [`quiet`](Pe::quiet), as the OpenSHMEM specification requires.
     pub fn barrier_all(&self) {
         self.quiet();
+        // Arrive strictly before the physical wait and depart strictly
+        // after it, so every departer's clock covers every arriver's.
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = self.race_detector() {
+            d.barrier_arrive(self.rank);
+        }
         match &self.world.sched {
             None => self.world.barrier.wait(),
             Some(sched) => {
@@ -215,6 +226,10 @@ impl Pe {
                     self.world.check_poison();
                 });
             }
+        }
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = self.race_detector() {
+            d.barrier_depart(self.rank);
         }
     }
 
@@ -253,7 +268,13 @@ impl Pe {
     {
         let seq = self.next_collective_seq();
         self.sched_point(SchedPoint::Collective);
-        match &self.world.sched {
+        // Rendezvous arrival/departure bracket the physical wait, like the
+        // barrier's: collectives are full synchronization points.
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = self.race_detector() {
+            d.collective_arrive(self.rank);
+        }
+        let out = match &self.world.sched {
             None => self
                 .world
                 .rendezvous
@@ -268,7 +289,12 @@ impl Pe {
                     self.world.check_poison();
                 }),
             ),
+        };
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = self.race_detector() {
+            d.collective_depart(self.rank);
         }
+        out
     }
 
     /// Network statistics attributed to this PE as a source.
@@ -298,6 +324,55 @@ impl Pe {
 
     pub(crate) fn record_net(&self, class: TransferClass, bytes: usize) {
         self.world.ledger.record(self.rank, class, bytes);
+    }
+}
+
+/// Race-detector surface (the `race-detect` feature). All methods are
+/// no-ops when the run's [`Harness`](crate::spmd::Harness) disabled the
+/// detector.
+#[cfg(feature = "race-detect")]
+impl Pe {
+    /// This world's detector, if the run is being checked.
+    #[inline]
+    pub(crate) fn race_detector(&self) -> Option<&Arc<crate::race::Detector>> {
+        self.world.race.as_ref()
+    }
+
+    /// Release edge on `obj`: order this PE's prior accesses before any PE
+    /// that later acquires `obj`.
+    pub fn hb_release(&self, obj: &crate::race::HbObject) {
+        if let Some(d) = self.race_detector() {
+            d.sync_release(self.rank, obj.loc(), || ());
+        }
+    }
+
+    /// Acquire edge on `obj`: order every prior release of `obj` before
+    /// this PE's subsequent accesses.
+    pub fn hb_acquire(&self, obj: &crate::race::HbObject) {
+        if let Some(d) = self.race_detector() {
+            d.sync_acquire(self.rank, obj.loc(), || ());
+        }
+    }
+
+    /// Combined acquire-release edge on `obj` (models an RMW).
+    pub fn hb_rmw(&self, obj: &crate::race::HbObject) {
+        if let Some(d) = self.race_detector() {
+            d.sync_rmw(self.rank, obj.loc(), || ());
+        }
+    }
+
+    /// Tag this PE's subsequent tracked accesses with a logical-operation
+    /// note (shown in violation reports).
+    pub fn race_note(&self, note: &'static str) {
+        if let Some(d) = self.race_detector() {
+            d.note(self.rank, note);
+        }
+    }
+
+    /// Total detector events so far (accesses + sync edges), for overhead
+    /// reporting; `None` when the run is unchecked.
+    pub fn race_events(&self) -> Option<u64> {
+        self.race_detector().map(|d| d.events())
     }
 }
 

@@ -72,6 +72,9 @@ struct RingInner<T> {
     capacity: usize,
     /// `regions[pe][cell]`.
     regions: Vec<Box<[RingCell<T>]>>,
+    /// Allocation identity for the race detector's location map.
+    #[cfg(feature = "race-detect")]
+    race_id: u64,
 }
 
 // SAFETY: cross-thread access to the UnsafeCell'd buffers follows the SPSC
@@ -80,6 +83,10 @@ struct RingInner<T> {
 // cell is published, and ownership transfers through Release/Acquire on the
 // state word. `T: Send` is required because values move between threads.
 unsafe impl<T: Send> Sync for RingInner<T> {}
+// SAFETY: RingInner owns its buffers; moving the allocation to another
+// thread moves the `T`s with it, which `T: Send` permits. No thread
+// affinity exists anywhere in the structure (the per-PE discipline lives in
+// `Pe`, not here).
 unsafe impl<T: Send> Send for RingInner<T> {}
 
 /// Symmetric lock-free SPSC link cells; see the module docs.
@@ -128,6 +135,8 @@ impl<T: Copy + Default + Send + 'static> SpscRing<T> {
                         cells_per_pe: cells,
                         capacity,
                         regions,
+                        #[cfg(feature = "race-detect")]
+                        race_id: crate::race::next_alloc_id(),
                     }),
                 })
             },
@@ -159,14 +168,40 @@ impl<T: Copy + Default + Send + 'static> SpscRing<T> {
         Ok(())
     }
 
+    /// The detector's name for `owner_pe`'s cell (state word and buffer
+    /// share it: the two live in separate sync/data maps).
+    #[cfg(feature = "race-detect")]
+    fn loc(&self, owner_pe: usize, cell: usize) -> crate::race::Loc {
+        crate::race::Loc {
+            alloc: self.inner.race_id,
+            owner: owner_pe,
+            index: cell,
+        }
+    }
+
     /// Poll `owner_pe`'s cell state word (`Acquire`; unaccounted — this
     /// models spinning on an in-memory delivery flag). Producers poll for
     /// `0` (free), consumers for non-zero (published).
     #[inline]
-    pub fn state(&self, owner_pe: usize, cell: usize) -> u64 {
+    #[cfg_attr(not(feature = "race-detect"), allow(unused_variables))]
+    pub fn state(&self, pe: &Pe, owner_pe: usize, cell: usize) -> u64 {
         debug_assert!(owner_pe < self.inner.grid.n_pes());
         debug_assert!(cell < self.inner.cells_per_pe);
-        self.inner.regions[owner_pe][cell].state.load(Ordering::Acquire)
+        let c = &self.inner.regions[owner_pe][cell];
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = pe.race_detector() {
+            if d.hooks().downgrade_ring_acquire {
+                // LITMUS HOOK: a Relaxed poll observes the word without the
+                // publication edge — the detector must flag the consumer's
+                // subsequent buffer read as unordered with the producer's
+                // fill.
+                return c.state.load(Ordering::Relaxed);
+            }
+            return d.sync_acquire(pe.rank(), self.loc(owner_pe, cell), || {
+                c.state.load(Ordering::Acquire)
+            });
+        }
+        c.state.load(Ordering::Acquire)
     }
 
     /// Copy `src` into `dst_pe`'s cell buffer as a *blocking* put: the data
@@ -177,6 +212,10 @@ impl<T: Copy + Default + Send + 'static> SpscRing<T> {
         pe.sched_point(SchedPoint::Put);
         let bytes = std::mem::size_of_val(src);
         self.fill(dst_pe, cell, src);
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = pe.race_detector() {
+            d.write(pe.rank(), self.loc(dst_pe, cell), "SpscRing::write");
+        }
         if pe.same_node_as(dst_pe) {
             model::MEMCPY_PER_BYTE.times(bytes as u64).charge();
             pe.record_net(TransferClass::LocalCopy, bytes);
@@ -205,6 +244,23 @@ impl<T: Copy + Default + Send + 'static> SpscRing<T> {
         pe.sched_point(SchedPoint::PutNbi);
         let bytes = std::mem::size_of_val(src);
         self.fill(dst_pe, cell, src);
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = pe.race_detector() {
+            // The buffer is physically filled now, but semantically the put
+            // is in flight until quiet: mark the cell nbi-pending and defer
+            // the write event to the quiet-time flush below.
+            let loc = self.loc(dst_pe, cell);
+            let rank = pe.rank();
+            d.nbi_staged(rank, loc, "SpscRing::write_nbi");
+            let d = Arc::clone(d);
+            pe.push_pending(
+                bytes,
+                Box::new(move || d.nbi_delivered(rank, loc, "SpscRing::write_nbi (quiet)")),
+            );
+        } else {
+            pe.push_pending(bytes, Box::new(|| {}));
+        }
+        #[cfg(not(feature = "race-detect"))]
         // Zero-sized closure: Box::new performs no allocation.
         pe.push_pending(bytes, Box::new(|| {}));
         model::PUTMEM_NBI.charge();
@@ -245,6 +301,14 @@ impl<T: Copy + Default + Send + 'static> SpscRing<T> {
             0,
             "SPSC protocol violation: double publish"
         );
+        #[cfg(feature = "race-detect")]
+        match pe.race_detector() {
+            Some(d) => d.sync_release(pe.rank(), self.loc(dst_pe, cell), || {
+                c.state.store(word, Ordering::Release)
+            }),
+            None => c.state.store(word, Ordering::Release),
+        }
+        #[cfg(not(feature = "race-detect"))]
         c.state.store(word, Ordering::Release);
         if dst_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, std::mem::size_of::<u64>());
@@ -261,6 +325,10 @@ impl<T: Copy + Default + Send + 'static> SpscRing<T> {
             0,
             "SPSC protocol violation: read of a free cell"
         );
+        #[cfg(feature = "race-detect")]
+        if let Some(d) = pe.race_detector() {
+            d.read(pe.rank(), self.loc(pe.rank(), cell), "SpscRing::read_local");
+        }
         // SAFETY: the cell is published, so its single producer will not
         // touch the buffer until this PE releases it.
         f(unsafe { &*c.data.get() })
@@ -278,6 +346,14 @@ impl<T: Copy + Default + Send + 'static> SpscRing<T> {
             0,
             "SPSC protocol violation: release of a free cell"
         );
+        #[cfg(feature = "race-detect")]
+        match pe.race_detector() {
+            Some(d) => d.sync_release(pe.rank(), self.loc(pe.rank(), cell), || {
+                c.state.store(0, Ordering::Release)
+            }),
+            None => c.state.store(0, Ordering::Release),
+        }
+        #[cfg(not(feature = "race-detect"))]
         c.state.store(0, Ordering::Release);
         if producer_pe != pe.rank() {
             pe.record_net(TransferClass::Atomic, std::mem::size_of::<u64>());
@@ -307,7 +383,7 @@ mod tests {
             if pe.rank() == 0 {
                 for seq in 0..rounds {
                     let cell = (seq as usize) % cells;
-                    while ring.state(1, cell) != 0 {
+                    while ring.state(pe, 1, cell) != 0 {
                         pe.poll_yield();
                     }
                     ring.write(pe, 1, cell, &[seq * 10, seq * 10 + 1]).unwrap();
@@ -317,7 +393,7 @@ mod tests {
                 let mut expect = 0u64;
                 while expect < rounds {
                     let cell = (expect as usize) % cells;
-                    let word = ring.state(pe.rank(), cell);
+                    let word = ring.state(pe, pe.rank(), cell);
                     if word == 0 || (word >> 32) != expect {
                         pe.poll_yield();
                         continue;
@@ -403,7 +479,7 @@ mod tests {
                 assert_eq!(s.quiet.ops, 1);
                 assert_eq!(s.atomic.ops, 1, "cross-PE publish is one atomic");
             } else {
-                while ring.state(1, 0) == 0 {
+                while ring.state(pe, 1, 0) == 0 {
                     pe.poll_yield();
                 }
                 ring.read_local(pe, 0, |b| assert_eq!(&b[..3], &[1, 2, 3]));

@@ -41,6 +41,13 @@ pub struct Harness {
     /// the pluggable hook: anything implementing [`Scheduler`] can drive
     /// the interleaving.
     custom_sched: Option<Arc<dyn Scheduler>>,
+    /// Whether to attach the happens-before race detector (on by default
+    /// when the `race-detect` feature is compiled in, so the whole test
+    /// suite runs checked).
+    #[cfg(feature = "race-detect")]
+    race_detect: bool,
+    #[cfg(feature = "race-detect")]
+    race_hooks: crate::race::RaceHooks,
 }
 
 impl Harness {
@@ -51,6 +58,10 @@ impl Harness {
             sched: SchedSpec::Os,
             faults: FaultSpec::NONE,
             custom_sched: None,
+            #[cfg(feature = "race-detect")]
+            race_detect: true,
+            #[cfg(feature = "race-detect")]
+            race_hooks: crate::race::RaceHooks::default(),
         }
     }
 
@@ -72,10 +83,38 @@ impl Harness {
         self
     }
 
+    /// Enable or disable the happens-before race detector for this run
+    /// (enabled by default under the `race-detect` feature; disable to
+    /// measure the detector's own overhead).
+    #[cfg(feature = "race-detect")]
+    pub fn race(mut self, enabled: bool) -> Harness {
+        self.race_detect = enabled;
+        self
+    }
+
+    /// Install negative-litmus hooks (deliberate edge weakenings) on this
+    /// run's race detector; see [`crate::race::RaceHooks`].
+    #[cfg(feature = "race-detect")]
+    pub fn race_hooks(mut self, hooks: crate::race::RaceHooks) -> Harness {
+        self.race_hooks = hooks;
+        self
+    }
+
     fn build_scheduler(&self) -> Option<Arc<dyn Scheduler>> {
         self.custom_sched
             .clone()
             .or_else(|| self.sched.build(self.grid.n_pes()))
+    }
+
+    /// Schedule identity for violation reports: names the seed that
+    /// replays the flagged interleaving.
+    #[cfg(feature = "race-detect")]
+    fn schedule_name(&self) -> String {
+        match (&self.custom_sched, self.sched) {
+            (Some(_), _) => "custom scheduler".to_string(),
+            (None, SchedSpec::Os) => "OS threads, free-running".to_string(),
+            (None, SchedSpec::RandomWalk { seed, .. }) => format!("RandomWalk seed {seed}"),
+        }
     }
 }
 
@@ -100,7 +139,19 @@ where
     let harness = harness.into();
     let grid = harness.grid;
     let sched = harness.build_scheduler();
-    let world = World::with_harness(grid, sched.clone(), harness.faults);
+    #[cfg_attr(not(feature = "race-detect"), allow(unused_mut))]
+    let mut world = World::with_harness(grid, sched.clone(), harness.faults);
+    #[cfg(feature = "race-detect")]
+    if harness.race_detect {
+        let detector = crate::race::Detector::new(
+            grid.n_pes(),
+            harness.schedule_name(),
+            harness.race_hooks,
+        );
+        Arc::get_mut(&mut world)
+            .expect("world is not yet shared at detector installation")
+            .race = Some(Arc::new(detector));
+    }
     let mut outcomes: Vec<Option<std::thread::Result<R>>> =
         (0..grid.n_pes()).map(|_| None).collect();
 

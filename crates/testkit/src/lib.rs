@@ -44,6 +44,9 @@
 //! assert_eq!(results, vec![2, 0, 1]);
 //! ```
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;

@@ -23,6 +23,9 @@
 //! dense per-destination *aggregate matrix* and keeps exact per-send record
 //! lists only when explicitly enabled.
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod collector;
 pub mod config;

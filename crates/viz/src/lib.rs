@@ -17,6 +17,9 @@
 //! The `actorprof-viz` binary mirrors the paper's run-time flags
 //! (`-l`, `-p`, `-lp`, `-s`) against a trace directory.
 
+// Zero unsafe today; keep it that way by construction.
+#![forbid(unsafe_code)]
+
 pub mod ascii;
 pub mod bar;
 pub mod heatmap;
