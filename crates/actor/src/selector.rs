@@ -37,6 +37,7 @@ use fabsp_conveyors::{Conveyor, ConveyorOptions, ConveyorStats};
 use fabsp_hwpc::cost::model;
 use fabsp_hwpc::{counters, Region, RegionTimer, MAX_EVENTS};
 use fabsp_shmem::Pe;
+use fabsp_telemetry::{Counter, Phase};
 
 use crate::error::ActorError;
 
@@ -252,6 +253,7 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
         }
         self.executed = true;
 
+        let ss_begin = fabsp_hwpc::cycles_now();
         self.timer.start_total();
         self.timer.enter(Region::Main);
         let result = {
@@ -269,12 +271,20 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
 
         // COMM-side drive to termination.
         while self.progress_once(pe) {
+            if let Some(m) = pe.metrics() {
+                m.count(Counter::ActorYields);
+            }
             pe.poll_yield();
         }
 
         // Overall breakdown + region profile into the collector, together
         // with any send events still batched from the endgame.
         self.timer.stop_total();
+        let ss_end = fabsp_hwpc::cycles_now();
+        self.send_buf.record_span(Phase::Superstep, ss_begin, ss_end);
+        if let Some(m) = pe.metrics() {
+            m.flight_span(Phase::Superstep, ss_begin, ss_end);
+        }
         let total = self.timer.total_cycles();
         let profile = self.timer.profile().clone();
         {
@@ -309,6 +319,9 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
         let deltas = self.papi_deltas(&papi_before);
         self.send_buf
             .record_send(dst, std::mem::size_of::<T>() as u32, mailbox as u32, deltas);
+        if let Some(m) = pe.metrics() {
+            m.count(Counter::ActorSends);
+        }
 
         // Buffers full: leave MAIN, make progress (handlers run here —
         // the RED interleaved into the BLUE of Fig. 1), retry.
@@ -319,6 +332,9 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
                 outcome = self.mailboxes[mailbox].conveyor.push(pe, msg, dst)?;
                 if outcome.is_accepted() {
                     break;
+                }
+                if let Some(m) = pe.metrics() {
+                    m.count(Counter::ActorYields);
                 }
                 pe.poll_yield();
             }
@@ -462,6 +478,9 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
                 self.mailboxes[mb].outbox.pop_front();
                 self.send_buf
                     .record_send(dst, std::mem::size_of::<T>() as u32, mb as u32, deltas);
+                if let Some(m) = pe.metrics() {
+                    m.count(Counter::ActorSends);
+                }
             }
         }
     }

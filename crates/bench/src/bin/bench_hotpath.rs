@@ -1,5 +1,7 @@
 //! Hot-path microbenchmark: conveyor push/advance throughput, SPSC rings
-//! vs the frozen mutex baseline, plus traced-vs-untraced overhead.
+//! vs the frozen mutex baseline, traced-vs-untraced overhead, and the
+//! always-on telemetry self-overhead (metrics registry on, phase spans
+//! sampled).
 //!
 //! Writes `BENCH_hotpath.json` (path relative to the working directory —
 //! run from the repo root to update the checked-in copy).
@@ -13,7 +15,8 @@
 //! Environment knobs: `ACTORPROF_HOTPATH_ITEMS` (items per PE, default
 //! 200000), `ACTORPROF_HOTPATH_PES` (default 8, must be even),
 //! `ACTORPROF_HOTPATH_REPS` (default 3, best-of), `ACTORPROF_HOTPATH_OUT`
-//! (default `BENCH_hotpath.json`).
+//! (default `BENCH_hotpath.json`), `ACTORPROF_TELEMETRY_GATE_PCT` (when
+//! set, exit non-zero if the oned telemetry overhead exceeds it).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -22,7 +25,7 @@ use std::time::Instant;
 use actorprof_trace::{PeCollector, TraceConfig};
 use fabsp_bench::baseline::MutexConveyor;
 use fabsp_conveyors::{Conveyor, ConveyorOptions};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::{spmd, Grid, Harness};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -34,15 +37,21 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// One all-to-all superstep on the SPSC conveyor: `items` pushes per PE,
 /// round-robin destinations, drained to termination. Returns the slowest
 /// PE's wall time for the push/advance/pull loop (construction excluded).
-fn run_spsc(grid: Grid, items: usize, traced: bool) -> f64 {
-    let per_pe = spmd::run(grid, |pe| {
+/// `trace` attaches a collector with that config; `telemetry` keeps the
+/// always-on metrics registry wired (off isolates the ring baseline).
+fn run_spsc(grid: Grid, items: usize, trace: Option<TraceConfig>, telemetry: bool) -> f64 {
+    let mut harness = Harness::new(grid);
+    if !telemetry {
+        harness = harness.telemetry_off();
+    }
+    let per_pe = spmd::run(harness, move |pe| {
         let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).expect("conveyor");
-        if traced {
+        if let Some(cfg) = trace.clone() {
             c.attach_collector(Rc::new(RefCell::new(PeCollector::new(
                 pe.rank(),
                 pe.n_pes(),
                 pe.grid().pes_per_node(),
-                TraceConfig::off().with_physical(),
+                cfg,
             ))));
         }
         let n = pe.n_pes();
@@ -77,9 +86,10 @@ fn run_spsc(grid: Grid, items: usize, traced: bool) -> f64 {
     per_pe.into_iter().fold(0.0f64, f64::max)
 }
 
-/// The same superstep on the frozen mutex baseline.
+/// The same superstep on the frozen mutex baseline (telemetry off so the
+/// baseline keeps measuring only the ring discipline).
 fn run_mutex(grid: Grid, items: usize) -> f64 {
-    let per_pe = spmd::run(grid, |pe| {
+    let per_pe = spmd::run(Harness::new(grid).telemetry_off(), |pe| {
         let mut c = MutexConveyor::<u64>::new(pe, ConveyorOptions::default()).expect("conveyor");
         let n = pe.n_pes();
         let me = pe.rank();
@@ -137,17 +147,34 @@ fn main() {
     ];
 
     let mut sections = Vec::new();
+    let mut oned_telemetry_overhead = 0.0f64;
     for (name, grid) in topologies {
         let total = items * grid.n_pes();
         eprintln!("[{name}] {} PEs x {items} items, best of {reps}", grid.n_pes());
         let mutex = best_tput(reps, total, || run_mutex(grid, items));
-        let spsc = best_tput(reps, total, || run_spsc(grid, items, false));
-        let traced = best_tput(reps, total, || run_spsc(grid, items, true));
+        let spsc = best_tput(reps, total, || run_spsc(grid, items, None, false));
+        let traced = best_tput(reps, total, || {
+            run_spsc(grid, items, Some(TraceConfig::off().with_physical()), false)
+        });
+        // the always-on configuration: metrics registry wired, phase spans
+        // enabled but sampled (1 in 64 hot-phase spans kept)
+        let telemetry = best_tput(reps, total, || {
+            run_spsc(
+                grid,
+                items,
+                Some(TraceConfig::off().with_spans().with_span_sampling(64)),
+                true,
+            )
+        });
         let speedup = spsc / mutex;
         let overhead = (1.0 - traced / spsc) * 100.0;
+        let telemetry_overhead = (1.0 - telemetry / spsc) * 100.0;
+        if name == "oned" {
+            oned_telemetry_overhead = telemetry_overhead;
+        }
         eprintln!(
-            "[{name}] mutex {:.2e} it/s | spsc {:.2e} it/s ({speedup:.2}x) | traced {:.2e} it/s ({overhead:.1}% overhead)",
-            mutex, spsc, traced
+            "[{name}] mutex {:.2e} it/s | spsc {:.2e} it/s ({speedup:.2}x) | traced {:.2e} it/s ({overhead:.1}% overhead) | telemetry {:.2e} it/s ({telemetry_overhead:.1}% overhead)",
+            mutex, spsc, traced, telemetry
         );
         sections.push(format!(
             r#"    "{name}": {{
@@ -155,7 +182,9 @@ fn main() {
       "spsc_items_per_sec": {spsc:.0},
       "speedup_vs_mutex": {speedup:.3},
       "traced_items_per_sec": {traced:.0},
-      "tracing_overhead_percent": {overhead:.2}
+      "tracing_overhead_percent": {overhead:.2},
+      "telemetry_items_per_sec": {telemetry:.0},
+      "telemetry_overhead_percent": {telemetry_overhead:.2}
     }}"#
         ));
     }
@@ -178,4 +207,18 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     println!("wrote {out}");
+
+    // CI smoke gate: fail loudly if the always-on telemetry cost regresses
+    if let Ok(gate) = std::env::var("ACTORPROF_TELEMETRY_GATE_PCT") {
+        let gate: f64 = gate.parse().expect("ACTORPROF_TELEMETRY_GATE_PCT is a number");
+        if oned_telemetry_overhead > gate {
+            eprintln!(
+                "FAIL: oned telemetry overhead {oned_telemetry_overhead:.2}% exceeds gate {gate}%"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "telemetry gate ok: oned overhead {oned_telemetry_overhead:.2}% <= {gate}%"
+        );
+    }
 }

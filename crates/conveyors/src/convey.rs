@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use actorprof_trace::{SendType, SharedCollector, TraceBuffer};
 use fabsp_shmem::{Pe, SpscRing};
+use fabsp_telemetry::{Counter, Gauge, Hist, Phase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -183,6 +184,10 @@ pub struct Conveyor<T> {
     cells: SpscRing<Envelope<T>>,
     /// Receiver-side consumption cursor per (link, slot).
     cursors: Vec<usize>,
+    /// Cycle stamp of the first blocked consumption per (link, slot),
+    /// cleared when the cell is finally released — measures how long a
+    /// relay park actually stalled the link (telemetry only).
+    park_since: Vec<Option<u64>>,
     /// Next flush sequence expected per incoming link.
     expect_seq: Vec<u64>,
     pull_queue: VecDeque<(u32, T)>,
@@ -251,6 +256,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             links,
             cells,
             cursors: vec![0; n_links * 2],
+            park_since: vec![None; n_links * 2],
             expect_seq: vec![1; n_links],
             pull_queue: VecDeque::new(),
             pending_pushed: 0,
@@ -409,6 +415,9 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             self.flush_link(pe, route.link);
             if self.links[route.link].buf.len() >= self.capacity {
                 self.stats.push_refusals += 1;
+                if let Some(m) = pe.metrics() {
+                    m.count(Counter::ConveyorPushRetries);
+                }
                 return Ok(PushOutcome::Retry);
             }
         }
@@ -457,7 +466,17 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         if self.complete {
             return false;
         }
+        let begin = fabsp_hwpc::cycles_now();
         let active = self.advance_impl(pe, done);
+        let end = fabsp_hwpc::cycles_now();
+        self.trace_buf.record_span(Phase::Advance, begin, end);
+        if let Some(m) = pe.metrics() {
+            m.observe(Hist::AdvanceCycles, end.saturating_sub(begin));
+            let buffered: usize = self.links.iter().map(|l| l.buf.len()).sum();
+            m.gauge_set(Gauge::ConveyorBufferedItems, buffered as u64);
+            m.gauge_set(Gauge::ConveyorPullBacklog, self.pull_queue.len() as u64);
+            m.flight_span(Phase::Advance, begin, end);
+        }
         // Drain boundary: hand the batched physical events to the
         // collector in one borrow, covering push-triggered flushes since
         // the previous advance as well.
@@ -612,7 +631,13 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             self.need_progress = false;
             return;
         }
+        let q_begin = fabsp_hwpc::cycles_now();
         pe.quiet();
+        let q_end = fabsp_hwpc::cycles_now();
+        self.trace_buf.record_span(Phase::Quiet, q_begin, q_end);
+        if let Some(m) = pe.metrics() {
+            m.flight_span(Phase::Quiet, q_begin, q_end);
+        }
         self.stats.quiets += 1;
         for link in 0..self.links.len() {
             for slot in 0..2 {
@@ -669,6 +694,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         let word = self.cells.state(pe, self.me, idx);
         let count = ((word & 0xffff_ffff) - 1) as usize;
         let start = self.cursors[idx];
+        let hop_begin = fabsp_hwpc::cycles_now();
 
         // Copy the unconsumed remainder out of the landing cell (the
         // receive-side memcpy), then process from a pooled scratch buffer.
@@ -678,7 +704,9 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         });
 
         let mut processed = 0;
+        let mut relayed_here = 0u64;
         let mut blocked = false;
+        let mut forced = false;
         for env in &scratch {
             if env.final_dst as usize == self.me {
                 self.pull_queue.push_back((env.origin, env.item));
@@ -689,6 +717,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                 if let Some(chaos) = &mut self.chaos {
                     if chaos.rng.gen_bool(chaos.park_probability) {
                         self.stats.forced_parks += 1;
+                        forced = true;
                         blocked = true;
                         break;
                     }
@@ -704,12 +733,35 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                 self.stats.relayed += 1;
                 self.stats.item_copies += 1;
                 processed += 1;
+                relayed_here += 1;
             }
         }
         self.pool.give(scratch);
         self.cursors[idx] = start + processed;
 
+        if relayed_here > 0 {
+            let hop_end = fabsp_hwpc::cycles_now();
+            self.trace_buf.record_span(Phase::RelayHop, hop_begin, hop_end);
+            if let Some(m) = pe.metrics() {
+                m.flight_span(Phase::RelayHop, hop_begin, hop_end);
+            }
+        }
+
         if blocked {
+            // A park — chaos-forced or a genuinely full relay buffer —
+            // stalls this link until a later advance resumes the cursor.
+            if let Some(m) = pe.metrics() {
+                let which = if forced {
+                    Counter::ConveyorForcedParks
+                } else {
+                    Counter::ConveyorRelayParks
+                };
+                m.count(which);
+                m.flight_note(which, 1);
+            }
+            if self.park_since[idx].is_none() {
+                self.park_since[idx] = Some(fabsp_hwpc::cycles_now());
+            }
             return false;
         }
 
@@ -717,6 +769,14 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         // hands the buffer back to the sender's free list.
         debug_assert_eq!(self.cursors[idx], count);
         self.cursors[idx] = 0;
+        if let Some(since) = self.park_since[idx].take() {
+            if let Some(m) = pe.metrics() {
+                m.observe(
+                    Hist::RelayParkCycles,
+                    fabsp_hwpc::cycles_now().saturating_sub(since),
+                );
+            }
+        }
         let src = self.topology.link_peer(self.grid, self.me, link);
         self.cells
             .release(pe, idx, src)

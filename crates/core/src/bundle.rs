@@ -72,6 +72,11 @@ impl TraceBundle {
         self.collectors.iter().all(|c| c.overall().is_some())
     }
 
+    /// Whether phase spans were collected.
+    pub fn has_spans(&self) -> bool {
+        self.collectors.iter().all(|c| c.config().spans)
+    }
+
     /// The logical send-count matrix (pre-aggregation messages):
     /// entry (src, dst) = number of messages src sent to dst. This is the
     /// data of the Fig 3/4 heatmaps.

@@ -5,24 +5,47 @@
 //! Produces a Chrome-/Perfetto-loadable JSON file: one process per node,
 //! one thread per PE, an instant event per physical send (timestamped with
 //! the rdtsc cycles captured at record time, converted to microseconds at
-//! the nominal clock), and per-PE region summaries as counter events.
+//! the nominal clock), `B`/`E` duration pairs for the recorded phase spans
+//! (superstep / advance / quiet / relay hop), and per-PE region summaries
+//! as counter events.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
-use fabsp_hwpc::rdtsc::NOMINAL_HZ;
+use actorprof_trace::{PhysicalRecord, SpanRecord};
+use fabsp_hwpc::rdtsc::cycles_to_us;
 
 use crate::bundle::TraceBundle;
 use crate::error::ProfError;
 
-fn cycles_to_us(cycles: u64) -> f64 {
-    cycles as f64 / NOMINAL_HZ as f64 * 1e6
+/// One per-thread timeline entry awaiting emission. Sorted so each PE's
+/// stream is monotone in `ts` and `B`/`E` pairs nest: at equal timestamps
+/// ends come first (innermost end before an adjacent sibling begins),
+/// then begins (outermost first), then instants.
+enum TimelineEv<'a> {
+    Begin(&'a SpanRecord),
+    End(&'a SpanRecord),
+    Instant(&'a PhysicalRecord, u64),
 }
 
-/// Serialize the bundle's physical trace (and overall summaries, when
-/// collected) as Google Trace Events JSON. Returns the JSON string.
+impl TimelineEv<'_> {
+    fn sort_key(&self) -> (u64, u8, u64) {
+        match self {
+            // ties: the span that began later ends first (inner before outer)
+            TimelineEv::End(s) => (s.end, 0, u64::MAX - s.begin),
+            // ties: the span that ends later begins first (outer before inner)
+            TimelineEv::Begin(s) => (s.begin, 1, u64::MAX - s.end),
+            TimelineEv::Instant(_, ts) => (*ts, 2, 0),
+        }
+    }
+}
+
+/// Serialize the bundle's physical trace and phase spans (and overall
+/// summaries, when collected) as Google Trace Events JSON. Returns the
+/// JSON string. Requires at least one of the timeline dimensions
+/// (physical trace or phase spans) to have been collected.
 pub fn trace_events_json(bundle: &TraceBundle) -> Result<String, ProfError> {
-    if !bundle.has_physical() {
+    if !bundle.has_physical() && !bundle.has_spans() {
         return Err(ProfError::NotCollected("physical trace"));
     }
     let ppn = bundle.pes_per_node();
@@ -60,21 +83,57 @@ pub fn trace_events_json(bundle: &TraceBundle) -> Result<String, ProfError> {
         );
     }
 
-    // instant events: one per physical send
+    // Per-PE timeline: duration pairs for phase spans merged with an
+    // instant event per physical send, in timestamp order per thread.
     for c in bundle.collectors() {
+        let mut events: Vec<TimelineEv<'_>> = Vec::with_capacity(
+            c.span_records().len() * 2 + c.physical_records().len(),
+        );
+        for s in c.span_records() {
+            events.push(TimelineEv::Begin(s));
+            events.push(TimelineEv::End(s));
+        }
         for (r, &ts) in c.physical_records().iter().zip(c.physical_timestamps()) {
+            events.push(TimelineEv::Instant(r, ts));
+        }
+        events.sort_by_key(TimelineEv::sort_key);
+        for event in &events {
             let mut ev = String::new();
-            let _ = write!(
-                ev,
-                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\
-                 \"ts\":{:.3},\"args\":{{\"bytes\":{},\"dst_pe\":{}}}}}",
-                r.send_type.label(),
-                c.node(),
-                c.pe(),
-                cycles_to_us(ts),
-                r.buffer_size,
-                r.dst_pe
-            );
+            match event {
+                TimelineEv::Begin(s) => {
+                    let _ = write!(
+                        ev,
+                        "{{\"name\":\"{}\",\"ph\":\"B\",\"pid\":{},\"tid\":{},\"ts\":{:.3}}}",
+                        s.phase.label(),
+                        c.node(),
+                        c.pe(),
+                        cycles_to_us(s.begin)
+                    );
+                }
+                TimelineEv::End(s) => {
+                    let _ = write!(
+                        ev,
+                        "{{\"name\":\"{}\",\"ph\":\"E\",\"pid\":{},\"tid\":{},\"ts\":{:.3}}}",
+                        s.phase.label(),
+                        c.node(),
+                        c.pe(),
+                        cycles_to_us(s.end)
+                    );
+                }
+                TimelineEv::Instant(r, ts) => {
+                    let _ = write!(
+                        ev,
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\
+                         \"ts\":{:.3},\"args\":{{\"bytes\":{},\"dst_pe\":{}}}}}",
+                        r.send_type.label(),
+                        c.node(),
+                        c.pe(),
+                        cycles_to_us(*ts),
+                        r.buffer_size,
+                        r.dst_pe
+                    );
+                }
+            }
             push(&mut out, ev);
         }
     }
@@ -160,6 +219,34 @@ mod tests {
                 .expect("ts parses");
             assert!(num >= 0.0);
         }
+    }
+
+    #[test]
+    fn spans_export_as_nested_duration_pairs() {
+        let cfg = TraceConfig::off().with_spans();
+        let mut c = PeCollector::new(0, 1, 1, cfg);
+        let t0 = fabsp_hwpc::cycles_now();
+        // superstep ⊇ advance ⊇ quiet, plus a disjoint sibling advance
+        c.record_span_at(actorprof_trace::Phase::Quiet, t0 + 20, t0 + 30);
+        c.record_span_at(actorprof_trace::Phase::Advance, t0 + 10, t0 + 40);
+        c.record_span_at(actorprof_trace::Phase::Advance, t0 + 50, t0 + 60);
+        c.record_span_at(actorprof_trace::Phase::Superstep, t0, t0 + 100);
+        let b = TraceBundle::from_collectors(vec![c]).unwrap();
+        let json = trace_events_json(&b).unwrap();
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 4);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 4);
+        // nesting: superstep must open before the first advance and close
+        // after everything else
+        let first_b = json.find("\"ph\":\"B\"").unwrap();
+        let superstep_b = json.find("\"name\":\"superstep\",\"ph\":\"B\"").unwrap();
+        assert!(superstep_b <= first_b, "superstep opens the PE's timeline");
+        let last_e = json.rfind("\"ph\":\"E\"").unwrap();
+        let superstep_e = json.rfind("\"name\":\"superstep\",\"ph\":\"E\"").unwrap();
+        assert!(
+            superstep_e + "\"name\":\"superstep\",".len() >= last_e,
+            "superstep closes the PE's timeline"
+        );
+        assert!(json.contains("\"name\":\"quiet\""));
     }
 
     #[test]

@@ -52,5 +52,6 @@ pub mod writer;
 pub use actorprof_trace::{PapiConfig, TraceConfig};
 pub use bundle::TraceBundle;
 pub use error::ProfError;
-pub use profiler::{Profiler, ProfilerCtx, Report, RunError};
+pub use fabsp_telemetry::{Counter, Frame, Gauge, Hist, Phase, Snapshot, TelemetryRegistry};
+pub use profiler::{ObserveSink, Profiler, ProfilerCtx, Report, RunError};
 pub use stats::{Matrix, Quartiles};

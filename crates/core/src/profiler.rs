@@ -36,16 +36,27 @@
 //! assert_eq!(report.bundle.logical_matrix().unwrap().total(), 20);
 //! ```
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use actorprof_trace::{PapiConfig, SharedCollector, TraceConfig};
 use fabsp_actor::{ActorError, ProcCtx, Selector, SelectorConfig};
 use fabsp_conveyors::ConveyorOptions;
 use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, Pe, SchedSpec, ShmemError};
+use fabsp_telemetry::{Frame, Snapshot, TelemetryRegistry};
 
 use crate::bundle::TraceBundle;
 use crate::error::ProfError;
+
+/// A live-telemetry subscriber: called with each [`Frame`] the observer
+/// thread produces while the run executes.
+pub type ObserveSink = Arc<dyn Fn(&Frame) + Send + Sync>;
+
+/// Default interval between observer frames.
+const DEFAULT_OBSERVE_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Anything a profiled run can fail with: the SPMD substrate, the actor
 /// runtime, or trace assembly.
@@ -95,17 +106,43 @@ impl From<ProfError> for RunError {
 /// Each `logical()`/`physical()`/`papi()`/… call enables one of the trace
 /// kinds the paper's compile-time flags enable; `run` executes the body
 /// once per PE and assembles everything into a [`Report`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Profiler {
     grid: Grid,
     trace: TraceConfig,
     conveyor: ConveyorOptions,
     sched: SchedSpec,
     faults: FaultSpec,
+    /// Always-on metrics registry (counters, gauges, histograms, flight
+    /// recorder); off only for A/B overhead measurement.
+    telemetry_enabled: bool,
+    /// Live subscriber: (frame interval, sink).
+    observe: Option<(Duration, ObserveSink)>,
+    /// Write the Perfetto trace-events JSON here after the run.
+    trace_events: Option<PathBuf>,
+    /// Where flight-recorder dumps land when a PE dies.
+    flightrec_dir: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("grid", &self.grid)
+            .field("trace", &self.trace)
+            .field("conveyor", &self.conveyor)
+            .field("sched", &self.sched)
+            .field("faults", &self.faults)
+            .field("telemetry_enabled", &self.telemetry_enabled)
+            .field("observe_interval", &self.observe.as_ref().map(|(i, _)| *i))
+            .field("trace_events", &self.trace_events)
+            .field("flightrec_dir", &self.flightrec_dir)
+            .finish()
+    }
 }
 
 impl Profiler {
-    /// A profiler on the given grid with all tracing off.
+    /// A profiler on the given grid with all tracing off (telemetry — the
+    /// always-on metrics registry — stays on).
     pub fn new(grid: Grid) -> Profiler {
         Profiler {
             grid,
@@ -113,6 +150,10 @@ impl Profiler {
             conveyor: ConveyorOptions::default(),
             sched: SchedSpec::Os,
             faults: FaultSpec::NONE,
+            telemetry_enabled: true,
+            observe: None,
+            trace_events: None,
+            flightrec_dir: None,
         }
     }
 
@@ -180,6 +221,61 @@ impl Profiler {
         self
     }
 
+    /// Record phase spans (superstep / advance / quiet / relay hop), every
+    /// span kept; they appear as duration events in the Perfetto export.
+    pub fn spans(mut self) -> Profiler {
+        self.trace = self.trace.with_spans();
+        self
+    }
+
+    /// Record phase spans, keeping every `k`-th hot span (supersteps are
+    /// always kept).
+    pub fn span_sampling(mut self, k: u32) -> Profiler {
+        self.trace = self.trace.with_span_sampling(k);
+        self
+    }
+
+    /// Write the Google Trace Events JSON (for ui.perfetto.dev /
+    /// `chrome://tracing`) to `path` after the run — no need to touch the
+    /// [`TraceBundle`] for the common export.
+    pub fn trace_events_path(mut self, path: impl Into<PathBuf>) -> Profiler {
+        self.trace_events = Some(path.into());
+        self
+    }
+
+    /// Directory for flight-recorder dumps (`flightrec-pe<i>.json`),
+    /// written when a PE panics, a testkit fault fires, or the termination
+    /// checker trips.
+    pub fn flightrec_dir(mut self, dir: impl Into<PathBuf>) -> Profiler {
+        self.flightrec_dir = Some(dir.into());
+        self
+    }
+
+    /// Subscribe a live sink to the run's telemetry at the default frame
+    /// interval. The sink runs on a dedicated observer thread and receives
+    /// snapshot-diff [`Frame`]s while the PEs execute, plus one final frame
+    /// after they finish.
+    pub fn observe(self, sink: impl Fn(&Frame) + Send + Sync + 'static) -> Profiler {
+        self.observe_every(DEFAULT_OBSERVE_INTERVAL, sink)
+    }
+
+    /// Like [`observe`](Profiler::observe) with an explicit frame interval.
+    pub fn observe_every(
+        mut self,
+        interval: Duration,
+        sink: impl Fn(&Frame) + Send + Sync + 'static,
+    ) -> Profiler {
+        self.observe = Some((interval, Arc::new(sink)));
+        self
+    }
+
+    /// Disable the always-on telemetry registry. Only meant for measuring
+    /// its own overhead (the `bench_hotpath` A/B comparison).
+    pub fn telemetry_off(mut self) -> Profiler {
+        self.telemetry_enabled = false;
+        self
+    }
+
     /// Run `body` once per PE and assemble the traces.
     ///
     /// The body must create **exactly one** selector through
@@ -191,7 +287,59 @@ impl Profiler {
         R: Send,
         F: Fn(&Pe, &mut ProfilerCtx<'_>) -> R + Sync,
     {
-        let harness = Harness::new(self.grid).sched(self.sched).faults(self.faults);
+        let registry = self.telemetry_enabled.then(|| {
+            let mut reg = TelemetryRegistry::new(self.grid.n_pes());
+            if let Some(dir) = &self.flightrec_dir {
+                reg = reg.flight_dump_dir(dir);
+            }
+            Arc::new(reg)
+        });
+        let mut harness = Harness::new(self.grid).sched(self.sched).faults(self.faults);
+        harness = match &registry {
+            Some(reg) => harness.telemetry(reg.clone()),
+            None => harness.telemetry_off(),
+        };
+
+        // The observer thread pulls snapshot diffs at the configured
+        // interval while PEs run; the stop flag is Relaxed — thread join
+        // orders the final accesses, the flag itself is a plain signal.
+        let observer = match (&registry, &self.observe) {
+            (Some(reg), Some((interval, sink))) => {
+                let reg = reg.clone();
+                let sink = sink.clone();
+                let interval = *interval;
+                let stop = Arc::new(AtomicBool::new(false));
+                let stop_flag = stop.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut prev = reg.snapshot();
+                    let mut seq = 0u64;
+                    while !stop_flag.load(Ordering::Relaxed) {
+                        std::thread::sleep(interval);
+                        let total = reg.snapshot();
+                        let delta = total.diff(&prev);
+                        sink(&Frame {
+                            seq,
+                            total: total.clone(),
+                            delta,
+                        });
+                        prev = total;
+                        seq += 1;
+                    }
+                    // Final frame: everything since the last tick, so short
+                    // runs still deliver at least one frame.
+                    let total = reg.snapshot();
+                    let delta = total.diff(&prev);
+                    sink(&Frame {
+                        seq,
+                        total: total.clone(),
+                        delta,
+                    });
+                });
+                Some((stop, handle))
+            }
+            _ => None,
+        };
+
         let trace = &self.trace;
         let conveyor = self.conveyor;
         let outcomes = spmd::run(harness, |pe| {
@@ -214,7 +362,15 @@ impl Profiler {
                 collector
             });
             (result, collector, n)
-        })?;
+        });
+
+        // Stop the observer on success AND failure paths, so a failed run
+        // cannot leak a forever-polling thread.
+        if let Some((stop, handle)) = observer {
+            stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+        let outcomes = outcomes?;
 
         let mut results = Vec::with_capacity(outcomes.len());
         let mut collectors = Vec::with_capacity(outcomes.len());
@@ -230,7 +386,15 @@ impl Profiler {
             collectors.push(collector);
         }
         let bundle = TraceBundle::from_collectors(collectors)?;
-        Ok(Report { results, bundle })
+        if let Some(path) = &self.trace_events {
+            crate::export::write_trace_events(path, &bundle)?;
+        }
+        let telemetry = registry.map(|reg| reg.snapshot());
+        Ok(Report {
+            results,
+            bundle,
+            telemetry,
+        })
     }
 }
 
@@ -297,6 +461,10 @@ pub struct Report<R = ()> {
     /// The assembled traces — ask it for matrices, quartiles, PAPI
     /// totals, the overall breakdown, or feed it to [`crate::writer`].
     pub bundle: TraceBundle,
+    /// Final telemetry snapshot (counters, gauges, histograms per PE);
+    /// `None` only when the run was built with
+    /// [`telemetry_off`](Profiler::telemetry_off).
+    pub telemetry: Option<Snapshot>,
 }
 
 impl<R> Report<R> {
@@ -377,6 +545,78 @@ mod tests {
             a.bundle.logical_matrix().unwrap(),
             b.bundle.logical_matrix().unwrap()
         );
+    }
+
+    #[test]
+    fn telemetry_snapshot_counts_runtime_activity() {
+        let report = run_histogram(Profiler::new(Grid::new(2, 2).unwrap()));
+        let snap = report.telemetry.expect("telemetry on by default");
+        // every PE sent 50 messages from MAIN
+        assert_eq!(
+            snap.counter_total(fabsp_telemetry::Counter::ActorSends),
+            200
+        );
+        assert!(
+            snap.hist_count(fabsp_telemetry::Hist::AdvanceCycles) > 0,
+            "advance latency histogram populated"
+        );
+        let per_pe = snap.counter_per_pe(fabsp_telemetry::Counter::ActorSends);
+        assert_eq!(per_pe, vec![50, 50, 50, 50]);
+    }
+
+    #[test]
+    fn telemetry_off_yields_no_snapshot() {
+        let report = run_histogram(Profiler::new(Grid::single_node(2).unwrap()).telemetry_off());
+        assert!(report.telemetry.is_none());
+        assert_eq!(report.results.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn observer_sink_receives_frames() {
+        let frames = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sends_seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let f = frames.clone();
+        let s = sends_seen.clone();
+        let report = run_histogram(
+            Profiler::new(Grid::single_node(2).unwrap()).observe_every(
+                Duration::from_millis(1),
+                move |frame: &Frame| {
+                    f.fetch_add(1, Ordering::Relaxed);
+                    s.store(
+                        frame.total.counter_total(fabsp_telemetry::Counter::ActorSends),
+                        Ordering::Relaxed,
+                    );
+                },
+            ),
+        );
+        assert_eq!(report.results.iter().sum::<u64>(), 100);
+        assert!(
+            frames.load(Ordering::Relaxed) >= 1,
+            "the final frame always fires"
+        );
+        assert_eq!(
+            sends_seen.load(Ordering::Relaxed),
+            100,
+            "last frame carries the complete totals"
+        );
+    }
+
+    #[test]
+    fn trace_events_path_writes_perfetto_json() {
+        let dir = std::env::temp_dir().join(format!("actorprof-tep-{}", std::process::id()));
+        let path = dir.join("trace.json");
+        let report = run_histogram(
+            Profiler::new(Grid::single_node(2).unwrap())
+                .physical()
+                .spans()
+                .trace_events_path(&path),
+        );
+        assert_eq!(report.results.iter().sum::<u64>(), 100);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"B\""), "duration spans exported");
+        assert!(json.contains("\"name\":\"superstep\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

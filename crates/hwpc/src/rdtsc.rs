@@ -38,6 +38,14 @@ pub fn cycles_to_secs(cycles: u64) -> f64 {
     cycles as f64 / NOMINAL_HZ as f64
 }
 
+/// Convert a cycle delta to microseconds at the nominal frequency — the
+/// trace-events timestamp unit. All reporting paths share this helper so
+/// every export agrees on the cycles→µs mapping.
+#[inline]
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles_to_secs(cycles) * 1e6
+}
+
 /// A resumable cycle stopwatch, used to accumulate time spent in a region
 /// across many entries/exits (MAIN segments, PROC handler bursts).
 #[derive(Debug, Clone, Copy, Default)]
@@ -148,5 +156,11 @@ mod tests {
     #[test]
     fn cycles_to_secs_uses_nominal_frequency() {
         assert!((cycles_to_secs(NOMINAL_HZ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_us_matches_secs_scale() {
+        assert!((cycles_to_us(NOMINAL_HZ) - 1e6).abs() < 1e-6);
+        assert!((cycles_to_us(NOMINAL_HZ / 1_000_000) - 1.0).abs() < 1e-9);
     }
 }

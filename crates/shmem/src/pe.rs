@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fabsp_hwpc::cost::model;
+use fabsp_telemetry::{Counter, Hist, PeMetrics, TelemetryRegistry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -30,6 +31,9 @@ pub(crate) struct World {
     /// Serializing scheduler, if this run is under deterministic control.
     pub(crate) sched: Option<Arc<dyn Scheduler>>,
     pub(crate) faults: FaultSpec,
+    /// Always-on runtime telemetry. `None` only when a harness explicitly
+    /// disabled it (A/B overhead measurement).
+    pub(crate) telemetry: Option<Arc<TelemetryRegistry>>,
     /// Happens-before race detector, when this run checks its schedules.
     #[cfg(feature = "race-detect")]
     pub(crate) race: Option<Arc<crate::race::Detector>>,
@@ -40,7 +44,15 @@ impl World {
         grid: Grid,
         sched: Option<Arc<dyn Scheduler>>,
         faults: FaultSpec,
+        telemetry: Option<Arc<TelemetryRegistry>>,
     ) -> Arc<World> {
+        if let Some(reg) = &telemetry {
+            assert_eq!(
+                reg.n_pes(),
+                grid.n_pes(),
+                "telemetry registry sized for a different PE count"
+            );
+        }
         Arc::new(World {
             grid,
             barrier: PoisonBarrier::new(grid.n_pes()),
@@ -49,6 +61,7 @@ impl World {
             poisoned: AtomicBool::new(false),
             sched,
             faults,
+            telemetry,
             #[cfg(feature = "race-detect")]
             race: None,
         })
@@ -155,9 +168,11 @@ impl Pe {
     /// and not before, which is the semantics the paper's `nonblock_progress`
     /// instrumentation captures. Returns the number of bytes flushed.
     pub fn quiet(&self) -> usize {
+        let quiet_begin = fabsp_hwpc::cycles_now();
         self.sched_point(SchedPoint::Quiet);
         let mut pending = std::mem::take(&mut *self.pending.borrow_mut());
         if pending.is_empty() {
+            self.note_quiet(quiet_begin);
             return 0;
         }
         let qseq = self.quiet_seq.get();
@@ -183,7 +198,22 @@ impl Pe {
         self.world
             .ledger
             .record(self.rank, TransferClass::Quiet, bytes);
+        self.note_quiet(quiet_begin);
         bytes
+    }
+
+    /// Telemetry for one completed `quiet`: bump the counter and record the
+    /// wall-cycle cost (including any scheduler idling, which is real time
+    /// the caller spent inside the call).
+    #[inline]
+    fn note_quiet(&self, quiet_begin: u64) {
+        if let Some(m) = self.metrics() {
+            m.count(Counter::ShmemQuiets);
+            m.observe(
+                Hist::QuietCycles,
+                fabsp_hwpc::cycles_now().saturating_sub(quiet_begin),
+            );
+        }
     }
 
     /// Order non-blocking puts (OpenSHMEM `shmem_fence`): puts issued
@@ -207,6 +237,7 @@ impl Pe {
     /// Implies [`quiet`](Pe::quiet), as the OpenSHMEM specification requires.
     pub fn barrier_all(&self) {
         self.quiet();
+        let wait_begin = fabsp_hwpc::cycles_now();
         // Arrive strictly before the physical wait and depart strictly
         // after it, so every departer's clock covers every arriver's.
         #[cfg(feature = "race-detect")]
@@ -230,6 +261,13 @@ impl Pe {
         #[cfg(feature = "race-detect")]
         if let Some(d) = self.race_detector() {
             d.barrier_depart(self.rank);
+        }
+        if let Some(m) = self.metrics() {
+            m.count(Counter::ShmemBarrierWaits);
+            m.observe(
+                Hist::BarrierWaitCycles,
+                fabsp_hwpc::cycles_now().saturating_sub(wait_begin),
+            );
         }
     }
 
@@ -323,7 +361,29 @@ impl Pe {
     }
 
     pub(crate) fn record_net(&self, class: TransferClass, bytes: usize) {
+        if let Some(m) = self.metrics() {
+            if matches!(
+                class,
+                TransferClass::LocalCopy | TransferClass::RemotePut | TransferClass::NonBlockingPut
+            ) {
+                m.count(Counter::ShmemPuts);
+                m.observe(Hist::PutBytes, bytes as u64);
+            }
+        }
         self.world.ledger.record(self.rank, class, bytes);
+    }
+
+    /// This PE's always-on metric slab, or `None` when the harness disabled
+    /// telemetry. The handle is cheap enough to look up per event.
+    #[inline]
+    pub fn metrics(&self) -> Option<&PeMetrics> {
+        self.world.telemetry.as_deref().map(|t| t.pe(self.rank))
+    }
+
+    /// The world's telemetry registry (shared across PEs), for snapshotting
+    /// from inside SPMD bodies.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryRegistry>> {
+        self.world.telemetry.as_ref()
     }
 }
 

@@ -9,11 +9,26 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
+use fabsp_telemetry::TelemetryRegistry;
+
 use crate::error::ShmemError;
 use crate::grid::Grid;
 use crate::net::FaultSpec;
 use crate::pe::{Pe, World};
 use crate::sched::{SchedSpec, Scheduler};
+
+/// How a run acquires its telemetry registry.
+#[derive(Clone, Default)]
+enum TelemetrySpec {
+    /// Always-on default: the run creates a fresh registry.
+    #[default]
+    Fresh,
+    /// Telemetry disabled (A/B overhead measurement only).
+    Off,
+    /// Caller-provided registry, observable from outside the run (live
+    /// dashboards, post-run assertions).
+    Shared(Arc<TelemetryRegistry>),
+}
 
 /// How to run one SPMD execution: the PE layout plus the (optional)
 /// deterministic scheduler and fault injection driving it.
@@ -41,6 +56,8 @@ pub struct Harness {
     /// the pluggable hook: anything implementing [`Scheduler`] can drive
     /// the interleaving.
     custom_sched: Option<Arc<dyn Scheduler>>,
+    /// Telemetry wiring: always-on by default, shareable, or disabled.
+    telemetry: TelemetrySpec,
     /// Whether to attach the happens-before race detector (on by default
     /// when the `race-detect` feature is compiled in, so the whole test
     /// suite runs checked).
@@ -58,6 +75,7 @@ impl Harness {
             sched: SchedSpec::Os,
             faults: FaultSpec::NONE,
             custom_sched: None,
+            telemetry: TelemetrySpec::Fresh,
             #[cfg(feature = "race-detect")]
             race_detect: true,
             #[cfg(feature = "race-detect")]
@@ -80,6 +98,23 @@ impl Harness {
     /// Install a custom [`Scheduler`] implementation (overrides `sched`).
     pub fn scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Harness {
         self.custom_sched = Some(scheduler);
+        self
+    }
+
+    /// Share a caller-owned [`TelemetryRegistry`] with the run, so live
+    /// subscribers can snapshot it while PEs execute and post-mortem
+    /// assertions can read it afterwards. The registry must be sized for
+    /// this harness's PE count.
+    pub fn telemetry(mut self, registry: Arc<TelemetryRegistry>) -> Harness {
+        self.telemetry = TelemetrySpec::Shared(registry);
+        self
+    }
+
+    /// Disable telemetry for this run. Only meant for measuring the
+    /// registry's own overhead (the `bench_hotpath` A/B comparison);
+    /// production runs leave it on.
+    pub fn telemetry_off(mut self) -> Harness {
+        self.telemetry = TelemetrySpec::Off;
         self
     }
 
@@ -139,8 +174,13 @@ where
     let harness = harness.into();
     let grid = harness.grid;
     let sched = harness.build_scheduler();
+    let telemetry = match &harness.telemetry {
+        TelemetrySpec::Fresh => Some(Arc::new(TelemetryRegistry::new(grid.n_pes()))),
+        TelemetrySpec::Off => None,
+        TelemetrySpec::Shared(reg) => Some(reg.clone()),
+    };
     #[cfg_attr(not(feature = "race-detect"), allow(unused_mut))]
-    let mut world = World::with_harness(grid, sched.clone(), harness.faults);
+    let mut world = World::with_harness(grid, sched.clone(), harness.faults, telemetry);
     #[cfg(feature = "race-detect")]
     if harness.race_detect {
         let detector = crate::race::Detector::new(
@@ -175,6 +215,14 @@ where
                     }
                     if result.is_err() {
                         world.poison();
+                        // Post-mortem flight-recorder dump for this PE —
+                        // covers direct panics, testkit faults, and
+                        // termination-checker (step-budget) trips, all of
+                        // which unwind through here. Best-effort: a dump
+                        // failure must not mask the original panic.
+                        if let Some(reg) = &world.telemetry {
+                            let _ = reg.dump_flight(rank);
+                        }
                     }
                     result
                 })

@@ -1,0 +1,271 @@
+//! Bounded per-PE flight recorder.
+//!
+//! A ring of the last N span/metric events, written only by the owning PE's
+//! thread and read post-mortem — when a PE panics, a testkit fault fires,
+//! or the termination checker trips its step budget (both of which surface
+//! as PE panics). The writer stores slot words `Relaxed` and then publishes
+//! them with a `Release` store of the cursor; a dumper that `Acquire`-loads
+//! the cursor therefore sees every event below it fully written. The one
+//! slot a concurrent writer may be mid-way through is *above* the acquired
+//! cursor and never read. Dumps are best-effort by design: they run during
+//! unwinding and must never panic or block.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fabsp_hwpc::rdtsc::cycles_to_us;
+
+use crate::metric::{counter_from_index, Counter, Phase};
+
+/// Words per ring slot: tag, timestamp, payload a, payload b.
+const WORDS: usize = 4;
+
+const KIND_SPAN: u64 = 1;
+const KIND_NOTE: u64 = 2;
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A completed phase span (absolute rdtsc cycles).
+    Span {
+        /// Which phase ran.
+        phase: Phase,
+        /// Cycle stamp at phase entry.
+        begin_cycles: u64,
+        /// Cycle stamp at phase exit.
+        end_cycles: u64,
+    },
+    /// A notable metric increment (parks, retries, faults — not every
+    /// counter bump, only sites that call [`FlightRing::note`]).
+    Note {
+        /// The counter that moved.
+        counter: Counter,
+        /// The increment or observed value.
+        value: u64,
+        /// Cycle stamp when it moved.
+        at_cycles: u64,
+    },
+}
+
+/// The bounded event ring. Single writer (the owning PE), any reader.
+#[derive(Debug)]
+pub struct FlightRing {
+    slots: Vec<AtomicU64>,
+    /// Total events ever recorded; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+    capacity: usize,
+}
+
+impl FlightRing {
+    /// A ring remembering the last `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRing {
+        let capacity = capacity.max(1);
+        FlightRing {
+            slots: (0..capacity * WORDS).map(|_| AtomicU64::new(0)).collect(),
+            cursor: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record a completed phase span. Owning-PE thread only.
+    #[inline]
+    pub fn span(&self, phase: Phase, begin_cycles: u64, end_cycles: u64) {
+        self.record(
+            (KIND_SPAN << 32) | phase as u64,
+            end_cycles,
+            begin_cycles,
+            end_cycles,
+        );
+    }
+
+    /// Record a notable metric increment. Owning-PE thread only.
+    #[inline]
+    pub fn note(&self, counter: Counter, value: u64, at_cycles: u64) {
+        self.record((KIND_NOTE << 32) | counter as u64, at_cycles, value, 0);
+    }
+
+    #[inline]
+    fn record(&self, tag: u64, t: u64, a: u64, b: u64) {
+        // Single writer: a Relaxed read of our own cursor is exact. Slot
+        // words go in Relaxed; the cursor bump is the Release publication
+        // that makes them visible to an Acquire-loading dumper.
+        let seq = self.cursor.load(Ordering::Relaxed);
+        let base = (seq as usize % self.capacity) * WORDS;
+        self.slots[base].store(tag, Ordering::Relaxed);
+        self.slots[base + 1].store(t, Ordering::Relaxed);
+        self.slots[base + 2].store(a, Ordering::Relaxed);
+        self.slots[base + 3].store(b, Ordering::Relaxed);
+        self.cursor.store(seq + 1, Ordering::Release);
+    }
+
+    /// Total events ever recorded (not bounded by capacity).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Decode the retained events, oldest first. Safe from any thread;
+    /// events below the acquired cursor are fully published.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let seq = self.cursor.load(Ordering::Acquire);
+        let kept = (seq as usize).min(self.capacity);
+        let mut out = Vec::with_capacity(kept);
+        for i in 0..kept {
+            let idx = seq - kept as u64 + i as u64;
+            let base = (idx as usize % self.capacity) * WORDS;
+            let tag = self.slots[base].load(Ordering::Relaxed);
+            let t = self.slots[base + 1].load(Ordering::Relaxed);
+            let a = self.slots[base + 2].load(Ordering::Relaxed);
+            let id = (tag & 0xffff_ffff) as usize;
+            match tag >> 32 {
+                KIND_SPAN => {
+                    let b = self.slots[base + 3].load(Ordering::Relaxed);
+                    if let Some(phase) = Phase::from_index(id) {
+                        out.push(FlightEvent::Span {
+                            phase,
+                            begin_cycles: a,
+                            end_cycles: b,
+                        });
+                    }
+                }
+                KIND_NOTE => {
+                    if let Some(counter) = counter_from_index(id) {
+                        out.push(FlightEvent::Note {
+                            counter,
+                            value: a,
+                            at_cycles: t,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Serialize the retained events as the `flightrec-pe*.json` payload.
+    pub fn to_json(&self, pe: usize) -> String {
+        let events = self.events();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"pe\":{pe},\"recorded\":{},\"capacity\":{},\"events\":[",
+            self.recorded(),
+            self.capacity
+        );
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            match ev {
+                FlightEvent::Span {
+                    phase,
+                    begin_cycles,
+                    end_cycles,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"span\",\"phase\":\"{}\",\"begin_cycles\":{begin_cycles},\
+                         \"end_cycles\":{end_cycles},\"dur_us\":{:.3}}}",
+                        phase.label(),
+                        cycles_to_us(end_cycles.saturating_sub(*begin_cycles)),
+                    );
+                }
+                FlightEvent::Note {
+                    counter,
+                    value,
+                    at_cycles,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"note\",\"metric\":\"{}\",\"value\":{value},\
+                         \"at_cycles\":{at_cycles}}}",
+                        counter.name(),
+                    );
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remembers_only_the_last_capacity_events() {
+        let ring = FlightRing::new(4);
+        for i in 0..10u64 {
+            ring.note(Counter::ConveyorPushRetries, i, 100 + i);
+        }
+        assert_eq!(ring.recorded(), 10);
+        let events = ring.events();
+        assert_eq!(events.len(), 4);
+        // Oldest first: values 6..=9 survive.
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                FlightEvent::Note { value, .. } => assert_eq!(*value, 6 + i as u64),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spans_and_notes_roundtrip() {
+        let ring = FlightRing::new(8);
+        ring.span(Phase::Advance, 100, 250);
+        ring.note(Counter::ConveyorForcedParks, 1, 300);
+        ring.span(Phase::Superstep, 50, 500);
+        let events = ring.events();
+        assert_eq!(
+            events[0],
+            FlightEvent::Span {
+                phase: Phase::Advance,
+                begin_cycles: 100,
+                end_cycles: 250
+            }
+        );
+        assert_eq!(
+            events[1],
+            FlightEvent::Note {
+                counter: Counter::ConveyorForcedParks,
+                value: 1,
+                at_cycles: 300
+            }
+        );
+        assert_eq!(
+            events[2],
+            FlightEvent::Span {
+                phase: Phase::Superstep,
+                begin_cycles: 50,
+                end_cycles: 500
+            }
+        );
+    }
+
+    #[test]
+    fn json_names_phases_and_metrics() {
+        let ring = FlightRing::new(8);
+        ring.span(Phase::Quiet, 10, 20);
+        ring.note(Counter::ConveyorForcedParks, 2, 30);
+        let json = ring.to_json(3);
+        assert!(json.contains("\"pe\":3"));
+        assert!(json.contains("\"phase\":\"quiet\""));
+        assert!(json.contains("\"metric\":\"conveyor.forced_parks\""));
+        assert!(json.contains("\"recorded\":2"));
+    }
+
+    #[test]
+    fn empty_ring_dumps_empty_event_list() {
+        let ring = FlightRing::new(2);
+        assert!(ring.events().is_empty());
+        assert!(ring.to_json(0).contains("\"events\":[\n]"));
+    }
+}

@@ -1,0 +1,279 @@
+//! The fixed metric vocabulary.
+//!
+//! Metric identity is an enum, not a string: hot-path instrumentation
+//! compiles to an array index, never a hash or an allocation. Names only
+//! materialize at snapshot/export time.
+
+/// Number of log₂ buckets per histogram. Bucket 0 counts zero-valued
+/// observations; bucket `k ≥ 1` counts values in `[2^(k-1), 2^k)`; the last
+/// bucket absorbs everything larger.
+pub const HIST_BUCKETS: usize = 32;
+
+/// One histogram's bucket counts.
+pub type HistBuckets = [u64; HIST_BUCKETS];
+
+/// Monotonic event counters, one slab per PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Substrate puts (blocking, non-blocking, and intra-node copies).
+    ShmemPuts,
+    /// `shmem_quiet` completions (including the implicit one in barriers).
+    ShmemQuiets,
+    /// `shmem_barrier_all` waits.
+    ShmemBarrierWaits,
+    /// Conveyor pushes refused with `PushOutcome::Retry` (buffer full).
+    ConveyorPushRetries,
+    /// Relay slots parked by `inject_chaos` fault injection.
+    ConveyorForcedParks,
+    /// Relay slots parked because the relay out-buffer was full.
+    ConveyorRelayParks,
+    /// Actor-level sends accepted into a mailbox conveyor.
+    ActorSends,
+    /// Cooperative yields taken while a selector polled for progress.
+    ActorYields,
+}
+
+impl Counter {
+    /// Every counter, in index order.
+    pub const ALL: [Counter; 8] = [
+        Counter::ShmemPuts,
+        Counter::ShmemQuiets,
+        Counter::ShmemBarrierWaits,
+        Counter::ConveyorPushRetries,
+        Counter::ConveyorForcedParks,
+        Counter::ConveyorRelayParks,
+        Counter::ActorSends,
+        Counter::ActorYields,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// Stable dotted name, used in dumps and dashboards.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::ShmemPuts => "shmem.puts",
+            Counter::ShmemQuiets => "shmem.quiets",
+            Counter::ShmemBarrierWaits => "shmem.barrier_waits",
+            Counter::ConveyorPushRetries => "conveyor.push_retries",
+            Counter::ConveyorForcedParks => "conveyor.forced_parks",
+            Counter::ConveyorRelayParks => "conveyor.relay_parks",
+            Counter::ActorSends => "actor.sends",
+            Counter::ActorYields => "actor.yields",
+        }
+    }
+}
+
+/// Last-value gauges, one slab per PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Items staged in this PE's conveyor out-buffers after the last
+    /// `advance`.
+    ConveyorBufferedItems,
+    /// Deliveries sitting in the pull queue after the last `advance`.
+    ConveyorPullBacklog,
+}
+
+impl Gauge {
+    /// Every gauge, in index order.
+    pub const ALL: [Gauge; 2] = [Gauge::ConveyorBufferedItems, Gauge::ConveyorPullBacklog];
+
+    /// Number of gauges.
+    pub const COUNT: usize = Gauge::ALL.len();
+
+    /// Stable dotted name, used in dumps and dashboards.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::ConveyorBufferedItems => "conveyor.buffered_items",
+            Gauge::ConveyorPullBacklog => "conveyor.pull_backlog",
+        }
+    }
+}
+
+/// Log₂-bucketed histograms, one slab per PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Cycles spent per `Conveyor::advance`.
+    AdvanceCycles,
+    /// Cycles spent per `shmem_quiet`.
+    QuietCycles,
+    /// Cycles spent waiting in `shmem_barrier_all`.
+    BarrierWaitCycles,
+    /// Cycles a relay slot stayed parked before it resumed.
+    RelayParkCycles,
+    /// Bytes per substrate put.
+    PutBytes,
+}
+
+impl Hist {
+    /// Every histogram, in index order.
+    pub const ALL: [Hist; 5] = [
+        Hist::AdvanceCycles,
+        Hist::QuietCycles,
+        Hist::BarrierWaitCycles,
+        Hist::RelayParkCycles,
+        Hist::PutBytes,
+    ];
+
+    /// Number of histograms.
+    pub const COUNT: usize = Hist::ALL.len();
+
+    /// Stable dotted name, used in dumps and dashboards.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::AdvanceCycles => "conveyor.advance_cycles",
+            Hist::QuietCycles => "shmem.quiet_cycles",
+            Hist::BarrierWaitCycles => "shmem.barrier_wait_cycles",
+            Hist::RelayParkCycles => "conveyor.relay_park_cycles",
+            Hist::PutBytes => "shmem.put_bytes",
+        }
+    }
+}
+
+/// The log₂ bucket a value falls in (see [`HIST_BUCKETS`]).
+#[inline]
+pub const fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        let b = 64 - value.leading_zeros() as usize;
+        if b < HIST_BUCKETS {
+            b
+        } else {
+            HIST_BUCKETS - 1
+        }
+    }
+}
+
+/// Inclusive upper bound of histogram bucket `idx` (saturating for the
+/// overflow bucket), for rendering bucket labels.
+pub const fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// Runtime phases instrumented with begin/end spans. Shared vocabulary
+/// between the flight recorder here and the trace layer's span records, so
+/// the Perfetto export and the post-mortem dump name phases identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// One selector `execute` — the FA-BSP superstep body plus its
+    /// termination drain.
+    Superstep,
+    /// One `Conveyor::advance` (buffer exchange + delivery).
+    Advance,
+    /// One `shmem_quiet` issued from conveyor progress.
+    Quiet,
+    /// One relay hop: consuming an incoming slot that forwarded envelopes.
+    RelayHop,
+}
+
+impl Phase {
+    /// Every phase, in index order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Superstep,
+        Phase::Advance,
+        Phase::Quiet,
+        Phase::RelayHop,
+    ];
+
+    /// Stable name, used as the Perfetto event name.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Phase::Superstep => "superstep",
+            Phase::Advance => "advance",
+            Phase::Quiet => "quiet",
+            Phase::RelayHop => "relay_hop",
+        }
+    }
+
+    /// Parse a phase label (inverse of [`label`](Phase::label)).
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.label() == label)
+    }
+
+    /// Decode an index produced by `as usize` encoding.
+    pub fn from_index(idx: usize) -> Option<Phase> {
+        Phase::ALL.get(idx).copied()
+    }
+}
+
+/// Decode a counter index produced by `as usize` encoding.
+pub fn counter_from_index(idx: usize) -> Option<Counter> {
+    Counter::ALL.get(idx).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_indices_match_all_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+            assert_eq!(Phase::from_index(i), Some(*p));
+        }
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_bucketing() {
+        for idx in 1..HIST_BUCKETS - 1 {
+            let hi = bucket_upper_bound(idx);
+            assert_eq!(bucket_of(hi), idx, "upper bound lands in its bucket");
+            assert_eq!(bucket_of(hi + 1), idx + 1, "successor spills over");
+        }
+        assert_eq!(bucket_upper_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn phase_label_roundtrip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL
+            .iter()
+            .map(|c| c.name())
+            .chain(Gauge::ALL.iter().map(|g| g.name()))
+            .chain(Hist::ALL.iter().map(|h| h.name()))
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

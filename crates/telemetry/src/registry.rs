@@ -1,0 +1,382 @@
+//! The lock-free per-PE metrics registry and its snapshot-diff model.
+//!
+//! One [`PeMetrics`] slab per PE; every cell is an `AtomicU64`. The
+//! concurrency discipline is *single writer per slab*: only the owning PE's
+//! thread mutates its counters/gauges/histograms, so updates are `Relaxed`
+//! load+store pairs (no RMW contention, no fences on the hot path). Any
+//! other thread may read concurrently: `AtomicU64` loads cannot tear, so a
+//! [`Snapshot`] is a consistent-enough point-in-time view — counters are
+//! monotonic, and the subscriber model works on snapshot *diffs*, which
+//! tolerate the reader racing a few in-flight increments.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::flight::FlightRing;
+use crate::metric::{bucket_of, Counter, Gauge, Hist, HistBuckets, Phase, HIST_BUCKETS};
+
+/// Default flight-recorder depth per PE.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One PE's metric slab plus its flight-recorder ring.
+#[derive(Debug)]
+pub struct PeMetrics {
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
+    hists: Vec<[AtomicU64; HIST_BUCKETS]>,
+    flight: FlightRing,
+}
+
+impl PeMetrics {
+    fn new(flight_capacity: usize) -> PeMetrics {
+        PeMetrics {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: (0..Hist::COUNT)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            flight: FlightRing::new(flight_capacity),
+        }
+    }
+
+    /// Bump `counter` by one. Owning-PE thread only.
+    #[inline]
+    pub fn count(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Bump `counter` by `n`. Owning-PE thread only: a Relaxed load+store
+    /// pair is exact because nobody else writes this cell.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        let cell = &self.counters[counter as usize];
+        cell.store(cell.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+    }
+
+    /// Set `gauge` to its current value. Owning-PE thread only.
+    #[inline]
+    pub fn gauge_set(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Record one observation into `hist`'s log₂ bucket. Owning-PE thread
+    /// only (same single-writer Relaxed discipline as [`add`](Self::add)).
+    #[inline]
+    pub fn observe(&self, hist: Hist, value: u64) {
+        let cell = &self.hists[hist as usize][bucket_of(value)];
+        cell.store(cell.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Current value of `counter` (any thread).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current value of `gauge` (any thread).
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Bucket counts of `hist` (any thread).
+    pub fn hist(&self, hist: Hist) -> HistBuckets {
+        std::array::from_fn(|b| self.hists[hist as usize][b].load(Ordering::Relaxed))
+    }
+
+    /// This PE's flight-recorder ring.
+    #[inline]
+    pub fn flight(&self) -> &FlightRing {
+        &self.flight
+    }
+
+    /// Record a completed phase span into the flight ring.
+    #[inline]
+    pub fn flight_span(&self, phase: Phase, begin_cycles: u64, end_cycles: u64) {
+        self.flight.span(phase, begin_cycles, end_cycles);
+    }
+
+    /// Record a notable counter movement into the flight ring (in addition
+    /// to the slab increment the caller already made).
+    #[inline]
+    pub fn flight_note(&self, counter: Counter, value: u64) {
+        self.flight.note(counter, value, fabsp_hwpc::cycles_now());
+    }
+}
+
+/// Point-in-time copy of one PE's slab.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeSnapshot {
+    /// Counter values, indexed by `Counter as usize`.
+    pub counters: Vec<u64>,
+    /// Gauge values, indexed by `Gauge as usize`.
+    pub gauges: Vec<u64>,
+    /// Histogram bucket counts, indexed by `Hist as usize`.
+    pub hists: Vec<[u64; HIST_BUCKETS]>,
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Per-PE slabs, indexed by rank.
+    pub pes: Vec<PeSnapshot>,
+}
+
+impl Snapshot {
+    /// `counter` on one PE.
+    pub fn counter(&self, pe: usize, counter: Counter) -> u64 {
+        self.pes[pe].counters[counter as usize]
+    }
+
+    /// `counter` summed over all PEs.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.pes
+            .iter()
+            .map(|p| p.counters[counter as usize])
+            .sum()
+    }
+
+    /// `counter` per PE, in rank order.
+    pub fn counter_per_pe(&self, counter: Counter) -> Vec<u64> {
+        self.pes
+            .iter()
+            .map(|p| p.counters[counter as usize])
+            .collect()
+    }
+
+    /// `gauge` on one PE.
+    pub fn gauge(&self, pe: usize, gauge: Gauge) -> u64 {
+        self.pes[pe].gauges[gauge as usize]
+    }
+
+    /// `gauge` summed over all PEs (meaningful for occupancy-style gauges).
+    pub fn gauge_total(&self, gauge: Gauge) -> u64 {
+        self.pes.iter().map(|p| p.gauges[gauge as usize]).sum()
+    }
+
+    /// Bucket counts of `hist` merged over all PEs.
+    pub fn hist_total(&self, hist: Hist) -> HistBuckets {
+        let mut out = [0u64; HIST_BUCKETS];
+        for p in &self.pes {
+            for (acc, v) in out.iter_mut().zip(p.hists[hist as usize].iter()) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// Total observations recorded into `hist` across all PEs.
+    pub fn hist_count(&self, hist: Hist) -> u64 {
+        self.hist_total(hist).iter().sum()
+    }
+
+    /// What changed since `prev`: counters and histogram buckets subtract
+    /// (wrapping, so a stale `prev` cannot panic); gauges keep this
+    /// snapshot's last-value semantics.
+    pub fn diff(&self, prev: &Snapshot) -> Snapshot {
+        let pes = self
+            .pes
+            .iter()
+            .enumerate()
+            .map(|(rank, cur)| {
+                let empty = PeSnapshot::default();
+                let old = prev.pes.get(rank).unwrap_or(&empty);
+                PeSnapshot {
+                    counters: cur
+                        .counters
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| v.wrapping_sub(old.counters.get(i).copied().unwrap_or(0)))
+                        .collect(),
+                    gauges: cur.gauges.clone(),
+                    hists: cur
+                        .hists
+                        .iter()
+                        .enumerate()
+                        .map(|(i, buckets)| {
+                            let zero = [0u64; HIST_BUCKETS];
+                            let old_b = old.hists.get(i).unwrap_or(&zero);
+                            std::array::from_fn(|b| buckets[b].wrapping_sub(old_b[b]))
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Snapshot { pes }
+    }
+}
+
+/// One tick of the live subscriber feed: the running totals plus what
+/// changed since the previous tick.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Tick number, starting at 0.
+    pub seq: u64,
+    /// Running totals at this tick.
+    pub total: Snapshot,
+    /// Change since the previous tick (equals `total` on the first).
+    pub delta: Snapshot,
+}
+
+/// The always-on registry: one [`PeMetrics`] slab per PE, shared across the
+/// world via `Arc`. Construction is the only mutation of the registry's
+/// shape; all metric traffic is on the interior atomics.
+#[derive(Debug)]
+pub struct TelemetryRegistry {
+    pes: Vec<PeMetrics>,
+    flight_dir: Option<PathBuf>,
+}
+
+impl TelemetryRegistry {
+    /// A registry for `n_pes` PEs with the default flight-recorder depth.
+    pub fn new(n_pes: usize) -> TelemetryRegistry {
+        TelemetryRegistry::with_flight_capacity(n_pes, DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A registry with `flight_capacity` events retained per PE.
+    pub fn with_flight_capacity(n_pes: usize, flight_capacity: usize) -> TelemetryRegistry {
+        TelemetryRegistry {
+            pes: (0..n_pes).map(|_| PeMetrics::new(flight_capacity)).collect(),
+            flight_dir: None,
+        }
+    }
+
+    /// Enable post-mortem flight-recorder dumps into `dir`
+    /// (`dir/flightrec-pe<rank>.json`). Builder-style: call before sharing
+    /// the registry.
+    pub fn flight_dump_dir(mut self, dir: impl Into<PathBuf>) -> TelemetryRegistry {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+
+    /// The configured dump directory, if any.
+    pub fn flight_dir(&self) -> Option<&Path> {
+        self.flight_dir.as_deref()
+    }
+
+    /// Number of PE slabs.
+    pub fn n_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The slab for `rank`.
+    #[inline]
+    pub fn pe(&self, rank: usize) -> &PeMetrics {
+        &self.pes[rank]
+    }
+
+    /// Copy every slab into a [`Snapshot`] (any thread).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            pes: self
+                .pes
+                .iter()
+                .map(|p| PeSnapshot {
+                    counters: Counter::ALL.iter().map(|c| p.counter(*c)).collect(),
+                    gauges: Gauge::ALL.iter().map(|g| p.gauge(*g)).collect(),
+                    hists: Hist::ALL.iter().map(|h| p.hist(*h)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Dump `rank`'s flight ring to `flightrec-pe<rank>.json` under the
+    /// configured directory. Best-effort (runs during unwinding): returns
+    /// the path on success, `None` when no directory is configured or the
+    /// write fails.
+    pub fn dump_flight(&self, rank: usize) -> Option<PathBuf> {
+        let dir = self.flight_dir.as_ref()?;
+        if std::fs::create_dir_all(dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("flightrec-pe{rank}.json"));
+        let json = self.pes.get(rank)?.flight.to_json(rank);
+        std::fs::write(&path, json).ok()?;
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = TelemetryRegistry::new(2);
+        reg.pe(0).count(Counter::ShmemPuts);
+        reg.pe(0).add(Counter::ShmemPuts, 4);
+        reg.pe(1).count(Counter::ShmemPuts);
+        reg.pe(1).gauge_set(Gauge::ConveyorPullBacklog, 7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(0, Counter::ShmemPuts), 5);
+        assert_eq!(snap.counter_total(Counter::ShmemPuts), 6);
+        assert_eq!(snap.counter_per_pe(Counter::ShmemPuts), vec![5, 1]);
+        assert_eq!(snap.gauge(1, Gauge::ConveyorPullBacklog), 7);
+        assert_eq!(snap.gauge_total(Gauge::ConveyorPullBacklog), 7);
+    }
+
+    #[test]
+    fn histograms_bucket_observations() {
+        let reg = TelemetryRegistry::new(1);
+        reg.pe(0).observe(Hist::PutBytes, 0);
+        reg.pe(0).observe(Hist::PutBytes, 1);
+        reg.pe(0).observe(Hist::PutBytes, 3);
+        reg.pe(0).observe(Hist::PutBytes, 1000);
+        let snap = reg.snapshot();
+        let h = snap.hist_total(Hist::PutBytes);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[10], 1, "1000 lands in [512, 1024)");
+        assert_eq!(snap.hist_count(Hist::PutBytes), 4);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_gauges() {
+        let reg = TelemetryRegistry::new(1);
+        reg.pe(0).add(Counter::ActorSends, 10);
+        reg.pe(0).gauge_set(Gauge::ConveyorBufferedItems, 3);
+        reg.pe(0).observe(Hist::AdvanceCycles, 100);
+        let first = reg.snapshot();
+        reg.pe(0).add(Counter::ActorSends, 5);
+        reg.pe(0).gauge_set(Gauge::ConveyorBufferedItems, 9);
+        reg.pe(0).observe(Hist::AdvanceCycles, 100);
+        let second = reg.snapshot();
+        let delta = second.diff(&first);
+        assert_eq!(delta.counter(0, Counter::ActorSends), 5);
+        assert_eq!(delta.gauge(0, Gauge::ConveyorBufferedItems), 9);
+        assert_eq!(delta.hist_count(Hist::AdvanceCycles), 1);
+    }
+
+    #[test]
+    fn cross_thread_snapshot_sees_published_counts() {
+        let reg = std::sync::Arc::new(TelemetryRegistry::new(1));
+        let writer = {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    reg.pe(0).count(Counter::ConveyorPushRetries);
+                }
+            })
+        };
+        writer.join().unwrap();
+        assert_eq!(
+            reg.snapshot().counter_total(Counter::ConveyorPushRetries),
+            1000
+        );
+    }
+
+    #[test]
+    fn flight_dump_writes_named_file() {
+        let dir = std::env::temp_dir().join(format!("fabsp-flight-{}", std::process::id()));
+        let reg = TelemetryRegistry::new(2).flight_dump_dir(&dir);
+        reg.pe(1).flight_span(Phase::Advance, 10, 20);
+        let path = reg.dump_flight(1).expect("dump succeeds");
+        assert!(path.ends_with("flightrec-pe1.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"phase\":\"advance\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(
+            TelemetryRegistry::new(1).dump_flight(0).is_none(),
+            "no dir configured → no dump"
+        );
+    }
+}

@@ -21,6 +21,7 @@
 //! [`PeCollector::drain`]: crate::PeCollector::drain
 
 use fabsp_hwpc::MAX_EVENTS;
+use fabsp_telemetry::Phase;
 
 use crate::config::TraceConfig;
 use crate::record::SendType;
@@ -53,6 +54,18 @@ pub struct PhysicalEvent {
     pub cycles: u64,
 }
 
+/// One completed phase span, captured on the hot path for deferred replay.
+/// Cycle stamps are absolute; the collector rebases them at drain time.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanEvent {
+    /// Which phase ran.
+    pub phase: Phase,
+    /// Absolute cycle stamp at phase entry.
+    pub begin_cycles: u64,
+    /// Absolute cycle stamp at phase exit.
+    pub end_cycles: u64,
+}
+
 /// Thread-local batch of trace events awaiting a drain into the PE's
 /// collector. Construct with [`for_config`](TraceBuffer::for_config) so
 /// disabled trace dimensions cost a single branch per event.
@@ -60,8 +73,14 @@ pub struct PhysicalEvent {
 pub struct TraceBuffer {
     wants_sends: bool,
     wants_physical: bool,
+    wants_spans: bool,
+    /// Keep every k-th hot span (superstep spans always kept).
+    span_sample: u32,
+    /// Hot spans seen so far, sampled or not.
+    span_seen: u64,
     sends: Vec<SendEvent>,
     physical: Vec<PhysicalEvent>,
+    spans: Vec<SpanEvent>,
 }
 
 impl TraceBuffer {
@@ -70,8 +89,12 @@ impl TraceBuffer {
         TraceBuffer {
             wants_sends: config.logical || config.papi.is_some(),
             wants_physical: config.physical,
+            wants_spans: config.spans,
+            span_sample: config.span_sample.max(1),
+            span_seen: 0,
             sends: Vec::new(),
             physical: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -85,6 +108,12 @@ impl TraceBuffer {
     #[inline]
     pub fn wants_physical(&self) -> bool {
         self.wants_physical
+    }
+
+    /// Whether phase spans are being captured.
+    #[inline]
+    pub fn wants_spans(&self) -> bool {
+        self.wants_spans
     }
 
     /// Capture one logical send. A `Vec` push — nothing shared, no borrow.
@@ -120,9 +149,31 @@ impl TraceBuffer {
         }
     }
 
+    /// Capture one completed phase span. Superstep spans are always kept;
+    /// the hot per-advance phases honor the configured sampling stride so
+    /// long runs stay bounded.
+    #[inline]
+    pub fn record_span(&mut self, phase: Phase, begin_cycles: u64, end_cycles: u64) {
+        if !self.wants_spans {
+            return;
+        }
+        if phase != Phase::Superstep {
+            let seen = self.span_seen;
+            self.span_seen += 1;
+            if self.span_sample > 1 && !seen.is_multiple_of(self.span_sample as u64) {
+                return;
+            }
+        }
+        self.spans.push(SpanEvent {
+            phase,
+            begin_cycles,
+            end_cycles,
+        });
+    }
+
     /// Whether any captured events await draining.
     pub fn is_empty(&self) -> bool {
-        self.sends.is_empty() && self.physical.is_empty()
+        self.sends.is_empty() && self.physical.is_empty() && self.spans.is_empty()
     }
 
     /// Captured-but-undrained logical sends.
@@ -135,19 +186,32 @@ impl TraceBuffer {
         &self.physical
     }
 
-    pub(crate) fn take_events(&mut self) -> (Vec<SendEvent>, Vec<PhysicalEvent>) {
+    /// Captured-but-undrained phase spans.
+    pub fn pending_spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    pub(crate) fn take_events(&mut self) -> (Vec<SendEvent>, Vec<PhysicalEvent>, Vec<SpanEvent>) {
         (
             std::mem::take(&mut self.sends),
             std::mem::take(&mut self.physical),
+            std::mem::take(&mut self.spans),
         )
     }
 
-    pub(crate) fn put_back_storage(&mut self, sends: Vec<SendEvent>, physical: Vec<PhysicalEvent>) {
-        debug_assert!(self.sends.is_empty() && self.physical.is_empty());
+    pub(crate) fn put_back_storage(
+        &mut self,
+        sends: Vec<SendEvent>,
+        physical: Vec<PhysicalEvent>,
+        spans: Vec<SpanEvent>,
+    ) {
+        debug_assert!(self.sends.is_empty() && self.physical.is_empty() && self.spans.is_empty());
         self.sends = sends;
         self.physical = physical;
+        self.spans = spans;
         self.sends.clear();
         self.physical.clear();
+        self.spans.clear();
     }
 }
 

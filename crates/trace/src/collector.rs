@@ -19,8 +19,10 @@ use std::rc::Rc;
 use fabsp_hwpc::event::NUM_EVENTS;
 use fabsp_hwpc::RegionProfile;
 
+use fabsp_telemetry::Phase;
+
 use crate::config::TraceConfig;
-use crate::record::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType};
+use crate::record::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType, SpanRecord};
 
 /// Thread-local shared handle to a PE's collector (runtime ↔ conveyor).
 pub type SharedCollector = Rc<RefCell<PeCollector>>;
@@ -55,6 +57,9 @@ pub struct PeCollector {
     /// Cycle timestamp of each physical record, relative to collector
     /// creation (feeds the Google-Trace-Events exporter — §VI future work).
     physical_timestamps: Vec<u64>,
+    /// Completed phase spans, in completion order, relative to collector
+    /// creation (feeds the Perfetto duration export).
+    span_records: Vec<SpanRecord>,
     t0_cycles: u64,
     overall: Option<OverallRecord>,
     region_profile: Option<RegionProfile>,
@@ -87,6 +92,7 @@ impl PeCollector {
             papi_agg: HashMap::new(),
             physical_records: Vec::new(),
             physical_timestamps: Vec::new(),
+            span_records: Vec::new(),
             t0_cycles: fabsp_hwpc::cycles_now(),
             overall: None,
             region_profile: None,
@@ -136,6 +142,12 @@ impl PeCollector {
     #[inline]
     pub fn wants_physical(&self) -> bool {
         self.config.physical
+    }
+
+    /// Whether the runtime should report phase spans.
+    #[inline]
+    pub fn wants_spans(&self) -> bool {
+        self.config.spans
     }
 
     /// Record one logical (pre-aggregation) send of `msg_size` bytes to
@@ -228,6 +240,18 @@ impl PeCollector {
             .push(at_cycles.saturating_sub(self.t0_cycles));
     }
 
+    /// Record one completed phase span from its absolute begin/end cycle
+    /// stamps (taken at event time, so deferred draining does not skew the
+    /// span timeline). No-op unless span tracing is enabled.
+    pub fn record_span_at(&mut self, phase: Phase, begin_cycles: u64, end_cycles: u64) {
+        if !self.config.spans {
+            return;
+        }
+        let begin = begin_cycles.saturating_sub(self.t0_cycles);
+        let end = end_cycles.saturating_sub(self.t0_cycles).max(begin);
+        self.span_records.push(SpanRecord { phase, begin, end });
+    }
+
     /// Replay a batch of hot-path events captured in a
     /// [`TraceBuffer`](crate::TraceBuffer) and leave the buffer empty (its
     /// storage is retained for reuse). Events are replayed in capture
@@ -241,7 +265,7 @@ impl PeCollector {
             .as_ref()
             .map(|p| p.events().len())
             .unwrap_or(0);
-        let (sends, physical) = buf.take_events();
+        let (sends, physical, spans) = buf.take_events();
         for ev in &sends {
             self.record_send(
                 ev.dst_pe as usize,
@@ -253,7 +277,10 @@ impl PeCollector {
         for ev in &physical {
             self.record_physical_at(ev.send_type, ev.buffer_size, ev.dst_pe as usize, ev.cycles);
         }
-        buf.put_back_storage(sends, physical);
+        for ev in &spans {
+            self.record_span_at(ev.phase, ev.begin_cycles, ev.end_cycles);
+        }
+        buf.put_back_storage(sends, physical, spans);
     }
 
     /// Store the overall MAIN/PROC/TOTAL cycle measurements. No-op unless
@@ -335,6 +362,11 @@ impl PeCollector {
         &self.physical_timestamps
     }
 
+    /// Completed phase spans, in completion order.
+    pub fn span_records(&self) -> &[SpanRecord] {
+        &self.span_records
+    }
+
     /// The overall breakdown, if overall profiling ran.
     pub fn overall(&self) -> Option<OverallRecord> {
         self.overall
@@ -358,6 +390,7 @@ impl PeCollector {
             + self.papi_agg.len()
                 * (std::mem::size_of::<PapiAgg>() + std::mem::size_of::<(u32, u32)>())
             + self.physical_records.len() * std::mem::size_of::<PhysicalRecord>()
+            + self.span_records.len() * std::mem::size_of::<SpanRecord>()
     }
 }
 
@@ -559,6 +592,50 @@ mod tests {
         buf.record_send(1, 8, 0, Some(bank));
         batched.drain(&mut buf);
         assert_eq!(batched.logical_matrix()[1].sends, 1);
+    }
+
+    #[test]
+    fn spans_rebase_to_collector_creation_and_respect_config() {
+        let mut c = collector(TraceConfig::off());
+        c.record_span_at(Phase::Advance, 100, 200);
+        assert!(c.span_records().is_empty(), "spans off by default");
+
+        let mut c = collector(TraceConfig::off().with_spans());
+        let t0 = fabsp_hwpc::cycles_now();
+        c.record_span_at(Phase::Superstep, t0 + 10, t0 + 50);
+        c.record_span_at(Phase::Quiet, t0 + 20, t0 + 30);
+        let spans = c.span_records();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].phase, Phase::Superstep);
+        assert!(spans[0].end >= spans[0].begin);
+        assert!(spans[1].begin >= spans[0].begin, "relative to same t0");
+    }
+
+    #[test]
+    fn drained_spans_sample_hot_phases_keep_supersteps() {
+        let cfg = TraceConfig::off().with_span_sampling(4);
+        let mut c = collector(cfg.clone());
+        let mut buf = crate::TraceBuffer::for_config(&cfg);
+        let t = fabsp_hwpc::cycles_now();
+        for i in 0..8u64 {
+            buf.record_span(Phase::Advance, t + i, t + i + 1);
+        }
+        buf.record_span(Phase::Superstep, t, t + 100);
+        buf.record_span(Phase::Superstep, t + 100, t + 200);
+        c.drain(&mut buf);
+        assert!(buf.is_empty());
+        let kept_hot = c
+            .span_records()
+            .iter()
+            .filter(|s| s.phase == Phase::Advance)
+            .count();
+        assert_eq!(kept_hot, 2, "every 4th of 8 advance spans");
+        let supersteps = c
+            .span_records()
+            .iter()
+            .filter(|s| s.phase == Phase::Superstep)
+            .count();
+        assert_eq!(supersteps, 2, "supersteps never sampled away");
     }
 
     #[test]

@@ -125,6 +125,14 @@ pub struct TraceConfig {
     /// [`logical_records`](TraceConfig::logical_records) semantics on disk
     /// while keeping memory O(PE²).
     pub stream_dir: Option<std::path::PathBuf>,
+    /// Record phase spans (superstep / advance / quiet / relay-hop
+    /// begin+end pairs), exported as Perfetto duration events.
+    pub spans: bool,
+    /// Keep only every k-th hot phase span (1 = all). Superstep spans are
+    /// always kept; `advance`/`quiet`/relay spans are sampled, bounding the
+    /// span volume of long runs the same way `logical_sample` bounds the
+    /// logical records.
+    pub span_sample: u32,
 }
 
 impl TraceConfig {
@@ -143,6 +151,8 @@ impl TraceConfig {
             physical: true,
             logical_sample: 0,
             stream_dir: None,
+            spans: true,
+            span_sample: 1,
         }
     }
 
@@ -194,9 +204,26 @@ impl TraceConfig {
         self
     }
 
+    /// Enable phase spans (every span kept).
+    pub fn with_spans(mut self) -> TraceConfig {
+        self.spans = true;
+        if self.span_sample == 0 {
+            self.span_sample = 1;
+        }
+        self
+    }
+
+    /// Enable phase spans, keeping every `k`-th hot span (supersteps are
+    /// always kept; `0` clamps to keep-all).
+    pub fn with_span_sampling(mut self, k: u32) -> TraceConfig {
+        self.spans = true;
+        self.span_sample = k.max(1);
+        self
+    }
+
     /// Whether any tracing at all is enabled.
     pub fn any_enabled(&self) -> bool {
-        self.logical || self.papi.is_some() || self.overall || self.physical
+        self.logical || self.papi.is_some() || self.overall || self.physical || self.spans
     }
 }
 
@@ -284,5 +311,19 @@ mod tests {
     fn all_enables_everything() {
         let c = TraceConfig::all();
         assert!(c.logical && c.overall && c.physical && c.papi.is_some());
+        assert!(c.spans && c.span_sample == 1);
+    }
+
+    #[test]
+    fn span_sampling_clamps_and_implies_spans() {
+        let c = TraceConfig::off().with_spans();
+        assert!(c.spans);
+        assert_eq!(c.span_sample, 1);
+        let c = TraceConfig::off().with_span_sampling(0);
+        assert_eq!(c.span_sample, 1, "0 clamps to keep-all");
+        let c = TraceConfig::off().with_span_sampling(8);
+        assert!(c.spans);
+        assert_eq!(c.span_sample, 8);
+        assert!(c.any_enabled());
     }
 }

@@ -14,6 +14,9 @@
 //!   `nonblock_progress`), buffer size, source PE, destination PE.
 //! - [`OverallRecord`] — the per-PE MAIN/COMM/PROC cycle breakdown
 //!   (`overall.txt`), with `T_COMM` derived as `T_TOTAL − T_MAIN − T_PROC`.
+//! - [`SpanRecord`] — one completed runtime phase (superstep / advance /
+//!   quiet / relay hop) as a begin/end cycle pair, exported as Perfetto
+//!   duration events.
 //!
 //! [`TraceConfig`] mirrors the paper's compile flags (`-DENABLE_TRACE`,
 //! `-DENABLE_TCOMM_PROFILING`, `-DENABLE_TRACE_PHYSICAL`), and
@@ -31,7 +34,8 @@ pub mod collector;
 pub mod config;
 pub mod record;
 
-pub use buffer::{PhysicalEvent, SendEvent, TraceBuffer};
+pub use buffer::{PhysicalEvent, SendEvent, SpanEvent, TraceBuffer};
 pub use collector::{PeCollector, SharedCollector};
 pub use config::{PapiConfig, TraceConfig, TraceConfigError};
-pub use record::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType};
+pub use fabsp_telemetry::Phase;
+pub use record::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType, SpanRecord};

@@ -1,5 +1,7 @@
-//! Trace record types, one per ActorProf trace file format (§III).
+//! Trace record types, one per ActorProf trace file format (§III), plus
+//! the phase-span record backing the Perfetto duration export.
 
+use fabsp_telemetry::Phase;
 
 /// One pre-aggregation point-to-point send, as recorded at the HClib-Actor
 /// `send` call. One line of `PEi_send.csv`:
@@ -97,6 +99,20 @@ pub struct PhysicalRecord {
     pub src_pe: u32,
     /// Destination PE rank (for `NonblockProgress`, the signalled PE).
     pub dst_pe: u32,
+}
+
+/// One completed runtime phase on one PE, in cycles relative to the PE's
+/// collector creation. Spans of one PE nest properly by construction
+/// (superstep ⊇ advance ⊇ quiet/relay hop), which is what lets the
+/// exporter emit them as Perfetto `B`/`E` duration pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which phase ran.
+    pub phase: Phase,
+    /// Relative cycle stamp at phase entry.
+    pub begin: u64,
+    /// Relative cycle stamp at phase exit (`end >= begin`).
+    pub end: u64,
 }
 
 /// The per-PE overall breakdown (§III-B), in rdtsc cycles. One absolute and

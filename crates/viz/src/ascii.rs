@@ -1,7 +1,7 @@
 //! Terminal renderings — quick-look versions of every chart for CLI use
 //! and for human-readable test output.
 
-use actorprof::{Matrix, Quartiles};
+use actorprof::{Counter, Frame, Gauge, Hist, Matrix, Quartiles};
 use actorprof_trace::OverallRecord;
 
 use crate::scale::Norm;
@@ -105,6 +105,43 @@ pub fn bars(values: &[u64], title: &str, log: bool) -> String {
     out
 }
 
+/// Render one live-telemetry [`Frame`] as a terminal dashboard: per-PE
+/// send-rate bars for the tick, cumulative counter totals, and current
+/// buffer-occupancy gauges. Meant to be re-drawn on every observer tick
+/// (see `Profiler::observe`).
+pub fn dashboard(frame: &Frame) -> String {
+    let mut out = format!("== telemetry tick {} ==\n", frame.seq);
+    out.push_str(&bars(
+        &frame.delta.counter_per_pe(Counter::ActorSends),
+        "sends this tick (per PE)",
+        false,
+    ));
+    out.push_str("totals: ");
+    let totals = [
+        ("sends", Counter::ActorSends),
+        ("yields", Counter::ActorYields),
+        ("puts", Counter::ShmemPuts),
+        ("quiets", Counter::ShmemQuiets),
+        ("push-retries", Counter::ConveyorPushRetries),
+        ("relay-parks", Counter::ConveyorRelayParks),
+        ("forced-parks", Counter::ConveyorForcedParks),
+    ];
+    let summary = totals
+        .iter()
+        .map(|(label, c)| format!("{label} {}", frame.total.counter_total(*c)))
+        .collect::<Vec<_>>()
+        .join("  ");
+    out.push_str(&summary);
+    out.push('\n');
+    out.push_str(&format!(
+        "now: buffered {}  pull-backlog {}  advances observed {}\n",
+        frame.total.gauge_total(Gauge::ConveyorBufferedItems),
+        frame.total.gauge_total(Gauge::ConveyorPullBacklog),
+        frame.total.hist_count(Hist::AdvanceCycles),
+    ));
+    out
+}
+
 /// Render overall records as per-PE MAIN/COMM/PROC proportion bars.
 pub fn stacked(records: &[OverallRecord], title: &str) -> String {
     let width = 50usize;
@@ -173,6 +210,25 @@ mod tests {
         assert_eq!(bar.matches('M').count(), 13); // 25% of 50 rounded
         assert_eq!(bar.matches('P').count(), 13);
         assert!(bar.matches('C').count() >= 24);
+    }
+
+    #[test]
+    fn dashboard_renders_frame_counters() {
+        let reg = actorprof::TelemetryRegistry::new(2);
+        reg.pe(0).add(Counter::ActorSends, 8);
+        reg.pe(1).add(Counter::ActorSends, 4);
+        reg.pe(0).gauge_set(Gauge::ConveyorBufferedItems, 3);
+        let total = reg.snapshot();
+        let frame = Frame {
+            seq: 2,
+            delta: total.diff(&actorprof::Snapshot::default()),
+            total,
+        };
+        let s = dashboard(&frame);
+        assert!(s.contains("tick 2"));
+        assert!(s.contains("sends 12"), "cumulative total rendered:\n{s}");
+        assert!(s.contains("buffered 3"));
+        assert!(s.lines().any(|l| l.starts_with("PE  0") && l.contains('#')));
     }
 
     #[test]

@@ -21,11 +21,14 @@ fn main() {
     // compiling with -DENABLE_TRACE -DENABLE_TCOMM_PROFILING
     // -DENABLE_TRACE_PHYSICAL).
     let grid = Grid::new(1, 4).expect("grid");
+    let dir = std::path::Path::new("target/actorprof-quickstart");
     let report = Profiler::new(grid)
         .logical()
         .overall()
         .physical()
+        .spans()
         .papi(PapiConfig::case_study())
+        .trace_events_path(dir.join("trace_events.json"))
         .run(|pe, ctx| {
             // Listing 1, line 2: each PE allocates a local array.
             let larray = Rc::new(RefCell::new(vec![0u64; TABLE]));
@@ -65,11 +68,14 @@ fn main() {
 
     print!("{}", report.render("quickstart histogram"));
 
-    let dir = std::path::Path::new("target/actorprof-quickstart");
     let files = report.write_to(dir).expect("write traces");
     println!("\ntrace files written to {}:", dir.display());
     for f in files {
         println!("  {f}");
     }
-    println!("\nvisualize with: cargo run -p actorprof-viz --bin actorprof-viz -- -s {} 4", dir.display());
+    println!(
+        "\nPerfetto timeline (open at https://ui.perfetto.dev): {}",
+        dir.join("trace_events.json").display()
+    );
+    println!("visualize with: cargo run -p actorprof-viz --bin actorprof-viz -- -s {} 4", dir.display());
 }

@@ -7,6 +7,7 @@
 //! - substrates: [`fabsp_shmem`], [`fabsp_conveyors`], [`fabsp_actor`],
 //!   [`fabsp_hwpc`], [`fabsp_graph`];
 //! - the profiler: [`actorprof_trace`], [`actorprof`], [`actorprof_viz`];
+//! - always-on runtime telemetry: [`fabsp_telemetry`];
 //! - workloads and the evaluation harness: [`fabsp_apps`], [`fabsp_bench`];
 //! - deterministic testing: [`fabsp_testkit`].
 
@@ -20,4 +21,5 @@ pub use fabsp_conveyors;
 pub use fabsp_graph;
 pub use fabsp_hwpc;
 pub use fabsp_shmem;
+pub use fabsp_telemetry;
 pub use fabsp_testkit;

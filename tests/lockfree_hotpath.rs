@@ -18,6 +18,12 @@ use actorprof_suite::fabsp_shmem::{debug_lock_acquisitions, spmd, Grid};
 /// Returns (messages exchanged, hot-path lock delta) per PE.
 fn hotpath_lock_delta(grid: Grid, items: usize, capacity: usize) -> Vec<(u64, u64)> {
     spmd::run(grid, move |pe| {
+        // telemetry is on by default: the zero deltas below prove the
+        // always-on metrics stay off the mutex path too
+        assert!(
+            pe.metrics().is_some(),
+            "default harness must wire the telemetry registry"
+        );
         let mut c = Conveyor::<u64>::new(
             pe,
             ConveyorOptions {

@@ -120,6 +120,70 @@ fn parking_does_not_duplicate_copies() {
 }
 
 #[test]
+fn forced_parks_surface_through_telemetry_registry() {
+    // `inject_chaos` forced parks used to be visible only in
+    // `ConveyorStats`; they must also flow through the always-on metrics
+    // registry, per PE, together with measured park durations.
+    use actorprof_suite::fabsp_telemetry::{Counter, Hist, TelemetryRegistry};
+    use std::sync::Arc;
+
+    let grid = Grid::new(2, 2).unwrap();
+    let reg = Arc::new(TelemetryRegistry::new(grid.n_pes()));
+    let harness = Harness::new(grid)
+        .sched(SchedSpec::random_walk(11))
+        .telemetry(reg.clone());
+    let msgs = 20usize;
+    let results = spmd::run(harness, move |pe| {
+        let mut c = Conveyor::<u64>::new(
+            pe,
+            ConveyorOptions {
+                capacity: 1,
+                topology: TopologySpec::Mesh2D,
+            },
+        )
+        .unwrap();
+        c.inject_chaos(0xBEEF, 0.9);
+        let dst = 3 - pe.rank();
+        let mut sent = 0;
+        let mut got = 0u64;
+        loop {
+            while sent < msgs && c.push(pe, sent as u64, dst).unwrap().is_accepted() {
+                sent += 1;
+            }
+            let active = c.advance(pe, sent == msgs);
+            while c.pull().is_some() {
+                got += 1;
+            }
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        (got, c.stats())
+    })
+    .unwrap();
+
+    for (rank, (got, _)) in results.iter().enumerate() {
+        assert_eq!(*got, msgs as u64, "PE {rank} must receive all messages");
+    }
+    let snap = reg.snapshot();
+    let stats_parks: Vec<u64> = results.iter().map(|(_, s)| s.forced_parks).collect();
+    assert!(
+        stats_parks.iter().sum::<u64>() > 0,
+        "chaos at p=0.9 must park at least once"
+    );
+    assert_eq!(
+        snap.counter_per_pe(Counter::ConveyorForcedParks),
+        stats_parks,
+        "registry forced-park counts must match ConveyorStats per PE"
+    );
+    assert!(
+        snap.hist_count(Hist::RelayParkCycles) > 0,
+        "parked slots that later drain must record their park duration"
+    );
+}
+
+#[test]
 fn capacity_one_preserves_memcpy_accounting() {
     // The memcpy_accounting invariants (4 self, 5 direct, 7 routed) are
     // per-item and must not depend on buffer capacity.

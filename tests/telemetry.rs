@@ -1,0 +1,140 @@
+//! Integration tests for the always-on telemetry registry: end-to-end
+//! counter accuracy against `ConveyorStats`, and the flight recorder's
+//! post-mortem dump when a run dies (here: the deterministic scheduler's
+//! termination budget trips, the same path a PE panic or testkit fault
+//! takes).
+
+use std::sync::Arc;
+
+use actorprof_suite::fabsp_conveyors::{Conveyor, ConveyorOptions, ConveyorStats, TopologySpec};
+use actorprof_suite::fabsp_shmem::{spmd, Grid, Harness, SchedSpec};
+use actorprof_suite::fabsp_telemetry::{Counter, Hist, TelemetryRegistry};
+
+/// Neighbour exchange returning per-PE stats, against a shared registry.
+fn exchange(reg: Arc<TelemetryRegistry>, msgs: usize) -> Vec<ConveyorStats> {
+    let grid = Grid::single_node(2).unwrap();
+    let harness = Harness::new(grid)
+        .sched(SchedSpec::random_walk(5))
+        .telemetry(reg);
+    spmd::run(harness, move |pe| {
+        let mut c = Conveyor::<u64>::new(
+            pe,
+            ConveyorOptions {
+                capacity: 4,
+                topology: TopologySpec::Auto,
+            },
+        )
+        .unwrap();
+        let dst = 1 - pe.rank();
+        let mut sent = 0;
+        loop {
+            while sent < msgs && c.push(pe, sent as u64, dst).unwrap().is_accepted() {
+                sent += 1;
+            }
+            let active = c.advance(pe, sent == msgs);
+            while c.pull().is_some() {}
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        c.stats()
+    })
+    .unwrap()
+}
+
+#[test]
+fn registry_counters_match_conveyor_stats() {
+    let reg = Arc::new(TelemetryRegistry::new(2));
+    let stats = exchange(reg.clone(), 200);
+    let snap = reg.snapshot();
+
+    // push refusals are counted on the same code path as the stats field
+    let refusals: Vec<u64> = stats.iter().map(|s| s.push_refusals).collect();
+    assert_eq!(
+        snap.counter_per_pe(Counter::ConveyorPushRetries),
+        refusals,
+        "registry push-retry counts must match ConveyorStats per PE"
+    );
+    // capacity 4 with 200 messages must refuse at least once
+    assert!(refusals.iter().sum::<u64>() > 0);
+
+    // substrate activity flows through: every nonblock/local send is a put
+    assert!(snap.counter_total(Counter::ShmemPuts) > 0);
+    let advances: u64 = stats.iter().map(|s| s.advances).sum();
+    assert_eq!(
+        snap.hist_count(Hist::AdvanceCycles),
+        advances,
+        "one advance-latency observation per advance call"
+    );
+}
+
+#[test]
+fn flight_dump_written_when_termination_budget_trips() {
+    let dir = std::env::temp_dir().join(format!("fabsp-flightrec-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let reg = Arc::new(TelemetryRegistry::new(2).flight_dump_dir(&dir));
+
+    let grid = Grid::single_node(2).unwrap();
+    let harness = Harness::new(grid)
+        // a 10-step budget is far too small for 500 messages through
+        // capacity-1 buffers: the termination checker trips mid-run,
+        // poisoning the world
+        .sched(SchedSpec::RandomWalk {
+            seed: 9,
+            max_steps: 10,
+        })
+        .telemetry(reg.clone());
+    let outcome = spmd::run(harness, move |pe| {
+        let mut c = Conveyor::<u64>::new(
+            pe,
+            ConveyorOptions {
+                capacity: 1,
+                topology: TopologySpec::Auto,
+            },
+        )
+        .unwrap();
+        let dst = 1 - pe.rank();
+        let mut sent = 0;
+        loop {
+            while sent < 500 && c.push(pe, sent as u64, dst).unwrap().is_accepted() {
+                sent += 1;
+            }
+            let active = c.advance(pe, sent == 500);
+            while c.pull().is_some() {}
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+    });
+    assert!(outcome.is_err(), "the step budget must trip");
+
+    // every PE that died must have dumped its flight ring; a PE the
+    // serialized scheduler never ran legitimately dumps an empty ring, but
+    // the PE that was executing when the budget tripped must have spans
+    let mut dumped = 0;
+    let mut with_spans = 0;
+    for rank in 0..2 {
+        let path = dir.join(format!("flightrec-pe{rank}.json"));
+        if !path.exists() {
+            continue;
+        }
+        dumped += 1;
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains(&format!("\"pe\":{rank}")), "dump names its PE");
+        assert!(
+            body.contains("\"events\":["),
+            "dump carries the event ring:\n{body}"
+        );
+        if body.contains("\"phase\":\"advance\"") {
+            with_spans += 1;
+        }
+    }
+    assert!(dumped >= 1, "at least the tripping PE dumps its ring");
+    assert!(
+        with_spans >= 1,
+        "the running PE's advance spans reached its flight ring"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
