@@ -253,6 +253,19 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
         }
         self.executed = true;
 
+        // Superstep boundary: conveyors are freshly armed (or reset), so
+        // this is a quiescent cut — the only place an automatic checkpoint
+        // is sound.
+        let ss = pe.begin_superstep();
+        if pe.checkpoint_due(ss) {
+            debug_assert!(
+                self.mailboxes.iter().all(|m| m.conveyor.checkpoint_ready()),
+                "checkpoint at a non-quiescent conveyor cut"
+            );
+            pe.checkpoint()
+                .expect("superstep-boundary checkpoint must be quiescent");
+        }
+
         let ss_begin = fabsp_hwpc::cycles_now();
         self.timer.start_total();
         self.timer.enter(Region::Main);
@@ -293,6 +306,8 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
             c.set_overall(profile.main.cycles, profile.proc.cycles, total);
             c.set_region_profile(profile);
         }
+        // End of superstep: where an injected `kill_pe` fault fires.
+        pe.end_superstep(ss);
         Ok(result)
     }
 

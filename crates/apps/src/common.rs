@@ -4,7 +4,7 @@ use actorprof::{ProfError, TraceBundle};
 use actorprof_trace::{PeCollector, TraceConfig};
 use fabsp_actor::ActorError;
 use fabsp_conveyors::ConveyorOptions;
-use fabsp_shmem::{FaultSpec, Grid, Harness, SchedSpec, ShmemError};
+use fabsp_shmem::{FaultSpec, Grid, Harness, RecoverySpec, SchedSpec, ShmemError};
 
 /// Run configuration shared by every bundled application: layout, tracing,
 /// aggregation, randomness, and testkit controls in one place.
@@ -31,6 +31,11 @@ pub struct RunConfig {
     /// Substrate fault injection (testkit; [`FaultSpec::NONE`] in
     /// production).
     pub faults: FaultSpec,
+    /// What to do when a PE dies mid-run ([`RecoverySpec::Abort`] by
+    /// default).
+    pub recovery: RecoverySpec,
+    /// Capture a symmetric-state checkpoint every `n` supersteps.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl RunConfig {
@@ -44,6 +49,8 @@ impl RunConfig {
             seed: 0,
             sched: SchedSpec::Os,
             faults: FaultSpec::NONE,
+            recovery: RecoverySpec::Abort,
+            checkpoint_every: None,
         }
     }
 
@@ -77,19 +84,43 @@ impl RunConfig {
         self
     }
 
+    /// Select the recovery policy for PE failures.
+    pub fn with_recovery(mut self, recovery: RecoverySpec) -> RunConfig {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Checkpoint the symmetric state every `n` supersteps.
+    pub fn with_checkpoint_every(mut self, n: u64) -> RunConfig {
+        self.checkpoint_every = Some(n);
+        self
+    }
+
     /// The SPMD harness this configuration describes.
     pub fn harness(&self) -> Harness {
-        Harness::new(self.grid).sched(self.sched).faults(self.faults)
+        let mut h = Harness::new(self.grid)
+            .sched(self.sched)
+            .faults(self.faults)
+            .recovery(self.recovery);
+        if let Some(n) = self.checkpoint_every {
+            h = h.checkpoint_every(n);
+        }
+        h
     }
 
     /// An [`actorprof::Profiler`] carrying this configuration — the apps
     /// delegate their run wiring to the facade through this.
     pub fn profiler(&self) -> actorprof::Profiler {
-        actorprof::Profiler::new(self.grid)
+        let mut p = actorprof::Profiler::new(self.grid)
             .trace_config(self.trace.clone())
             .conveyor(self.conveyor)
             .sched(self.sched)
             .faults(self.faults)
+            .recovery(self.recovery);
+        if let Some(n) = self.checkpoint_every {
+            p = p.checkpoint_every(n);
+        }
+        p
     }
 }
 

@@ -60,6 +60,8 @@ pub struct HistogramOutcome {
     pub per_pe_updates: Vec<u64>,
     /// The collected traces.
     pub bundle: TraceBundle,
+    /// Fault-tolerance activity (clean on an undisturbed run).
+    pub recovery: actorprof::RecoveryLog,
 }
 
 /// Run the histogram kernel. Validates that every update landed exactly
@@ -92,7 +94,7 @@ pub fn run(config: &HistogramConfig) -> Result<HistogramOutcome, AppError> {
         local_sum
     })?;
 
-    let (per_pe_updates, bundle) = (report.results, report.bundle);
+    let (per_pe_updates, bundle, recovery) = (report.results, report.bundle, report.recovery);
     let total_updates: u64 = per_pe_updates.iter().sum();
     let expected = (config.updates_per_pe * config.grid.n_pes()) as u64;
     if total_updates != expected {
@@ -104,6 +106,7 @@ pub fn run(config: &HistogramConfig) -> Result<HistogramOutcome, AppError> {
         total_updates,
         per_pe_updates,
         bundle,
+        recovery,
     })
 }
 

@@ -61,6 +61,8 @@ pub struct IndexGatherOutcome {
     pub correct_reads: u64,
     /// The collected traces.
     pub bundle: TraceBundle,
+    /// Fault-tolerance activity (clean on an undisturbed run).
+    pub recovery: actorprof::RecoveryLog,
 }
 
 /// The table value at global index `g` (a recomputable definition, so the
@@ -132,7 +134,7 @@ pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
         correct
     })?;
 
-    let (per_pe_correct, bundle) = (report.results, report.bundle);
+    let (per_pe_correct, bundle, recovery) = (report.results, report.bundle, report.recovery);
     let correct_reads: u64 = per_pe_correct.iter().sum();
     let expected = (config.reads_per_pe * config.grid.n_pes()) as u64;
     if correct_reads != expected {
@@ -143,6 +145,7 @@ pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
     Ok(IndexGatherOutcome {
         correct_reads,
         bundle,
+        recovery,
     })
 }
 

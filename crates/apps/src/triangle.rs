@@ -120,6 +120,8 @@ pub struct TriangleOutcome {
     pub per_pe_triangles: Vec<u64>,
     /// The collected traces.
     pub bundle: TraceBundle,
+    /// Fault-tolerance activity (clean on an undisturbed run).
+    pub recovery: actorprof::RecoveryLog,
 }
 
 /// Pack a wedge `(j, k)` into the 8-byte message of Algorithm 1.
@@ -174,7 +176,7 @@ pub fn count_triangles(l: &Csr, config: &TriangleConfig) -> Result<TriangleOutco
         local
     })?;
 
-    let (per_pe_triangles, bundle) = (report.results, report.bundle);
+    let (per_pe_triangles, bundle, recovery) = (report.results, report.bundle, report.recovery);
     let triangles: u64 = per_pe_triangles.iter().sum();
     let wedges = l.wedge_count();
 
@@ -192,6 +194,7 @@ pub fn count_triangles(l: &Csr, config: &TriangleConfig) -> Result<TriangleOutco
         wedges,
         per_pe_triangles,
         bundle,
+        recovery,
     })
 }
 

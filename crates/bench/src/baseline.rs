@@ -61,7 +61,7 @@ pub struct MutexConveyor<T> {
     need_progress: bool,
 }
 
-impl<T: Copy + Default + Send + 'static> MutexConveyor<T> {
+impl<T: Copy + Default + Send + Sync + 'static> MutexConveyor<T> {
     /// Collectively create a conveyor across all PEs.
     pub fn new(pe: &Pe, options: ConveyorOptions) -> Result<MutexConveyor<T>, ConveyorError> {
         if options.capacity == 0 {

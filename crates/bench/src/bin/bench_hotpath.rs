@@ -16,7 +16,10 @@
 //! 200000), `ACTORPROF_HOTPATH_PES` (default 8, must be even),
 //! `ACTORPROF_HOTPATH_REPS` (default 3, best-of), `ACTORPROF_HOTPATH_OUT`
 //! (default `BENCH_hotpath.json`), `ACTORPROF_TELEMETRY_GATE_PCT` (when
-//! set, exit non-zero if the oned telemetry overhead exceeds it).
+//! set, exit non-zero if the oned telemetry overhead exceeds it),
+//! `ACTORPROF_CKPT_GATE_PCT` (when set, exit non-zero if the oned
+//! checkpoint-on overhead exceeds it; checkpoint-off is the plain spsc
+//! configuration, so its cost when disabled is zero by construction).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -78,6 +81,56 @@ fn run_spsc(grid: Grid, items: usize, trace: Option<TraceConfig>, telemetry: boo
             }
             pe.poll_yield();
         }
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(received, items as u64, "all-to-all must balance");
+        secs
+    })
+    .expect("SPMD run");
+    per_pe.into_iter().fold(0.0f64, f64::max)
+}
+
+/// The SPSC superstep with fault tolerance armed: a symmetric payload
+/// region to capture, `checkpoint_every(1)`, and a
+/// begin/checkpoint/end-superstep bracket around the exchange — one
+/// capture per superstep, the way the selector runtime drives it. The
+/// plain `run_spsc` numbers are the checkpoint-off baselines: with no
+/// `checkpoint_every` configured the hot loop takes no checkpoint branch
+/// at all, so the disabled feature costs nothing by construction.
+fn run_spsc_ckpt(grid: Grid, items: usize) -> f64 {
+    let harness = Harness::new(grid).telemetry_off().checkpoint_every(1);
+    let per_pe = spmd::run(harness, move |pe| {
+        let payload = pe.alloc_sym::<u64>(1024);
+        payload.write_local(pe, |v| v.fill(pe.rank() as u64));
+        let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).expect("conveyor");
+        let n = pe.n_pes();
+        let me = pe.rank();
+        pe.barrier_all();
+        let t0 = Instant::now();
+        let ss = pe.begin_superstep();
+        if pe.checkpoint_due(ss) {
+            pe.checkpoint().expect("superstep start is quiescent");
+        }
+        let mut next = 0usize;
+        let mut received = 0u64;
+        loop {
+            while next < items {
+                let dst = (me + next) % n;
+                if c.push(pe, next as u64, dst).expect("push").is_accepted() {
+                    next += 1;
+                } else {
+                    break;
+                }
+            }
+            let active = c.advance(pe, next == items);
+            while c.pull().is_some() {
+                received += 1;
+            }
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        pe.end_superstep(ss);
         let secs = t0.elapsed().as_secs_f64();
         assert_eq!(received, items as u64, "all-to-all must balance");
         secs
@@ -148,6 +201,7 @@ fn main() {
 
     let mut sections = Vec::new();
     let mut oned_telemetry_overhead = 0.0f64;
+    let mut oned_ckpt_overhead = 0.0f64;
     for (name, grid) in topologies {
         let total = items * grid.n_pes();
         eprintln!("[{name}] {} PEs x {items} items, best of {reps}", grid.n_pes());
@@ -166,15 +220,19 @@ fn main() {
                 true,
             )
         });
+        // fault tolerance on: one symmetric-heap checkpoint per superstep
+        let ckpt = best_tput(reps, total, || run_spsc_ckpt(grid, items));
         let speedup = spsc / mutex;
         let overhead = (1.0 - traced / spsc) * 100.0;
         let telemetry_overhead = (1.0 - telemetry / spsc) * 100.0;
+        let ckpt_overhead = (1.0 - ckpt / spsc) * 100.0;
         if name == "oned" {
             oned_telemetry_overhead = telemetry_overhead;
+            oned_ckpt_overhead = ckpt_overhead;
         }
         eprintln!(
-            "[{name}] mutex {:.2e} it/s | spsc {:.2e} it/s ({speedup:.2}x) | traced {:.2e} it/s ({overhead:.1}% overhead) | telemetry {:.2e} it/s ({telemetry_overhead:.1}% overhead)",
-            mutex, spsc, traced, telemetry
+            "[{name}] mutex {:.2e} it/s | spsc {:.2e} it/s ({speedup:.2}x) | traced {:.2e} it/s ({overhead:.1}% overhead) | telemetry {:.2e} it/s ({telemetry_overhead:.1}% overhead) | ckpt {:.2e} it/s ({ckpt_overhead:.1}% overhead)",
+            mutex, spsc, traced, telemetry, ckpt
         );
         sections.push(format!(
             r#"    "{name}": {{
@@ -184,7 +242,9 @@ fn main() {
       "traced_items_per_sec": {traced:.0},
       "tracing_overhead_percent": {overhead:.2},
       "telemetry_items_per_sec": {telemetry:.0},
-      "telemetry_overhead_percent": {telemetry_overhead:.2}
+      "telemetry_overhead_percent": {telemetry_overhead:.2},
+      "ckpt_items_per_sec": {ckpt:.0},
+      "checkpoint_overhead_percent": {ckpt_overhead:.2}
     }}"#
         ));
     }
@@ -220,5 +280,15 @@ fn main() {
         println!(
             "telemetry gate ok: oned overhead {oned_telemetry_overhead:.2}% <= {gate}%"
         );
+    }
+    if let Ok(gate) = std::env::var("ACTORPROF_CKPT_GATE_PCT") {
+        let gate: f64 = gate.parse().expect("ACTORPROF_CKPT_GATE_PCT is a number");
+        if oned_ckpt_overhead > gate {
+            eprintln!(
+                "FAIL: oned checkpoint-on overhead {oned_ckpt_overhead:.2}% exceeds gate {gate}%"
+            );
+            std::process::exit(1);
+        }
+        println!("checkpoint gate ok: oned overhead {oned_ckpt_overhead:.2}% <= {gate}%");
     }
 }

@@ -376,6 +376,47 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         self.need_progress = false;
     }
 
+    /// Whether this PE's side of the conveyor is a valid checkpoint cut:
+    /// nothing staged, nothing in flight, nothing delivered-but-unpulled,
+    /// no unposted ledger deltas, no undrained trace batch. Holds for a
+    /// fresh conveyor, after termination, and after a
+    /// [`reset`](Conveyor::reset) — i.e. exactly at superstep boundaries.
+    /// This is the precondition the actor layer asserts before a
+    /// [`Pe::checkpoint`]: checkpointing mid-superstep would freeze
+    /// half-delivered buffers into the cut.
+    pub fn checkpoint_ready(&self) -> bool {
+        self.pull_queue.is_empty()
+            && !self.has_in_flight()
+            && self.links.iter().all(|l| l.buf.is_empty())
+            && self.pending_pushed == 0
+            && self.pending_pulled == 0
+            && self.trace_buf.is_empty()
+    }
+
+    /// Drive the conveyor to quiescence so the superstep can be cleanly
+    /// checkpointed or replayed: signals done, keeps advancing, and hands
+    /// every remaining delivery to `sink` until termination. On return the
+    /// conveyor [`is_complete`](Conveyor::is_complete) and
+    /// [`checkpoint_ready`](Conveyor::checkpoint_ready) (asserted in debug
+    /// builds). Collective in effect: all PEs must drain together, like the
+    /// endgame itself. Cold path — runs at superstep boundaries only.
+    pub fn drain_and_park(&mut self, pe: &Pe, mut sink: impl FnMut(Delivery<T>)) {
+        loop {
+            let active = self.advance(pe, true);
+            while let Some(d) = self.pull() {
+                sink(d);
+            }
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        debug_assert!(
+            self.checkpoint_ready(),
+            "a parked conveyor must be checkpoint-ready"
+        );
+    }
+
     /// Try to enqueue `item` for `dst`. [`PushOutcome::Retry`] — item *not*
     /// accepted — means aggregation buffers are full; the caller must
     /// [`advance`](Conveyor::advance) and retry (HClib-Actor's send loop
@@ -1186,6 +1227,29 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("before the conveyor terminated"));
+    }
+
+    #[test]
+    fn drain_and_park_reaches_checkpoint_ready() {
+        let grid = Grid::new(2, 2).unwrap();
+        spmd::run(grid, |pe| {
+            let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+            assert!(c.checkpoint_ready(), "a fresh conveyor is a valid cut");
+            let n = pe.n_pes();
+            for dst in 0..n {
+                while !c.push(pe, dst as u64, dst).unwrap().is_accepted() {
+                    c.advance(pe, false);
+                }
+            }
+            assert!(!c.checkpoint_ready(), "staged items poison the cut");
+            let mut got = 0u64;
+            c.drain_and_park(pe, |_| got += 1);
+            assert!(c.is_complete());
+            assert!(c.checkpoint_ready(), "parked conveyor is a valid cut");
+            assert_eq!(got, n as u64, "every delivery reached the sink");
+            pe.barrier_all();
+        })
+        .unwrap();
     }
 
     #[test]

@@ -45,7 +45,9 @@ use std::time::Duration;
 use actorprof_trace::{PapiConfig, SharedCollector, TraceConfig};
 use fabsp_actor::{ActorError, ProcCtx, Selector, SelectorConfig};
 use fabsp_conveyors::ConveyorOptions;
-use fabsp_shmem::{spmd, FaultSpec, Grid, Harness, Pe, SchedSpec, ShmemError};
+use fabsp_shmem::{
+    spmd, FaultSpec, Grid, Harness, Pe, RecoveryLog, RecoverySpec, SchedSpec, ShmemError,
+};
 use fabsp_telemetry::{Frame, Snapshot, TelemetryRegistry};
 
 use crate::bundle::TraceBundle;
@@ -113,6 +115,11 @@ pub struct Profiler {
     conveyor: ConveyorOptions,
     sched: SchedSpec,
     faults: FaultSpec,
+    /// What to do when a PE dies mid-run ([`RecoverySpec::Abort`] by
+    /// default).
+    recovery: RecoverySpec,
+    /// Capture a symmetric-state checkpoint every `n` supersteps.
+    checkpoint_every: Option<u64>,
     /// Always-on metrics registry (counters, gauges, histograms, flight
     /// recorder); off only for A/B overhead measurement.
     telemetry_enabled: bool,
@@ -132,6 +139,8 @@ impl std::fmt::Debug for Profiler {
             .field("conveyor", &self.conveyor)
             .field("sched", &self.sched)
             .field("faults", &self.faults)
+            .field("recovery", &self.recovery)
+            .field("checkpoint_every", &self.checkpoint_every)
             .field("telemetry_enabled", &self.telemetry_enabled)
             .field("observe_interval", &self.observe.as_ref().map(|(i, _)| *i))
             .field("trace_events", &self.trace_events)
@@ -150,6 +159,8 @@ impl Profiler {
             conveyor: ConveyorOptions::default(),
             sched: SchedSpec::Os,
             faults: FaultSpec::NONE,
+            recovery: RecoverySpec::Abort,
+            checkpoint_every: None,
             telemetry_enabled: true,
             observe: None,
             trace_events: None,
@@ -218,6 +229,21 @@ impl Profiler {
     /// Inject substrate faults (testkit).
     pub fn faults(mut self, faults: FaultSpec) -> Profiler {
         self.faults = faults;
+        self
+    }
+
+    /// What to do when a PE panics mid-run: [`RecoverySpec::Abort`]
+    /// (default) fails the run; [`RecoverySpec::RestartFromCheckpoint`]
+    /// re-executes the whole SPMD body, up to `max_retries` times.
+    pub fn recovery(mut self, recovery: RecoverySpec) -> Profiler {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Capture a checkpoint of the symmetric state every `n` supersteps
+    /// (at the superstep boundary, where conveyors are quiescent).
+    pub fn checkpoint_every(mut self, n: u64) -> Profiler {
+        self.checkpoint_every = Some(n);
         self
     }
 
@@ -294,7 +320,13 @@ impl Profiler {
             }
             Arc::new(reg)
         });
-        let mut harness = Harness::new(self.grid).sched(self.sched).faults(self.faults);
+        let mut harness = Harness::new(self.grid)
+            .sched(self.sched)
+            .faults(self.faults)
+            .recovery(self.recovery);
+        if let Some(n) = self.checkpoint_every {
+            harness = harness.checkpoint_every(n);
+        }
         harness = match &registry {
             Some(reg) => harness.telemetry(reg.clone()),
             None => harness.telemetry_off(),
@@ -342,7 +374,7 @@ impl Profiler {
 
         let trace = &self.trace;
         let conveyor = self.conveyor;
-        let outcomes = spmd::run(harness, |pe| {
+        let outcomes = spmd::run_recovering(harness, |pe| {
             let mut ctx = ProfilerCtx {
                 pe,
                 trace: trace.clone(),
@@ -370,7 +402,7 @@ impl Profiler {
             stop.store(true, Ordering::Relaxed);
             let _ = handle.join();
         }
-        let outcomes = outcomes?;
+        let (outcomes, recovery) = outcomes?;
 
         let mut results = Vec::with_capacity(outcomes.len());
         let mut collectors = Vec::with_capacity(outcomes.len());
@@ -394,6 +426,7 @@ impl Profiler {
             results,
             bundle,
             telemetry,
+            recovery,
         })
     }
 }
@@ -465,6 +498,10 @@ pub struct Report<R = ()> {
     /// `None` only when the run was built with
     /// [`telemetry_off`](Profiler::telemetry_off).
     pub telemetry: Option<Snapshot>,
+    /// What fault tolerance did during the run: checkpoints taken, PE
+    /// kills observed, restarts, net retries, wasted supersteps. All-zero
+    /// ([`RecoveryLog::is_clean`]) on an undisturbed run.
+    pub recovery: RecoveryLog,
 }
 
 impl<R> Report<R> {
@@ -617,6 +654,31 @@ mod tests {
         assert!(json.contains("\"ph\":\"B\""), "duration spans exported");
         assert!(json.contains("\"name\":\"superstep\""));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undisturbed_run_has_a_clean_recovery_log() {
+        let report = run_histogram(Profiler::new(Grid::single_node(2).unwrap()));
+        assert!(report.recovery.is_clean(), "{}", report.recovery);
+    }
+
+    #[test]
+    fn facade_recovers_from_a_killed_pe() {
+        let report = run_histogram(
+            Profiler::new(Grid::single_node(2).unwrap())
+                .logical()
+                .faults(FaultSpec::kill_pe(1, 0))
+                .checkpoint_every(1)
+                .recovery(RecoverySpec::restart(2)),
+        );
+        // The retried attempt produced the full, undisturbed result.
+        assert_eq!(report.results.iter().sum::<u64>(), 100);
+        assert_eq!(report.bundle.logical_matrix().unwrap().total(), 100);
+        assert_eq!(report.recovery.kills_observed.len(), 1);
+        assert_eq!(report.recovery.kills_observed[0].pe, 1);
+        assert_eq!(report.recovery.restarts, 1);
+        assert!(report.recovery.checkpoints_taken >= 1);
+        assert_eq!(report.recovery.wasted_supersteps, 1);
     }
 
     #[test]

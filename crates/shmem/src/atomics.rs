@@ -6,9 +6,11 @@
 //! implement credit/ack protocols. Unlike [`crate::SymmetricVec`], these are
 //! immediately visible and lock-free.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
+use crate::checkpoint::CheckpointTarget;
 use crate::error::ShmemError;
 use crate::grid::Grid;
 use crate::net::TransferClass;
@@ -22,6 +24,33 @@ struct AtomicInner {
     /// Allocation identity for the race detector's location map.
     #[cfg(feature = "race-detect")]
     race_id: u64,
+}
+
+/// Deep-copy in/out for checkpoints; runs only inside a collective cut.
+impl CheckpointTarget for AtomicInner {
+    fn capture(&self) -> Box<dyn Any + Send + Sync> {
+        let copy: Vec<Vec<u64>> = self
+            .regions
+            .iter()
+            // Acquire: pairs with remote writers' Release stores, so the
+            // snapshot sees every value published before the cut.
+            .map(|r| r.iter().map(|a| a.load(Ordering::Acquire)).collect())
+            .collect();
+        Box::new(copy)
+    }
+
+    fn restore(&self, snapshot: &(dyn Any + Send + Sync)) {
+        let copy = snapshot
+            .downcast_ref::<Vec<Vec<u64>>>()
+            .expect("checkpoint snapshot type mismatch for SymmetricAtomicVec");
+        for (region, saved) in self.regions.iter().zip(copy) {
+            for (slot, v) in region.iter().zip(saved) {
+                // Release: publishes the restored values to PEs that later
+                // acquire them, mirroring a normal signal write.
+                slot.store(*v, Ordering::Release);
+            }
+        }
+    }
 }
 
 /// A symmetric array of `u64` atomics, one region per PE.
@@ -45,6 +74,7 @@ impl SymmetricAtomicVec {
     /// Prefer [`Pe::alloc_sym_atomic`] at call sites.
     pub fn new(pe: &Pe, len: usize) -> Result<SymmetricAtomicVec, ShmemError> {
         let grid = pe.grid();
+        let world = pe.world_arc();
         let arc = pe.run_collective(
             len,
             move |lens| -> Result<SymmetricAtomicVec, ShmemError> {
@@ -61,15 +91,19 @@ impl SymmetricAtomicVec {
                             .into_boxed_slice()
                     })
                     .collect();
-                Ok(SymmetricAtomicVec {
-                    inner: Arc::new(AtomicInner {
-                        len: lens[0],
-                        grid,
-                        regions,
-                        #[cfg(feature = "race-detect")]
-                        race_id: crate::race::next_alloc_id(),
-                    }),
-                })
+                let inner = Arc::new(AtomicInner {
+                    len: lens[0],
+                    grid,
+                    regions,
+                    #[cfg(feature = "race-detect")]
+                    race_id: crate::race::next_alloc_id(),
+                });
+                // Register once per allocation, in deterministic order (see
+                // SymmetricVec::new).
+                world
+                    .checkpoint
+                    .register(Arc::downgrade(&inner) as Weak<dyn CheckpointTarget>);
+                Ok(SymmetricAtomicVec { inner })
             },
         );
         (*arc).clone()
@@ -119,6 +153,10 @@ impl SymmetricAtomicVec {
     ) -> Result<u64, ShmemError> {
         self.check(dst_pe, index)?;
         pe.sched_point(SchedPoint::Atomic);
+        if dst_pe != pe.rank() {
+            // Off-rank AMOs traverse the modeled (possibly flaky) NIC.
+            pe.net_attempt(TransferClass::Atomic);
+        }
         let slot = &self.inner.regions[dst_pe][index];
         #[cfg(feature = "race-detect")]
         let prev = match pe.race_detector() {
@@ -139,6 +177,9 @@ impl SymmetricAtomicVec {
     pub fn store(&self, pe: &Pe, dst_pe: usize, index: usize, value: u64) -> Result<(), ShmemError> {
         self.check(dst_pe, index)?;
         pe.sched_point(SchedPoint::Atomic);
+        if dst_pe != pe.rank() {
+            pe.net_attempt(TransferClass::Atomic);
+        }
         let slot = &self.inner.regions[dst_pe][index];
         #[cfg(feature = "race-detect")]
         match pe.race_detector() {
@@ -159,6 +200,9 @@ impl SymmetricAtomicVec {
     pub fn load(&self, pe: &Pe, src_pe: usize, index: usize) -> Result<u64, ShmemError> {
         self.check(src_pe, index)?;
         pe.sched_point(SchedPoint::Atomic);
+        if src_pe != pe.rank() {
+            pe.net_attempt(TransferClass::Atomic);
+        }
         let slot = &self.inner.regions[src_pe][index];
         #[cfg(feature = "race-detect")]
         let v = match pe.race_detector() {

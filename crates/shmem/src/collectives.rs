@@ -19,7 +19,7 @@ impl Pe {
     /// Panics if PEs pass different lengths — that is SPMD divergence, a
     /// programming bug. (Use [`SymmetricVec::new`] directly for the
     /// `Result`-returning form.)
-    pub fn alloc_sym<T: Copy + Default + Send + 'static>(&self, len: usize) -> SymmetricVec<T> {
+    pub fn alloc_sym<T: Copy + Default + Send + Sync + 'static>(&self, len: usize) -> SymmetricVec<T> {
         SymmetricVec::new(self, len).expect("symmetric allocation diverged across PEs")
     }
 

@@ -18,6 +18,17 @@ pub enum ShmemError {
     /// A collective was invoked with inconsistent arguments across PEs
     /// (e.g. different lengths in `alloc_sym`).
     CollectiveMismatch(String),
+    /// A checkpoint was requested at a non-quiescent cut: some PE still
+    /// had non-blocking puts pending (issue a [`crate::Pe::quiet`] or
+    /// barrier first). The cut would not be globally consistent.
+    CheckpointNotQuiescent { pending_nbi: usize },
+    /// The recovery policy restarted the run `attempts` times and every
+    /// attempt failed; the last failure is kept.
+    RetriesExhausted {
+        attempts: u32,
+        pe: usize,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ShmemError {
@@ -40,6 +51,18 @@ impl std::fmt::Display for ShmemError {
                 write!(f, "PE {pe} panicked: {message}")
             }
             ShmemError::CollectiveMismatch(m) => write!(f, "collective mismatch: {m}"),
+            ShmemError::CheckpointNotQuiescent { pending_nbi } => write!(
+                f,
+                "checkpoint rejected: cut is not quiescent ({pending_nbi} non-blocking puts pending)"
+            ),
+            ShmemError::RetriesExhausted {
+                attempts,
+                pe,
+                message,
+            } => write!(
+                f,
+                "recovery exhausted after {attempts} attempts; last failure on PE {pe}: {message}"
+            ),
         }
     }
 }

@@ -19,12 +19,14 @@
 //! data-race-free by construction (the simulation's stand-in for the
 //! network's serialization of RDMA writes).
 
-use std::sync::Arc;
+use std::any::Any;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
 use fabsp_hwpc::cost::model;
 
+use crate::checkpoint::CheckpointTarget;
 use crate::error::ShmemError;
 use crate::grid::Grid;
 use crate::net::TransferClass;
@@ -43,6 +45,25 @@ struct SymInner<T> {
     race_id: u64,
 }
 
+/// Deep-copy in/out for checkpoints. Runs only inside a collective cut
+/// (all PEs in the rendezvous, bracketed by its happens-before edges), so
+/// the uninstrumented region reads/writes are race-free by construction.
+impl<T: Copy + Send + Sync + 'static> CheckpointTarget for SymInner<T> {
+    fn capture(&self) -> Box<dyn Any + Send + Sync> {
+        let copy: Vec<Vec<T>> = self.regions.iter().map(|r| r.lock().to_vec()).collect();
+        Box::new(copy)
+    }
+
+    fn restore(&self, snapshot: &(dyn Any + Send + Sync)) {
+        let copy = snapshot
+            .downcast_ref::<Vec<Vec<T>>>()
+            .expect("checkpoint snapshot type mismatch for SymmetricVec");
+        for (region, saved) in self.regions.iter().zip(copy) {
+            region.lock().copy_from_slice(saved);
+        }
+    }
+}
+
 /// A symmetric array: one same-length region per PE, remotely addressable.
 ///
 /// Clone is shallow (all clones refer to the same symmetric allocation).
@@ -58,13 +79,14 @@ impl<T> Clone for SymmetricVec<T> {
     }
 }
 
-impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
+impl<T: Copy + Default + Send + Sync + 'static> SymmetricVec<T> {
     /// Collectively allocate a symmetric array of `len` elements per PE.
     /// All PEs must call with the same `len` (checked).
     ///
     /// Prefer [`Pe::alloc_sym`], which reads more naturally at call sites.
     pub fn new(pe: &Pe, len: usize) -> Result<SymmetricVec<T>, ShmemError> {
         let grid = pe.grid();
+        let world = pe.world_arc();
         let arc = pe.run_collective(
             len,
             move |lens| -> Result<SymmetricVec<T>, ShmemError> {
@@ -76,15 +98,20 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
                 let regions = (0..grid.n_pes())
                     .map(|_| Mutex::new(vec![T::default(); lens[0]].into_boxed_slice()))
                     .collect();
-                Ok(SymmetricVec {
-                    inner: Arc::new(SymInner {
-                        len: lens[0],
-                        grid,
-                        regions,
-                        #[cfg(feature = "race-detect")]
-                        race_id: crate::race::next_alloc_id(),
-                    }),
-                })
+                let inner = Arc::new(SymInner {
+                    len: lens[0],
+                    grid,
+                    regions,
+                    #[cfg(feature = "race-detect")]
+                    race_id: crate::race::next_alloc_id(),
+                });
+                // Inside the allocation collective's combine closure, so
+                // registration happens exactly once per allocation, in the
+                // same deterministic order on every attempt.
+                world
+                    .checkpoint
+                    .register(Arc::downgrade(&inner) as Weak<dyn CheckpointTarget>);
+                Ok(SymmetricVec { inner })
             },
         );
         (*arc).clone()
@@ -201,6 +228,11 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         self.check(dst_pe, offset, src.len())?;
         pe.sched_point(SchedPoint::Put);
         let bytes = std::mem::size_of_val(src);
+        if !pe.same_node_as(dst_pe) {
+            // Inter-node puts traverse the modeled (possibly flaky) NIC;
+            // same-node puts are shmem_ptr memcpys and cannot time out.
+            pe.net_attempt(TransferClass::RemotePut);
+        }
         #[cfg(feature = "race-detect")]
         self.trace_range(pe, dst_pe, offset, src.len(), true, "SymmetricVec::put");
         {
@@ -229,6 +261,9 @@ impl<T: Copy + Default + Send + 'static> SymmetricVec<T> {
         self.check(src_pe, offset, dst.len())?;
         pe.sched_point(SchedPoint::Get);
         let bytes = std::mem::size_of_val(dst);
+        if !pe.same_node_as(src_pe) {
+            pe.net_attempt(TransferClass::RemoteGet);
+        }
         #[cfg(feature = "race-detect")]
         self.trace_range(pe, src_pe, offset, dst.len(), false, "SymmetricVec::get");
         {

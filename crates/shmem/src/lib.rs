@@ -50,6 +50,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod atomics;
+pub mod checkpoint;
 pub mod collectives;
 pub mod error;
 pub mod grid;
@@ -58,17 +59,20 @@ pub mod net;
 pub mod pe;
 #[cfg(feature = "race-detect")]
 pub mod race;
+pub mod recovery;
 pub mod ring;
 pub mod sched;
 pub mod spmd;
 mod sync;
 
 pub use atomics::SymmetricAtomicVec;
+pub use checkpoint::Checkpoint;
 pub use error::ShmemError;
 pub use grid::Grid;
 pub use heap::SymmetricVec;
-pub use net::{FaultSpec, NetStats, TransferClass};
+pub use net::{FaultSpec, KillSpec, NetFlaky, NetStats, TransferClass, DEFAULT_NET_RETRIES};
 pub use pe::Pe;
+pub use recovery::{KillRecord, RecoveryLog, RecoverySpec};
 pub use ring::SpscRing;
 pub use sched::{SchedPoint, SchedSpec, Scheduler};
 pub use spmd::Harness;

@@ -1,0 +1,150 @@
+//! Recovery policy and accounting for fault-tolerant SPMD runs.
+//!
+//! FA-BSP makes recovery tractable: superstep boundaries where every
+//! conveyor is quiescent (pushed == pulled, nothing in flight) and every
+//! PE's non-blocking puts are quiet are *globally consistent cuts*, so no
+//! Chandy–Lamport machinery is needed. The policy here decides what
+//! [`crate::spmd::run_recovering`] does when a PE dies: give up (today's
+//! default, [`RecoverySpec::Abort`]) or restart the SPMD closure as a
+//! fresh attempt with bounded exponential backoff
+//! ([`RecoverySpec::RestartFromCheckpoint`]).
+//!
+//! A restarted attempt re-runs the whole (deterministic, seeded) SPMD
+//! closure rather than resuming PE-local state mid-flight: application
+//! closures legitimately hold PE-local state outside the symmetric heap,
+//! so replaying from the last heap [`crate::Checkpoint`] alone could
+//! double-apply local effects. Determinism makes the re-run bit-identical
+//! to an unkilled baseline — which the crash-equivalence suite asserts —
+//! while [`crate::Checkpoint`] bounds the re-execution window for state
+//! that *does* live in the symmetric heap.
+
+use std::time::Duration;
+
+/// What the SPMD launcher does when a PE fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoverySpec {
+    /// Tear the world down and report [`crate::ShmemError::PePanicked`]
+    /// (the pre-recovery behaviour; the default).
+    #[default]
+    Abort,
+    /// Restart the SPMD closure as a fresh attempt, up to `max_retries`
+    /// times, sleeping `backoff * 2^attempt` (capped at one second)
+    /// between attempts.
+    RestartFromCheckpoint {
+        /// Restarts allowed after the initial attempt.
+        max_retries: u32,
+        /// Base backoff before the first restart; doubles per retry.
+        backoff: Duration,
+    },
+}
+
+impl RecoverySpec {
+    /// Restart up to `max_retries` times with no backoff (the common test
+    /// configuration).
+    pub fn restart(max_retries: u32) -> RecoverySpec {
+        RecoverySpec::RestartFromCheckpoint {
+            max_retries,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Restarts allowed after the initial attempt (0 under `Abort`).
+    pub fn max_retries(&self) -> u32 {
+        match self {
+            RecoverySpec::Abort => 0,
+            RecoverySpec::RestartFromCheckpoint { max_retries, .. } => *max_retries,
+        }
+    }
+}
+
+/// Exponential backoff before retry number `attempt` (0-based), bounded at
+/// one second so a pathological spec cannot stall a run indefinitely.
+pub(crate) fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    const CAP: Duration = Duration::from_secs(1);
+    base.checked_mul(1u32 << attempt.min(20)).unwrap_or(CAP).min(CAP)
+}
+
+/// One observed PE failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillRecord {
+    /// SPMD attempt (0 = the initial run) the failure happened in.
+    pub attempt: u32,
+    /// Rank of the PE that died first (collateral poisoning is not logged).
+    pub pe: usize,
+    /// Its panic message (e.g. `"fault injection: kill_pe …"`).
+    pub message: String,
+}
+
+/// What fault tolerance did during one [`crate::spmd::run_recovering`]
+/// call: the ground truth the crash-equivalence suite checks injected
+/// fault plans against, and the `Report`-level recovery story of the
+/// `actorprof` facade.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryLog {
+    /// Superstep-boundary checkpoints captured, over all attempts.
+    pub checkpoints_taken: u64,
+    /// PE failures observed (one entry per failed attempt).
+    pub kills_observed: Vec<KillRecord>,
+    /// Network operations re-attempted after injected transient timeouts,
+    /// over all attempts.
+    pub net_retries: u64,
+    /// Attempts restarted by the recovery policy.
+    pub restarts: u32,
+    /// Supersteps begun by failed attempts and therefore re-executed
+    /// (the high-water superstep count of each failed attempt).
+    pub wasted_supersteps: u64,
+}
+
+impl RecoveryLog {
+    /// Whether the run saw no faults and took no recovery action.
+    pub fn is_clean(&self) -> bool {
+        self.kills_observed.is_empty() && self.net_retries == 0 && self.restarts == 0
+    }
+}
+
+impl std::fmt::Display for RecoveryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoints {}  kills {}  net-retries {}  restarts {}  wasted supersteps {}",
+            self.checkpoints_taken,
+            self.kills_observed.len(),
+            self.net_retries,
+            self.restarts,
+            self.wasted_supersteps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_delay(base, 0), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(80));
+        assert_eq!(backoff_delay(base, 30), Duration::from_secs(1));
+        assert_eq!(backoff_delay(Duration::ZERO, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_is_abort() {
+        assert_eq!(RecoverySpec::default(), RecoverySpec::Abort);
+        assert_eq!(RecoverySpec::Abort.max_retries(), 0);
+        assert_eq!(RecoverySpec::restart(3).max_retries(), 3);
+    }
+
+    #[test]
+    fn clean_log_detection() {
+        assert!(RecoveryLog::default().is_clean());
+        let log = RecoveryLog {
+            restarts: 1,
+            ..RecoveryLog::default()
+        };
+        assert!(!log.is_clean());
+        assert!(log.to_string().contains("restarts 1"));
+    }
+}

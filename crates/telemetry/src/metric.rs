@@ -32,11 +32,16 @@ pub enum Counter {
     ActorSends,
     /// Cooperative yields taken while a selector polled for progress.
     ActorYields,
+    /// Network operations re-attempted after an injected transient timeout
+    /// (`FaultSpec::net_flaky` exponential-backoff retries).
+    NetRetries,
+    /// SPMD attempts restarted by the recovery policy after a PE failure.
+    Restarts,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 10] = [
         Counter::ShmemPuts,
         Counter::ShmemQuiets,
         Counter::ShmemBarrierWaits,
@@ -45,6 +50,8 @@ impl Counter {
         Counter::ConveyorRelayParks,
         Counter::ActorSends,
         Counter::ActorYields,
+        Counter::NetRetries,
+        Counter::Restarts,
     ];
 
     /// Number of counters.
@@ -61,6 +68,8 @@ impl Counter {
             Counter::ConveyorRelayParks => "conveyor.relay_parks",
             Counter::ActorSends => "actor.sends",
             Counter::ActorYields => "actor.yields",
+            Counter::NetRetries => "shmem.net_retries",
+            Counter::Restarts => "spmd.restarts",
         }
     }
 }
@@ -106,16 +115,19 @@ pub enum Hist {
     RelayParkCycles,
     /// Bytes per substrate put.
     PutBytes,
+    /// Cycles spent capturing one superstep-boundary checkpoint.
+    CheckpointCycles,
 }
 
 impl Hist {
     /// Every histogram, in index order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 6] = [
         Hist::AdvanceCycles,
         Hist::QuietCycles,
         Hist::BarrierWaitCycles,
         Hist::RelayParkCycles,
         Hist::PutBytes,
+        Hist::CheckpointCycles,
     ];
 
     /// Number of histograms.
@@ -129,6 +141,7 @@ impl Hist {
             Hist::BarrierWaitCycles => "shmem.barrier_wait_cycles",
             Hist::RelayParkCycles => "conveyor.relay_park_cycles",
             Hist::PutBytes => "shmem.put_bytes",
+            Hist::CheckpointCycles => "shmem.checkpoint_cycles",
         }
     }
 }

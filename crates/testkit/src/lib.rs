@@ -55,7 +55,8 @@ use std::sync::Mutex;
 pub use fabsp_conveyors::{Conveyor, ConveyorOptions, ConveyorStats};
 pub use fabsp_shmem::sched::DEFAULT_STEP_BUDGET;
 pub use fabsp_shmem::{
-    spmd, FaultSpec, Grid, Harness, Pe, SchedPoint, SchedSpec, Scheduler, ShmemError,
+    spmd, Checkpoint, FaultSpec, Grid, Harness, KillRecord, Pe, RecoveryLog, RecoverySpec,
+    SchedPoint, SchedSpec, Scheduler, ShmemError,
 };
 
 /// One explored schedule: the seed that names it and every PE's result.
@@ -521,6 +522,21 @@ mod tests {
     #[test]
     fn nbi_litmus_holds_under_shuffle_faults() {
         assert_nbi_invisible_until_quiet(0..6, FaultSpec::nbi_shuffle(0xC4A0));
+    }
+
+    #[test]
+    fn nbi_litmus_holds_under_flaky_network() {
+        // Transparent timeout/retry must not leak a partially-applied nbi
+        // put: retried ops stay invisible until the issuing PE's quiet.
+        assert_nbi_invisible_until_quiet(0..6, FaultSpec::net_flaky(0xF1A2, 0.05));
+    }
+
+    #[test]
+    fn nbi_litmus_holds_under_shuffle_and_flaky_combined() {
+        assert_nbi_invisible_until_quiet(
+            0..4,
+            FaultSpec::nbi_shuffle(0xC4A0).and_net_flaky(0xF1A2, 0.05),
+        );
     }
 
     #[test]

@@ -125,6 +125,8 @@ pub fn dashboard(frame: &Frame) -> String {
         ("push-retries", Counter::ConveyorPushRetries),
         ("relay-parks", Counter::ConveyorRelayParks),
         ("forced-parks", Counter::ConveyorForcedParks),
+        ("net-retries", Counter::NetRetries),
+        ("restarts", Counter::Restarts),
     ];
     let summary = totals
         .iter()
@@ -134,10 +136,11 @@ pub fn dashboard(frame: &Frame) -> String {
     out.push_str(&summary);
     out.push('\n');
     out.push_str(&format!(
-        "now: buffered {}  pull-backlog {}  advances observed {}\n",
+        "now: buffered {}  pull-backlog {}  advances observed {}  checkpoints {}\n",
         frame.total.gauge_total(Gauge::ConveyorBufferedItems),
         frame.total.gauge_total(Gauge::ConveyorPullBacklog),
         frame.total.hist_count(Hist::AdvanceCycles),
+        frame.total.hist_count(Hist::CheckpointCycles),
     ));
     out
 }
@@ -218,6 +221,9 @@ mod tests {
         reg.pe(0).add(Counter::ActorSends, 8);
         reg.pe(1).add(Counter::ActorSends, 4);
         reg.pe(0).gauge_set(Gauge::ConveyorBufferedItems, 3);
+        reg.pe(1).add(Counter::NetRetries, 5);
+        reg.pe(0).add(Counter::Restarts, 1);
+        reg.pe(0).observe(actorprof::Hist::CheckpointCycles, 900);
         let total = reg.snapshot();
         let frame = Frame {
             seq: 2,
@@ -228,6 +234,9 @@ mod tests {
         assert!(s.contains("tick 2"));
         assert!(s.contains("sends 12"), "cumulative total rendered:\n{s}");
         assert!(s.contains("buffered 3"));
+        assert!(s.contains("net-retries 5"), "recovery totals rendered:\n{s}");
+        assert!(s.contains("restarts 1"));
+        assert!(s.contains("checkpoints 1"), "checkpoint count rendered:\n{s}");
         assert!(s.lines().any(|l| l.starts_with("PE  0") && l.contains('#')));
     }
 

@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 
 use actorprof_suite::fabsp_conveyors::{Conveyor, ConveyorOptions};
 use actorprof_suite::fabsp_shmem::race::RaceHooks;
-use actorprof_suite::fabsp_shmem::{spmd, Grid, Harness, SchedSpec, ShmemError, SpscRing};
+use actorprof_suite::fabsp_shmem::{
+    spmd, FaultSpec, Grid, Harness, RecoverySpec, SchedSpec, ShmemError, SpscRing,
+};
 
 /// The OS schedule plus a seed sweep; every entry must flag the toy race.
 fn schedules() -> Vec<Option<u64>> {
@@ -210,6 +212,39 @@ fn conveyor_round(race: bool, seed: u64) -> (Duration, u64) {
     .max()
     .unwrap();
     (start.elapsed(), events)
+}
+
+#[test]
+fn recovery_machinery_adds_no_happens_before_regressions() {
+    // Checkpoint capture, an injected kill, a transparent net retry, and a
+    // full restart all run under the detector: none of them may introduce
+    // an unordered access pair. The detector is rebuilt per attempt, so
+    // the retried attempt is checked end-to-end too.
+    for seed in [None, Some(3), Some(7)] {
+        let h = harness(Grid::new(2, 1).unwrap(), seed)
+            .faults(FaultSpec::kill_pe(1, 0).and_net_flaky(0xAB, 0.3))
+            .checkpoint_every(1)
+            .recovery(RecoverySpec::restart(2));
+        let (results, log) = spmd::run_recovering(h, |pe| {
+            let sym = pe.alloc_sym::<u64>(1);
+            let ss = pe.begin_superstep();
+            if pe.checkpoint_due(ss) {
+                pe.checkpoint().expect("quiescent at superstep start");
+            }
+            let dst = (pe.rank() + 1) % pe.n_pes();
+            sym.put_nbi(pe, dst, 0, &[pe.rank() as u64 + 1]).unwrap();
+            pe.quiet();
+            pe.barrier_all();
+            let got = sym.local_get(pe, 0);
+            pe.end_superstep(ss); // the injected kill fires here on attempt 0
+            got
+        })
+        .unwrap_or_else(|e| panic!("recovery raced (seed {seed:?}): {e}"));
+        assert_eq!(results, vec![2, 1], "seed {seed:?}");
+        assert_eq!(log.restarts, 1, "seed {seed:?}: {log}");
+        assert_eq!(log.kills_observed.len(), 1, "seed {seed:?}");
+        assert!(log.checkpoints_taken >= 2, "both attempts checkpointed: {log}");
+    }
 }
 
 #[test]

@@ -24,7 +24,7 @@ use actorprof_suite::fabsp_graph::Csr;
 use actorprof_suite::fabsp_shmem::{FaultSpec, Grid, SchedSpec};
 use actorprof_suite::fabsp_testkit::DEFAULT_STEP_BUDGET;
 
-/// Seeds per (app, fault) combination: 3 apps × 2 fault modes × 17 = 102
+/// Seeds per (app, fault) combination: 3 apps × 3 fault modes × 17 = 153
 /// schedules, comfortably past the 100-schedule floor.
 const SEEDS_PER_SWEEP: u64 = 17;
 
@@ -36,10 +36,16 @@ fn seed_base() -> u64 {
         .unwrap_or(0)
 }
 
-/// The two fault modes every sweep runs under. `nbi_shuffle` delivers
-/// non-blocking puts in a hostile-but-legal order at each quiet.
-fn fault_modes() -> [FaultSpec; 2] {
-    [FaultSpec::NONE, FaultSpec::nbi_shuffle(0xFA_B5)]
+/// The three fault modes every sweep runs under. `nbi_shuffle` delivers
+/// non-blocking puts in a hostile-but-legal order at each quiet;
+/// `net_flaky` injects seeded transient timeouts that the substrate must
+/// retry transparently.
+fn fault_modes() -> [FaultSpec; 3] {
+    [
+        FaultSpec::NONE,
+        FaultSpec::nbi_shuffle(0xFA_B5),
+        FaultSpec::net_flaky(0xF1A2, 0.2),
+    ]
 }
 
 fn sweep_seeds(mode: usize) -> impl Iterator<Item = u64> {
@@ -156,7 +162,7 @@ fn triangle_count_is_schedule_independent() {
         }
     }
     // Sanity: the sweep really covers >= 100 schedules across the suite.
-    const { assert!(3 * 2 * SEEDS_PER_SWEEP >= 100) };
+    const { assert!(3 * 3 * SEEDS_PER_SWEEP >= 100) };
 }
 
 #[test]
@@ -185,6 +191,44 @@ fn triangle_survives_capacity_one_aggregation() {
             assert_eq!(out.triangles, base.triangles, "seed {seed}");
             assert_eq!(logical(&out.bundle), base_matrix, "seed {seed}");
         }
+    }
+}
+
+#[test]
+fn kill_and_restart_is_schedule_independent() {
+    // Crash recovery composes with schedule exploration: killing a PE at
+    // the first superstep boundary and restarting must reproduce the
+    // OS-scheduled, unkilled baseline under every explored schedule. The
+    // scheduler is rebuilt per attempt, so the retried attempt replays the
+    // same seeded walk.
+    use actorprof_suite::fabsp_shmem::RecoverySpec;
+
+    let mut cfg = HistogramConfig::new(Grid::new(2, 2).unwrap());
+    cfg.updates_per_pe = 32;
+    cfg.table_size_per_pe = 16;
+    cfg.trace = TraceConfig::off().with_logical();
+    let base = histogram::run(&cfg).expect("baseline run");
+    let base_matrix = logical(&base.bundle);
+
+    for seed in sweep_seeds(3).take(6) {
+        let mut c = cfg.clone();
+        c.sched = SchedSpec::random_walk(seed);
+        c.faults = FaultSpec::kill_pe(1, 0);
+        c.checkpoint_every = Some(1);
+        c.recovery = RecoverySpec::restart(2);
+        let out = histogram::run(&c)
+            .unwrap_or_else(|e| panic!("kill+restart seed {seed}: {e}"));
+        assert_eq!(
+            out.per_pe_updates, base.per_pe_updates,
+            "recovered result diverged, seed {seed}"
+        );
+        assert_eq!(
+            logical(&out.bundle),
+            base_matrix,
+            "recovered logical trace diverged, seed {seed}"
+        );
+        assert_eq!(out.recovery.restarts, 1, "seed {seed}: {}", out.recovery);
+        assert_eq!(out.recovery.kills_observed.len(), 1, "seed {seed}");
     }
 }
 
