@@ -1,44 +1,55 @@
 //! Level-synchronous distributed BFS — one of the irregular applications
 //! the paper's introduction motivates FA-BSP with (§I).
 //!
-//! Each BFS level is one FA-BSP superstep: a fresh selector per level,
-//! frontier expansion as fine-grained sends to the owner of each
-//! neighbour, and a barrier + allreduce between levels. Distances are
-//! validated against a sequential BFS.
+//! Each BFS level is one FA-BSP superstep: one selector spans the whole
+//! traversal, frontier expansion happens as fine-grained sends to the
+//! owner of each neighbour, and a barrier + allreduce separates levels.
+//! Distances are validated against a sequential BFS.
 
 use actorprof::TraceBundle;
-use actorprof_trace::TraceConfig;
-use fabsp_actor::{Selector, SelectorConfig};
 use fabsp_graph::{Csr, Distribution};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::Grid;
 use std::cell::{Cell, RefCell};
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{split_outcomes, AppError};
+use crate::common::{AppError, RunConfig};
 
 /// Unreached marker.
 pub const UNREACHED: u32 = u32::MAX;
 
-/// Configuration for a BFS run.
+/// Configuration for a BFS run: the shared [`RunConfig`] plus the BFS
+/// source vertex. Derefs to [`RunConfig`].
 #[derive(Debug, Clone)]
 pub struct BfsConfig {
-    /// PE/node layout.
-    pub grid: Grid,
+    /// Shared run configuration (layout, tracing, schedule, faults,
+    /// recovery). One selector spans the whole traversal, so the trace
+    /// bundle covers every level.
+    pub run: RunConfig,
     /// Source vertex.
     pub source: u32,
-    /// What to trace. One selector spans the whole traversal, so the
-    /// returned bundle covers every level.
-    pub trace: TraceConfig,
 }
 
 impl BfsConfig {
     /// BFS from vertex 0 with tracing off.
     pub fn new(grid: Grid) -> BfsConfig {
         BfsConfig {
-            grid,
+            run: RunConfig::new(grid),
             source: 0,
-            trace: TraceConfig::off(),
         }
+    }
+}
+
+impl Deref for BfsConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.run
+    }
+}
+
+impl DerefMut for BfsConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.run
     }
 }
 
@@ -49,11 +60,13 @@ pub struct BfsOutcome {
     pub distances: Vec<u32>,
     /// Number of reached vertices.
     pub reached: usize,
-    /// Supersteps executed: one per frontier, including the final
-    /// empty-expansion round (= source eccentricity + 1).
+    /// Supersteps executed: one per non-empty frontier, including the
+    /// final empty-expansion round (= source eccentricity + 1).
     pub levels: u32,
     /// Trace bundle covering the entire traversal (all supersteps).
     pub bundle: TraceBundle,
+    /// Fault-tolerance activity (clean on an undisturbed run).
+    pub recovery: actorprof::RecoveryLog,
 }
 
 /// Sequential reference BFS over a symmetric adjacency CSR.
@@ -91,7 +104,7 @@ pub fn run(adj: &Csr, config: &BfsConfig) -> Result<BfsOutcome, AppError> {
         )));
     }
 
-    let outcomes = spmd::run(config.grid, |pe| {
+    let report = config.profiler().run(|pe, prof| {
         let me = pe.rank();
         // distances for owned vertices, indexed by owned-order position
         let my_rows = dist_map.rows_of(me, adj.n());
@@ -106,16 +119,15 @@ pub fn run(adj: &Csr, config: &BfsConfig) -> Result<BfsOutcome, AppError> {
         }
 
         // One selector spans all levels; the current level is shared with
-        // the handler through a cell.
+        // the handler through a cell. A vertex joins the next frontier at
+        // most once (guarded by the UNREACHED check), so results and
+        // logical counts are delivery-order independent.
         let level_cell = Rc::new(Cell::new(0u32));
         let handler_level = Rc::clone(&level_cell);
         let d = Rc::clone(&dist);
         let nf = Rc::clone(&next_frontier);
-        let mut actor = Selector::new(
-            pe,
-            1,
-            SelectorConfig::traced(config.trace.clone()),
-            move |_mb, w: u64, _from, _ctx| {
+        let mut actor = prof
+            .selector(1, move |_mb, w: u64, _from, _ctx| {
                 let w = w as usize;
                 let slot = index_of(w);
                 let mut d = d.borrow_mut();
@@ -123,9 +135,8 @@ pub fn run(adj: &Csr, config: &BfsConfig) -> Result<BfsOutcome, AppError> {
                     d[slot] = handler_level.get();
                     nf.borrow_mut().push(w as u32);
                 }
-            },
-        )
-        .expect("selector construction");
+            })
+            .expect("selector construction");
 
         let mut level: u32 = 0;
         loop {
@@ -143,21 +154,21 @@ pub fn run(adj: &Csr, config: &BfsConfig) -> Result<BfsOutcome, AppError> {
                                 .expect("frontier send");
                         }
                     }
+                    ctx.done(0).expect("done(0)");
                 })
                 .expect("bfs superstep");
             frontier = std::mem::take(&mut *next_frontier.borrow_mut());
             pe.barrier_all();
         }
 
-        let collector = actor.into_collector();
         let pairs: Vec<(u32, u32)> = my_rows
             .iter()
             .map(|&v| (v as u32, dist.borrow()[index_of(v)]))
             .collect();
-        ((pairs, level), collector)
+        (pairs, level)
     })?;
 
-    let (per_pe, bundle) = split_outcomes(outcomes)?;
+    let (per_pe, bundle, recovery) = (report.results, report.bundle, report.recovery);
     let mut distances = vec![UNREACHED; adj.n()];
     let mut levels = 0;
     for (pairs, level) in per_pe {
@@ -179,6 +190,7 @@ pub fn run(adj: &Csr, config: &BfsConfig) -> Result<BfsOutcome, AppError> {
         reached,
         levels,
         bundle,
+        recovery,
     })
 }
 
@@ -195,6 +207,7 @@ pub fn symmetric_adjacency(n: usize, lower: &[(u32, u32)]) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use actorprof_trace::TraceConfig;
     use fabsp_graph::edgelist::to_lower_triangular;
     use fabsp_graph::rmat::{generate_edges, RmatParams};
 
@@ -265,5 +278,23 @@ mod tests {
             .map(|(v, _)| adj.degree(v) as u64)
             .sum();
         assert_eq!(m.total(), expected);
+    }
+
+    #[test]
+    fn recovers_from_a_killed_pe() {
+        use fabsp_shmem::{FaultSpec, RecoverySpec};
+        let adj = rmat_adj(5);
+        let mut cfg = BfsConfig::new(Grid::single_node(2).unwrap());
+        let base = run(&adj, &cfg).unwrap();
+        assert!(base.recovery.is_clean(), "{}", base.recovery);
+        cfg.run = cfg
+            .run
+            .clone()
+            .with_faults(FaultSpec::kill_pe(1, 0))
+            .with_recovery(RecoverySpec::restart(2))
+            .with_checkpoint_every(1);
+        let out = run(&adj, &cfg).unwrap();
+        assert_eq!(out.distances, base.distances);
+        assert_eq!(out.recovery.restarts, 1, "{}", out.recovery);
     }
 }

@@ -11,32 +11,42 @@
 //! confirmations).
 
 use actorprof::TraceBundle;
-use actorprof_trace::TraceConfig;
-use fabsp_actor::{Selector, SelectorConfig};
 use fabsp_graph::{Csr, Distribution};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::Grid;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{split_outcomes, AppError};
+use crate::common::{AppError, RunConfig};
 
-/// Configuration for a Jaccard run.
+/// Configuration for a Jaccard run: just the shared [`RunConfig`] (the
+/// graph is the workload knob). Derefs to [`RunConfig`].
 #[derive(Debug, Clone)]
 pub struct JaccardConfig {
-    /// PE/node layout.
-    pub grid: Grid,
-    /// What to trace.
-    pub trace: TraceConfig,
+    /// Shared run configuration.
+    pub run: RunConfig,
 }
 
 impl JaccardConfig {
     /// Defaults with tracing off.
     pub fn new(grid: Grid) -> JaccardConfig {
         JaccardConfig {
-            grid,
-            trace: TraceConfig::off(),
+            run: RunConfig::new(grid),
         }
+    }
+}
+
+impl Deref for JaccardConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.run
+    }
+}
+
+impl DerefMut for JaccardConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.run
     }
 }
 
@@ -45,10 +55,13 @@ impl JaccardConfig {
 pub struct JaccardOutcome {
     /// Per-edge coefficients, keyed `(u, v)` with `u < v`.
     pub coefficients: HashMap<(u32, u32), f64>,
-    /// Sum of all coefficients (a convenient scalar checksum).
+    /// Sum of all coefficients (a convenient scalar checksum), folded in
+    /// sorted edge order so the bits don't depend on hash iteration.
     pub total: f64,
     /// The collected traces.
     pub bundle: TraceBundle,
+    /// Fault-tolerance activity (clean on an undisturbed run).
+    pub recovery: actorprof::RecoveryLog,
 }
 
 /// Sequential reference: Jaccard per undirected edge.
@@ -115,18 +128,15 @@ pub fn run(adj: &Csr, config: &JaccardConfig) -> Result<JaccardOutcome, AppError
     let n_pes = config.grid.n_pes();
     let dist = Distribution::cyclic(n_pes);
 
-    let outcomes = spmd::run(config.grid, |pe| {
+    let report = config.profiler().run(|pe, prof| {
         let me = pe.rank();
         // intersection counters for edges (u, v) with u < v owned by
         // owner(u) = me
         let counts: Rc<RefCell<HashMap<u64, u64>>> = Rc::new(RefCell::new(HashMap::new()));
         let c = Rc::clone(&counts);
         let handler_dist = dist.clone();
-        let mut actor = Selector::new(
-            pe,
-            2,
-            SelectorConfig::traced(config.trace.clone()),
-            move |mb, msg: Probe, from, ctx| match mb {
+        let mut actor = prof
+            .selector(2, move |mb, msg: Probe, from, ctx| match mb {
                 0 => {
                     // probe: is v in N(w)? (w owned by this PE)
                     let (w, v) = unpack(msg.wv);
@@ -140,9 +150,8 @@ pub fn run(adj: &Csr, config: &JaccardConfig) -> Result<JaccardOutcome, AppError
                     *c.borrow_mut().entry(msg.edge).or_insert(0) += 1;
                 }
                 _ => unreachable!(),
-            },
-        )
-        .expect("selector construction");
+            })
+            .expect("selector construction");
         actor.chain_done(1, 0).expect("confirmations follow probes");
 
         actor
@@ -198,14 +207,14 @@ pub fn run(adj: &Csr, config: &JaccardConfig) -> Result<JaccardOutcome, AppError
                 ((u, v), j)
             })
             .collect();
-        (pairs, actor.into_collector())
+        pairs
     })?;
 
-    let (per_pe, bundle) = split_outcomes(outcomes)?;
-    let mut coefficients = HashMap::new();
-    for pairs in per_pe {
-        coefficients.extend(pairs);
-    }
+    let (per_pe, bundle, recovery) = (report.results, report.bundle, report.recovery);
+    let mut sorted: Vec<((u32, u32), f64)> = per_pe.into_iter().flatten().collect();
+    sorted.sort_unstable_by_key(|&(edge, _)| edge);
+    let total = sorted.iter().map(|&(_, j)| j).sum();
+    let coefficients: HashMap<(u32, u32), f64> = sorted.into_iter().collect();
 
     let reference = sequential_jaccard(adj);
     if coefficients.len() != reference.len() {
@@ -223,17 +232,18 @@ pub fn run(adj: &Csr, config: &JaccardConfig) -> Result<JaccardOutcome, AppError
             )));
         }
     }
-    let total = coefficients.values().sum();
     Ok(JaccardOutcome {
         coefficients,
         total,
         bundle,
+        recovery,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use actorprof_trace::TraceConfig;
     use crate::bfs::symmetric_adjacency;
     use fabsp_graph::edgelist::to_lower_triangular;
     use fabsp_graph::rmat::{generate_edges, RmatParams};
@@ -284,5 +294,23 @@ mod tests {
             recs.iter().any(|r| r.mailbox_id == 0) && recs.iter().any(|r| r.mailbox_id == 1)
         });
         assert!(has_both_mailboxes, "probes and confirmations both traced");
+    }
+
+    #[test]
+    fn recovers_from_a_killed_pe() {
+        use fabsp_shmem::{FaultSpec, RecoverySpec};
+        let adj = symmetric_adjacency(4, &[(1, 0), (2, 0), (2, 1), (3, 2)]);
+        let mut cfg = JaccardConfig::new(Grid::single_node(2).unwrap());
+        let base = run(&adj, &cfg).unwrap();
+        assert!(base.recovery.is_clean(), "{}", base.recovery);
+        cfg.run = cfg
+            .run
+            .clone()
+            .with_faults(FaultSpec::kill_pe(1, 0))
+            .with_recovery(RecoverySpec::restart(2))
+            .with_checkpoint_every(1);
+        let out = run(&adj, &cfg).unwrap();
+        assert_eq!(out.total.to_bits(), base.total.to_bits());
+        assert_eq!(out.recovery.restarts, 1, "{}", out.recovery);
     }
 }

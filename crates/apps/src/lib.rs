@@ -14,12 +14,23 @@
 //!   (Algorithm 1) over a lower-triangular R-MAT matrix under 1D Cyclic or
 //!   1D Range distribution, validated against the sequential reference
 //!   counts exactly as §IV-C validates ("by using assertion").
-//! - [`bfs`] — level-synchronous distributed BFS (one selector per level),
-//!   validated against a sequential BFS.
+//! - [`bfs`] — level-synchronous distributed BFS (one selector spans all
+//!   levels), validated against a sequential BFS.
 //! - [`pagerank`] — push-style synchronous PageRank with struct-typed
-//!   messages, validated against a sequential reference.
+//!   messages and a canonical-order fold for bit-stable results,
+//!   validated against a sequential reference.
 //! - [`jaccard`] — per-edge Jaccard similarity via wedge probes and a
 //!   confirmation mailbox (a workload §IV-A names).
+//! - [`intsort`] — distributed bucket/integer sort: every key crosses the
+//!   conveyor exactly once (the canonical FA-BSP stress test).
+//! - [`skewed_agg`] — Zipf-keyed aggregation that deliberately breaks
+//!   load balance so imbalance views have real signal.
+//!
+//! Every app runs through the [`actorprof::Profiler`] facade via
+//! [`common::RunConfig`] and returns a typed outcome carrying its result,
+//! the [`actorprof::TraceBundle`], and the [`actorprof::RecoveryLog`].
+//! The [`matrix`] module registers all nine as [`fabsp_testkit::matrix`]
+//! entries so the conformance suites iterate over one registry.
 //!
 //! [`profile::profile_run`] is the one-call driver: handler + MAIN body in,
 //! per-PE results + [`actorprof::TraceBundle`] out.
@@ -30,12 +41,16 @@
 pub mod bfs;
 pub mod common;
 pub mod histogram;
+pub mod intsort;
 pub mod jaccard;
+pub mod matrix;
 pub mod pagerank;
 pub mod profile;
 pub mod index_gather;
 pub mod permute;
+pub mod skewed_agg;
 pub mod triangle;
 
 pub use common::{AppError, RunConfig};
+pub use matrix::registry;
 pub use triangle::{count_triangles, DistKind, TriangleConfig, TriangleOutcome};

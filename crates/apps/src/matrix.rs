@@ -1,0 +1,408 @@
+//! The nine-app conformance registry — `fabsp_testkit::matrix` made
+//! concrete.
+//!
+//! One [`AppSpec`] per bundled workload, each mapping the generic
+//! [`MatrixParams`] (grid, scale, schedule, faults, recovery, conveyor
+//! options) to that app's config, running it through the
+//! [`actorprof::Profiler`] facade, and reducing the outcome to a
+//! [`MatrixRun`]: a canonical FNV digest of the full deterministic result,
+//! an independently computed digest of the sequential golden oracle, the
+//! flattened logical trace matrix, and the `RecoveryLog`. The
+//! schedule-fuzz, crash-recovery, and race-detect suites iterate
+//! [`registry`] instead of hand-writing one test per app.
+//!
+//! ## Adding a tenth app
+//!
+//! Three pieces, ~40 lines total, all in this file:
+//! 1. a `*_config(params)` builder mapping [`MatrixParams`] to your
+//!    app's config (apply [`apply_params`], derive sizes from
+//!    `params.scale`);
+//! 2. a `run_*` fn running the app and digesting (a) the canonical
+//!    result and (b) the sequential oracle over the same projection;
+//! 3. one [`AppSpec`] entry in [`registry`] with a seed budget.
+//!
+//! Nothing in the test suites changes: they pick the new entry up on the
+//! next run.
+
+use actorprof::TraceBundle;
+use actorprof_trace::TraceConfig;
+use fabsp_graph::edgelist::to_lower_triangular;
+use fabsp_graph::rmat::{generate_edges, RmatParams};
+use fabsp_graph::Csr;
+use fabsp_testkit::matrix::{fnv1a, AppSpec, Digest, MatrixParams, MatrixRun};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bfs::{self, symmetric_adjacency, BfsConfig};
+use crate::common::RunConfig;
+use crate::histogram::{self, HistogramConfig};
+use crate::index_gather::{self, IndexGatherConfig};
+use crate::intsort::{self, IntSortConfig};
+use crate::jaccard::{self, JaccardConfig};
+use crate::pagerank::{self, PageRankConfig};
+use crate::permute::{self, PermuteConfig};
+use crate::skewed_agg::{self, SkewedAggConfig};
+use crate::triangle::{count_triangles, DistKind, TriangleConfig};
+
+/// Copy the substrate knobs of [`MatrixParams`] onto a [`RunConfig`].
+pub fn apply_params(run: &mut RunConfig, p: &MatrixParams) {
+    run.trace = if p.logical {
+        TraceConfig::off().with_logical()
+    } else {
+        TraceConfig::off()
+    };
+    run.conveyor = p.conveyor;
+    run.sched = p.sched;
+    run.faults = p.faults;
+    run.recovery = p.recovery;
+    run.checkpoint_every = p.checkpoint_every;
+}
+
+/// Flatten the bundle's logical matrix row-major, when requested.
+fn flatten_logical(bundle: &TraceBundle, p: &MatrixParams) -> Option<Vec<u64>> {
+    if !p.logical {
+        return None;
+    }
+    let m = bundle
+        .logical_matrix()
+        .expect("logical trace requested but not collected");
+    Some((0..m.n()).flat_map(|r| m.row(r).to_vec()).collect())
+}
+
+/// The deterministic R-MAT adjacency the graph apps share, sized off the
+/// global scale (tiny: scheduled replays run hundreds of times in CI).
+fn graph_scale(p: &MatrixParams) -> u32 {
+    p.scale.saturating_sub(2).clamp(3, 6)
+}
+
+fn lower_csr(p: &MatrixParams) -> (usize, Vec<(u32, u32)>) {
+    let rp = RmatParams::graph500(graph_scale(p));
+    (rp.n_vertices(), to_lower_triangular(&generate_edges(&rp)))
+}
+
+fn adjacency(p: &MatrixParams) -> Csr {
+    let (n, lower) = lower_csr(p);
+    symmetric_adjacency(n, &lower)
+}
+
+// ---------------------------------------------------------------- histogram
+
+fn run_histogram(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let mut cfg = HistogramConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    cfg.table_size_per_pe = 4 * p.scale as usize;
+    cfg.updates_per_pe = 8 * p.scale as usize;
+    let out = histogram::run(&cfg).map_err(|e| format!("histogram: {e}"))?;
+
+    // oracle: replay every PE's seeded stream, count landings per PE
+    let n_pes = p.grid.n_pes();
+    let table = cfg.table_size_per_pe;
+    let mut landings = vec![0u64; n_pes];
+    for rank in 0..n_pes {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((rank as u64) << 32));
+        for _ in 0..cfg.updates_per_pe {
+            let global: usize = rng.gen_range(0..n_pes * table);
+            landings[global / table] += 1;
+        }
+    }
+    Ok(MatrixRun {
+        result_digest: fnv1a(out.per_pe_updates.iter().copied()),
+        golden_digest: fnv1a(landings),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes,
+        recovery: out.recovery,
+    })
+}
+
+// ------------------------------------------------------------- index-gather
+
+fn run_index_gather(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let mut cfg = IndexGatherConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    cfg.table_size_per_pe = 4 * p.scale as usize;
+    cfg.reads_per_pe = 8 * p.scale as usize;
+    let out = index_gather::run(&cfg).map_err(|e| format!("index_gather: {e}"))?;
+    // run() validates every gathered value; the countable golden
+    // projection is "every issued read came back correct"
+    let expected = (cfg.reads_per_pe * p.grid.n_pes()) as u64;
+    Ok(MatrixRun {
+        result_digest: fnv1a([out.correct_reads]),
+        golden_digest: fnv1a([expected]),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
+// ----------------------------------------------------------------- triangle
+
+fn run_triangle(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let (n, lower) = lower_csr(p);
+    let l = Csr::from_edges(n, &lower);
+    let mut cfg = TriangleConfig::new(p.grid).with_dist(DistKind::Cyclic);
+    apply_params(&mut cfg.run, p);
+    let out = count_triangles(&l, &cfg).map_err(|e| format!("triangle: {e}"))?;
+
+    // oracle: replay Algorithm 1's wedge checks sequentially, crediting
+    // the PE that owns row j — per-PE golden counts, not just the total
+    let n_pes = p.grid.n_pes();
+    let dist = DistKind::Cyclic.resolve(&l, n_pes);
+    let mut per_pe = vec![0u64; n_pes];
+    for i in 0..l.n() {
+        let row = l.row(i);
+        for (a, &k) in row.iter().enumerate() {
+            for &j in &row[a + 1..] {
+                if l.row(j as usize).binary_search(&k).is_ok() {
+                    per_pe[dist.owner(j as usize)] += 1;
+                }
+            }
+        }
+    }
+    let golden_total: u64 = per_pe.iter().sum();
+    Ok(MatrixRun {
+        result_digest: fnv1a(
+            std::iter::once(out.triangles).chain(out.per_pe_triangles.iter().copied()),
+        ),
+        golden_digest: fnv1a(std::iter::once(golden_total).chain(per_pe)),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes,
+        recovery: out.recovery,
+    })
+}
+
+// ---------------------------------------------------------------------- bfs
+
+fn run_bfs(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let adj = adjacency(p);
+    let mut cfg = BfsConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    let out = bfs::run(&adj, &cfg).map_err(|e| format!("bfs: {e}"))?;
+    let golden = bfs::sequential_bfs(&adj, cfg.source);
+    Ok(MatrixRun {
+        result_digest: fnv1a(out.distances.iter().map(|&d| d as u64)),
+        golden_digest: fnv1a(golden.iter().map(|&d| d as u64)),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
+// ----------------------------------------------------------------- pagerank
+
+/// Quantize a rank to a 1e-6 grid: the distributed canonical fold and the
+/// sequential reference agree to ~1e-12, so both land in the same cell
+/// (deterministically — same seeds, same graph, every run).
+fn quantize(r: f64) -> u64 {
+    (r * 1e6).round() as u64
+}
+
+fn run_pagerank(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let adj = adjacency(p);
+    let mut cfg = PageRankConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    cfg.iterations = 4;
+    let out = pagerank::run(&adj, &cfg).map_err(|e| format!("pagerank: {e}"))?;
+    let golden = pagerank::sequential_pagerank(&adj, cfg.damping, cfg.iterations);
+    Ok(MatrixRun {
+        result_digest: fnv1a(out.ranks.iter().map(|&r| quantize(r))),
+        golden_digest: fnv1a(golden.iter().map(|&r| quantize(r))),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
+// ------------------------------------------------------------------ permute
+
+fn run_permute(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let mut cfg = PermuteConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    cfg.run = cfg.run.with_seed(0x9E12); // workload seed, post-apply
+    cfg.slots_per_pe = 8 * p.scale as usize;
+    let out = permute::run(&cfg).map_err(|e| format!("permute: {e}"))?;
+    // oracle: apply the named permutation directly
+    let n_total = p.grid.n_pes() * cfg.slots_per_pe;
+    let perm = permute::permutation(n_total, cfg.seed);
+    let mut golden = vec![0u32; n_total];
+    for (i, &target) in perm.iter().enumerate() {
+        golden[target as usize] = i as u32;
+    }
+    Ok(MatrixRun {
+        result_digest: fnv1a(out.permuted.iter().map(|&v| v as u64)),
+        golden_digest: fnv1a(golden.iter().map(|&v| v as u64)),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
+// ------------------------------------------------------------------ jaccard
+
+fn run_jaccard(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let adj = adjacency(p);
+    let mut cfg = JaccardConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    let out = jaccard::run(&adj, &cfg).map_err(|e| format!("jaccard: {e}"))?;
+    // both sides divide the same exact integers, so coefficients match
+    // bit-for-bit; digest sorted (edge, bits) streams
+    let digest_coeffs = |m: &std::collections::HashMap<(u32, u32), f64>| {
+        let mut edges: Vec<((u32, u32), f64)> = m.iter().map(|(&e, &j)| (e, j)).collect();
+        edges.sort_unstable_by_key(|&(e, _)| e);
+        let mut d = Digest::new();
+        for ((u, v), j) in edges {
+            d.word(((u as u64) << 32) | v as u64).word(j.to_bits());
+        }
+        d.finish()
+    };
+    Ok(MatrixRun {
+        result_digest: digest_coeffs(&out.coefficients),
+        golden_digest: digest_coeffs(&jaccard::sequential_jaccard(&adj)),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
+// ------------------------------------------------------------------ intsort
+
+fn run_intsort(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let mut cfg = IntSortConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    cfg.run = cfg.run.with_seed(0x1507);
+    cfg.keys_per_pe = 8 * p.scale as usize;
+    cfg.bucket_size = 8 * p.scale as u64;
+    let out = intsort::run(&cfg).map_err(|e| format!("intsort: {e}"))?;
+    Ok(MatrixRun {
+        result_digest: fnv1a(out.sorted.iter().copied()),
+        golden_digest: fnv1a(intsort::sequential_sort(&cfg)),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
+// --------------------------------------------------------------- skewed-agg
+
+fn run_skewed_agg(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let mut cfg = SkewedAggConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    cfg.run = cfg.run.with_seed(0x51CE);
+    cfg.updates_per_pe = 16 * p.scale as usize;
+    cfg.n_keys = 8 * p.scale as usize;
+    let out = skewed_agg::run(&cfg).map_err(|e| format!("skewed_agg: {e}"))?;
+    let digest_table = |t: &[(u64, u64)]| fnv1a(t.iter().flat_map(|&(c, s)| [c, s]));
+    Ok(MatrixRun {
+        result_digest: digest_table(&out.per_key),
+        golden_digest: digest_table(&skewed_agg::sequential_aggregate(&cfg)),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
+/// Every bundled workload, one [`AppSpec`] each. Seed budgets are tuned
+/// so the full fuzz sweep (Σ budgets × 3 fault modes = 123 schedules)
+/// clears the 100-schedule floor while the slow graph apps run fewer
+/// replays than the cheap kernels.
+pub fn registry() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "histogram",
+            fuzz_seed_budget: 6,
+            runner: run_histogram,
+        },
+        AppSpec {
+            name: "index_gather",
+            fuzz_seed_budget: 5,
+            runner: run_index_gather,
+        },
+        AppSpec {
+            name: "triangle",
+            fuzz_seed_budget: 4,
+            runner: run_triangle,
+        },
+        AppSpec {
+            name: "bfs",
+            fuzz_seed_budget: 4,
+            runner: run_bfs,
+        },
+        AppSpec {
+            name: "pagerank",
+            fuzz_seed_budget: 3,
+            runner: run_pagerank,
+        },
+        AppSpec {
+            name: "permute",
+            fuzz_seed_budget: 5,
+            runner: run_permute,
+        },
+        AppSpec {
+            name: "jaccard",
+            fuzz_seed_budget: 3,
+            runner: run_jaccard,
+        },
+        AppSpec {
+            name: "intsort",
+            fuzz_seed_budget: 6,
+            runner: run_intsort,
+        },
+        AppSpec {
+            name: "skewed_agg",
+            fuzz_seed_budget: 5,
+            runner: run_skewed_agg,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabsp_shmem::Grid;
+
+    #[test]
+    fn registry_names_are_unique_and_budgets_clear_the_floor() {
+        let apps = registry();
+        assert_eq!(apps.len(), 9, "nine apps in the matrix");
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "names are unique");
+        let total: u64 = apps.iter().map(|a| a.fuzz_seed_budget).sum();
+        assert!(
+            total * 3 >= 100,
+            "Σ budgets × 3 fault modes = {} must clear the 100-schedule floor",
+            total * 3
+        );
+    }
+
+    #[test]
+    fn every_app_reproduces_its_golden_oracle() {
+        let mut params = MatrixParams::new(Grid::single_node(4).unwrap());
+        params.scale = 5;
+        for app in registry() {
+            let run = app
+                .run(&params)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            run.assert_golden(&app.name);
+            assert!(run.recovery.is_clean(), "{}: {}", app.name, run.recovery);
+            let logical = run.logical.as_ref().expect("logical requested");
+            assert_eq!(logical.len(), 16, "4x4 flattened matrix");
+            assert!(
+                logical.iter().sum::<u64>() > 0,
+                "{}: every app sends messages",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_runs_are_reproducible() {
+        let mut params = MatrixParams::new(Grid::single_node(2).unwrap());
+        params.scale = 4;
+        for app in registry() {
+            let a = app.run(&params).unwrap();
+            let b = app.run(&params).unwrap();
+            a.assert_matches(&b, &app.name);
+        }
+    }
+}

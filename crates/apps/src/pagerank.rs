@@ -4,20 +4,26 @@
 //!
 //! Each iteration is one FA-BSP superstep: every PE pushes
 //! `rank[v] * d / outdeg(v)` to the owner of each out-neighbour; handlers
-//! accumulate; a barrier ends the iteration. Dangling mass is handled the
-//! textbook way (redistributed uniformly) identically in the distributed
-//! and sequential versions, which therefore agree to floating-point
-//! accumulation order.
+//! buffer the shares; a barrier ends the iteration. Dangling mass is
+//! handled the textbook way (redistributed uniformly) identically in the
+//! distributed and sequential versions.
+//!
+//! Floating-point addition is not associative, so naive accumulation in
+//! delivery order would make the final bits depend on the schedule. The
+//! handler therefore only *buffers* `(from, v, share)` tuples; after each
+//! superstep the PE sorts them into a canonical order and folds
+//! sequentially. Identical tuples sort equal, so the fold is a pure
+//! function of the message *set* — bit-identical under every schedule,
+//! which is what the schedule-fuzz matrix asserts.
 
 use actorprof::TraceBundle;
-use actorprof_trace::TraceConfig;
-use fabsp_actor::{Selector, SelectorConfig};
 use fabsp_graph::{Csr, Distribution};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::Grid;
 use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{split_outcomes, AppError};
+use crate::common::{AppError, RunConfig};
 
 /// The rank-share message: `(destination vertex, share)`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -28,20 +34,20 @@ pub struct Share {
     pub share: f64,
 }
 
-/// Configuration for a PageRank run.
+/// Configuration for a PageRank run: the shared [`RunConfig`] plus the
+/// PageRank knobs. Derefs to [`RunConfig`].
 #[derive(Debug, Clone)]
 pub struct PageRankConfig {
-    /// PE/node layout.
-    pub grid: Grid,
+    /// Shared run configuration. One selector spans all iterations, so
+    /// the returned bundle covers every one of them.
+    pub run: RunConfig,
     /// Damping factor (0.85 is the classic choice).
     pub damping: f64,
     /// Number of synchronous iterations.
     pub iterations: usize,
-    /// What to trace. One selector spans all iterations, so the returned
-    /// bundle covers every one of them.
-    pub trace: TraceConfig,
-    /// Maximum L1 difference tolerated vs the sequential reference
-    /// (floating-point accumulation order differs across PEs).
+    /// Maximum L1 difference tolerated vs the sequential reference (the
+    /// canonical fold order differs from the reference's source-vertex
+    /// order, so agreement is to rounding, not to the bit).
     pub tolerance: f64,
 }
 
@@ -49,12 +55,24 @@ impl PageRankConfig {
     /// Classic parameters: damping 0.85, 10 iterations.
     pub fn new(grid: Grid) -> PageRankConfig {
         PageRankConfig {
-            grid,
+            run: RunConfig::new(grid),
             damping: 0.85,
             iterations: 10,
-            trace: TraceConfig::off(),
             tolerance: 1e-9,
         }
+    }
+}
+
+impl Deref for PageRankConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.run
+    }
+}
+
+impl DerefMut for PageRankConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.run
     }
 }
 
@@ -67,6 +85,8 @@ pub struct PageRankOutcome {
     pub l1_vs_reference: f64,
     /// Trace bundle covering all iterations.
     pub bundle: TraceBundle,
+    /// Fault-tolerance activity (clean on an undisturbed run).
+    pub recovery: actorprof::RecoveryLog,
 }
 
 /// Sequential reference PageRank with identical semantics.
@@ -103,22 +123,21 @@ pub fn run(adj: &Csr, config: &PageRankConfig) -> Result<PageRankOutcome, AppErr
     let n_pes = config.grid.n_pes();
     let dist_map = Distribution::cyclic(n_pes);
 
-    let outcomes = spmd::run(config.grid, |pe| {
+    let report = config.profiler().run(|pe, prof| {
         let me = pe.rank();
         let my_rows = dist_map.rows_of(me, n);
         let index_of = |v: usize| -> usize { v / n_pes };
         let mut rank: Vec<f64> = vec![1.0 / n as f64; my_rows.len()];
-        let accum = Rc::new(RefCell::new(vec![0.0f64; my_rows.len()]));
-        let acc = Rc::clone(&accum);
-        let mut actor = Selector::new(
-            pe,
-            1,
-            SelectorConfig::traced(config.trace.clone()),
-            move |_mb, msg: Share, _from, _ctx| {
-                acc.borrow_mut()[index_of(msg.v as usize)] += msg.share;
-            },
-        )
-        .expect("selector construction");
+        // (from, v, share bits) — buffered, then folded in sorted order so
+        // the accumulated f64s are independent of delivery order.
+        let inbox = Rc::new(RefCell::new(Vec::<(u32, u32, u64)>::new()));
+        let ib = Rc::clone(&inbox);
+        let mut actor = prof
+            .selector(1, move |_mb, msg: Share, from, _ctx| {
+                ib.borrow_mut()
+                    .push((from, msg.v, msg.share.to_bits()));
+            })
+            .expect("selector construction");
 
         for _ in 0..config.iterations {
             let mut local_dangling = 0.0f64;
@@ -140,30 +159,36 @@ pub fn run(adj: &Csr, config: &PageRankConfig) -> Result<PageRankOutcome, AppErr
                             .expect("share send");
                         }
                     }
+                    ctx.done(0).expect("done(0)");
                 })
                 .expect("pagerank superstep");
 
             let dangling = pe.allreduce_sum_f64(local_dangling);
             let base = (1.0 - config.damping) / n as f64 + config.damping * dangling / n as f64;
-            let mut acc = accum.borrow_mut();
+            // canonical fold: sort the buffered shares, then accumulate
+            let mut ib = inbox.borrow_mut();
+            ib.sort_unstable();
+            let mut acc = vec![0.0f64; my_rows.len()];
+            for &(_, v, bits) in ib.iter() {
+                acc[index_of(v as usize)] += f64::from_bits(bits);
+            }
+            ib.clear();
+            drop(ib);
             for (slot, r) in rank.iter_mut().enumerate() {
                 *r = base + config.damping * acc[slot];
-                acc[slot] = 0.0;
             }
-            drop(acc);
             pe.barrier_all();
         }
 
-        let collector = actor.into_collector();
         let pairs: Vec<(u32, f64)> = my_rows
             .iter()
             .enumerate()
             .map(|(slot, &v)| (v as u32, rank[slot]))
             .collect();
-        (pairs, collector)
+        pairs
     })?;
 
-    let (per_pe, bundle) = split_outcomes(outcomes)?;
+    let (per_pe, bundle, recovery) = (report.results, report.bundle, report.recovery);
     let mut ranks = vec![0.0f64; n];
     for pairs in per_pe {
         for (v, r) in pairs {
@@ -186,12 +211,14 @@ pub fn run(adj: &Csr, config: &PageRankConfig) -> Result<PageRankOutcome, AppErr
         ranks,
         l1_vs_reference: l1,
         bundle,
+        recovery,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use actorprof_trace::TraceConfig;
     use crate::bfs::symmetric_adjacency;
     use fabsp_graph::edgelist::to_lower_triangular;
     use fabsp_graph::rmat::{generate_edges, RmatParams};
@@ -253,5 +280,41 @@ mod tests {
         let out = run(&adj, &cfg).unwrap();
         let m = out.bundle.logical_matrix().unwrap();
         assert_eq!(m.total(), 12, "3 iterations x one message per edge");
+    }
+
+    #[test]
+    fn schedule_does_not_move_a_single_bit() {
+        use fabsp_shmem::SchedSpec;
+        let adj = Csr::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]);
+        let mut cfg = PageRankConfig::new(Grid::single_node(3).unwrap());
+        cfg.iterations = 6;
+        let base = run(&adj, &cfg).unwrap();
+        for seed in 0..4 {
+            let mut c = cfg.clone();
+            c.sched = SchedSpec::random_walk(seed);
+            let out = run(&adj, &c).unwrap();
+            // exact f64 equality: the canonical fold makes ranks a pure
+            // function of the message set, not the delivery order
+            assert_eq!(out.ranks, base.ranks, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recovers_from_a_killed_pe() {
+        use fabsp_shmem::{FaultSpec, RecoverySpec};
+        let adj = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut cfg = PageRankConfig::new(Grid::single_node(2).unwrap());
+        cfg.iterations = 4;
+        let base = run(&adj, &cfg).unwrap();
+        assert!(base.recovery.is_clean(), "{}", base.recovery);
+        cfg.run = cfg
+            .run
+            .clone()
+            .with_faults(FaultSpec::kill_pe(1, 0))
+            .with_recovery(RecoverySpec::restart(2))
+            .with_checkpoint_every(1);
+        let out = run(&adj, &cfg).unwrap();
+        assert_eq!(out.ranks, base.ranks, "bit-identical after recovery");
+        assert_eq!(out.recovery.restarts, 1, "{}", out.recovery);
     }
 }

@@ -5,49 +5,72 @@
 //! Validation checks that the permuted array is exactly a rearrangement.
 
 use actorprof::TraceBundle;
-use actorprof_trace::TraceConfig;
-use fabsp_actor::{Selector, SelectorConfig};
-use fabsp_shmem::{spmd, Grid};
+use fabsp_shmem::Grid;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{split_outcomes, AppError};
+use crate::common::{AppError, RunConfig};
 
-/// Configuration for a permutation run.
+/// Configuration for a permutation run: the shared [`RunConfig`] plus the
+/// permute-specific workload knob. Derefs to [`RunConfig`], so
+/// `cfg.trace = …` / `cfg.sched = …` work like every other app. The
+/// permutation itself is seeded by `cfg.seed`.
 #[derive(Debug, Clone)]
 pub struct PermuteConfig {
-    /// PE/node layout.
-    pub grid: Grid,
+    /// Shared run configuration (layout, tracing, schedule, faults,
+    /// recovery). `run.seed` seeds the global permutation.
+    pub run: RunConfig,
     /// Array slots owned by each PE.
     pub slots_per_pe: usize,
-    /// What to trace.
-    pub trace: TraceConfig,
-    /// Seed for the global permutation.
-    pub seed: u64,
 }
 
 impl PermuteConfig {
     /// A small default on the given grid.
     pub fn new(grid: Grid) -> PermuteConfig {
         PermuteConfig {
-            grid,
+            run: RunConfig::new(grid).with_seed(0x9E12),
             slots_per_pe: 1024,
-            trace: TraceConfig::off(),
-            seed: 0x9E12,
         }
+    }
+}
+
+impl Deref for PermuteConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.run
+    }
+}
+
+impl DerefMut for PermuteConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.run
     }
 }
 
 /// Result of a permutation run.
 #[derive(Debug)]
 pub struct PermuteOutcome {
+    /// The permuted array, rank-order concatenation of every PE's slots:
+    /// `permuted[perm[i]] == i` for the global permutation `perm`.
+    pub permuted: Vec<u32>,
     /// Checksum (sum) of the permuted array — equals the source checksum.
     pub checksum: u64,
     /// The collected traces.
     pub bundle: TraceBundle,
+    /// Fault-tolerance activity (clean on an undisturbed run).
+    pub recovery: actorprof::RecoveryLog,
+}
+
+/// The global permutation a seed names (shared with the sequential
+/// oracle used by the test matrices).
+pub fn permutation(n_total: usize, seed: u64) -> Vec<u32> {
+    let mut p: Vec<u32> = (0..n_total as u32).collect();
+    p.shuffle(&mut StdRng::seed_from_u64(seed));
+    p
 }
 
 /// Wire format: `(local_slot << 32) | value`. Values are the global source
@@ -62,27 +85,19 @@ pub fn run(config: &PermuteConfig) -> Result<PermuteOutcome, AppError> {
     let n_total = config.grid.n_pes() * slots;
     assert!(n_total < u32::MAX as usize, "packed format limit");
     // The global permutation (same on every PE; deterministic).
-    let perm: Vec<u32> = {
-        let mut p: Vec<u32> = (0..n_total as u32).collect();
-        p.shuffle(&mut StdRng::seed_from_u64(config.seed));
-        p
-    };
+    let perm = permutation(n_total, config.seed);
 
-    let outcomes = spmd::run(config.grid, |pe| {
+    let report = config.profiler().run(|pe, prof| {
         let dest = Rc::new(RefCell::new(vec![u32::MAX; slots]));
         let d = Rc::clone(&dest);
-        let mut actor = Selector::new(
-            pe,
-            1,
-            SelectorConfig::traced(config.trace.clone()),
-            move |_mb, msg: u64, _from, _ctx| {
+        let mut actor = prof
+            .selector(1, move |_mb, msg: u64, _from, _ctx| {
                 let slot = (msg >> 32) as usize;
                 let value = (msg & 0xffff_ffff) as u32;
                 let prev = std::mem::replace(&mut d.borrow_mut()[slot], value);
                 assert_eq!(prev, u32::MAX, "slot written twice: not a permutation");
-            },
-        )
-        .expect("selector construction");
+            })
+            .expect("selector construction");
         actor
             .execute(pe, |ctx| {
                 let base = ctx.rank() * slots;
@@ -93,6 +108,7 @@ pub fn run(config: &PermuteConfig) -> Result<PermuteOutcome, AppError> {
                     // the "value" scattered is the source index itself
                     ctx.send(0, pack(slot, src_global), owner).expect("scatter");
                 }
+                ctx.done(0).expect("done(0)");
             })
             .expect("permute execute");
         let local = dest.borrow();
@@ -100,24 +116,30 @@ pub fn run(config: &PermuteConfig) -> Result<PermuteOutcome, AppError> {
             local.iter().all(|&v| v != u32::MAX),
             "every slot must be filled by a permutation"
         );
-        let checksum: u64 = local.iter().map(|&v| v as u64).sum();
-        (checksum, actor.into_collector())
+        local.clone()
     })?;
 
-    let (per_pe, bundle) = split_outcomes(outcomes)?;
-    let checksum: u64 = per_pe.iter().sum();
+    let (per_pe, bundle, recovery) = (report.results, report.bundle, report.recovery);
+    let permuted: Vec<u32> = per_pe.into_iter().flatten().collect();
+    let checksum: u64 = permuted.iter().map(|&v| v as u64).sum();
     let expected: u64 = (0..n_total as u64).sum();
     if checksum != expected {
         return Err(AppError::Validation(format!(
             "permute checksum {checksum} != {expected}"
         )));
     }
-    Ok(PermuteOutcome { checksum, bundle })
+    Ok(PermuteOutcome {
+        permuted,
+        checksum,
+        bundle,
+        recovery,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use actorprof_trace::TraceConfig;
 
     #[test]
     fn permutation_rearranges_exactly_one_node() {
@@ -125,6 +147,11 @@ mod tests {
         cfg.slots_per_pe = 128;
         let out = run(&cfg).unwrap();
         assert_eq!(out.checksum, (0..512u64).sum());
+        // scattered value at perm[i] is the source index i
+        let perm = permutation(512, cfg.seed);
+        for (i, &target) in perm.iter().enumerate() {
+            assert_eq!(out.permuted[target as usize], i as u32);
+        }
     }
 
     #[test]
@@ -148,10 +175,29 @@ mod tests {
         cfg.seed ^= 0xFF;
         let b = run(&cfg).unwrap();
         assert_eq!(a.checksum, b.checksum);
+        assert_ne!(a.permuted, b.permuted, "the permutation itself changed");
         let (ma, mb) = (
             a.bundle.logical_matrix().unwrap(),
             b.bundle.logical_matrix().unwrap(),
         );
         assert_eq!(ma.total(), mb.total());
+    }
+
+    #[test]
+    fn recovers_from_a_killed_pe() {
+        use fabsp_shmem::{FaultSpec, RecoverySpec};
+        let mut cfg = PermuteConfig::new(Grid::single_node(2).unwrap());
+        cfg.slots_per_pe = 32;
+        let base = run(&cfg).unwrap();
+        assert!(base.recovery.is_clean(), "{}", base.recovery);
+        cfg.run = cfg
+            .run
+            .clone()
+            .with_faults(FaultSpec::kill_pe(1, 0))
+            .with_recovery(RecoverySpec::restart(2))
+            .with_checkpoint_every(1);
+        let out = run(&cfg).unwrap();
+        assert_eq!(out.permuted, base.permuted);
+        assert_eq!(out.recovery.restarts, 1, "{}", out.recovery);
     }
 }

@@ -1,0 +1,122 @@
+//! Per-app throughput smoke over the whole workload registry.
+//!
+//! Runs every app in `fabsp_apps::registry()` (the same nine-app matrix
+//! the schedule-fuzz / crash-recovery / race-detect suites sweep) and
+//! writes a JSON artifact with, per app: the message count the run moved,
+//! end-to-end items/s for the untraced arm, and the overhead of logical
+//! tracing on top of it. Times are end-to-end (input generation, the
+//! exchange, and result validation against the sequential oracle), so the
+//! numbers are honest "what does this workload cost in CI" figures, not
+//! peak conveyor throughput — `bench_hotpath` measures that.
+//!
+//! ```text
+//! cargo run --release -p fabsp-bench --bin apps_smoke
+//! ACTORPROF_SCALE=6 ACTORPROF_APPS_REPS=2 \
+//!   cargo run --release -p fabsp-bench --bin apps_smoke   # CI smoke
+//! ```
+//!
+//! Environment knobs: `ACTORPROF_SCALE` (workload scale, the same knob
+//! the test matrices use; default 6, clamped 3..=12),
+//! `ACTORPROF_APPS_REPS` (best-of repetitions, default 3),
+//! `ACTORPROF_APPS_OUT` (default `BENCH_apps_smoke.json`).
+
+use std::time::Instant;
+
+use fabsp_apps::registry;
+use fabsp_shmem::Grid;
+use fabsp_testkit::matrix::{scale_from_env, MatrixParams};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let reps = env_usize("ACTORPROF_APPS_REPS", 3).max(1);
+    let out = std::env::var("ACTORPROF_APPS_OUT")
+        .unwrap_or_else(|_| "BENCH_apps_smoke.json".to_string());
+    let grid = Grid::new(2, 2).expect("2x2 grid");
+    let n_pes = grid.n_pes();
+    let scale = scale_from_env();
+    let logical_params = MatrixParams::new(grid);
+    let mut untraced_params = MatrixParams::new(grid);
+    untraced_params.logical = false;
+
+    println!(
+        "apps_smoke: {} apps, scale {scale}, {n_pes} PEs, best of {reps}",
+        registry().len()
+    );
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>10}",
+        "app", "messages", "items/s", "traced it/s", "overhead"
+    );
+
+    let mut sections = Vec::new();
+    for app in registry() {
+        // One logical run up front: golden-checked, and its trace matrix
+        // total is the message count both timed arms move.
+        let probe = app
+            .run(&logical_params)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        probe.assert_golden(&app.name);
+        let messages: u64 = probe
+            .logical
+            .as_ref()
+            .expect("logical trace collected")
+            .iter()
+            .sum();
+
+        let best = |params: &MatrixParams| -> f64 {
+            let mut secs = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let run = app
+                    .run(params)
+                    .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+                secs = secs.min(t0.elapsed().as_secs_f64());
+                assert_eq!(
+                    run.result_digest, probe.result_digest,
+                    "{}: timed arm diverged from the probe run",
+                    app.name
+                );
+            }
+            messages as f64 / secs
+        };
+        let untraced = best(&untraced_params);
+        let traced = best(&logical_params);
+        let overhead = (untraced / traced - 1.0) * 100.0;
+
+        println!(
+            "{:<14} {:>10} {:>14.0} {:>14.0} {:>9.1}%",
+            app.name, messages, untraced, traced, overhead
+        );
+        sections.push(format!(
+            r#"    "{name}": {{
+      "messages": {messages},
+      "items_per_sec": {untraced:.0},
+      "traced_items_per_sec": {traced:.0},
+      "logical_tracing_overhead_percent": {overhead:.2}
+    }}"#,
+            name = app.name,
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "benchmark": "apps_smoke",
+  "workload": "full registry, end-to-end (generation + exchange + validation)",
+  "scale": {scale},
+  "pes": {n_pes},
+  "reps_best_of": {reps},
+  "apps": {{
+{body}
+  }}
+}}
+"#,
+        body = sections.join(",\n")
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -12,7 +12,9 @@
 //! - [`csr`] — compressed sparse row storage with O(log d) edge queries;
 //! - [`dist`] — the two row distributions and their ownership maps;
 //! - [`triangle_ref`] — sequential reference triangle counts used to
-//!   validate the distributed runs "by using assertion" as §IV-C does.
+//!   validate the distributed runs "by using assertion" as §IV-C does;
+//! - [`skew`] — Zipf-distributed key sampling for deliberately
+//!   load-imbalanced aggregation workloads.
 //!
 //! The power-law skew of unpermuted R-MAT concentrates high-degree hubs at
 //! low vertex ids (vertex 0 is the biggest); under 1D Cyclic those hubs
@@ -26,8 +28,10 @@ pub mod csr;
 pub mod dist;
 pub mod edgelist;
 pub mod rmat;
+pub mod skew;
 pub mod triangle_ref;
 
 pub use csr::Csr;
 pub use dist::Distribution;
 pub use rmat::RmatParams;
+pub use skew::ZipfSampler;

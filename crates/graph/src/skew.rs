@@ -1,0 +1,159 @@
+//! Skewed-key generation — Zipf-distributed samples over a finite key
+//! space.
+//!
+//! The R-MAT generator produces power-law *graphs*; aggregation-style
+//! workloads need power-law *key streams* instead: a handful of hot keys
+//! receiving most of the traffic. [`ZipfSampler`] draws keys
+//! `0..n_keys` with probability proportional to `1/(k+1)^exponent` by
+//! inverse-CDF lookup — deterministic given the caller's seeded RNG, so
+//! every sampled stream replays exactly (the same property the rest of the
+//! workload generators rely on for schedule-independence baselines).
+//!
+//! At `exponent ≈ 1` the skew is mild; at `exponent ≥ 1.5` the hottest key
+//! draws an order of magnitude more traffic than the median, which is what
+//! the skewed-aggregation workload uses to break PE load balance on
+//! purpose (the Fig-10-style imbalance views need real signal).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inverse-CDF sampler for a Zipf distribution over `0..n_keys`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[k]` = P(key <= k). Monotone, ends
+    /// at 1.0 (up to rounding).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the sampler for `n_keys` keys with the given exponent.
+    ///
+    /// # Panics
+    /// Panics on an empty key space or a non-finite/negative exponent —
+    /// configuration bugs, not data errors.
+    pub fn new(n_keys: usize, exponent: f64) -> ZipfSampler {
+        assert!(n_keys > 0, "Zipf needs a non-empty key space");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be finite and non-negative, got {exponent}"
+        );
+        let mut cdf = Vec::with_capacity(n_keys);
+        let mut acc = 0.0f64;
+        for k in 0..n_keys {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of keys in the sampled space.
+    pub fn n_keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of drawing `key`.
+    pub fn probability(&self, key: usize) -> f64 {
+        let hi = self.cdf[key];
+        let lo = if key == 0 { 0.0 } else { self.cdf[key - 1] };
+        hi - lo
+    }
+
+    /// Draw one key using the caller's RNG (deterministic given its seed).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let r: f64 = rng.gen();
+        // First key whose cumulative probability covers r.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&r).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Draw `count` keys into a fresh vector.
+    pub fn sample_many(&self, rng: &mut StdRng, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = ZipfSampler::new(64, 1.3);
+        let total: f64 = (0..64).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total {total}");
+        for k in 1..64 {
+            assert!(
+                z.probability(k) <= z.probability(k - 1) + 1e-15,
+                "mass must decrease with key rank (key {k})"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let z = ZipfSampler::new(32, 1.5);
+        let a = z.sample_many(&mut StdRng::seed_from_u64(7), 500);
+        let b = z.sample_many(&mut StdRng::seed_from_u64(7), 500);
+        assert_eq!(a, b);
+        let c = z.sample_many(&mut StdRng::seed_from_u64(8), 500);
+        assert_ne!(a, c, "different seeds draw different streams");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(10, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn high_exponent_concentrates_mass_on_the_hot_key() {
+        // The property the skewed-aggregation workload depends on: the
+        // hottest key dominates, so its owning PE becomes the hotspot.
+        let z = ZipfSampler::new(64, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; 64];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let uniform = n as u64 / 64;
+        assert!(
+            counts[0] > uniform * 10,
+            "key 0 drew {} of {n}, uniform share is {uniform}",
+            counts[0]
+        );
+        let tail: u64 = counts[32..].iter().sum();
+        assert!(
+            counts[0] > tail,
+            "one hot key outweighs the entire cold half: {} vs {tail}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(16, 0.0);
+        for k in 0..16 {
+            assert!((z.probability(k) - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty key space")]
+    fn empty_key_space_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

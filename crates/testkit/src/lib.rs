@@ -26,6 +26,11 @@
 //!   scheduler's step budget ([`DEFAULT_STEP_BUDGET`]) turns any deadlock
 //!   or livelock into a deterministic [`ShmemError::PePanicked`] instead
 //!   of a hang.
+//! - **App conformance matrix** — [`matrix`] defines the generic
+//!   [`matrix::AppSpec`]/[`matrix::MatrixParams`]/[`matrix::MatrixRun`]
+//!   contract the workload registry (`fabsp_apps::registry()`) implements,
+//!   so the schedule-fuzz, crash-recovery, and race-detect suites iterate
+//!   over every bundled app from one list.
 //!
 //! ## Example
 //!
@@ -46,6 +51,8 @@
 
 // Zero unsafe today; keep it that way by construction.
 #![forbid(unsafe_code)]
+
+pub mod matrix;
 
 use std::collections::HashMap;
 use std::collections::VecDeque;

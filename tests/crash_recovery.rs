@@ -28,9 +28,11 @@ use actorprof_suite::actorprof::{Matrix, Profiler, RecoverySpec, TraceBundle};
 use actorprof_suite::actorprof_trace::TraceConfig;
 use actorprof_suite::fabsp_apps::histogram::{self, HistogramConfig};
 use actorprof_suite::fabsp_apps::index_gather::{self, IndexGatherConfig};
+use actorprof_suite::fabsp_apps::registry;
 use actorprof_suite::fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
 use actorprof_suite::fabsp_graph::Csr;
 use actorprof_suite::fabsp_shmem::{spmd, FaultSpec, Grid, RecoveryLog, ShmemError};
+use actorprof_suite::fabsp_testkit::matrix::MatrixParams;
 
 /// Kill classes are on unless the CI matrix turns them off.
 fn kill_enabled() -> bool {
@@ -54,6 +56,47 @@ fn assert_one_recovered_kill(log: &RecoveryLog, rank: u32) {
     );
     assert_eq!(log.restarts, 1, "one restart recovered it: {log}");
     assert!(log.checkpoints_taken >= 1, "checkpointing was active: {log}");
+}
+
+#[test]
+fn every_registered_app_recovers_bit_identical_from_any_killed_pe() {
+    // The registry-wide form of the per-kernel sweeps below: for each of
+    // the nine apps, kill every rank in turn at the first superstep
+    // boundary and demand the recovered run reproduce the undisturbed
+    // baseline bit-for-bit — result digest, golden oracle, and logical
+    // trace matrix — with a RecoveryLog naming exactly the injected fault.
+    // This is the gate that keeps newly adopted apps honest about carrying
+    // recovery state through their Outcome.
+    let params = MatrixParams::new(Grid::new(2, 2).unwrap());
+    for app in registry() {
+        let base = app
+            .run(&params)
+            .unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
+        base.assert_golden(&format!("{} baseline", app.name));
+        assert!(
+            base.recovery.is_clean(),
+            "{} baseline: {}",
+            app.name,
+            base.recovery
+        );
+
+        if !kill_enabled() {
+            continue;
+        }
+        for rank in 0..params.grid.n_pes() as u32 {
+            let p = params
+                .clone()
+                .with_faults(FaultSpec::kill_pe(rank, 0))
+                .with_recovery(RecoverySpec::restart(2), 1);
+            let out = app
+                .run(&p)
+                .unwrap_or_else(|e| panic!("{} kill rank {rank}: {e}", app.name));
+            let ctx = format!("{} kill rank {rank}", app.name);
+            out.assert_matches(&base, &ctx);
+            out.assert_golden(&ctx);
+            assert_one_recovered_kill(&out.recovery, rank);
+        }
+    }
 }
 
 #[test]

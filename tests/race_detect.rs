@@ -13,8 +13,10 @@
 //! 3. **Clean-run + overhead** — a real conveyor workload runs clean under
 //!    seeded schedules, and the same workload with the detector disabled
 //!    gives the overhead baseline (reported in test output; the full
-//!    102-schedule matrix of tests/schedule_fuzz.rs runs under this
-//!    feature in the CI race-detect lane).
+//!    123-schedule matrix of tests/schedule_fuzz.rs runs under this
+//!    feature in the CI race-detect lane). The nine-app registry lane
+//!    below additionally runs every bundled workload clean on two seeded
+//!    schedules each.
 
 #![cfg(feature = "race-detect")]
 
@@ -248,8 +250,38 @@ fn recovery_machinery_adds_no_happens_before_regressions() {
 }
 
 #[test]
+fn every_registered_app_is_clean_under_the_detector() {
+    // The detector attaches by default under this feature, so running the
+    // nine-app registry (bfs, pagerank, permute, jaccard, intsort,
+    // skewed_agg, and the original three kernels) IS the check: any
+    // unordered access pair in an app, the actor layer, or the conveyors
+    // panics the run. Two seeded schedules per app on top of the
+    // OS-scheduled baseline keep the lane cheap while still exploring
+    // interleavings the OS never produces.
+    use actorprof_suite::fabsp_apps::registry;
+    use actorprof_suite::fabsp_testkit::matrix::MatrixParams;
+
+    let params = MatrixParams::new(Grid::new(2, 2).unwrap());
+    for (app_idx, app) in registry().into_iter().enumerate() {
+        let base = app
+            .run(&params)
+            .unwrap_or_else(|e| panic!("{} raced on the OS schedule: {e}", app.name));
+        base.assert_golden(&format!("{} (race-detect baseline)", app.name));
+        for seed in 0..2u64 {
+            let p = params
+                .clone()
+                .with_sched(SchedSpec::random_walk(0xD37EC7 + app_idx as u64 * 10 + seed));
+            let out = app
+                .run(&p)
+                .unwrap_or_else(|e| panic!("{} raced on seed {seed}: {e}", app.name));
+            out.assert_matches(&base, &format!("{} race-detect seed {seed}", app.name));
+        }
+    }
+}
+
+#[test]
 fn conveyor_exchange_is_clean_and_overhead_is_reported() {
-    // Clean across a seed sweep (the full 102-schedule app matrix runs in
+    // Clean across a seed sweep (the full 123-schedule app matrix runs in
     // schedule_fuzz.rs under this same feature)...
     let mut checked = Duration::ZERO;
     let mut unchecked = Duration::ZERO;

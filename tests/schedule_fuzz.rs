@@ -1,32 +1,34 @@
-//! Schedule fuzzing: the three workloads must be *schedule independent*.
+//! Schedule fuzzing: every bundled workload must be *schedule
+//! independent*.
 //!
-//! Every kernel's logical trace matrix and application result are pure
+//! Each app's logical trace matrix and application result are pure
 //! functions of the app seed — the thread interleaving, put/quiet timing,
-//! and conveyor buffer boundaries may vary freely underneath. This sweep
-//! runs each kernel under ≥100 seeded random-walk schedules (34 per app,
-//! half of them with `nbi_shuffle` fault injection) and asserts every one
-//! reproduces the OS-scheduled baseline bit-for-bit. A divergence names
-//! the seed, which replays that exact schedule.
+//! and conveyor buffer boundaries may vary freely underneath. The sweep
+//! iterates the nine-app registry (`fabsp_apps::registry()`): per app, an
+//! OS-scheduled baseline [`MatrixRun`] is captured, checked against the
+//! app's sequential golden oracle, and then replayed under seeded
+//! random-walk schedules in three fault modes (none, `nbi_shuffle`,
+//! `net_flaky`). Every replay must reproduce the baseline bit-for-bit —
+//! result digest *and* flattened logical matrix (which also pins message
+//! conservation: same per-pair send counts under every schedule). A
+//! divergence names the app and seed, which replays that exact schedule.
+//!
+//! Per-app seed budgets (Σ budgets × 3 modes = 123 schedules) keep the
+//! sweep past the 100-schedule floor while staying CI-affordable; the
+//! capacity-1 and kill/restart lanes run smaller seed slices on top.
 //!
 //! Physical traces and timings are intentionally *not* compared: buffer
 //! flush boundaries legitimately depend on the schedule.
 //!
 //! `FABSP_TESTKIT_SEED` offsets the seed range so CI can sweep disjoint
-//! schedule sets across jobs without code changes.
+//! schedule sets across jobs without code changes; `ACTORPROF_SCALE`
+//! scales every workload from one knob.
 
-use actorprof_suite::actorprof::TraceBundle;
-use actorprof_suite::actorprof_trace::TraceConfig;
-use actorprof_suite::fabsp_apps::histogram::{self, HistogramConfig};
-use actorprof_suite::fabsp_apps::index_gather::{self, IndexGatherConfig};
-use actorprof_suite::fabsp_apps::triangle::{count_triangles, DistKind, TriangleConfig};
+use actorprof_suite::fabsp_apps::registry;
 use actorprof_suite::fabsp_conveyors::ConveyorOptions;
-use actorprof_suite::fabsp_graph::Csr;
-use actorprof_suite::fabsp_shmem::{FaultSpec, Grid, SchedSpec};
+use actorprof_suite::fabsp_shmem::{FaultSpec, Grid, RecoverySpec, SchedSpec};
+use actorprof_suite::fabsp_testkit::matrix::{MatrixParams, MatrixRun};
 use actorprof_suite::fabsp_testkit::DEFAULT_STEP_BUDGET;
-
-/// Seeds per (app, fault) combination: 3 apps × 3 fault modes × 17 = 153
-/// schedules, comfortably past the 100-schedule floor.
-const SEEDS_PER_SWEEP: u64 = 17;
 
 /// CI seed offset: disjoint jobs explore disjoint schedule sets.
 fn seed_base() -> u64 {
@@ -48,187 +50,129 @@ fn fault_modes() -> [FaultSpec; 3] {
     ]
 }
 
-fn sweep_seeds(mode: usize) -> impl Iterator<Item = u64> {
-    let lo = seed_base() + (mode as u64) * 10_000;
-    lo..lo + SEEDS_PER_SWEEP
+/// Seed window for `(app, mode)`: disjoint per mode and per app so no two
+/// sweeps replay the same schedule.
+fn sweep_seeds(app_idx: usize, mode: usize, budget: u64) -> impl Iterator<Item = u64> {
+    let lo = seed_base() + (mode as u64) * 10_000 + (app_idx as u64) * 100;
+    lo..lo + budget
 }
 
-fn logical(bundle: &TraceBundle) -> actorprof_suite::actorprof::Matrix {
-    bundle.logical_matrix().expect("logical trace collected")
+fn fuzz_grid() -> Grid {
+    Grid::new(2, 2).unwrap()
+}
+
+fn baseline(params: &MatrixParams, name: &str) -> MatrixRun {
+    let apps = registry();
+    let app = apps.iter().find(|a| a.name == name).expect("registered");
+    let run = app
+        .run(params)
+        .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
+    run.assert_golden(&format!("{name} baseline"));
+    run
 }
 
 #[test]
-fn histogram_is_schedule_independent() {
-    let mut cfg = HistogramConfig::new(Grid::new(2, 2).unwrap());
-    cfg.updates_per_pe = 48;
-    cfg.table_size_per_pe = 16;
-    cfg.trace = TraceConfig::off().with_logical();
-    let base = histogram::run(&cfg).expect("baseline run");
-    let base_matrix = logical(&base.bundle);
+fn registry_is_schedule_independent() {
+    let params = MatrixParams::new(fuzz_grid());
+    let mut schedules = 0u64;
+    for (app_idx, app) in registry().into_iter().enumerate() {
+        let base = app
+            .run(&params)
+            .unwrap_or_else(|e| panic!("{} baseline: {e}", app.name));
+        base.assert_golden(&format!("{} baseline", app.name));
+        assert!(
+            base.recovery.is_clean(),
+            "{} baseline: {}",
+            app.name,
+            base.recovery
+        );
+        let logical = base.logical.as_ref().expect("logical trace collected");
+        assert!(
+            logical.iter().sum::<u64>() > 0,
+            "{}: the baseline sent traffic",
+            app.name
+        );
 
-    for (mode, faults) in fault_modes().into_iter().enumerate() {
-        for seed in sweep_seeds(mode) {
-            let mut c = cfg.clone();
-            c.sched = SchedSpec::random_walk(seed);
-            c.faults = faults;
-            let out = histogram::run(&c)
-                .unwrap_or_else(|e| panic!("histogram seed {seed} ({faults:?}): {e}"));
-            assert_eq!(
-                out.per_pe_updates, base.per_pe_updates,
-                "histogram result diverged, seed {seed} ({faults:?})"
-            );
-            assert_eq!(
-                logical(&out.bundle),
-                base_matrix,
-                "histogram logical trace diverged, seed {seed} ({faults:?})"
-            );
+        for (mode, faults) in fault_modes().into_iter().enumerate() {
+            for seed in sweep_seeds(app_idx, mode, app.fuzz_seed_budget) {
+                let p = params
+                    .clone()
+                    .with_sched(SchedSpec::random_walk(seed))
+                    .with_faults(faults);
+                let out = app
+                    .run(&p)
+                    .unwrap_or_else(|e| panic!("{} seed {seed} ({faults:?}): {e}", app.name));
+                let ctx = format!("{} seed {seed} ({faults:?})", app.name);
+                out.assert_matches(&base, &ctx);
+                out.assert_golden(&ctx);
+                schedules += 1;
+            }
         }
     }
+    assert!(
+        schedules >= 100,
+        "the sweep must cover >= 100 schedules, ran {schedules}"
+    );
 }
 
 #[test]
-fn index_gather_is_schedule_independent() {
-    let mut cfg = IndexGatherConfig::new(Grid::new(2, 2).unwrap());
-    cfg.reads_per_pe = 40;
-    cfg.table_size_per_pe = 16;
-    cfg.trace = TraceConfig::off().with_logical();
-    let base = index_gather::run(&cfg).expect("baseline run");
-    let base_matrix = logical(&base.bundle);
-
-    for (mode, faults) in fault_modes().into_iter().enumerate() {
-        for seed in sweep_seeds(mode) {
-            let mut c = cfg.clone();
-            c.sched = SchedSpec::random_walk(seed);
-            c.faults = faults;
-            let out = index_gather::run(&c)
-                .unwrap_or_else(|e| panic!("index-gather seed {seed} ({faults:?}): {e}"));
-            // run() already validates every read; cross-check the count
-            // and the request/response message matrix.
-            assert_eq!(out.correct_reads, base.correct_reads, "seed {seed}");
-            assert_eq!(
-                logical(&out.bundle),
-                base_matrix,
-                "index-gather logical trace diverged, seed {seed} ({faults:?})"
-            );
-        }
-    }
-}
-
-/// A 6-vertex graph with hub structure: K4 on {0..3} plus pendant
-/// triangles through 4 and 5 — small enough to fuzz, non-trivial enough
-/// to route wedges between all PEs.
-fn fuzz_graph() -> Csr {
-    let edges = [
-        (1, 0),
-        (2, 0),
-        (3, 0),
-        (2, 1),
-        (3, 1),
-        (3, 2),
-        (4, 0),
-        (4, 1),
-        (5, 2),
-        (5, 3),
-        (5, 4),
-    ];
-    Csr::from_edges(6, &edges)
-}
-
-#[test]
-fn triangle_count_is_schedule_independent() {
-    let l = fuzz_graph();
-    let cfg = TriangleConfig::new(Grid::new(2, 2).unwrap())
-        .with_dist(DistKind::Cyclic)
-        .with_trace(TraceConfig::off().with_logical());
-    let base = count_triangles(&l, &cfg).expect("baseline run");
-    let base_matrix = logical(&base.bundle);
-
-    for (mode, faults) in fault_modes().into_iter().enumerate() {
-        for seed in sweep_seeds(mode) {
-            let mut c = cfg.clone();
-            c.sched = SchedSpec::random_walk(seed);
-            c.faults = faults;
-            // validate=true: every schedule must also match the sequential
-            // reference count, not just the baseline.
-            let out = count_triangles(&l, &c)
-                .unwrap_or_else(|e| panic!("triangle seed {seed} ({faults:?}): {e}"));
-            assert_eq!(out.triangles, base.triangles, "seed {seed}");
-            assert_eq!(out.per_pe_triangles, base.per_pe_triangles, "seed {seed}");
-            assert_eq!(
-                logical(&out.bundle),
-                base_matrix,
-                "triangle logical trace diverged, seed {seed} ({faults:?})"
-            );
-        }
-    }
-    // Sanity: the sweep really covers >= 100 schedules across the suite.
-    const { assert!(3 * 3 * SEEDS_PER_SWEEP >= 100) };
-}
-
-#[test]
-fn triangle_survives_capacity_one_aggregation() {
+fn registry_survives_capacity_one_aggregation() {
     // Shrink every aggregation buffer and landing slot to a single item:
     // maximal buffer-boundary pressure, constant flushing, and (on the
-    // mesh) relay traffic at every step. Results must be unchanged.
-    let l = fuzz_graph();
-    let mut cfg = TriangleConfig::new(Grid::new(2, 2).unwrap())
-        .with_dist(DistKind::RangeByNnz)
-        .with_trace(TraceConfig::off().with_logical());
-    cfg.conveyor = ConveyorOptions {
+    // mesh) relay traffic at every step. Results must be unchanged for
+    // every app under every fault mode.
+    let mut params = MatrixParams::new(fuzz_grid());
+    params.conveyor = ConveyorOptions {
         capacity: 1,
         ..ConveyorOptions::default()
     };
-    let base = count_triangles(&l, &cfg).expect("capacity-1 baseline");
-    let base_matrix = logical(&base.bundle);
-
-    for (mode, faults) in fault_modes().into_iter().enumerate() {
-        for seed in sweep_seeds(mode).take(5) {
-            let mut c = cfg.clone();
-            c.sched = SchedSpec::random_walk(seed);
-            c.faults = faults;
-            let out = count_triangles(&l, &c)
-                .unwrap_or_else(|e| panic!("capacity-1 seed {seed} ({faults:?}): {e}"));
-            assert_eq!(out.triangles, base.triangles, "seed {seed}");
-            assert_eq!(logical(&out.bundle), base_matrix, "seed {seed}");
+    for (app_idx, app) in registry().into_iter().enumerate() {
+        let base = app
+            .run(&params)
+            .unwrap_or_else(|e| panic!("{} capacity-1 baseline: {e}", app.name));
+        base.assert_golden(&format!("{} capacity-1 baseline", app.name));
+        for (mode, faults) in fault_modes().into_iter().enumerate() {
+            for seed in sweep_seeds(app_idx, mode + 5, 2) {
+                let p = params
+                    .clone()
+                    .with_sched(SchedSpec::random_walk(seed))
+                    .with_faults(faults);
+                let out = app.run(&p).unwrap_or_else(|e| {
+                    panic!("{} capacity-1 seed {seed} ({faults:?}): {e}", app.name)
+                });
+                out.assert_matches(
+                    &base,
+                    &format!("{} capacity-1 seed {seed} ({faults:?})", app.name),
+                );
+            }
         }
     }
 }
 
 #[test]
-fn kill_and_restart_is_schedule_independent() {
+fn kill_and_restart_is_schedule_independent_across_registry() {
     // Crash recovery composes with schedule exploration: killing a PE at
     // the first superstep boundary and restarting must reproduce the
     // OS-scheduled, unkilled baseline under every explored schedule. The
     // scheduler is rebuilt per attempt, so the retried attempt replays the
     // same seeded walk.
-    use actorprof_suite::fabsp_shmem::RecoverySpec;
-
-    let mut cfg = HistogramConfig::new(Grid::new(2, 2).unwrap());
-    cfg.updates_per_pe = 32;
-    cfg.table_size_per_pe = 16;
-    cfg.trace = TraceConfig::off().with_logical();
-    let base = histogram::run(&cfg).expect("baseline run");
-    let base_matrix = logical(&base.bundle);
-
-    for seed in sweep_seeds(3).take(6) {
-        let mut c = cfg.clone();
-        c.sched = SchedSpec::random_walk(seed);
-        c.faults = FaultSpec::kill_pe(1, 0);
-        c.checkpoint_every = Some(1);
-        c.recovery = RecoverySpec::restart(2);
-        let out = histogram::run(&c)
-            .unwrap_or_else(|e| panic!("kill+restart seed {seed}: {e}"));
-        assert_eq!(
-            out.per_pe_updates, base.per_pe_updates,
-            "recovered result diverged, seed {seed}"
-        );
-        assert_eq!(
-            logical(&out.bundle),
-            base_matrix,
-            "recovered logical trace diverged, seed {seed}"
-        );
-        assert_eq!(out.recovery.restarts, 1, "seed {seed}: {}", out.recovery);
-        assert_eq!(out.recovery.kills_observed.len(), 1, "seed {seed}");
+    let params = MatrixParams::new(fuzz_grid());
+    for (app_idx, app) in registry().into_iter().enumerate() {
+        let base = baseline(&params, app.name);
+        for seed in sweep_seeds(app_idx, 9, 2) {
+            let p = params
+                .clone()
+                .with_sched(SchedSpec::random_walk(seed))
+                .with_faults(FaultSpec::kill_pe(1, 0))
+                .with_recovery(RecoverySpec::restart(2), 1);
+            let out = app
+                .run(&p)
+                .unwrap_or_else(|e| panic!("{} kill+restart seed {seed}: {e}", app.name));
+            let ctx = format!("{} kill+restart seed {seed}", app.name);
+            out.assert_matches(&base, &ctx);
+            assert_eq!(out.recovery.restarts, 1, "{ctx}: {}", out.recovery);
+            assert_eq!(out.recovery.kills_observed.len(), 1, "{ctx}");
+        }
     }
 }
 
@@ -236,6 +180,7 @@ fn kill_and_restart_is_schedule_independent() {
 fn step_budget_is_generous_enough_for_the_workloads() {
     // The termination checker (step budget) must never fire on a healthy
     // run; document the headroom so scale bumps don't silently approach it.
+    use actorprof_suite::fabsp_apps::histogram::{self, HistogramConfig};
     let mut cfg = HistogramConfig::new(Grid::single_node(2).unwrap());
     cfg.updates_per_pe = 8;
     cfg.table_size_per_pe = 8;
