@@ -33,7 +33,7 @@
 //! HClib-Actor's mailbox-chaining termination pattern.
 
 use actorprof_trace::{PeCollector, SharedCollector, TraceBuffer, TraceConfig};
-use fabsp_conveyors::{Conveyor, ConveyorOptions, ConveyorStats};
+use fabsp_conveyors::{Conveyor, ConveyorOptions, ConveyorStats, ExchangeMode};
 use fabsp_hwpc::cost::model;
 use fabsp_hwpc::{counters, Region, RegionTimer, MAX_EVENTS};
 use fabsp_shmem::Pe;
@@ -88,6 +88,14 @@ pub struct Selector<'h, T: Copy + Default + Send + 'static> {
     /// drains into the collector at progress boundaries.
     send_buf: TraceBuffer,
     papi_events: Vec<fabsp_hwpc::Event>,
+    /// How the runtime drives the conveyors: batched slice submission and
+    /// zero-copy batch delivery (default), or the per-item protocol. App
+    /// code is identical under both — the conveyor orders items the same
+    /// way — so this is a pure runtime-efficiency knob.
+    exchange: ExchangeMode,
+    /// Reusable staging buffer for batching contiguous same-destination
+    /// outbox runs into one `push_slice` (no per-round allocation).
+    outbox_scratch: Vec<T>,
     executed: bool,
 }
 
@@ -194,6 +202,8 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
             collector,
             send_buf: TraceBuffer::for_config(&config.trace),
             papi_events,
+            exchange: config.conveyor.exchange,
+            outbox_scratch: Vec::new(),
             executed: false,
         })
     }
@@ -358,6 +368,79 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
         Ok(())
     }
 
+    /// Whether the per-item conveyor surface must be used despite batched
+    /// mode: per-send PAPI attribution needs one counter delta per message,
+    /// which a slice submission cannot provide.
+    fn force_per_item(&self) -> bool {
+        self.exchange == ExchangeMode::PerItem || !self.papi_events.is_empty()
+    }
+
+    /// Batched send from MAIN: submit a whole slice toward one destination
+    /// with `push_slice`, interleaving progress (handlers run — the FA-BSP
+    /// interleave) whenever only a prefix is accepted.
+    fn send_slice_from_main(
+        &mut self,
+        pe: &Pe,
+        mailbox: usize,
+        msgs: &[T],
+        dst: usize,
+    ) -> Result<(), ActorError> {
+        self.check_mailbox(mailbox)?;
+        if self.mailboxes[mailbox].user_done || self.mailboxes[mailbox].done_signaled {
+            return Err(ActorError::SendAfterDone { mailbox });
+        }
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        if self.force_per_item() {
+            for &msg in msgs {
+                self.send_from_main(pe, mailbox, msg, dst)?;
+            }
+            return Ok(());
+        }
+
+        let record = |buf: &mut TraceBuffer, accepted: usize| {
+            for _ in 0..accepted {
+                buf.record_send(dst, std::mem::size_of::<T>() as u32, mailbox as u32, None);
+            }
+        };
+
+        model::SEND_PUSH.charge();
+        let report = self.mailboxes[mailbox].conveyor.push_slice(pe, msgs, dst)?;
+        record(&mut self.send_buf, report.accepted);
+        if let Some(m) = pe.metrics() {
+            m.add(Counter::ActorSends, report.accepted as u64);
+        }
+        let mut offset = report.accepted;
+
+        if offset < msgs.len() {
+            // Buffers full mid-slice: leave MAIN and alternate progress
+            // with resubmission of the unaccepted suffix.
+            self.timer.exit(Region::Main);
+            loop {
+                self.progress_once(pe);
+                model::SEND_PUSH.charge();
+                let report = self.mailboxes[mailbox]
+                    .conveyor
+                    .push_slice(pe, &msgs[offset..], dst)?;
+                record(&mut self.send_buf, report.accepted);
+                if let Some(m) = pe.metrics() {
+                    m.add(Counter::ActorSends, report.accepted as u64);
+                }
+                offset += report.accepted;
+                if offset == msgs.len() {
+                    break;
+                }
+                if let Some(m) = pe.metrics() {
+                    m.count(Counter::ActorYields);
+                }
+                pe.poll_yield();
+            }
+            self.timer.enter(Region::Main);
+        }
+        Ok(())
+    }
+
     fn done_from_main(&mut self, mailbox: usize) -> Result<(), ActorError> {
         self.check_mailbox(mailbox)?;
         self.mailboxes[mailbox].user_done = true;
@@ -428,6 +511,61 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
         let mut handler = self.handler.take().expect("handler in use reentrantly");
         let n_pes = pe.n_pes();
         let rank = pe.rank();
+        if !self.force_per_item() {
+            // Batched drain: each `pull_batch` hands out one origin run as
+            // a zero-copy slice; the handler runs over it without the
+            // per-item pull round-trip.
+            for mb in 0..self.mailboxes.len() {
+                while self.mailboxes[mb].conveyor.pending_pulls() > 0 {
+                    let done_flags: Vec<(bool, bool)> = self
+                        .mailboxes
+                        .iter()
+                        .map(|m| (m.user_done, m.done_signaled))
+                        .collect();
+                    let mut done_requests = vec![false; self.mailboxes.len()];
+                    // Outboxes move into owned storage before `pull_batch`
+                    // borrows the conveyor, so the handler context and the
+                    // delivered slice can coexist.
+                    let mut outboxes: Vec<_> = self
+                        .mailboxes
+                        .iter_mut()
+                        .map(|m| std::mem::take(&mut m.outbox))
+                        .collect();
+                    let mut pulled_any = false;
+                    if let Some(batch) = self.mailboxes[mb].conveyor.pull_batch() {
+                        pulled_any = true;
+                        let from = batch.src;
+                        let mut ctx = ProcCtx {
+                            outboxes: &mut outboxes,
+                            done_flags: &done_flags,
+                            done_requests: &mut done_requests,
+                            rank,
+                            n_pes,
+                        };
+                        self.timer.enter(Region::Proc);
+                        for &msg in batch.items {
+                            model::PULL.charge();
+                            model::HANDLER_DISPATCH.charge();
+                            handler(mb, msg, from, &mut ctx);
+                        }
+                        self.timer.exit(Region::Proc);
+                    }
+                    for (m, ob) in self.mailboxes.iter_mut().zip(outboxes) {
+                        m.outbox = ob;
+                    }
+                    for (m, req) in self.mailboxes.iter_mut().zip(done_requests) {
+                        if req {
+                            m.user_done = true;
+                        }
+                    }
+                    if !pulled_any {
+                        break;
+                    }
+                }
+            }
+            self.handler = Some(handler);
+            return any_active;
+        }
         for mb in 0..self.mailboxes.len() {
             while let Some(delivery) = self.mailboxes[mb].conveyor.pull() {
                 let (from, msg) = (delivery.src, delivery.item);
@@ -473,7 +611,52 @@ impl<'h, T: Copy + Default + Send + 'static> Selector<'h, T> {
 
     /// Push handler-staged sends into the conveyors (best effort; items
     /// that don't fit stay queued for the next round).
+    ///
+    /// In batched mode, contiguous same-destination runs at the front of
+    /// each outbox are submitted with one `push_slice`; only the accepted
+    /// prefix is popped, so refused items stay queued exactly as in the
+    /// per-item path.
     fn drain_outboxes(&mut self, pe: &Pe) {
+        if !self.force_per_item() {
+            let mut scratch = std::mem::take(&mut self.outbox_scratch);
+            for mb in 0..self.mailboxes.len() {
+                while let Some(&(_, dst)) = self.mailboxes[mb].outbox.front() {
+                    assert!(
+                        !self.mailboxes[mb].done_signaled,
+                        "outbox item for mailbox {mb} after done was signalled"
+                    );
+                    scratch.clear();
+                    for &(msg, d) in self.mailboxes[mb].outbox.iter() {
+                        if d != dst {
+                            break;
+                        }
+                        scratch.push(msg);
+                    }
+                    model::SEND_PUSH.charge();
+                    let report = self.mailboxes[mb]
+                        .conveyor
+                        .push_slice(pe, &scratch, dst)
+                        .expect("outbox destinations were validated at staging");
+                    for _ in 0..report.accepted {
+                        self.mailboxes[mb].outbox.pop_front();
+                        self.send_buf.record_send(
+                            dst,
+                            std::mem::size_of::<T>() as u32,
+                            mb as u32,
+                            None,
+                        );
+                    }
+                    if let Some(m) = pe.metrics() {
+                        m.add(Counter::ActorSends, report.accepted as u64);
+                    }
+                    if report.accepted < scratch.len() {
+                        break; // buffers full; retry next round
+                    }
+                }
+            }
+            self.outbox_scratch = scratch;
+            return;
+        }
         for mb in 0..self.mailboxes.len() {
             while let Some(&(msg, dst)) = self.mailboxes[mb].outbox.front() {
                 assert!(
@@ -549,6 +732,15 @@ impl<T: Copy + Default + Send + 'static> MainCtx<'_, '_, '_, T> {
     /// the call always succeeds or reports a protocol error.
     pub fn send(&mut self, mailbox: usize, msg: T, dst: usize) -> Result<(), ActorError> {
         self.selector.send_from_main(self.pe, mailbox, msg, dst)
+    }
+
+    /// Batched send: enqueue every message in `msgs` for `dst` via
+    /// `mailbox` with one slice submission. Semantically identical to
+    /// calling [`send`](MainCtx::send) per item — same per-link ordering,
+    /// same overflow interleaving — but amortizes the conveyor protocol
+    /// over the whole slice.
+    pub fn send_slice(&mut self, mailbox: usize, msgs: &[T], dst: usize) -> Result<(), ActorError> {
+        self.selector.send_slice_from_main(self.pe, mailbox, msgs, dst)
     }
 
     /// Declare that this PE will send no more messages via `mailbox`
@@ -882,6 +1074,116 @@ mod tests {
             let o = collector.overall().unwrap();
             assert!(o.t_main > 0 && o.t_proc > 0);
             assert!(o.t_total >= o.t_main + o.t_proc);
+        }
+    }
+
+    /// Destination-bucketed histogram over `send_slice`; returns
+    /// per-PE delivered totals for a given exchange mode.
+    fn slice_histogram(mode: ExchangeMode, n_msgs: usize) -> Vec<u64> {
+        let grid = Grid::new(2, 2).unwrap();
+        spmd::run(grid, move |pe| {
+            let sum = Rc::new(RefCell::new(0u64));
+            let s = Rc::clone(&sum);
+            let mut actor = Selector::new(
+                pe,
+                1,
+                SelectorConfig {
+                    conveyor: ConveyorOptions {
+                        exchange: mode,
+                        ..Default::default()
+                    },
+                    trace: TraceConfig::off(),
+                },
+                move |_mb, v: u64, _from, _ctx| {
+                    *s.borrow_mut() += v;
+                },
+            )
+            .unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    let n_pes = ctx.n_pes();
+                    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); n_pes];
+                    for i in 0..n_msgs {
+                        buckets[(ctx.rank() + i) % n_pes].push(i as u64);
+                    }
+                    for (dst, b) in buckets.iter().enumerate() {
+                        ctx.send_slice(0, b, dst).unwrap();
+                    }
+                    ctx.done(0).unwrap();
+                })
+                .unwrap();
+            let v = *sum.borrow();
+            v
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn send_slice_delivers_everything_in_both_modes() {
+        let batched = slice_histogram(ExchangeMode::Batched, 300);
+        let per_item = slice_histogram(ExchangeMode::PerItem, 300);
+        let expected: u64 = 4 * (0..300u64).sum::<u64>();
+        assert_eq!(batched.iter().sum::<u64>(), expected);
+        assert_eq!(batched, per_item, "modes must deliver identically");
+    }
+
+    #[test]
+    fn send_slice_overflow_interleaves_handlers_into_main() {
+        // Slices far larger than capacity force partial acceptance; the
+        // runtime must drain handlers mid-slice and still deliver all.
+        let grid = Grid::single_node(2).unwrap();
+        let results = spmd::run(grid, |pe| {
+            let seen = Rc::new(RefCell::new(0u64));
+            let s = Rc::clone(&seen);
+            let mut actor = Selector::new(
+                pe,
+                1,
+                SelectorConfig {
+                    conveyor: ConveyorOptions {
+                        capacity: 4,
+                        ..Default::default()
+                    },
+                    trace: TraceConfig::off(),
+                },
+                move |_mb, _v: u64, _from, _ctx| {
+                    *s.borrow_mut() += 1;
+                },
+            )
+            .unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    let msgs: Vec<u64> = (0..800).collect();
+                    ctx.send_slice(0, &msgs, 1 - ctx.rank()).unwrap();
+                    ctx.done(0).unwrap();
+                })
+                .unwrap();
+            let v = *seen.borrow();
+            v
+        })
+        .unwrap();
+        assert_eq!(results, vec![800, 800]);
+    }
+
+    #[test]
+    fn batched_mode_reports_batched_conveyor_traffic() {
+        let grid = Grid::single_node(2).unwrap();
+        let stats = spmd::run(grid, |pe| {
+            let mut actor =
+                Selector::<u64>::new(pe, 1, SelectorConfig::default(), |_, _, _, _| {}).unwrap();
+            actor
+                .execute(pe, |ctx| {
+                    let msgs: Vec<u64> = (0..100).collect();
+                    ctx.send_slice(0, &msgs, 1 - ctx.rank()).unwrap();
+                })
+                .unwrap();
+            actor.stats()
+        })
+        .unwrap();
+        for s in &stats {
+            assert!(s.batched_pushes > 0, "send_slice must use push_slice");
+            assert!(s.batched_pulls > 0, "drain must use pull_batch");
+            assert_eq!(s.pushed, 100);
+            assert_eq!(s.pulled, 100);
         }
     }
 

@@ -13,7 +13,7 @@ use std::cell::{Cell, RefCell};
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// Unreached marker.
 pub const UNREACHED: u32 = u32::MAX;
@@ -148,12 +148,13 @@ pub fn run(adj: &Csr, config: &BfsConfig) -> Result<BfsOutcome, AppError> {
             level_cell.set(level);
             actor
                 .execute(pe, |ctx| {
+                    let mut expand = DestBuckets::new(n_pes);
                     for &v in &frontier {
                         for &w in adj.row(v as usize) {
-                            ctx.send(0, w as u64, dist_map.owner(w as usize))
-                                .expect("frontier send");
+                            expand.stage(dist_map.owner(w as usize), w as u64);
                         }
                     }
+                    expand.send_all(ctx, 0).expect("frontier send");
                     ctx.done(0).expect("done(0)");
                 })
                 .expect("bfs superstep");

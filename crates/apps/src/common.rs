@@ -2,7 +2,7 @@
 
 use actorprof::{ProfError, TraceBundle};
 use actorprof_trace::{PeCollector, TraceConfig};
-use fabsp_actor::ActorError;
+use fabsp_actor::{ActorError, MainCtx};
 use fabsp_conveyors::ConveyorOptions;
 use fabsp_shmem::{FaultSpec, Grid, Harness, RecoverySpec, SchedSpec, ShmemError};
 
@@ -175,6 +175,56 @@ impl From<actorprof::RunError> for AppError {
             actorprof::RunError::Actor(e) => AppError::Actor(e),
             actorprof::RunError::Prof(e) => AppError::Prof(e),
         }
+    }
+}
+
+/// Per-destination staging for batched submission: an app's MAIN body
+/// generates its whole workload into buckets, then
+/// [`send_all`](DestBuckets::send_all) submits one
+/// [`send_slice`](MainCtx::send_slice) per destination. This replaces the
+/// per-item `ctx.send` loop — the conveyor orders items per
+/// (source, destination) link either way, so results are unchanged while
+/// the protocol cost is amortized over whole slices.
+#[derive(Debug)]
+pub struct DestBuckets<T> {
+    buckets: Vec<Vec<T>>,
+}
+
+impl<T: Copy + Default + Send + 'static> DestBuckets<T> {
+    /// Empty buckets for `n_pes` destinations.
+    pub fn new(n_pes: usize) -> DestBuckets<T> {
+        DestBuckets {
+            buckets: (0..n_pes).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Stage `msg` for destination `dst`.
+    pub fn stage(&mut self, dst: usize, msg: T) {
+        self.buckets[dst].push(msg);
+    }
+
+    /// Submit every bucket through `ctx.send_slice` on `mailbox`, clearing
+    /// the buckets for reuse (e.g. the next BFS level).
+    pub fn send_all(
+        &mut self,
+        ctx: &mut MainCtx<'_, '_, '_, T>,
+        mailbox: usize,
+    ) -> Result<(), ActorError> {
+        for (dst, bucket) in self.buckets.iter_mut().enumerate() {
+            ctx.send_slice(mailbox, bucket, dst)?;
+            bucket.clear();
+        }
+        Ok(())
+    }
+
+    /// Total staged items across all destinations.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
     }
 }
 

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// Configuration for a histogram run: the shared [`RunConfig`] plus the
 /// histogram-specific workload knobs. Derefs to [`RunConfig`], so
@@ -82,11 +82,12 @@ pub fn run(config: &HistogramConfig) -> Result<HistogramOutcome, AppError> {
         actor
             .execute(pe, |ctx| {
                 let mut rng = StdRng::seed_from_u64(config.seed ^ ((ctx.rank() as u64) << 32));
+                let mut updates = DestBuckets::new(n_pes);
                 for _ in 0..config.updates_per_pe {
                     let global: usize = rng.gen_range(0..n_pes * table);
-                    let (dst, slot) = (global / table, global % table);
-                    ctx.send(0, slot as u64, dst).expect("histogram send");
+                    updates.stage(global / table, (global % table) as u64);
                 }
+                updates.send_all(ctx, 0).expect("histogram send");
                 ctx.done(0).expect("done(0)");
             })
             .expect("histogram execute");

@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// Configuration for an index-gather run: the shared [`RunConfig`] plus
 /// the index-gather workload knobs. Derefs to [`RunConfig`].
@@ -116,12 +116,13 @@ pub fn run(config: &IndexGatherConfig) -> Result<IndexGatherOutcome, AppError> {
         };
         actor
             .execute(pe, |ctx| {
+                let mut requests = DestBuckets::new(n_pes);
                 for (slot, &global) in indices.iter().enumerate() {
                     let owner = (global as usize) / table;
                     let local_idx = (global as usize) % table;
-                    ctx.send(0, ((slot as u64) << SLOT_SHIFT) | local_idx as u64, owner)
-                        .expect("request send");
+                    requests.stage(owner, ((slot as u64) << SLOT_SHIFT) | local_idx as u64);
                 }
+                requests.send_all(ctx, 0).expect("request send");
                 ctx.done(0).expect("done(0)");
             })
             .expect("index-gather execute");

@@ -18,7 +18,7 @@ use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// Configuration for an integer-sort run: the shared [`RunConfig`] plus
 /// the sort-specific workload knobs. Derefs to [`RunConfig`].
@@ -105,10 +105,11 @@ pub fn run(config: &IntSortConfig) -> Result<IntSortOutcome, AppError> {
         let n_pes = pe.n_pes();
         actor
             .execute(pe, |ctx| {
+                let mut scatter = DestBuckets::new(n_pes);
                 for key in keys_of_pe(config, ctx.rank(), n_pes) {
-                    let owner = (key / bucket_size) as usize;
-                    ctx.send(0, key, owner).expect("key send");
+                    scatter.stage((key / bucket_size) as usize, key);
                 }
+                scatter.send_all(ctx, 0).expect("key send");
                 ctx.done(0).expect("done(0)");
             })
             .expect("intsort execute");

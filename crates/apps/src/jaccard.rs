@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// Configuration for a Jaccard run: just the shared [`RunConfig`] (the
 /// graph is the workload knob). Derefs to [`RunConfig`].
@@ -156,6 +156,7 @@ pub fn run(adj: &Csr, config: &JaccardConfig) -> Result<JaccardOutcome, AppError
 
         actor
             .execute(pe, |ctx| {
+                let mut probes = DestBuckets::new(ctx.n_pes());
                 for u in dist.rows_of(me, adj.n()) {
                     for &v in adj.row(u) {
                         let v_usize = v as usize;
@@ -169,18 +170,17 @@ pub fn run(adj: &Csr, config: &JaccardConfig) -> Result<JaccardOutcome, AppError
                             if w == v {
                                 continue;
                             }
-                            ctx.send(
-                                0,
+                            probes.stage(
+                                dist.owner(w as usize),
                                 Probe {
                                     wv: pack(w, v),
                                     edge,
                                 },
-                                dist.owner(w as usize),
-                            )
-                            .expect("probe send");
+                            );
                         }
                     }
                 }
+                probes.send_all(ctx, 0).expect("probe send");
                 ctx.done(0).expect("done(0)");
             })
             .expect("jaccard execute");

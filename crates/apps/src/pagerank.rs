@@ -23,7 +23,7 @@ use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// The rank-share message: `(destination vertex, share)`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -143,6 +143,7 @@ pub fn run(adj: &Csr, config: &PageRankConfig) -> Result<PageRankOutcome, AppErr
             let mut local_dangling = 0.0f64;
             actor
                 .execute(pe, |ctx| {
+                    let mut shares = DestBuckets::new(n_pes);
                     for (slot, &v) in my_rows.iter().enumerate() {
                         let deg = adj.degree(v);
                         if deg == 0 {
@@ -151,14 +152,10 @@ pub fn run(adj: &Csr, config: &PageRankConfig) -> Result<PageRankOutcome, AppErr
                         }
                         let share = rank[slot] / deg as f64;
                         for &w in adj.row(v) {
-                            ctx.send(
-                                0,
-                                Share { v: w, share },
-                                dist_map.owner(w as usize),
-                            )
-                            .expect("share send");
+                            shares.stage(dist_map.owner(w as usize), Share { v: w, share });
                         }
                     }
+                    shares.send_all(ctx, 0).expect("share send");
                     ctx.done(0).expect("done(0)");
                 })
                 .expect("pagerank superstep");

@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// Configuration for a permutation run: the shared [`RunConfig`] plus the
 /// permute-specific workload knob. Derefs to [`RunConfig`], so
@@ -101,13 +101,15 @@ pub fn run(config: &PermuteConfig) -> Result<PermuteOutcome, AppError> {
         actor
             .execute(pe, |ctx| {
                 let base = ctx.rank() * slots;
+                let mut scatter = DestBuckets::new(ctx.n_pes());
                 for i in 0..slots {
                     let src_global = (base + i) as u32;
                     let target = perm[base + i] as usize;
                     let (owner, slot) = (target / slots, target % slots);
                     // the "value" scattered is the source index itself
-                    ctx.send(0, pack(slot, src_global), owner).expect("scatter");
+                    scatter.stage(owner, pack(slot, src_global));
                 }
+                scatter.send_all(ctx, 0).expect("scatter");
                 ctx.done(0).expect("done(0)");
             })
             .expect("permute execute");

@@ -21,7 +21,7 @@ use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// The aggregation update message.
 #[derive(Debug, Clone, Copy, Default)]
@@ -136,9 +136,11 @@ pub fn run(config: &SkewedAggConfig) -> Result<SkewedAggOutcome, AppError> {
             .expect("selector construction");
         actor
             .execute(pe, |ctx| {
+                let mut scatter = DestBuckets::new(n_pes);
                 for u in updates_of_pe(config, ctx.rank()) {
-                    ctx.send(0, u, u.key as usize % n_pes).expect("update send");
+                    scatter.stage(u.key as usize % n_pes, u);
                 }
+                scatter.send_all(ctx, 0).expect("update send");
                 ctx.done(0).expect("done(0)");
             })
             .expect("skewed-agg execute");

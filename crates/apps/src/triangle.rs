@@ -26,7 +26,7 @@ use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
-use crate::common::{AppError, RunConfig};
+use crate::common::{AppError, DestBuckets, RunConfig};
 
 /// Which row distribution to run under (§IV-B2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,16 +158,18 @@ pub fn count_triangles(l: &Csr, config: &TriangleConfig) -> Result<TriangleOutco
         actor
             .execute(pe, |ctx| {
                 let me = ctx.rank();
+                let mut wedges = DestBuckets::new(ctx.n_pes());
                 for i in dist.rows_of(me, l.n()) {
                     let row = l.row(i);
                     // find two distinct neighbours l_ij, l_ik with k < j
                     for (a, &j) in row.iter().enumerate() {
                         let owner = dist.owner(j as usize);
                         for &k in &row[..a] {
-                            ctx.send(0, pack(j, k), owner).expect("wedge send");
+                            wedges.stage(owner, pack(j, k));
                         }
                     }
                 }
+                wedges.send_all(ctx, 0).expect("wedge send");
                 ctx.done(0).expect("done(0)");
             })
             .expect("triangle execute");

@@ -63,6 +63,7 @@ fn aggregation_benches(c: &mut Criterion) {
                         ConveyorOptions {
                             capacity: 64,
                             topology: topo,
+                            ..ConveyorOptions::default()
                         },
                         MSGS,
                     );
@@ -87,6 +88,7 @@ fn aggregation_benches(c: &mut Criterion) {
                         ConveyorOptions {
                             capacity,
                             topology: TopologySpec::Auto,
+                            ..ConveyorOptions::default()
                         },
                         MSGS,
                     );

@@ -81,6 +81,7 @@ fn main() {
             ConveyorOptions {
                 capacity: 1,
                 topology: TopologySpec::Auto,
+                ..ConveyorOptions::default()
             },
         )
         .expect("conveyor");

@@ -50,18 +50,41 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::ConveyorError;
+use crate::exchange::{BatchDelivery, Delivery, Envelope, ExchangeMode, PushOutcome, PushReport};
 use crate::stats::ConveyorStats;
 use crate::topology::{LinkKind, Topology, TopologySpec};
+
+/// Physical slab capacity when the adaptive controller is on: the
+/// controller moves the *effective* occupancy target inside this envelope,
+/// so landing cells never need reallocation.
+const ADAPTIVE_SLAB_CAP: usize = 512;
+
+/// Floor the adaptive controller never shrinks the occupancy target below.
+const ADAPTIVE_MIN_TARGET: usize = 8;
+
+/// Advances between adaptive controller decisions.
+const ADAPT_PERIOD: u64 = 32;
 
 /// Construction options for a [`Conveyor`].
 #[derive(Debug, Clone, Copy)]
 pub struct ConveyorOptions {
     /// Items per aggregation buffer (and per landing cell). Default 64 —
     /// with 8–32-byte items this yields the 0.5–2 KiB network packets
-    /// aggregation libraries target.
+    /// aggregation libraries target. With `adaptive` set this is the
+    /// *initial* occupancy target; the physical slab is pre-sized to
+    /// `ADAPTIVE_SLAB_CAP` (512) so the controller has headroom.
     pub capacity: usize,
     /// Topology selection (default: what Conveyors picks for the grid).
     pub topology: TopologySpec,
+    /// Which exchange surface the actor runtime drives (batched
+    /// `push_slice`/`pull_batch` vs. legacy per-item `push`/`pull`). The
+    /// conveyor itself always supports both; see [`ExchangeMode`].
+    pub exchange: ExchangeMode,
+    /// Enable the occupancy feedback controller: the effective slab
+    /// occupancy target tracks the telemetry registry's
+    /// `BufferedItems`/`PullBacklog` gauges instead of staying pinned at
+    /// `capacity`. Off by default (fixed capacity, bit-stable behavior).
+    pub adaptive: bool,
 }
 
 impl Default for ConveyorOptions {
@@ -69,51 +92,10 @@ impl Default for ConveyorOptions {
         ConveyorOptions {
             capacity: 64,
             topology: TopologySpec::Auto,
+            exchange: ExchangeMode::Batched,
+            adaptive: false,
         }
     }
-}
-
-/// The wire format: an item plus routing metadata. Conveyors' "item with
-/// destination tag" that multi-hop routing requires.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Envelope<T> {
-    /// Final destination PE.
-    pub final_dst: u32,
-    /// Originating PE (the `from` handed to `pull`).
-    pub origin: u32,
-    /// User payload.
-    pub item: T,
-}
-
-/// What happened to a [`Conveyor::push`].
-///
-/// A refused push is not an error — it is the aggregation layer's
-/// backpressure, and the FA-BSP contract is that the caller makes progress
-/// ([`Conveyor::advance`], draining pulls) and retries the same item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[must_use = "a Retry outcome means the item was NOT enqueued"]
-pub enum PushOutcome {
-    /// The item was staged for delivery.
-    Accepted,
-    /// Buffers toward that destination are full; advance and retry.
-    Retry,
-}
-
-impl PushOutcome {
-    /// `true` when the item was accepted.
-    #[inline]
-    pub fn is_accepted(self) -> bool {
-        matches!(self, PushOutcome::Accepted)
-    }
-}
-
-/// One item handed out by [`Conveyor::pull`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Delivery<T> {
-    /// The PE that pushed the item.
-    pub src: u32,
-    /// The payload.
-    pub item: T,
 }
 
 /// Shared termination ledger (the in-process stand-in for Conveyors'
@@ -171,13 +153,34 @@ struct OutLink<T> {
     flush_seq: u64,
 }
 
+/// One run of delivered items from a single origin, stored stripped of
+/// envelopes so [`Conveyor::pull_batch`] can hand the payloads out as a
+/// zero-copy `&[T]`. `cursor` tracks how far per-item [`Conveyor::pull`]
+/// has nibbled into the front batch; backing `Vec`s recycle through a
+/// free list like the staging buffers.
+struct Batch<T> {
+    src: u32,
+    items: Vec<T>,
+    cursor: usize,
+}
+
 /// A fixed-item-size aggregating communication object (one per Selector
 /// mailbox in the FA-BSP stack).
 pub struct Conveyor<T> {
     me: usize,
     grid: fabsp_shmem::Grid,
     topology: Topology,
+    /// Configured capacity (what [`capacity`](Conveyor::capacity) reports).
     capacity: usize,
+    /// Effective occupancy target: flush/refusal threshold. Equals
+    /// `capacity` unless the adaptive controller moves it.
+    target: usize,
+    /// Physical items per landing cell / staging buffer (`>= target`).
+    slab_cap: usize,
+    /// Occupancy feedback controller enabled?
+    adaptive: bool,
+    /// `push_refusals` value at the controller's last decision point.
+    adapt_refusal_mark: u64,
     links: Vec<OutLink<T>>,
     /// Landing cells, one SPSC cell per (incoming link, slot); the cell
     /// state word is ready signal and free-list entry in one.
@@ -190,7 +193,20 @@ pub struct Conveyor<T> {
     park_since: Vec<Option<u64>>,
     /// Next flush sequence expected per incoming link.
     expect_seq: Vec<u64>,
-    pull_queue: VecDeque<(u32, T)>,
+    /// Delivered-but-unpulled items, grouped into per-origin runs so
+    /// `pull_batch` hands out whole slices. Arrival order is preserved:
+    /// a delivery either extends the tail batch (same origin) or starts a
+    /// new one.
+    batches: VecDeque<Batch<T>>,
+    /// The batch most recently lent out by `pull_batch`; its items are
+    /// already counted as pulled, and its backing `Vec` is recycled on the
+    /// next pull/pull_batch/advance.
+    live: Option<Batch<T>>,
+    /// Total unpulled items across `batches` (the true pull backlog).
+    queued_items: usize,
+    /// Free list of batch backing `Vec`s.
+    batch_pool: Vec<Vec<T>>,
+    batch_allocs: u64,
     pool: BufferPool<T>,
     shared: Arc<SharedState>,
     /// Pushes/pulls not yet posted to the shared termination ledger. The
@@ -200,6 +216,10 @@ pub struct Conveyor<T> {
     /// it will call `advance` again).
     pending_pushed: u64,
     pending_pulled: u64,
+    /// `pull_batch` calls not yet posted to the telemetry registry
+    /// (`pull_batch` takes no `Pe`, so the counter is batched like the
+    /// ledger deltas and flushed once per `advance`).
+    pending_batched_pulls: u64,
     done_signaled: bool,
     complete: bool,
     need_progress: bool,
@@ -227,7 +247,15 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         let grid = pe.grid();
         let topology = Topology::resolve(options.topology, grid);
         let n_links = topology.n_links(grid);
-        let cells = SpscRing::new(pe, n_links * 2, options.capacity)?;
+        // Adaptive mode over-provisions the physical slabs so the
+        // controller can move the occupancy target without reallocating
+        // landing cells mid-run.
+        let slab_cap = if options.adaptive {
+            options.capacity.max(ADAPTIVE_SLAB_CAP)
+        } else {
+            options.capacity
+        };
+        let cells = SpscRing::new(pe, n_links * 2, slab_cap)?;
         let shared = pe.allreduce((), |_| {
             Arc::new(SharedState {
                 pushed: AtomicU64::new(0),
@@ -238,7 +266,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             })
         });
         let me = pe.rank();
-        let mut pool = BufferPool::new(options.capacity);
+        let mut pool = BufferPool::new(slab_cap);
         let links = (0..n_links)
             .map(|link| OutLink {
                 peer: topology.link_peer(grid, me, link),
@@ -253,14 +281,23 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             grid,
             topology,
             capacity: options.capacity,
+            target: options.capacity,
+            slab_cap,
+            adaptive: options.adaptive,
+            adapt_refusal_mark: 0,
             links,
             cells,
             cursors: vec![0; n_links * 2],
             park_since: vec![None; n_links * 2],
             expect_seq: vec![1; n_links],
-            pull_queue: VecDeque::new(),
+            batches: VecDeque::new(),
+            live: None,
+            queued_items: 0,
+            batch_pool: Vec::new(),
+            batch_allocs: 0,
             pending_pushed: 0,
             pending_pulled: 0,
+            pending_batched_pulls: 0,
             pool,
             shared,
             done_signaled: false,
@@ -307,15 +344,23 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         self.topology
     }
 
-    /// Items per aggregation buffer.
+    /// Items per aggregation buffer, as configured.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The effective occupancy target the flush/refusal thresholds use
+    /// right now. Equals [`capacity`](Conveyor::capacity) unless the
+    /// adaptive controller has moved it.
+    pub fn effective_capacity(&self) -> usize {
+        self.target
     }
 
     /// This PE's operation counters.
     pub fn stats(&self) -> ConveyorStats {
         ConveyorStats {
             buffer_allocs: self.pool.allocs,
+            batch_allocs: self.batch_allocs,
             ..self.stats
         }
     }
@@ -348,7 +393,10 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             self.complete,
             "reset called before the conveyor terminated"
         );
-        debug_assert!(self.pull_queue.is_empty(), "termination implies drained");
+        debug_assert!(
+            self.batches.is_empty() && self.live.is_none() && self.queued_items == 0,
+            "termination implies drained"
+        );
         debug_assert!(!self.has_in_flight(), "termination implies progressed");
         debug_assert!(
             self.links.iter().all(|l| l.buf.is_empty()),
@@ -385,7 +433,9 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
     /// [`Pe::checkpoint`]: checkpointing mid-superstep would freeze
     /// half-delivered buffers into the cut.
     pub fn checkpoint_ready(&self) -> bool {
-        self.pull_queue.is_empty()
+        self.batches.is_empty()
+            && self.live.is_none()
+            && self.queued_items == 0
             && !self.has_in_flight()
             && self.links.iter().all(|l| l.buf.is_empty())
             && self.pending_pushed == 0
@@ -422,12 +472,20 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
     /// [`advance`](Conveyor::advance) and retry (HClib-Actor's send loop
     /// does this on the user's behalf).
     ///
-    /// This is the per-message hot path: it acquires no mutex (debug builds
-    /// assert a zero lock-acquisition delta in free-running worlds).
+    /// A thin one-item wrapper over the [`push_slice`](Conveyor::push_slice)
+    /// staging path; still the per-message hot path, and still mutex-free
+    /// (debug builds assert a zero lock-acquisition delta in free-running
+    /// worlds).
     pub fn push(&mut self, pe: &Pe, item: T, dst: usize) -> Result<PushOutcome, ConveyorError> {
         #[cfg(debug_assertions)]
         let lock_probe = (!pe.is_scheduled()).then(fabsp_shmem::debug_lock_acquisitions);
-        let outcome = self.push_impl(pe, item, dst);
+        let outcome = self.push_slice_impl(pe, &[item], dst, false).map(|r| {
+            if r.accepted == 1 {
+                PushOutcome::Accepted
+            } else {
+                PushOutcome::Retry
+            }
+        });
         #[cfg(debug_assertions)]
         if let Some(before) = lock_probe {
             assert_eq!(
@@ -439,7 +497,44 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         outcome
     }
 
-    fn push_impl(&mut self, pe: &Pe, item: T, dst: usize) -> Result<PushOutcome, ConveyorError> {
+    /// Enqueue a slice of items for `dst`, amortizing routing and the SPSC
+    /// state-word protocol over whole-slab publishes: staging fills the
+    /// pooled link buffer in bulk `extend`s and flushes full slabs inline,
+    /// instead of paying a threshold check and branch per item.
+    ///
+    /// Returns how far the slice got: [`PushReport::accepted`] is always a
+    /// prefix length, so a partial push resubmits `&items[accepted..]`
+    /// after an [`advance`](Conveyor::advance). Refusal is the same
+    /// backpressure `push` reports as [`PushOutcome::Retry`] — folded here
+    /// into the report instead of a per-item verdict. Mutex-free like
+    /// `push`.
+    pub fn push_slice(
+        &mut self,
+        pe: &Pe,
+        items: &[T],
+        dst: usize,
+    ) -> Result<PushReport, ConveyorError> {
+        #[cfg(debug_assertions)]
+        let lock_probe = (!pe.is_scheduled()).then(fabsp_shmem::debug_lock_acquisitions);
+        let report = self.push_slice_impl(pe, items, dst, true);
+        #[cfg(debug_assertions)]
+        if let Some(before) = lock_probe {
+            assert_eq!(
+                fabsp_shmem::debug_lock_acquisitions(),
+                before,
+                "Conveyor::push_slice acquired a mutex on the hot path"
+            );
+        }
+        report
+    }
+
+    fn push_slice_impl(
+        &mut self,
+        pe: &Pe,
+        items: &[T],
+        dst: usize,
+        batched: bool,
+    ) -> Result<PushReport, ConveyorError> {
         #[cfg(feature = "race-detect")]
         pe.race_note("Conveyor::push");
         if dst >= self.grid.n_pes() {
@@ -451,50 +546,147 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         if self.done_signaled {
             return Err(ConveyorError::PushAfterDone);
         }
-        let route = self.topology.route(self.grid, self.me, dst);
-        if self.links[route.link].buf.len() >= self.capacity {
-            self.flush_link(pe, route.link);
-            if self.links[route.link].buf.len() >= self.capacity {
-                self.stats.push_refusals += 1;
-                if let Some(m) = pe.metrics() {
-                    m.count(Counter::ConveyorPushRetries);
-                }
-                return Ok(PushOutcome::Retry);
+        if items.is_empty() {
+            return Ok(PushReport::default());
+        }
+        if batched {
+            self.stats.batched_pushes += 1;
+            if let Some(m) = pe.metrics() {
+                m.count(Counter::BatchedPushes);
+                m.observe(Hist::BatchLen, items.len() as u64);
             }
         }
-        self.links[route.link].buf.push(Envelope {
-            final_dst: dst as u32,
-            origin: self.me as u32,
-            item,
-        });
-        self.stats.pushed += 1;
-        self.stats.item_copies += 1;
-        self.pending_pushed += 1;
-        Ok(PushOutcome::Accepted)
+        let link = self.topology.route(self.grid, self.me, dst).link;
+        let origin = self.me as u32;
+        let mut accepted = 0usize;
+        let mut retried = 0u64;
+        while accepted < items.len() {
+            if self.links[link].buf.len() >= self.target {
+                self.flush_link(pe, link);
+                if self.links[link].buf.len() >= self.target {
+                    self.stats.push_refusals += 1;
+                    retried += 1;
+                    if let Some(m) = pe.metrics() {
+                        m.count(Counter::ConveyorPushRetries);
+                    }
+                    break;
+                }
+            }
+            let room = self.target - self.links[link].buf.len();
+            let take = room.min(items.len() - accepted);
+            self.links[link].buf.extend(items[accepted..accepted + take].iter().map(
+                |&item| Envelope {
+                    final_dst: dst as u32,
+                    origin,
+                    item,
+                },
+            ));
+            accepted += take;
+        }
+        self.stats.pushed += accepted as u64;
+        self.stats.item_copies += accepted as u64;
+        self.pending_pushed += accepted as u64;
+        Ok(PushReport { accepted, retried })
     }
 
-    /// Take one delivered item, if any. Mutex-free like `push`.
+    /// Take one delivered item, if any. Mutex-free like `push`; a thin
+    /// one-item view over the batch queue [`pull_batch`](Conveyor::pull_batch)
+    /// drains whole.
     pub fn pull(&mut self) -> Option<Delivery<T>> {
         #[cfg(debug_assertions)]
         let before = fabsp_shmem::debug_lock_acquisitions();
-        let out = self.pull_queue.pop_front();
-        if out.is_some() {
-            self.stats.pulled += 1;
-            self.stats.item_copies += 1;
-            self.pending_pulled += 1;
+        if let Some(prev) = self.live.take() {
+            self.recycle_batch(prev);
         }
+        let out = match self.batches.front_mut() {
+            Some(b) => {
+                let src = b.src;
+                let item = b.items[b.cursor];
+                b.cursor += 1;
+                if b.cursor == b.items.len() {
+                    let done = self.batches.pop_front().expect("front exists");
+                    self.recycle_batch(done);
+                }
+                self.stats.pulled += 1;
+                self.stats.item_copies += 1;
+                self.pending_pulled += 1;
+                self.queued_items -= 1;
+                Some(Delivery { src, item })
+            }
+            None => None,
+        };
         #[cfg(debug_assertions)]
         assert_eq!(
             fabsp_shmem::debug_lock_acquisitions(),
             before,
             "Conveyor::pull acquired a mutex on the hot path"
         );
-        out.map(|(src, item)| Delivery { src, item })
+        out
+    }
+
+    /// Take the next delivered batch, if any: every queued item from one
+    /// origin run, as a zero-copy slice borrowed from the delivery queue
+    /// (valid until the next `pull`/`pull_batch`/`advance`). Items appear
+    /// in push order, so pairwise FIFO holds exactly as with per-item
+    /// [`pull`](Conveyor::pull). Mutex-free like `push`.
+    pub fn pull_batch(&mut self) -> Option<BatchDelivery<'_, T>> {
+        #[cfg(debug_assertions)]
+        let before = fabsp_shmem::debug_lock_acquisitions();
+        if let Some(prev) = self.live.take() {
+            self.recycle_batch(prev);
+        }
+        let out = self.batches.pop_front();
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            fabsp_shmem::debug_lock_acquisitions(),
+            before,
+            "Conveyor::pull_batch acquired a mutex on the hot path"
+        );
+        let batch = out?;
+        let n = batch.items.len() - batch.cursor;
+        debug_assert!(n > 0, "queued batches are never empty");
+        self.stats.pulled += n as u64;
+        self.stats.batched_pulls += 1;
+        self.pending_pulled += n as u64;
+        self.pending_batched_pulls += 1;
+        self.queued_items -= n;
+        let live = self.live.insert(batch);
+        Some(BatchDelivery {
+            src: live.src,
+            items: &live.items[live.cursor..],
+        })
     }
 
     /// Number of delivered-but-unpulled items.
     pub fn pending_pulls(&self) -> usize {
-        self.pull_queue.len()
+        self.queued_items
+    }
+
+    /// Queue one incoming item, extending the tail batch when the origin
+    /// matches (arrival order is preserved either way).
+    fn deliver(&mut self, origin: u32, item: T) {
+        self.queued_items += 1;
+        if let Some(back) = self.batches.back_mut() {
+            if back.src == origin {
+                back.items.push(item);
+                return;
+            }
+        }
+        let mut items = self.batch_pool.pop().unwrap_or_else(|| {
+            self.batch_allocs += 1;
+            Vec::with_capacity(self.slab_cap)
+        });
+        items.push(item);
+        self.batches.push_back(Batch {
+            src: origin,
+            items,
+            cursor: 0,
+        });
+    }
+
+    fn recycle_batch(&mut self, mut batch: Batch<T>) {
+        batch.items.clear();
+        self.batch_pool.push(batch.items);
     }
 
     /// Make communication progress. `done = true` declares that this PE
@@ -515,9 +707,16 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             m.observe(Hist::AdvanceCycles, end.saturating_sub(begin));
             let buffered: usize = self.links.iter().map(|l| l.buf.len()).sum();
             m.gauge_set(Gauge::ConveyorBufferedItems, buffered as u64);
-            m.gauge_set(Gauge::ConveyorPullBacklog, self.pull_queue.len() as u64);
+            // True occupancy: items, not slabs — pull_batch drains whole
+            // batches, so counting queue entries would under-report the
+            // backlog the adaptive controller steers on.
+            m.gauge_set(Gauge::ConveyorPullBacklog, self.queued_items as u64);
             m.flight_span(Phase::Advance, begin, end);
+            if self.pending_batched_pulls != 0 {
+                m.add(Counter::BatchedPulls, self.pending_batched_pulls);
+            }
         }
+        self.pending_batched_pulls = 0;
         // Drain boundary: hand the batched physical events to the
         // collector in one borrow, covering push-triggered flushes since
         // the previous advance as well.
@@ -531,6 +730,14 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
 
     fn advance_impl(&mut self, pe: &Pe, done: bool) -> bool {
         self.stats.advances += 1;
+        // A batch lent out by pull_batch is dead once the caller advances;
+        // reclaim its backing Vec for the free list.
+        if let Some(prev) = self.live.take() {
+            self.recycle_batch(prev);
+        }
+        if self.adaptive && self.stats.advances.is_multiple_of(ADAPT_PERIOD) {
+            self.adapt_tick(pe);
+        }
         // Post the hot path's batched ledger deltas before anything that
         // could observe termination, `done` signalling included.
         if self.pending_pushed != 0 {
@@ -559,7 +766,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         // Flush full buffers; in the endgame flush anything non-empty.
         for link in 0..self.links.len() {
             let len = self.links[link].buf.len();
-            if len >= self.capacity || (self.done_signaled && len > 0) {
+            if len >= self.target || (self.done_signaled && len > 0) {
                 self.flush_link(pe, link);
             }
         }
@@ -587,6 +794,42 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
             }
         }
         true
+    }
+
+    /// The occupancy feedback controller: every [`ADAPT_PERIOD`] advances,
+    /// steer the effective slab occupancy target from this PE's telemetry
+    /// gauges. Refusals with a manageable pull backlog mean the fixed
+    /// target is the bottleneck — grow it (bigger slabs amortize the
+    /// state-word protocol further); a backlog far above the target means
+    /// the consumer is the bottleneck — shrink, so flushes deliver smaller,
+    /// smoother slabs instead of piling onto the queue. Inputs are this
+    /// PE's own single-writer gauge slab (set by the previous `advance`),
+    /// so the decision stream is deterministic per schedule.
+    fn adapt_tick(&mut self, pe: &Pe) {
+        let backlog = pe
+            .metrics()
+            .map(|m| m.gauge(Gauge::ConveyorPullBacklog))
+            .unwrap_or(self.queued_items as u64);
+        let refusals = self.stats.push_refusals - self.adapt_refusal_mark;
+        self.adapt_refusal_mark = self.stats.push_refusals;
+        // A consumer that keeps up holds the backlog near 3x the target (two
+        // drained cells plus an inline flush per advance), so the stable
+        // band is [0, 4x]: refusals inside it grow, a backlog beyond 8x —
+        // the consumer genuinely falling behind — shrinks.
+        let target = self.target as u64;
+        if refusals > 0 && backlog <= 4 * target {
+            let grown = (self.target * 2).min(self.slab_cap);
+            if grown != self.target {
+                self.target = grown;
+                self.stats.capacity_grows += 1;
+            }
+        } else if backlog > 8 * target {
+            let shrunk = (self.target / 2).max(ADAPTIVE_MIN_TARGET.min(self.slab_cap));
+            if shrunk != self.target {
+                self.target = shrunk;
+                self.stats.capacity_shrinks += 1;
+            }
+        }
     }
 
     fn has_in_flight(&self) -> bool {
@@ -750,7 +993,7 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
         let mut forced = false;
         for env in &scratch {
             if env.final_dst as usize == self.me {
-                self.pull_queue.push_back((env.origin, env.item));
+                self.deliver(env.origin, env.item);
                 self.stats.item_copies += 1;
                 processed += 1;
             } else {
@@ -763,10 +1006,10 @@ impl<T: Copy + Default + Send + 'static> Conveyor<T> {
                         break;
                     }
                 }
-                if self.links[rl].buf.len() >= self.capacity {
+                if self.links[rl].buf.len() >= self.target {
                     self.flush_link(pe, rl);
                 }
-                if self.links[rl].buf.len() >= self.capacity {
+                if self.links[rl].buf.len() >= self.target {
                     blocked = true;
                     break;
                 }
@@ -933,6 +1176,7 @@ mod tests {
             ConveyorOptions {
                 capacity: 8,
                 topology: TopologySpec::Cube3D,
+                ..ConveyorOptions::default()
             },
             12,
         );
@@ -944,6 +1188,7 @@ mod tests {
         let options = ConveyorOptions {
             capacity: 8,
             topology: TopologySpec::Cube3D,
+            ..ConveyorOptions::default()
         };
         let results = all_to_all(grid, options, 6);
         let total_relayed: u64 = results.iter().map(|(_, s)| s.relayed).sum();
@@ -963,6 +1208,7 @@ mod tests {
         let options = ConveyorOptions {
             capacity: 4,
             topology: TopologySpec::Cube3D,
+            ..ConveyorOptions::default()
         };
         let results = all_to_all(grid, options, 5);
         for (_, s) in &results {
@@ -978,6 +1224,7 @@ mod tests {
         let options = ConveyorOptions {
             capacity: 2,
             topology: TopologySpec::Auto,
+            ..ConveyorOptions::default()
         };
         let results = all_to_all(grid, options, 30);
         assert!(
@@ -994,6 +1241,7 @@ mod tests {
         let options = ConveyorOptions {
             capacity: 8,
             topology: TopologySpec::OneD,
+            ..ConveyorOptions::default()
         };
         let results = all_to_all(grid, options, 10);
         for (_, stats) in &results {
@@ -1052,6 +1300,7 @@ mod tests {
                 ConveyorOptions {
                     capacity: 0,
                     topology: TopologySpec::Auto,
+                    ..ConveyorOptions::default()
                 },
             );
             assert!(matches!(r, Err(ConveyorError::ZeroCapacity)));
@@ -1285,6 +1534,7 @@ mod tests {
                 ConveyorOptions {
                     capacity: 1,
                     topology: TopologySpec::OneD,
+                    ..ConveyorOptions::default()
                 },
             )
             .unwrap();
@@ -1314,6 +1564,261 @@ mod tests {
                     "advance drained the batch"
                 );
             }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn batched_all_to_all_preserves_pairwise_fifo() {
+        // The batched surface (push_slice + pull_batch) must deliver the
+        // exact per-source streams the per-item surface guarantees.
+        for grid in [Grid::single_node(4).unwrap(), Grid::new(2, 2).unwrap()] {
+            let per_pair = 150usize;
+            let results = spmd::run(grid, |pe| {
+                let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+                let n = pe.n_pes();
+                let outboxes: Vec<Vec<u64>> = (0..n)
+                    .map(|dst| {
+                        (0..per_pair)
+                            .map(|k| (pe.rank() * 1_000_000 + dst * 1_000 + k) as u64)
+                            .collect()
+                    })
+                    .collect();
+                let mut sent = vec![0usize; n];
+                let mut received: Vec<Vec<u64>> = vec![Vec::new(); n];
+                loop {
+                    let mut done = true;
+                    for dst in 0..n {
+                        if sent[dst] < per_pair {
+                            let r = c.push_slice(pe, &outboxes[dst][sent[dst]..], dst).unwrap();
+                            sent[dst] += r.accepted;
+                            done &= sent[dst] == per_pair;
+                        }
+                    }
+                    let active = c.advance(pe, done);
+                    while let Some(batch) = c.pull_batch() {
+                        received[batch.src as usize].extend_from_slice(batch.items);
+                    }
+                    if !active {
+                        break;
+                    }
+                    pe.poll_yield();
+                }
+                (received, c.stats())
+            })
+            .unwrap();
+            for (me, (received, stats)) in results.iter().enumerate() {
+                assert!(stats.batched_pushes > 0, "push_slice path must be counted");
+                assert!(stats.batched_pulls > 0, "pull_batch path must be counted");
+                assert_eq!(stats.pushed, (grid.n_pes() * per_pair) as u64);
+                assert_eq!(stats.pulled, (grid.n_pes() * per_pair) as u64);
+                for (src, items) in received.iter().enumerate() {
+                    assert_eq!(items.len(), per_pair, "PE {me} from {src}");
+                    for (k, item) in items.iter().enumerate() {
+                        assert_eq!(
+                            *item,
+                            (src * 1_000_000 + me * 1_000 + k) as u64,
+                            "PE {me} from {src} item {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_slice_accepts_a_prefix_under_backpressure() {
+        // Single PE, capacity 4: two landing cells plus one staged buffer
+        // hold exactly 12 items, so a 64-item slice accepts a 12-prefix and
+        // reports the refusal; resubmitting the remainder after advances
+        // delivers everything in order.
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let mut c = Conveyor::<u64>::new(
+                pe,
+                ConveyorOptions {
+                    capacity: 4,
+                    ..ConveyorOptions::default()
+                },
+            )
+            .unwrap();
+            let items: Vec<u64> = (0..64).collect();
+            let first = c.push_slice(pe, &items, 0).unwrap();
+            assert_eq!(first.accepted, 12, "2 cells + 1 staging buffer of 4");
+            assert!(first.retried >= 1, "the 13th item must report backpressure");
+            let mut sent = first.accepted;
+            let mut got: Vec<u64> = Vec::new();
+            loop {
+                let active = c.advance(pe, sent == items.len());
+                while let Some(b) = c.pull_batch() {
+                    got.extend_from_slice(b.items);
+                }
+                if !active {
+                    break;
+                }
+                if sent < items.len() {
+                    sent += c.push_slice(pe, &items[sent..], 0).unwrap().accepted;
+                }
+                pe.poll_yield();
+            }
+            assert_eq!(got, items, "batched delivery preserves push order");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn adaptive_capacity_grows_under_refusals() {
+        // Sustained oversized pushes refuse at the initial target; the
+        // controller must raise the effective target (toward the physical
+        // slab cap) while delivery stays complete and correct.
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let mut c = Conveyor::<u64>::new(
+                pe,
+                ConveyorOptions {
+                    capacity: 16,
+                    adaptive: true,
+                    ..ConveyorOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(c.capacity(), 16, "configured capacity is reported as-is");
+            assert_eq!(c.effective_capacity(), 16);
+            let total = 20_000usize;
+            let items: Vec<u64> = (0..total as u64).collect();
+            let mut sent = 0usize;
+            let mut got = 0usize;
+            loop {
+                if sent < total {
+                    sent += c.push_slice(pe, &items[sent..], 0).unwrap().accepted;
+                }
+                let active = c.advance(pe, sent == total);
+                while let Some(b) = c.pull_batch() {
+                    got += b.items.len();
+                }
+                if !active {
+                    break;
+                }
+            }
+            assert_eq!(got, total);
+            let s = c.stats();
+            assert!(s.capacity_grows > 0, "refusals must grow the target: {s:?}");
+            assert!(
+                c.effective_capacity() > 16,
+                "target stuck at {}",
+                c.effective_capacity()
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn adaptive_capacity_shrinks_when_the_backlog_piles_up() {
+        // Deliver without pulling: the pull backlog blows past 4x the
+        // target and the controller backs off toward the floor.
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let mut c = Conveyor::<u64>::new(
+                pe,
+                ConveyorOptions {
+                    capacity: 64,
+                    adaptive: true,
+                    ..ConveyorOptions::default()
+                },
+            )
+            .unwrap();
+            let items: Vec<u64> = (0..4096).collect();
+            let mut sent = 0usize;
+            for _ in 0..320 {
+                if sent < items.len() {
+                    sent += c.push_slice(pe, &items[sent..], 0).unwrap().accepted;
+                }
+                c.advance(pe, false);
+                if c.stats().capacity_shrinks > 0 {
+                    break;
+                }
+            }
+            let s = c.stats();
+            assert!(s.capacity_shrinks > 0, "backlog must shrink the target: {s:?}");
+            assert!(c.effective_capacity() < 64);
+            let mut got = 0usize;
+            loop {
+                let active = c.advance(pe, sent == items.len());
+                while let Some(b) = c.pull_batch() {
+                    got += b.items.len();
+                }
+                if !active {
+                    break;
+                }
+                if sent < items.len() {
+                    sent += c.push_slice(pe, &items[sent..], 0).unwrap().accepted;
+                }
+            }
+            assert_eq!(got, items.len(), "shrinking must not lose deliveries");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn batch_buffers_recycle_across_supersteps() {
+        // Single-PE self-traffic yields one origin run per round, so the
+        // batch free list settles after round 0 and steady-state rounds
+        // allocate nothing (mirrors the staging-pool flatness gate).
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+            let mut per_round = Vec::new();
+            for _ in 0..4 {
+                let items = [1u64, 2, 3];
+                let mut sent = 0usize;
+                loop {
+                    if sent < items.len() {
+                        sent += c.push_slice(pe, &items[sent..], 0).unwrap().accepted;
+                    }
+                    let active = c.advance(pe, sent == items.len());
+                    while c.pull_batch().is_some() {}
+                    if !active {
+                        break;
+                    }
+                }
+                per_round.push(c.stats().batch_allocs);
+                c.reset(pe);
+            }
+            assert!(per_round[0] > 0, "round 0 takes batch buffers");
+            for later in &per_round[1..] {
+                assert_eq!(
+                    *later, per_round[0],
+                    "steady-state rounds must not allocate batch buffers"
+                );
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn per_item_and_batched_pulls_interoperate() {
+        // pull() nibbles the front of the batch queue; pull_batch() then
+        // hands out the remainder of that run — no item lost or reordered.
+        let grid = Grid::single_node(1).unwrap();
+        spmd::run(grid, |pe| {
+            let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+            let items: Vec<u64> = (0..10).collect();
+            assert_eq!(c.push_slice(pe, &items, 0).unwrap().accepted, 10);
+            let mut got: Vec<u64> = Vec::new();
+            loop {
+                let active = c.advance(pe, true);
+                if let Some(d) = c.pull() {
+                    got.push(d.item);
+                }
+                while let Some(b) = c.pull_batch() {
+                    got.extend_from_slice(b.items);
+                }
+                if !active {
+                    break;
+                }
+            }
+            assert_eq!(got, items, "mixed pull surfaces must interleave cleanly");
+            assert_eq!(c.pending_pulls(), 0);
         })
         .unwrap();
     }

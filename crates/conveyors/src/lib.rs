@@ -20,6 +20,14 @@
 //!   non-blocking sends. Returns `false` once the conveyor has terminated
 //!   (all PEs signalled done and every pushed item was pulled).
 //!
+//! The batched surface amortizes the per-item protocol:
+//! [`push_slice`](Conveyor::push_slice) stages a whole slice toward one
+//! destination and reports how far it got ([`PushReport`]), and
+//! [`pull_batch`](Conveyor::pull_batch) hands out every queued item from
+//! one origin run as a zero-copy [`BatchDelivery`] slice. `push`/`pull`
+//! remain as thin one-item wrappers over the same machinery, so both
+//! surfaces interoperate freely and deliver identical orderings.
+//!
 //! ## Topologies and send classes
 //!
 //! Following §IV-D: a single node uses a **1D linear** topology (direct
@@ -77,10 +85,14 @@
 
 pub mod convey;
 pub mod error;
+pub mod exchange;
 pub mod stats;
 pub mod topology;
 
-pub use convey::{Conveyor, ConveyorOptions, Delivery, Envelope, PushOutcome};
+pub use convey::{Conveyor, ConveyorOptions};
 pub use error::ConveyorError;
+pub use exchange::{
+    BatchDelivery, Delivery, Envelope, ExchangeMode, PushOutcome, PushReport,
+};
 pub use stats::ConveyorStats;
 pub use topology::{LinkKind, Topology, TopologySpec};

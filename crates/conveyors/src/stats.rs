@@ -39,6 +39,22 @@ pub struct ConveyorStats {
     /// at construction and stays flat across supersteps — the free-list
     /// keeps routed double-buffering from allocating per superstep.
     pub buffer_allocs: u64,
+    /// Multi-item `push_slice` calls (each may stage many items and flush
+    /// several slabs).
+    pub batched_pushes: u64,
+    /// `pull_batch` calls that handed out a zero-copy batch.
+    pub batched_pulls: u64,
+    /// Batch backing buffers allocated for the delivery queue. Recycled
+    /// through a free list like `buffer_allocs`, but sized by how many
+    /// origin runs are simultaneously queued, so it settles with traffic
+    /// rather than at construction.
+    pub batch_allocs: u64,
+    /// Adaptive-capacity controller decisions that grew the occupancy
+    /// target (always zero with `adaptive` off).
+    pub capacity_grows: u64,
+    /// Adaptive-capacity controller decisions that shrank the occupancy
+    /// target (always zero with `adaptive` off).
+    pub capacity_shrinks: u64,
 }
 
 impl ConveyorStats {
@@ -61,6 +77,11 @@ impl ConveyorStats {
         self.advances += other.advances;
         self.forced_parks += other.forced_parks;
         self.buffer_allocs += other.buffer_allocs;
+        self.batched_pushes += other.batched_pushes;
+        self.batched_pulls += other.batched_pulls;
+        self.batch_allocs += other.batch_allocs;
+        self.capacity_grows += other.capacity_grows;
+        self.capacity_shrinks += other.capacity_shrinks;
     }
 }
 

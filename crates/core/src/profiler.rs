@@ -129,6 +129,8 @@ pub struct Profiler {
     trace_events: Option<PathBuf>,
     /// Where flight-recorder dumps land when a PE dies.
     flightrec_dir: Option<PathBuf>,
+    /// Pin PE threads to CPUs (rank round-robin); off by default.
+    pin_pes: bool,
 }
 
 impl std::fmt::Debug for Profiler {
@@ -145,6 +147,7 @@ impl std::fmt::Debug for Profiler {
             .field("observe_interval", &self.observe.as_ref().map(|(i, _)| *i))
             .field("trace_events", &self.trace_events)
             .field("flightrec_dir", &self.flightrec_dir)
+            .field("pin_pes", &self.pin_pes)
             .finish()
     }
 }
@@ -165,6 +168,7 @@ impl Profiler {
             observe: None,
             trace_events: None,
             flightrec_dir: None,
+            pin_pes: false,
         }
     }
 
@@ -217,6 +221,21 @@ impl Profiler {
     /// Override conveyor aggregation options for the run's selectors.
     pub fn conveyor(mut self, conveyor: ConveyorOptions) -> Profiler {
         self.conveyor = conveyor;
+        self
+    }
+
+    /// Let each conveyor adapt its effective slab occupancy target at run
+    /// time, growing under push refusals and shrinking when the pull
+    /// backlog piles up, instead of using the fixed configured capacity.
+    pub fn adaptive_capacity(mut self, adaptive: bool) -> Profiler {
+        self.conveyor.adaptive = adaptive;
+        self
+    }
+
+    /// Pin each PE thread to one CPU (rank round-robin). Off by default;
+    /// a performance hint for hot-path measurement, Linux-only.
+    pub fn pin_pes(mut self, pin: bool) -> Profiler {
+        self.pin_pes = pin;
         self
     }
 
@@ -323,7 +342,8 @@ impl Profiler {
         let mut harness = Harness::new(self.grid)
             .sched(self.sched)
             .faults(self.faults)
-            .recovery(self.recovery);
+            .recovery(self.recovery)
+            .pin_pes(self.pin_pes);
         if let Some(n) = self.checkpoint_every {
             harness = harness.checkpoint_every(n);
         }
@@ -654,6 +674,18 @@ mod tests {
         assert!(json.contains("\"ph\":\"B\""), "duration spans exported");
         assert!(json.contains("\"name\":\"superstep\""));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn adaptive_capacity_and_pinning_run_clean() {
+        let report = run_histogram(
+            Profiler::new(Grid::new(2, 2).unwrap())
+                .logical()
+                .adaptive_capacity(true)
+                .pin_pes(true),
+        );
+        assert_eq!(report.results.iter().sum::<u64>(), 200);
+        assert_eq!(report.bundle.logical_matrix().unwrap().total(), 200);
     }
 
     #[test]

@@ -61,6 +61,13 @@ use crate::net::TransferClass;
 use crate::pe::Pe;
 use crate::sched::SchedPoint;
 
+/// One landing cell, padded to 128 bytes so adjacent cells' state words
+/// never share a cache line (nor the adjacent line the spatial prefetcher
+/// pairs with it). The cells of a PE sit contiguously in `regions`, and
+/// each state word is spun on by a *different* remote producer while the
+/// owner releases — without the padding, every publish/release would
+/// false-share with its neighbors' polls.
+#[repr(align(128))]
 struct RingCell<T> {
     state: AtomicU64,
     data: UnsafeCell<Box<[T]>>,
@@ -430,6 +437,16 @@ mod tests {
         // before every send: full/empty alternation, still FIFO.
         fifo_roundtrip(Grid::single_node(2).unwrap(), 1, 50, None);
         fifo_roundtrip(Grid::single_node(2).unwrap(), 1, 20, Some(7));
+    }
+
+    #[test]
+    fn ring_cells_do_not_share_cache_lines() {
+        // The padding audit: each (link, slot) state word must own its own
+        // 128-byte region so remote producers' polls never false-share
+        // with neighboring cells.
+        assert_eq!(std::mem::align_of::<RingCell<u64>>(), 128);
+        assert_eq!(std::mem::size_of::<RingCell<u64>>(), 128);
+        assert_eq!(std::mem::size_of::<RingCell<[u8; 200]>>() % 128, 0);
     }
 
     #[test]

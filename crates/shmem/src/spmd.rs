@@ -65,6 +65,11 @@ pub struct Harness {
     /// Auto-checkpoint period in supersteps, surfaced to the actor layer's
     /// superstep hooks via [`Pe::checkpoint_due`].
     pub checkpoint_every: Option<u64>,
+    /// Pin each PE thread to one CPU (rank round-robin). Opt-in: helps
+    /// hot-path benchmarks by keeping a PE's landing cells and staging
+    /// buffers warm in one core's cache, but steals scheduling freedom the
+    /// OS usually spends well, so it is off by default.
+    pub pin_pes: bool,
     /// Whether to attach the happens-before race detector (on by default
     /// when the `race-detect` feature is compiled in, so the whole test
     /// suite runs checked).
@@ -85,6 +90,7 @@ impl Harness {
             telemetry: TelemetrySpec::Fresh,
             recovery: RecoverySpec::Abort,
             checkpoint_every: None,
+            pin_pes: false,
             #[cfg(feature = "race-detect")]
             race_detect: true,
             #[cfg(feature = "race-detect")]
@@ -111,6 +117,15 @@ impl Harness {
     /// [`RecoverySpec::RestartFromCheckpoint`] (checked at run time).
     pub fn scheduler(mut self, scheduler: Arc<dyn Scheduler>) -> Harness {
         self.custom_sched = Some(scheduler);
+        self
+    }
+
+    /// Pin each PE thread to one CPU, rank round-robin over the cores
+    /// available to the process. Linux only (a no-op elsewhere); failures
+    /// to pin are silently ignored — pinning is a performance hint, never
+    /// a correctness requirement.
+    pub fn pin_pes(mut self, pin: bool) -> Harness {
+        self.pin_pes = pin;
         self
     }
 
@@ -264,7 +279,7 @@ where
                 .expect("world is not yet shared at detector installation")
                 .race = Some(Arc::new(detector));
         }
-        let outcome = run_attempt(&world, sched, &f);
+        let outcome = run_attempt(&world, sched, harness.pin_pes, &f);
         // Relaxed loads: every PE thread has been joined inside
         // `run_attempt`; the joins are the synchronizing edges.
         log.net_retries += world.net_retries.load(Ordering::Relaxed);
@@ -312,6 +327,7 @@ where
 fn run_attempt<R, F>(
     world: &Arc<World>,
     sched: Option<Arc<dyn Scheduler>>,
+    pin_pes: bool,
     f: &F,
 ) -> Result<Vec<R>, (usize, String)>
 where
@@ -327,6 +343,9 @@ where
                 let world = world.clone();
                 let sched = sched.clone();
                 scope.spawn(move || {
+                    if pin_pes {
+                        pin_current_thread(rank);
+                    }
                     let pe = Pe::new(rank, world.clone());
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         if let Some(sched) = &sched {
@@ -381,6 +400,34 @@ where
     }
 }
 
+/// Pin the calling thread to one CPU, chosen rank round-robin over the
+/// cores available to the process. Declared directly rather than through a
+/// libc crate — std already links libc, and one syscall does not justify a
+/// dependency.
+#[cfg(target_os = "linux")]
+fn pin_current_thread(rank: usize) {
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cpu = rank % cpus;
+    // Same shape as libc's cpu_set_t: 1024 bits.
+    let mut mask = [0u64; 16];
+    mask[cpu / 64] |= 1u64 << (cpu % 64);
+    // SAFETY: `mask` is a live, properly sized buffer and pid 0 targets the
+    // calling thread. A failing call (e.g. a restricted cpuset) leaves the
+    // thread unpinned, which is benign — pinning is a performance hint —
+    // so the return value is deliberately ignored.
+    unsafe {
+        sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_current_thread(_rank: usize) {}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -410,6 +457,17 @@ mod tests {
                 (5, 1, 2)
             ]
         );
+    }
+
+    #[test]
+    fn pinned_run_completes_with_correct_results() {
+        let grid = Grid::single_node(4).unwrap();
+        let results = run(Harness::new(grid).pin_pes(true), |pe| {
+            pe.barrier_all();
+            pe.rank() * 10
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 10, 20, 30]);
     }
 
     #[test]

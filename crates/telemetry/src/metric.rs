@@ -37,11 +37,15 @@ pub enum Counter {
     NetRetries,
     /// SPMD attempts restarted by the recovery policy after a PE failure.
     Restarts,
+    /// Multi-item `Conveyor::push_slice` calls (batched staging).
+    BatchedPushes,
+    /// `Conveyor::pull_batch` deliveries handed out as zero-copy slices.
+    BatchedPulls,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::ShmemPuts,
         Counter::ShmemQuiets,
         Counter::ShmemBarrierWaits,
@@ -52,6 +56,8 @@ impl Counter {
         Counter::ActorYields,
         Counter::NetRetries,
         Counter::Restarts,
+        Counter::BatchedPushes,
+        Counter::BatchedPulls,
     ];
 
     /// Number of counters.
@@ -70,6 +76,8 @@ impl Counter {
             Counter::ActorYields => "actor.yields",
             Counter::NetRetries => "shmem.net_retries",
             Counter::Restarts => "spmd.restarts",
+            Counter::BatchedPushes => "conveyor.batched_pushes",
+            Counter::BatchedPulls => "conveyor.batched_pulls",
         }
     }
 }
@@ -117,17 +125,20 @@ pub enum Hist {
     PutBytes,
     /// Cycles spent capturing one superstep-boundary checkpoint.
     CheckpointCycles,
+    /// Items per `push_slice` call (batch sizes reaching the conveyor).
+    BatchLen,
 }
 
 impl Hist {
     /// Every histogram, in index order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 7] = [
         Hist::AdvanceCycles,
         Hist::QuietCycles,
         Hist::BarrierWaitCycles,
         Hist::RelayParkCycles,
         Hist::PutBytes,
         Hist::CheckpointCycles,
+        Hist::BatchLen,
     ];
 
     /// Number of histograms.
@@ -142,6 +153,7 @@ impl Hist {
             Hist::RelayParkCycles => "conveyor.relay_park_cycles",
             Hist::PutBytes => "shmem.put_bytes",
             Hist::CheckpointCycles => "shmem.checkpoint_cycles",
+            Hist::BatchLen => "conveyor.batch_len",
         }
     }
 }

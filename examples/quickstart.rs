@@ -42,12 +42,23 @@ fn main() {
                 })
                 .expect("selector");
 
-            // Listing 1, lines 4-12: the finish body sends N async messages.
+            // Listing 1, lines 4-12: the finish body sends N async
+            // messages. The workload is bucketed per destination and
+            // submitted with the batched `send_slice` — one call stages a
+            // whole same-destination run through the conveyor's
+            // `push_slice` path. (Migrating from the per-item API is
+            // mechanical: collect what you would have `send`-ed per
+            // destination, then `send_slice` each bucket; `send` remains
+            // available and both surfaces deliver identically.)
             actor
                 .execute(pe, |main| {
+                    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); main.n_pes()];
                     for i in 0..N {
                         let dst = (i * 7 + main.rank()) % main.n_pes();
-                        main.send(0, i as u64, dst).expect("send");
+                        buckets[dst].push(i as u64);
+                    }
+                    for (dst, msgs) in buckets.iter().enumerate() {
+                        main.send_slice(0, msgs, dst).expect("send_slice");
                     }
                     main.done(0).expect("done");
                 })

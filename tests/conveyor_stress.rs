@@ -16,6 +16,7 @@ fn hotspot_pattern(grid: Grid, capacity: usize) {
             ConveyorOptions {
                 capacity,
                 topology: TopologySpec::Auto,
+                ..ConveyorOptions::default()
             },
         )
         .unwrap();
@@ -66,6 +67,7 @@ fn capacity_one_mesh_with_relays_makes_progress() {
             ConveyorOptions {
                 capacity: 1,
                 topology: TopologySpec::Mesh2D,
+                ..ConveyorOptions::default()
             },
         )
         .unwrap();

@@ -29,6 +29,7 @@ fn hotpath_lock_delta(grid: Grid, items: usize, capacity: usize) -> Vec<(u64, u6
             ConveyorOptions {
                 capacity,
                 topology: TopologySpec::Auto,
+                ..ConveyorOptions::default()
             },
         )
         .unwrap();
@@ -91,6 +92,77 @@ fn capacity_one_flush_inside_push_takes_no_locks() {
     for (got, delta) in hotpath_lock_delta(Grid::new(2, 2).unwrap(), 200, 1) {
         assert_eq!(got, 200);
         assert_eq!(delta, 0, "mutex acquired by the inline flush path");
+    }
+}
+
+/// Batched variant of [`hotpath_lock_delta`]: whole slices staged with
+/// `push_slice`, deliveries drained as zero-copy `pull_batch` runs.
+fn batched_hotpath_lock_delta(grid: Grid, items: usize, capacity: usize) -> Vec<(u64, u64)> {
+    spmd::run(grid, move |pe| {
+        let mut c = Conveyor::<u64>::new(
+            pe,
+            ConveyorOptions {
+                capacity,
+                topology: TopologySpec::Auto,
+                ..ConveyorOptions::default()
+            },
+        )
+        .unwrap();
+        let n = pe.n_pes();
+        let me = pe.rank();
+        let slices: Vec<Vec<u64>> = (0..n)
+            .map(|dst| {
+                (0..items)
+                    .filter(|k| (me + k) % n == dst)
+                    .map(|k| k as u64)
+                    .collect()
+            })
+            .collect();
+        let total: usize = slices.iter().map(Vec::len).sum();
+        let mut offsets = vec![0usize; n];
+        let mut received = 0u64;
+        let mut hot_delta = 0u64;
+        loop {
+            let before = debug_lock_acquisitions();
+            let mut sent = 0usize;
+            for (dst, slice) in slices.iter().enumerate() {
+                if offsets[dst] < slice.len() {
+                    offsets[dst] += c.push_slice(pe, &slice[offsets[dst]..], dst).unwrap().accepted;
+                }
+                sent += offsets[dst];
+            }
+            hot_delta += debug_lock_acquisitions() - before;
+
+            let active = c.advance(pe, sent == total);
+
+            let before = debug_lock_acquisitions();
+            while let Some(batch) = c.pull_batch() {
+                received += batch.items.len() as u64;
+            }
+            hot_delta += debug_lock_acquisitions() - before;
+            if !active {
+                break;
+            }
+            pe.poll_yield();
+        }
+        (received, hot_delta)
+    })
+    .unwrap()
+}
+
+#[test]
+fn push_slice_and_pull_batch_take_no_locks_single_node() {
+    for (got, delta) in batched_hotpath_lock_delta(Grid::single_node(4).unwrap(), 3000, 64) {
+        assert_eq!(got, 3000);
+        assert_eq!(delta, 0, "mutex acquired on the batched single-node hot path");
+    }
+}
+
+#[test]
+fn push_slice_and_pull_batch_take_no_locks_across_nodes() {
+    for (got, delta) in batched_hotpath_lock_delta(Grid::new(2, 2).unwrap(), 3000, 64) {
+        assert_eq!(got, 3000);
+        assert_eq!(delta, 0, "mutex acquired on the batched cross-node hot path");
     }
 }
 

@@ -56,6 +56,7 @@ proptest! {
         let options = ConveyorOptions {
             capacity: scenario.capacity,
             topology: scenario.topology,
+            ..ConveyorOptions::default()
         };
         let results = spmd::run(grid, {
             let traffic = std::sync::Arc::clone(&traffic);
@@ -131,6 +132,7 @@ proptest! {
         let options = ConveyorOptions {
             capacity: scenario.capacity,
             topology: scenario.topology,
+            ..ConveyorOptions::default()
         };
         let faults = if fault_mode & 1 == 1 {
             FaultSpec::nbi_shuffle(seed ^ 0xF0)

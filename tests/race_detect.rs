@@ -280,6 +280,53 @@ fn every_registered_app_is_clean_under_the_detector() {
 }
 
 #[test]
+fn batched_exchange_is_clean_under_the_detector() {
+    // The batched surface (push_slice staging whole slices, pull_batch
+    // handing out zero-copy runs) takes the same ring/termination edges as
+    // the per-item protocol — verify no happens-before pair went missing,
+    // on the OS schedule and two seeded walks.
+    for seed in [None, Some(0xBA7C), Some(0xBA7D)] {
+        let grid = Grid::new(2, 2).unwrap();
+        let h = harness(grid, seed).race(true);
+        spmd::run(h, |pe| {
+            let mut c = Conveyor::<u64>::new(pe, ConveyorOptions::default()).unwrap();
+            let n = pe.n_pes();
+            let per_dst = 48usize;
+            let total = n * per_dst;
+            let slices: Vec<Vec<u64>> = (0..n)
+                .map(|dst| (0..per_dst as u64).map(|k| (dst as u64) << 32 | k).collect())
+                .collect();
+            let mut offsets = vec![0usize; n];
+            let mut received = 0usize;
+            let mut spins = 0u64;
+            loop {
+                spins += 1;
+                assert!(spins <= 200_000, "batched exchange stalled on PE {}", pe.rank());
+                let mut sent = 0usize;
+                for (dst, slice) in slices.iter().enumerate() {
+                    if offsets[dst] < slice.len() {
+                        let report = c.push_slice(pe, &slice[offsets[dst]..], dst).unwrap();
+                        offsets[dst] += report.accepted;
+                    }
+                    sent += offsets[dst];
+                }
+                let active = c.advance(pe, sent == total);
+                while let Some(batch) = c.pull_batch() {
+                    received += batch.items.len();
+                }
+                if !active {
+                    break;
+                }
+                pe.poll_yield();
+            }
+            assert_eq!(received, total, "batched exchange must deliver everything");
+            pe.barrier_all();
+        })
+        .unwrap_or_else(|e| panic!("batched exchange raced (seed {seed:?}): {e}"));
+    }
+}
+
+#[test]
 fn conveyor_exchange_is_clean_and_overhead_is_reported() {
     // Clean across a seed sweep (the full 123-schedule app matrix runs in
     // schedule_fuzz.rs under this same feature)...

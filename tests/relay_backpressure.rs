@@ -35,6 +35,7 @@ fn routed_exchange(
             ConveyorOptions {
                 capacity: 1,
                 topology: TopologySpec::Mesh2D,
+                ..ConveyorOptions::default()
             },
         )
         .unwrap();
@@ -139,6 +140,7 @@ fn forced_parks_surface_through_telemetry_registry() {
             ConveyorOptions {
                 capacity: 1,
                 topology: TopologySpec::Mesh2D,
+                ..ConveyorOptions::default()
             },
         )
         .unwrap();
@@ -194,6 +196,7 @@ fn capacity_one_preserves_memcpy_accounting() {
                 ConveyorOptions {
                     capacity: 1,
                     topology: TopologySpec::Auto,
+                    ..ConveyorOptions::default()
                 },
             )
             .unwrap();

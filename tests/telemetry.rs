@@ -22,6 +22,7 @@ fn exchange(reg: Arc<TelemetryRegistry>, msgs: usize) -> Vec<ConveyorStats> {
             ConveyorOptions {
                 capacity: 4,
                 topology: TopologySpec::Auto,
+                ..ConveyorOptions::default()
             },
         )
         .unwrap();
@@ -91,6 +92,7 @@ fn flight_dump_written_when_termination_budget_trips() {
             ConveyorOptions {
                 capacity: 1,
                 topology: TopologySpec::Auto,
+                ..ConveyorOptions::default()
             },
         )
         .unwrap();
