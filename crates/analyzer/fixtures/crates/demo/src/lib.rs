@@ -1,0 +1,3 @@
+//! Seeded violation: a crate root that never pins its unsafe posture.
+
+pub fn noop() {}

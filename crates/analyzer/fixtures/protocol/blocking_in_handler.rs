@@ -1,0 +1,18 @@
+//! Seeded violations: mailbox handlers that reach blocking calls —
+//! directly, and transitively through a same-file free function.
+
+fn direct(pe: &Pe) {
+    prof.selector(1, move |_mb, _msg: u64, _from, _ctx| {
+        let _g = state.lock();
+    });
+}
+
+fn slow_path() {
+    bus.lock();
+}
+
+fn indirect(pe: &Pe) {
+    let _s = Selector::new(pe, 1, cfg, move |_mb, _m: u64, _from, _ctx| {
+        slow_path();
+    });
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: a checkpoint cut that is not dominated by a quiet —
+//! the put is pending on one path into the cut.
+
+fn cut(pe: &Pe) {
+    let sym = pe.alloc_sym::<u64>(1);
+    if pe.rank() == 0 {
+        sym.put_nbi(pe, 1, 0, &[5]).unwrap();
+    }
+    let _snap = pe.checkpoint();
+}

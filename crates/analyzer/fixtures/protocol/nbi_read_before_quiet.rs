@@ -1,0 +1,8 @@
+//! Seeded violation: reading a symmetric array while a non-blocking put
+//! to the same array may still be in flight.
+
+fn racy_read(pe: &Pe) {
+    let sym = pe.alloc_sym::<u64>(1);
+    sym.put_nbi(pe, 1, 0, &[42]).unwrap();
+    let _v = sym.local_get(pe, 0);
+}

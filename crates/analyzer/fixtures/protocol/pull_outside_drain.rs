@@ -1,0 +1,14 @@
+//! Seeded violations: pulls outside the advance/drain loop — once before
+//! any advance, once after termination.
+
+fn before_advance(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 7, 0).unwrap();
+    let _ = c.pull();
+}
+
+fn after_termination(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    while c.advance(pe, true) {}
+    let _ = c.pull();
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: push after the exchange terminated, with no re-arm.
+
+fn superstep(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    while c.advance(pe, true) {
+        while c.pull().is_some() {}
+    }
+    c.push(pe, 2, 0).unwrap();
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: collective reset while the exchange is still live.
+
+fn eager_reset(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    c.reset(pe);
+}

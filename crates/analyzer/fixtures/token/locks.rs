@@ -1,0 +1,11 @@
+//! Seeded violation: lock types outside the allowlist.
+
+use std::sync::Mutex;
+
+pub fn hold(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn chan() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u8>();
+}

@@ -1,0 +1,8 @@
+//! Seeded violations: an `Ordering` site with no policy entry, and a
+//! variant import that would hide sites from the policy table.
+
+use std::sync::atomic::Ordering::Relaxed;
+
+pub fn sneak(x: &std::sync::atomic::AtomicU64) -> u64 {
+    x.load(Ordering::Relaxed)
+}

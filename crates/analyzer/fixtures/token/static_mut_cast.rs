@@ -1,0 +1,8 @@
+//! Seeded violations: forbidden global mutability and a raw-pointer cast
+//! outside the shmem/hwpc allowlist.
+
+static mut COUNTER: u64 = 0;
+
+pub fn peek(v: &u64) -> *const u64 {
+    v as *const u64
+}

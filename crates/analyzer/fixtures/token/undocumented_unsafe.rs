@@ -1,0 +1,10 @@
+//! Seeded violation: an `unsafe` block with no SAFETY comment.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn read_checked(p: *const u8) -> u8 {
+    // SAFETY: documented sites stay silent — null-checked by the caller.
+    unsafe { *p }
+}

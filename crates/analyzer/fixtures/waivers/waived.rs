@@ -1,0 +1,17 @@
+//! Waiver mechanics: a justified waiver silences its finding; a bare
+//! waiver is itself a violation (and suppresses nothing).
+
+fn justified(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    while c.advance(pe, true) {}
+    // analyzer: allow(push-without-rearm): deliberate litmus — the runtime must reject this push
+    c.push(pe, 2, 0).unwrap();
+}
+
+fn unjustified(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    while c.advance(pe, true) {}
+    // analyzer: allow(pull-outside-drain)
+    let _ = c.pull();
+}

@@ -1,0 +1,446 @@
+//! Intra-procedural control-flow graphs over [`crate::parser`] statement
+//! trees, plus the two analyses the protocol checker needs: iterative
+//! dominators and a generic forward-dataflow driver.
+//!
+//! Shape: block 0 is the entry, block 1 the exit. `return` (and `break`
+//! outside a loop, which cannot happen in well-formed input) edges to the
+//! exit. Statements following a diverging statement in the same sequence
+//! are unreachable and are not emitted — the passes only report facts that
+//! hold on *reachable* paths, so dropping dead code is sound.
+//!
+//! Branch edges can carry an [`Assume`]: when an `if`/`while` header ends
+//! in a recognizable call test (`while c.advance(pe, done)`), the taken /
+//! not-taken edges record the call and the branch polarity, letting a pass
+//! refine its state differently on the two sides (the conveyor pass maps
+//! `advance → false` to "terminated").
+
+use crate::parser::{CallSite, CondTest, Stmt};
+
+/// An event observed while executing a block, in order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    Call(CallSite),
+    /// `let name = ..;` with the initializer's calls (already emitted as
+    /// `Call` events before this) — lets a pass bind constructor results.
+    Bind { name: String, init_calls: Vec<CallSite> },
+}
+
+/// A branch-edge refinement: the header test `call` evaluated to `branch`.
+#[derive(Debug, Clone)]
+pub struct Assume {
+    pub test: CondTest,
+    pub branch: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub to: usize,
+    pub assume: Option<Assume>,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct Block {
+    pub events: Vec<Event>,
+    pub succs: Vec<Edge>,
+}
+
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pub blocks: Vec<Block>,
+}
+
+pub const ENTRY: usize = 0;
+pub const EXIT: usize = 1;
+
+struct LoopCtx {
+    break_to: usize,
+    continue_to: usize,
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    loops: Vec<LoopCtx>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(Edge { to, assume: None });
+    }
+    fn edge_assume(&mut self, from: usize, to: usize, test: &Option<CondTest>, branch: bool) {
+        let assume = test.as_ref().map(|t| Assume { test: t.clone(), branch });
+        self.blocks[from].succs.push(Edge { to, assume });
+    }
+
+    /// Emit `stmts` starting in block `cur`; returns the block control
+    /// falls out of, or `None` if every path diverged.
+    fn emit(&mut self, stmts: &[Stmt], mut cur: usize) -> Option<usize> {
+        for s in stmts {
+            match s {
+                Stmt::Call(c) => self.blocks[cur].events.push(Event::Call(c.clone())),
+                Stmt::Let { name, init_calls } => {
+                    if let Some(n) = name {
+                        self.blocks[cur].events.push(Event::Bind {
+                            name: n.clone(),
+                            init_calls: init_calls.clone(),
+                        });
+                    }
+                }
+                Stmt::Closure(_) => {}
+                Stmt::If { cond, test, then_b, else_b } => {
+                    cur = self.emit(cond, cur)?;
+                    let t = self.new_block();
+                    let e = self.new_block();
+                    let j = self.new_block();
+                    self.edge_assume(cur, t, test, true);
+                    self.edge_assume(cur, e, test, false);
+                    if let Some(t_end) = self.emit(then_b, t) {
+                        self.edge(t_end, j);
+                    }
+                    if let Some(e_end) = self.emit(else_b, e) {
+                        self.edge(e_end, j);
+                    }
+                    cur = j;
+                }
+                Stmt::Loop { cond, test, body } => {
+                    let header = self.new_block();
+                    self.edge(cur, header);
+                    let h_end = self.emit(cond, header).unwrap_or(header);
+                    let b = self.new_block();
+                    let x = self.new_block();
+                    let endless = cond.is_empty() && test.is_none();
+                    self.edge_assume(h_end, b, test, true);
+                    if !endless {
+                        // `loop {}` has no fallthrough exit; `while`/`for`
+                        // exit when the test fails / iterator ends.
+                        self.edge_assume(h_end, x, test, false);
+                    }
+                    self.loops.push(LoopCtx { break_to: x, continue_to: header });
+                    if let Some(b_end) = self.emit(body, b) {
+                        self.edge(b_end, header);
+                    }
+                    self.loops.pop();
+                    cur = x;
+                }
+                Stmt::Match { scrutinee, arms } => {
+                    cur = self.emit(scrutinee, cur)?;
+                    let j = self.new_block();
+                    if arms.is_empty() {
+                        self.edge(cur, j);
+                    }
+                    for arm in arms {
+                        let a = self.new_block();
+                        self.edge(cur, a);
+                        if let Some(a_end) = self.emit(arm, a) {
+                            self.edge(a_end, j);
+                        }
+                    }
+                    cur = j;
+                }
+                Stmt::Return => {
+                    self.edge(cur, EXIT);
+                    return None;
+                }
+                Stmt::Break => {
+                    let to = self.loops.last().map(|l| l.break_to).unwrap_or(EXIT);
+                    self.edge(cur, to);
+                    return None;
+                }
+                Stmt::Continue => {
+                    let to = self.loops.last().map(|l| l.continue_to).unwrap_or(EXIT);
+                    self.edge(cur, to);
+                    return None;
+                }
+            }
+        }
+        Some(cur)
+    }
+}
+
+/// Build a CFG from a scope body.
+pub fn build(body: &[Stmt]) -> Cfg {
+    let mut b = Builder { blocks: vec![Block::default(), Block::default()], loops: Vec::new() };
+    if let Some(end) = b.emit(body, ENTRY) {
+        b.edge(end, EXIT);
+    }
+    Cfg { blocks: b.blocks }
+}
+
+impl Cfg {
+    /// Blocks reachable from entry, in reverse postorder.
+    pub fn reverse_postorder(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack of (block, next-succ-index).
+        let mut stack: Vec<(usize, usize)> = vec![(ENTRY, 0)];
+        visited[ENTRY] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if let Some(e) = self.blocks[b].succs.get(*next) {
+                *next += 1;
+                if !visited[e.to] {
+                    visited[e.to] = true;
+                    stack.push((e.to, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Immediate dominators (Cooper/Harvey/Kennedy iterative algorithm).
+    /// `idom[ENTRY] == ENTRY`; unreachable blocks get `None`.
+    pub fn dominators(&self) -> Vec<Option<usize>> {
+        let rpo = self.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; self.blocks.len()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            if rpo_index[b] == usize::MAX {
+                continue;
+            }
+            for e in &blk.succs {
+                preds[e.to].push(b);
+            }
+        }
+        let mut idom: Vec<Option<usize>> = vec![None; self.blocks.len()];
+        idom[ENTRY] = Some(ENTRY);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// Whether block `a` dominates block `b` (per `dominators()` output).
+    pub fn dominates(idom: &[Option<usize>], a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].unwrap_or(a);
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].unwrap_or(b);
+        }
+    }
+    a
+}
+
+/// A join-semilattice fact for forward dataflow.
+pub trait Fact: Clone + PartialEq {
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// Run forward dataflow to a fixpoint. Returns the in-fact of every block
+/// (`None` = unreachable). `transfer(block, fact)` applies the block's
+/// events; `refine(fact, edge)` applies a branch assumption to the fact
+/// flowing along `edge`.
+pub fn forward<F: Fact>(
+    cfg: &Cfg,
+    entry: F,
+    mut transfer: impl FnMut(usize, &F) -> F,
+    refine: impl Fn(&F, &Edge) -> F,
+) -> Vec<Option<F>> {
+    let rpo = cfg.reverse_postorder();
+    let mut input: Vec<Option<F>> = vec![None; cfg.blocks.len()];
+    input[ENTRY] = Some(entry);
+    let mut changed = true;
+    // The lattices used here are finite and joins are monotone, so this
+    // terminates; the sweep count is bounded by lattice height x depth.
+    let mut sweeps = 0usize;
+    while changed && sweeps < 1000 {
+        changed = false;
+        sweeps += 1;
+        for &b in &rpo {
+            let Some(in_fact) = input[b].clone() else { continue };
+            let out = transfer(b, &in_fact);
+            for e in &cfg.blocks[b].succs {
+                let along = refine(&out, e);
+                let merged = match &input[e.to] {
+                    None => along,
+                    Some(existing) => existing.join(&along),
+                };
+                if input[e.to].as_ref() != Some(&merged) {
+                    input[e.to] = Some(merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_source, ScopeKind};
+
+    fn cfg_of(src: &str) -> Cfg {
+        let scopes = parse_source(src);
+        let f = scopes
+            .into_iter()
+            .find(|s| matches!(s.kind, ScopeKind::Fn { .. }))
+            .expect("fn scope");
+        build(&f.body)
+    }
+
+    fn call_block(cfg: &Cfg, method: &str) -> usize {
+        cfg.blocks
+            .iter()
+            .position(|b| {
+                b.events.iter().any(
+                    |e| matches!(e, Event::Call(c) if c.method == method),
+                )
+            })
+            .unwrap_or_else(|| panic!("no block calls {method}"))
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg_of("fn f() { a.x(); b.y(); }");
+        let rpo = cfg.reverse_postorder();
+        assert!(rpo.contains(&ENTRY) && rpo.contains(&EXIT));
+        assert_eq!(call_block(&cfg, "x"), call_block(&cfg, "y"));
+    }
+
+    #[test]
+    fn if_branches_join() {
+        let cfg = cfg_of("fn f() { if c() { a.t(); } else { a.e(); } a.after(); }");
+        let t = call_block(&cfg, "t");
+        let e = call_block(&cfg, "e");
+        let after = call_block(&cfg, "after");
+        assert_ne!(t, e);
+        let idom = cfg.dominators();
+        // The join block is dominated by the branch head, not by either arm.
+        assert!(!Cfg::dominates(&idom, t, after));
+        assert!(!Cfg::dominates(&idom, e, after));
+    }
+
+    #[test]
+    fn while_loop_has_back_edge_and_assumes() {
+        let cfg = cfg_of("fn f() { while c.advance(pe, true) { c.pull(); } c.reset(pe); }");
+        let header = call_block(&cfg, "advance");
+        let body = call_block(&cfg, "pull");
+        let after = call_block(&cfg, "reset");
+        // Header branches to body (assume true) and exit (assume false).
+        let mut saw_true = false;
+        let mut saw_false = false;
+        for e in &cfg.blocks[header].succs {
+            if let Some(a) = &e.assume {
+                assert_eq!(a.test.call.method, "advance");
+                if a.branch {
+                    saw_true = true;
+                    assert_eq!(e.to, body);
+                } else {
+                    saw_false = true;
+                }
+            }
+        }
+        assert!(saw_true && saw_false);
+        // Loop body edges back to header.
+        assert!(cfg.blocks[body].succs.iter().any(|e| e.to == header));
+        let idom = cfg.dominators();
+        assert!(Cfg::dominates(&idom, header, after));
+        assert!(!Cfg::dominates(&idom, body, after));
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        let cfg = cfg_of("fn f() { loop { if done() { break; } a.work(); } a.after(); }");
+        let work = call_block(&cfg, "work");
+        let after = call_block(&cfg, "after");
+        let rpo = cfg.reverse_postorder();
+        assert!(rpo.contains(&work));
+        assert!(rpo.contains(&after));
+        let idom = cfg.dominators();
+        assert!(!Cfg::dominates(&idom, work, after), "work is skippable");
+    }
+
+    #[test]
+    fn return_makes_following_code_unreachable() {
+        let cfg = cfg_of("fn f() { if c() { return; } a.x(); }");
+        let x = call_block(&cfg, "x");
+        let rpo = cfg.reverse_postorder();
+        assert!(rpo.contains(&x));
+        // But code after an unconditional return is not emitted at all.
+        let cfg2 = cfg_of("fn f() { return; a.x(); }");
+        assert!(
+            !cfg2.blocks.iter().any(|b| b
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Call(c) if c.method == "x"))),
+            "statements after unconditional return are dropped"
+        );
+    }
+
+    #[test]
+    fn dominators_on_diamond() {
+        let cfg = cfg_of(
+            "fn f() { pre.p(); if c() { a.t(); } else { a.e(); } post.q(); }",
+        );
+        let pre = call_block(&cfg, "p");
+        let post = call_block(&cfg, "q");
+        let idom = cfg.dominators();
+        assert!(Cfg::dominates(&idom, pre, post));
+        assert!(Cfg::dominates(&idom, ENTRY, post));
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct Count(u32);
+    impl Fact for Count {
+        fn join(&self, o: &Self) -> Self {
+            Count(self.0.max(o.0))
+        }
+    }
+
+    #[test]
+    fn forward_dataflow_reaches_fixpoint() {
+        // Count calls along paths; loop must not diverge (capped join).
+        let cfg = cfg_of("fn f() { while c() { a.x(); } a.y(); }");
+        let facts = forward(
+            &cfg,
+            Count(0),
+            |b, f| Count((f.0 + cfg.blocks[b].events.len() as u32).min(10)),
+            |f, _| f.clone(),
+        );
+        let y = call_block(&cfg, "y");
+        assert!(facts[y].is_some(), "exit-side block reachable");
+        assert!(facts[EXIT].is_some());
+    }
+}

@@ -14,7 +14,8 @@
 //!
 //! Handled: `//` line comments, nested `/* */` block comments, `"…"`
 //! strings with escapes, `r"…"`/`r#"…"#` raw strings, byte/char literals,
-//! and the `'lifetime` ambiguity (a `'` followed by an identifier and no
+//! raw identifiers (`r#unsafe` is blanked — it is *not* the keyword), and
+//! the `'lifetime` ambiguity (a `'` followed by an identifier and no
 //! closing `'` is a lifetime, not a char literal).
 
 /// One comment in the original source.
@@ -168,6 +169,21 @@ pub fn scan(src: &str) -> ScannedFile {
                 while bytes.get(k) == Some(&'#') {
                     hashes += 1;
                     k += 1;
+                }
+                // Raw identifier, e.g. `r#unsafe` / `r#fn`: exactly one `#`
+                // followed by an identifier, not a quote. The ident text is
+                // explicitly *not* the keyword it spells, so blank the whole
+                // thing — otherwise `let r#unsafe = 1;` leaks an `unsafe`
+                // token into the blanked code and trips the lints.
+                if j == i && hashes == 1 && bytes.get(k).is_some_and(|&c| is_ident_char(c)) {
+                    blank!('r');
+                    blank!('#');
+                    i += 2;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        blank!(bytes[i]);
+                        i += 1;
+                    }
+                    continue;
                 }
                 if bytes.get(k) == Some(&'"') {
                     // Confirmed raw string from i..; emit prefix verbatim.
@@ -414,6 +430,58 @@ mod tests {
         assert_eq!(fns[2].as_deref(), Some("outer"));
         assert_eq!(fns[4].as_deref(), Some("inner"));
         assert_eq!(fns[6].as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn nested_block_comments_cannot_leak_tokens() {
+        // Regression: an `unsafe`/`Ordering::` token inside a *nested*
+        // block comment must never reach the blanked code, even when the
+        // nesting closes and reopens on one line.
+        let src = "/* outer /* unsafe { Ordering::Relaxed } */ still /* Mutex */ out */ fn ok() {}\n";
+        let s = scan(src);
+        assert!(!s.code.contains("unsafe"));
+        assert!(!s.code.contains("Ordering"));
+        assert!(!s.code.contains("Mutex"));
+        assert!(s.code.contains("fn ok() {}"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(ordering_sites(&s.code).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_cannot_leak_tokens() {
+        // Regression: raw strings whose body contains `"#`-like runs plus
+        // `unsafe` / `Ordering::` text, at several hash depths.
+        let src = concat!(
+            "let a = r\"unsafe Ordering::Acquire\";\n",
+            "let b = r##\"quote \"# inside, still unsafe Ordering::Release\"##;\n",
+            "let c = br#\"bytes with Mutex and unsafe\"#;\n",
+            "let after = 1;\n",
+        );
+        let s = scan(src);
+        assert!(!s.code.contains("unsafe"));
+        assert!(!s.code.contains("Mutex"));
+        assert!(ordering_sites(&s.code).is_empty());
+        assert!(s.code.contains("let after = 1;"), "scan resynced: {}", s.code);
+        assert_eq!(s.code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_keywords() {
+        // `r#unsafe` is a plain identifier named "unsafe"; it must not
+        // surface an `unsafe` token (the undocumented-unsafe lint keys on
+        // exactly that word). Same for `r#fn`, which would corrupt
+        // enclosing-fn attribution.
+        let src = "let r#unsafe = 1;\nlet x = r#fn + r#unsafe;\nfn real() { let y = 2; }\n";
+        let s = scan(src);
+        assert!(!s.code.contains("unsafe"), "blanked: {}", s.code);
+        let words: Vec<&str> = idents(&s.code).iter().map(|&(_, _, w)| w).collect();
+        assert!(!words.contains(&"unsafe"));
+        assert!(!words.contains(&"fn") || words.iter().filter(|&&w| w == "fn").count() == 1);
+        let fns = enclosing_fns(&s.code);
+        assert_eq!(fns[3].as_deref(), Some("real"));
+        // A raw string still scans as a string right after (prefix overlap).
+        let s2 = scan("let s = r#\"unsafe\"#; let r#unsafe = 2;");
+        assert!(!s2.code.contains("unsafe"));
     }
 
     #[test]

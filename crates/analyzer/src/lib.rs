@@ -26,9 +26,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cfg;
 pub mod lexer;
 pub mod lints;
+pub mod pairing;
+pub mod parser;
 pub mod policy;
+pub mod protocol;
+pub mod sarif;
 
 pub use lints::{lint_source, Finding};
 pub use policy::{Policy, PolicyError};
@@ -74,7 +79,9 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
         let path = entry?.path();
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
-            if name == "target" || name == "vendor" {
+            // `fixtures/` holds the analyzer's own seeded-violation corpus
+            // — deliberately dirty, never part of the workspace scan.
+            if name == "target" || name == "vendor" || name == "fixtures" {
                 continue;
             }
             walk(root, &path, out)?;
@@ -101,15 +108,68 @@ pub fn load_policy(root: &Path) -> Result<Policy, String> {
 }
 
 /// Lint the whole tree under `root` with `policy`; findings are sorted by
-/// file, then line.
+/// file, then line. Runs the per-file passes (token lints + the protocol
+/// dataflow checker) and the cross-file Release/Acquire pairing audit.
 pub fn lint_tree(root: &Path, policy: &Policy) -> std::io::Result<Vec<Finding>> {
+    let files = source_files(root)?;
+    lint_files(root, &files, policy)
+}
+
+/// Lint an explicit file list (workspace-relative paths under `root`).
+/// [`lint_tree`] scans the standard roots; the fixture harness and the
+/// diff-aware lanes pass their own lists.
+pub fn lint_files(root: &Path, files: &[String], policy: &Policy) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
-    for rel in source_files(root)? {
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(lint_source(&rel, &src, policy));
+    let mut atomic_sites = Vec::new();
+    let mut waivers_by_file: std::collections::BTreeMap<String, Vec<lints::Waiver>> =
+        std::collections::BTreeMap::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(lint_source(rel, &src, policy));
+        let scanned = lexer::scan(&src);
+        atomic_sites.extend(pairing::collect(rel, &scanned.code));
+        waivers_by_file.insert(rel.clone(), lints::waivers(&scanned));
     }
+    // The pairing audit needs the whole tree's sites; waivers still apply
+    // per site (bad-waiver findings already came from lint_source).
+    let waived = |f: &Finding| {
+        waivers_by_file.get(&f.file).is_some_and(|ws| {
+            ws.iter().any(|w| {
+                w.has_why && w.lint == f.lint && w.start_line <= f.line && f.line <= w.end_line
+            })
+        })
+    };
+    findings.extend(
+        pairing::audit(&atomic_sites, policy)
+            .into_iter()
+            .filter(|f| !waived(f)),
+    );
     findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(findings)
+}
+
+/// Restrict findings to the files changed relative to `base` (per
+/// `git diff --name-only <base>`), for the diff-aware CI lanes. Returns
+/// the changed-file set alongside, so callers can report coverage.
+pub fn diff_files(root: &Path, base: &str) -> Result<Vec<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", "--diff-filter=d", base])
+        .output()
+        .map_err(|e| format!("cannot run git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {base} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect())
 }
 
 /// One discovered `Ordering::*` site (the `orderings` subcommand's output,

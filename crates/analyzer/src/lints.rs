@@ -24,6 +24,8 @@ pub struct Finding {
     /// Lint identifier (kebab-case).
     pub lint: &'static str,
     pub message: String,
+    /// Fix-it hint: the concrete change that clears the finding.
+    pub hint: String,
 }
 
 impl std::fmt::Display for Finding {
@@ -32,8 +34,91 @@ impl std::fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.lint, self.message
-        )
+        )?;
+        if !self.hint.is_empty() {
+            write!(f, "\n    = hint: {}", self.hint)?;
+        }
+        Ok(())
     }
+}
+
+/// Inline waiver comments: `// analyzer: allow(rule-id): why`. Deliberate
+/// negative tests (litmus code that *must* violate the protocol) carry one
+/// on the offending line or directly above it. A waiver without a why is
+/// itself a finding, so the justification cannot silently rot away.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub lint: String,
+    /// Lines the waiver covers: its comment's span plus the line below.
+    pub start_line: usize,
+    pub end_line: usize,
+    pub has_why: bool,
+}
+
+/// Extract waivers from a file's comments.
+pub fn waivers(scanned: &ScannedFile) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &scanned.comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("analyzer: allow(") {
+            rest = &rest[pos + "analyzer: allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let lint = rest[..close].trim().to_string();
+            let after = &rest[close + 1..];
+            let has_why = after
+                .trim_start()
+                .strip_prefix(':')
+                .map(|why| {
+                    !why.trim_start()
+                        .lines()
+                        .next()
+                        .unwrap_or("")
+                        .trim()
+                        .is_empty()
+                })
+                .unwrap_or(false);
+            out.push(Waiver {
+                lint,
+                start_line: c.start_line,
+                end_line: c.end_line + 1,
+                has_why,
+            });
+            rest = after;
+        }
+    }
+    out
+}
+
+/// Drop findings covered by a well-formed waiver; flag malformed waivers.
+pub fn apply_waivers(
+    rel_path: &str,
+    findings: Vec<Finding>,
+    waivers: &[Waiver],
+) -> Vec<Finding> {
+    let mut out: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            !waivers.iter().any(|w| {
+                w.has_why
+                    && w.lint == f.lint
+                    && w.start_line <= f.line
+                    && f.line <= w.end_line
+            })
+        })
+        .collect();
+    for w in waivers {
+        if !w.has_why {
+            out.push(finding(
+                rel_path,
+                w.start_line,
+                "bad-waiver",
+                format!("waiver for `{}` has no justification", w.lint),
+                "write `// analyzer: allow(rule-id): <why this violation is \
+                 deliberate>`",
+            ));
+        }
+    }
+    out
 }
 
 /// Lock-ish identifiers that must not appear outside the allowlist. Full
@@ -63,6 +148,8 @@ pub fn lint_source(rel_path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
     lint_orderings(rel_path, &scanned, policy, &mut findings);
     lint_static_mut_and_casts(rel_path, &scanned, policy, &mut findings);
     lint_crate_root_attrs(rel_path, &scanned, &mut findings);
+    findings.extend(crate::protocol::check_file(rel_path, &scanned, policy));
+    let mut findings = apply_waivers(rel_path, findings, &waivers(&scanned));
     findings.sort_by_key(|f| f.line);
     findings
 }
@@ -72,12 +159,14 @@ fn finding(
     line: usize,
     lint: &'static str,
     message: impl Into<String>,
+    hint: impl Into<String>,
 ) -> Finding {
     Finding {
         file: rel_path.to_string(),
         line,
         lint,
         message: message.into(),
+        hint: hint.into(),
     }
 }
 
@@ -122,6 +211,8 @@ fn lint_unsafe_comments(rel_path: &str, scanned: &ScannedFile, findings: &mut Ve
             "undocumented-unsafe",
             "`unsafe` without a `// SAFETY:` comment on the same line or \
              in the comment block directly above",
+            "add `// SAFETY: <why the invariants hold>` directly above the \
+             unsafe block",
         ));
     }
 }
@@ -146,6 +237,9 @@ fn lint_locks(
                      is lock-free by contract; add the file to \
                      [lock-allowlist] in policy.toml only with justification"
                 ),
+                "use the lock-free primitives, or add this file to \
+                 [lock-allowlist] in crates/analyzer/policy.toml with a \
+                 justification",
             ));
         }
     }
@@ -157,6 +251,9 @@ fn lint_locks(
                     lineno + 1,
                     "lock-outside-allowlist",
                     format!("`{needle}` outside the lock allowlist"),
+                    "use the conveyor/mailbox primitives instead of \
+                     channel/barrier sync, or allowlist the file with a \
+                     justification",
                 ));
             }
         }
@@ -194,6 +291,10 @@ fn lint_orderings(
                      [[ordering]] policy entry — add one to \
                      crates/analyzer/policy.toml with a justification"
                 ),
+                format!(
+                    "add `[[ordering]]` with file = \"{rel_path}\", symbol = \
+                     \"{symbol}\", allow = [\"{variant}\"] and a one-line why"
+                ),
             ));
         }
     }
@@ -208,6 +309,8 @@ fn lint_orderings(
                 "ordering-use-import",
                 "importing `Ordering` variants hides them from the policy \
                  table; spell `Ordering::X` at the use site",
+                "drop the variant import and write `Ordering::<Variant>` at \
+                 every call site",
             ));
         }
     }
@@ -232,6 +335,8 @@ fn lint_static_mut_and_casts(
                 "static-mut",
                 "`static mut` is forbidden everywhere (use atomics or \
                  interior mutability)",
+                "replace with an atomic, `OnceLock`, or thread-local \
+                 interior mutability",
             ));
         }
         if !cast_allowed
@@ -242,6 +347,8 @@ fn lint_static_mut_and_casts(
                 lineno + 1,
                 "ptr-cast",
                 "raw-pointer cast outside the shmem/hwpc allowlist",
+                "move the cast into an allowlisted crate, or extend \
+                 [ptr-cast-allowlist] in policy.toml with a justification",
             ));
         }
     }
@@ -283,6 +390,7 @@ fn lint_crate_root_attrs(rel_path: &str, scanned: &ScannedFile, findings: &mut V
                     "crate `{crate_name}` contains unsafe code and must \
                      declare `#![deny(unsafe_op_in_unsafe_fn)]`"
                 ),
+                "add the attribute at the top of the crate root",
             ));
         }
     } else if !code.contains("#![forbid(unsafe_code)]") {
@@ -291,6 +399,7 @@ fn lint_crate_root_attrs(rel_path: &str, scanned: &ScannedFile, findings: &mut V
             1,
             "missing-forbid",
             format!("crate `{crate_name}` must declare `#![forbid(unsafe_code)]`"),
+            "add `#![forbid(unsafe_code)]` at the top of the crate root",
         ));
     }
 }

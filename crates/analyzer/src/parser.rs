@@ -1,0 +1,1055 @@
+//! A lightweight statement parser over the lexer's blanked code text.
+//!
+//! This is *not* a Rust grammar — it is the smallest recursive-descent
+//! parser that recovers what the dataflow passes need from a source file:
+//!
+//! - every `fn` (free, impl, trait-default, nested) and every closure, as a
+//!   separate [`Scope`] with a statement tree;
+//! - control flow: `if`/`else`, `while`/`for`/`loop`, `match` arms,
+//!   `return`/`break`/`continue`;
+//! - call events, with the receiver chain (`c.pull()` → base `c`), the
+//!   path qualifier (`Conveyor::<u64>::new(..)` → qualifier `Conveyor`),
+//!   and the atomic `Ordering::*` arguments used inside the call;
+//! - `let` bindings (`let mut c = Conveyor::new(..)`), so a pass can tell
+//!   which local a constructor call was bound to.
+//!
+//! The parser leans on two Rust grammar facts to stay simple: struct
+//! literals are illegal in `if`/`while`/`for`/`match` header expressions
+//! (so the first `{` at paren-depth zero opens the block), and closure
+//! parameter lists cannot contain a top-level `|`.
+//!
+//! Everything it cannot classify it skips without error: the output is a
+//! best-effort event tree, and the passes built on it only act on
+//! *definitely* recognized shapes.
+
+use crate::lexer;
+
+/// One token of blanked code: an identifier/number word or a punctuation
+/// run (compound operators like `::`, `=>`, `->`, `||` kept together).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub text: String,
+    pub line: usize,
+    pub is_ident: bool,
+}
+
+/// Tokenize blanked code text. Quote characters left behind by the lexer's
+/// literal blanking (and the `'` of lifetimes) are dropped.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() || c == '"' || c == '\'' {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok {
+                text: chars[start..i].iter().collect(),
+                line,
+                is_ident: true,
+            });
+            continue;
+        }
+        // Punctuation: greedily take known compound operators.
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let three: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        const THREE: &[&str] = &["..=", "<<=", ">>="];
+        const TWO: &[&str] = &[
+            "::", "=>", "->", "||", "&&", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "|=",
+            "&=", "^=", "%=", "..", "<<", ">>",
+        ];
+        if THREE.contains(&three.as_str()) {
+            out.push(Tok { text: three, line, is_ident: false });
+            i += 3;
+        } else if TWO.contains(&two.as_str()) {
+            out.push(Tok { text: two, line, is_ident: false });
+            i += 2;
+        } else {
+            out.push(Tok { text: c.to_string(), line, is_ident: false });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A call event: `base.method(..)` or `Qualifier::method(..)` or `method(..)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Dotted receiver chain, e.g. `c` in `c.pull()`, `conveyor` in
+    /// `mailbox.conveyor.pull()` (the chain is cut at any non-ident link
+    /// such as an index expression). `None` for free/path calls.
+    pub base: Option<String>,
+    /// Last `::` path segment before the method, e.g. `Conveyor` in
+    /// `Conveyor::<u64>::new(..)`. `None` for plain method/free calls.
+    pub qualifier: Option<String>,
+    pub method: String,
+    pub line: usize,
+    /// `Ordering::Variant` names appearing among this call's own arguments
+    /// (not inside nested calls).
+    pub orderings: Vec<String>,
+}
+
+/// The trailing condition test of an `if`/`while` header, when the header
+/// ends in `[!] chain(..)` — lets the CFG refine state on branch edges
+/// (e.g. `while c.advance(pe, done)`: body edge = still active, exit edge
+/// = terminated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondTest {
+    pub call: CallSite,
+    pub negated: bool,
+}
+
+/// One statement in a scope body.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A call event, in evaluation order.
+    Call(CallSite),
+    /// `let name = ..;` — the binding name (None for destructuring
+    /// patterns) and the calls evaluated in the initializer, in order.
+    /// Call events inside the initializer are *also* emitted as separate
+    /// `Stmt::Call`s before this marker; `Let` only records the binding.
+    Let { name: Option<String>, init_calls: Vec<CallSite> },
+    If { cond: Vec<Stmt>, test: Option<CondTest>, then_b: Vec<Stmt>, else_b: Vec<Stmt> },
+    /// `while`/`for`/`loop`. `cond` is empty for `loop`; `test` is the
+    /// trailing header call when recognizable.
+    Loop { cond: Vec<Stmt>, test: Option<CondTest>, body: Vec<Stmt> },
+    Match { scrutinee: Vec<Stmt>, arms: Vec<Vec<Stmt>> },
+    /// A closure body. Not part of the enclosing control flow (it runs
+    /// whenever the callee invokes it); analyzed as its own scope.
+    Closure(usize),
+    Return,
+    Break,
+    Continue,
+}
+
+/// What kind of scope a body is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A named `fn`.
+    Fn { name: String },
+    /// A closure; `passed_to` is the method/function call it was an
+    /// argument of — `selector` for `prof.selector(1, move |..| ..)`,
+    /// `Selector::new` for `Selector::new(pe, 1, cfg, move |..| ..)`
+    /// (qualified form when the callee was a path call).
+    Closure { passed_to: Option<String>, enclosing_fn: Option<String> },
+}
+
+/// One analyzable body: a function or closure.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    pub kind: ScopeKind,
+    pub line: usize,
+    pub body: Vec<Stmt>,
+}
+
+/// Parse blanked code into scopes. Closures referenced by
+/// [`Stmt::Closure`] indices live in the same returned vector.
+pub fn parse_file(code: &str) -> Vec<Scope> {
+    let toks = tokenize(code);
+    let mut p = Parser { toks: &toks, i: 0, scopes: Vec::new(), fn_stack: Vec::new() };
+    while p.i < p.toks.len() {
+        if p.at_fn_decl() {
+            p.parse_fn();
+        } else {
+            p.i += 1;
+        }
+    }
+    p.scopes
+}
+
+struct Parser<'t> {
+    toks: &'t [Tok],
+    i: usize,
+    scopes: Vec<Scope>,
+    fn_stack: Vec<String>,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.i + off)
+    }
+    fn at(&self, text: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.text == text)
+    }
+
+    /// `fn` keyword followed by a name (not an `fn(..)` pointer type).
+    fn at_fn_decl(&self) -> bool {
+        self.at("fn") && self.peek(1).is_some_and(|t| t.is_ident)
+    }
+
+    /// Parse `fn name .. { body }` (or a bodiless trait signature).
+    fn parse_fn(&mut self) {
+        let name = self.peek(1).map(|t| t.text.clone()).unwrap_or_default();
+        let line = self.peek(0).map(|t| t.line).unwrap_or(0);
+        self.i += 2;
+        // Skip the signature to the body `{` or a terminating `;`.
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "{" => break,
+                ";" => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+        if self.peek(0).is_none() {
+            return;
+        }
+        self.i += 1; // consume `{`
+        self.fn_stack.push(name.clone());
+        let body = self.parse_block();
+        self.fn_stack.pop();
+        self.scopes.push(Scope { kind: ScopeKind::Fn { name }, line, body });
+    }
+
+    /// Parse statements until the matching `}` (consumed).
+    fn parse_block(&mut self) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "}" => {
+                    self.i += 1;
+                    return out;
+                }
+                ";" => self.i += 1,
+                "fn" if self.at_fn_decl() => self.parse_fn(),
+                "if" => {
+                    let s = self.parse_if();
+                    out.push(s);
+                }
+                "while" => {
+                    self.i += 1;
+                    // `while let pat = expr` — the header is still scanned
+                    // the same way; `let` is just a token in it.
+                    let (cond, test) = self.parse_header();
+                    let body = if self.at("{") {
+                        self.i += 1;
+                        self.parse_block()
+                    } else {
+                        Vec::new()
+                    };
+                    out.push(Stmt::Loop { cond, test, body });
+                }
+                "for" => {
+                    self.i += 1;
+                    // Skip the loop pattern up to `in`.
+                    while let Some(t) = self.peek(0) {
+                        if t.text == "in" || t.text == "{" {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    if self.at("in") {
+                        self.i += 1;
+                    }
+                    let (cond, _) = self.parse_header();
+                    let body = if self.at("{") {
+                        self.i += 1;
+                        self.parse_block()
+                    } else {
+                        Vec::new()
+                    };
+                    out.push(Stmt::Loop { cond, test: None, body });
+                }
+                "loop" => {
+                    self.i += 1;
+                    if self.at("{") {
+                        self.i += 1;
+                        let body = self.parse_block();
+                        out.push(Stmt::Loop { cond: Vec::new(), test: None, body });
+                    }
+                }
+                "match" => {
+                    let s = self.parse_match();
+                    out.push(s);
+                }
+                "let" => {
+                    let stmts = self.parse_let();
+                    out.extend(stmts);
+                }
+                "return" => {
+                    self.i += 1;
+                    let mut events = Vec::new();
+                    self.scan_expr(&mut events, &[";"], None);
+                    out.extend(events);
+                    out.push(Stmt::Return);
+                }
+                "break" => {
+                    self.i += 1;
+                    let mut events = Vec::new();
+                    self.scan_expr(&mut events, &[";"], None);
+                    out.extend(events);
+                    out.push(Stmt::Break);
+                }
+                "continue" => {
+                    self.i += 1;
+                    let mut events = Vec::new();
+                    self.scan_expr(&mut events, &[";"], None);
+                    out.extend(events);
+                    out.push(Stmt::Continue);
+                }
+                "unsafe" | "{" => {
+                    if t.text == "unsafe" {
+                        self.i += 1;
+                        if !self.at("{") {
+                            continue;
+                        }
+                    }
+                    self.i += 1;
+                    let inner = self.parse_block();
+                    out.extend(inner);
+                }
+                "#" => {
+                    // Attribute: `#[..]` — skip the bracket group.
+                    self.i += 1;
+                    if self.at("[") {
+                        self.skip_group("[", "]");
+                    }
+                }
+                _ => {
+                    // Expression statement.
+                    let mut events = Vec::new();
+                    self.scan_expr(&mut events, &[";"], None);
+                    out.extend(events);
+                }
+            }
+        }
+        out
+    }
+
+    fn parse_if(&mut self) -> Stmt {
+        self.i += 1; // `if`
+        let (cond, test) = self.parse_header();
+        let then_b = if self.at("{") {
+            self.i += 1;
+            self.parse_block()
+        } else {
+            Vec::new()
+        };
+        let mut else_b = Vec::new();
+        if self.at("else") {
+            self.i += 1;
+            if self.at("if") {
+                else_b.push(self.parse_if());
+            } else if self.at("{") {
+                self.i += 1;
+                else_b = self.parse_block();
+            }
+        }
+        Stmt::If { cond, test, then_b, else_b }
+    }
+
+    /// Scan an `if`/`while`/`for`-header expression up to its block `{`
+    /// (not consumed). Returns the call events and, when the header ends
+    /// in `[!] chain(..)`, that trailing call as a branch test.
+    fn parse_header(&mut self) -> (Vec<Stmt>, Option<CondTest>) {
+        let mut events = Vec::new();
+        let start = self.i;
+        self.scan_expr(&mut events, &["{"], None);
+        let end = self.i; // at `{` (or EOF)
+        // Trailing-test detection: last header token is `)` closing a call
+        // whose events we recorded; check whether the whole tail from the
+        // call's base is preceded by `!`.
+        let mut test = None;
+        if let Some(Stmt::Call(last)) = events.iter().rev().find(|s| matches!(s, Stmt::Call(_))) {
+            if end > start && self.toks.get(end - 1).is_some_and(|t| t.text == ")") {
+                // Find the `!` by scanning header tokens for one directly
+                // before the call chain's first token.
+                let negated = self.header_negates(start, end, last);
+                test = Some(CondTest { call: last.clone(), negated });
+            }
+        }
+        (events, test)
+    }
+
+    /// Whether the header `start..end` applies `!` to the trailing call.
+    fn header_negates(&self, start: usize, end: usize, call: &CallSite) -> bool {
+        // Walk back from `end` to the token that starts the call chain
+        // (the base ident, qualifier, or method name), then look one
+        // before it.
+        let first_name = call
+            .base
+            .as_deref()
+            .and_then(|b| b.split('.').next())
+            .or(call.qualifier.as_deref())
+            .unwrap_or(&call.method);
+        let mut j = end;
+        while j > start {
+            j -= 1;
+            if self.toks[j].is_ident && self.toks[j].text == first_name {
+                return j > start && self.toks[j - 1].text == "!";
+            }
+        }
+        false
+    }
+
+    fn parse_match(&mut self) -> Stmt {
+        self.i += 1; // `match`
+        let mut scrutinee = Vec::new();
+        self.scan_expr(&mut scrutinee, &["{"], None);
+        let mut arms = Vec::new();
+        if self.at("{") {
+            self.i += 1;
+            loop {
+                // Skip the pattern (and guard) up to `=>` at zero depth.
+                let mut depth = 0isize;
+                let mut guard_events = Vec::new();
+                loop {
+                    let Some(t) = self.peek(0) else { return Stmt::Match { scrutinee, arms } };
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "}" if depth == 0 => {
+                            self.i += 1;
+                            return Stmt::Match { scrutinee, arms };
+                        }
+                        "}" => depth -= 1,
+                        "=>" if depth == 0 => {
+                            self.i += 1;
+                            break;
+                        }
+                        "if" if depth == 0 => {
+                            // Pattern guard: its calls run before the arm.
+                            self.i += 1;
+                            self.scan_expr(&mut guard_events, &["=>"], None);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    self.i += 1;
+                }
+                // Arm body: a block, a control statement, or an expression
+                // up to the `,` (or closing `}`) at zero depth.
+                let mut body = guard_events;
+                if self.at("{") {
+                    self.i += 1;
+                    body.extend(self.parse_block());
+                } else if self.at("if") {
+                    body.push(self.parse_if());
+                } else if self.at("match") {
+                    body.push(self.parse_match());
+                } else if self.at("return") || self.at("break") || self.at("continue") {
+                    let kind = self.peek(0).unwrap().text.clone();
+                    self.i += 1;
+                    self.scan_expr(&mut body, &[",", "}"], None);
+                    body.push(match kind.as_str() {
+                        "return" => Stmt::Return,
+                        "break" => Stmt::Break,
+                        _ => Stmt::Continue,
+                    });
+                } else {
+                    self.scan_expr(&mut body, &[",", "}"], None);
+                }
+                arms.push(body);
+                if self.at(",") {
+                    self.i += 1;
+                }
+            }
+        }
+        Stmt::Match { scrutinee, arms }
+    }
+
+    /// `let [mut] name [: ty] = init ;` — emits the initializer's call
+    /// events followed by a `Let` marker recording the binding.
+    fn parse_let(&mut self) -> Vec<Stmt> {
+        self.i += 1; // `let`
+        if self.at("mut") {
+            self.i += 1;
+        }
+        // Simple binding name: `ident` directly followed by `=` or `:`.
+        let name = match (self.peek(0), self.peek(1)) {
+            (Some(id), Some(nx)) if id.is_ident && (nx.text == "=" || nx.text == ":") => {
+                Some(id.text.clone())
+            }
+            _ => None,
+        };
+        // Skip to `=` at zero depth (destructuring patterns, type
+        // annotations with generics).
+        let mut depth = 0isize;
+        while let Some(t) = self.peek(0) {
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                "=" if depth <= 0 => break,
+                ";" if depth <= 0 => {
+                    // `let x;` — no initializer.
+                    self.i += 1;
+                    return vec![Stmt::Let { name, init_calls: Vec::new() }];
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        if self.at("=") {
+            self.i += 1;
+        }
+        let mut events: Vec<Stmt> = Vec::new();
+        // `let x = if ..` / `match ..` / `loop ..`: parse the construct
+        // properly, then expect `;`.
+        if self.at("if") {
+            events.push(self.parse_if());
+        } else if self.at("match") {
+            events.push(self.parse_match());
+        } else if self.at("loop") {
+            self.i += 1;
+            if self.at("{") {
+                self.i += 1;
+                let body = self.parse_block();
+                events.push(Stmt::Loop { cond: Vec::new(), test: None, body });
+            }
+        } else {
+            self.scan_expr(&mut events, &[";"], None);
+        }
+        let init_calls: Vec<CallSite> = events
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Call(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        events.push(Stmt::Let { name, init_calls });
+        events
+    }
+
+    /// Skip a bracketed group, assuming the cursor is at the opener.
+    fn skip_group(&mut self, open: &str, close: &str) {
+        let mut depth = 0isize;
+        while let Some(t) = self.peek(0) {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Scan an expression, collecting call events (and closures) until one
+    /// of `terminators` appears at zero bracket depth (the terminator is
+    /// consumed iff it is `;` or `,`; `{`, `}`, `=>` and `)` are left for
+    /// the caller). `ctx` is the method name of the call whose argument
+    /// list we are inside, for closure `passed_to` attribution.
+    fn scan_expr(&mut self, out: &mut Vec<Stmt>, terminators: &[&str], ctx: Option<&str>) {
+        let mut depth = 0isize;
+        let mut prev: Option<String> = None;
+        loop {
+            let Some(t) = self.peek(0) else { return };
+            let text = t.text.clone();
+
+            if depth == 0 && terminators.contains(&text.as_str()) {
+                if text == ";" || text == "," {
+                    self.i += 1;
+                }
+                return;
+            }
+            // A `}` above our depth always ends the expression (tail
+            // position); never consume it.
+            if text == "}" && depth == 0 {
+                return;
+            }
+
+            // Closure?
+            let expr_start = matches!(
+                prev.as_deref(),
+                None | Some(
+                    "(" | "," | "=" | "=>" | "{" | ";" | "return" | "move" | "&" | "&&" | "|"
+                        | "||" | "==" | "!=" | "+" | "-" | "*" | "/" | "%" | "!" | ":" | "if"
+                        | "match" | ".." | "..="
+                )
+            );
+            if (text == "|" || text == "||") && (expr_start || prev.as_deref() == Some("move")) {
+                let line = t.line;
+                self.i += 1;
+                if text == "|" {
+                    // Skip parameter list to the closing `|`.
+                    let mut d = 0isize;
+                    while let Some(t) = self.peek(0) {
+                        match t.text.as_str() {
+                            "(" | "[" | "<" => d += 1,
+                            ")" | "]" | ">" => d -= 1,
+                            "|" if d == 0 => {
+                                self.i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        self.i += 1;
+                    }
+                }
+                // Closure body.
+                let body = if self.at("{") {
+                    self.i += 1;
+                    self.parse_block()
+                } else {
+                    let mut b = Vec::new();
+                    self.scan_expr(&mut b, &[",", ")", ";", "}"], ctx);
+                    // Leave `)`/`}` for the caller; `,`/`;` were consumed
+                    // by scan_expr — step back so the caller still sees
+                    // its own terminator semantics? No: consuming `,` here
+                    // is correct (it separated the closure from the next
+                    // argument, and the caller loops).
+                    b
+                };
+                let enclosing_fn = self.fn_stack.last().cloned();
+                self.scopes.push(Scope {
+                    kind: ScopeKind::Closure { passed_to: ctx.map(str::to_string), enclosing_fn },
+                    line,
+                    body,
+                });
+                out.push(Stmt::Closure(self.scopes.len() - 1));
+                prev = Some(")".to_string()); // closure is a complete operand
+                continue;
+            }
+
+            // Call? ident followed by `(`; macro: ident `!` `(` or `[`.
+            if t.is_ident && !is_keyword(&text) {
+                let nx = self.peek(1).map(|t| t.text.clone());
+                if nx.as_deref() == Some("(") {
+                    let call = self.call_at();
+                    let line = t.line;
+                    self.i += 2; // name + `(`
+                    let mut call = CallSite { line, ..call };
+                    // Scan arguments; direct-argument Ordering:: uses are
+                    // attributed to this call.
+                    self.scan_args(out, &mut call);
+                    out.push(Stmt::Call(call));
+                    prev = Some(")".to_string());
+                    continue;
+                }
+                if nx.as_deref() == Some("!")
+                    && self
+                        .peek(2)
+                        .is_some_and(|t| t.text == "(" || t.text == "[" || t.text == "{")
+                {
+                    // Macro invocation: scan the delimited group as an
+                    // expression list (calls inside matter: e.g.
+                    // `assert!(matches!(c.push(..), ..))`).
+                    self.i += 2;
+                    let open = self.peek(0).unwrap().text.clone();
+                    let close: &str = match open.as_str() {
+                        "(" => ")",
+                        "[" => "]",
+                        _ => "}",
+                    };
+                    self.i += 1;
+                    let mut d = 1isize;
+                    // Scan tokens inside the macro, extracting calls via a
+                    // nested expression scan per comma-segment.
+                    while d > 0 {
+                        let before = self.i;
+                        self.scan_expr(out, &[",", close], ctx);
+                        match self.peek(0).map(|t| t.text.clone()).as_deref() {
+                            Some(c) if c == close => {
+                                d -= 1;
+                                self.i += 1;
+                            }
+                            None => break,
+                            _ => {}
+                        }
+                        if self.i == before {
+                            // No progress (e.g. stray close token): bail.
+                            self.i += 1;
+                            break;
+                        }
+                    }
+                    prev = Some(")".to_string());
+                    continue;
+                }
+            }
+
+            // `Ordering::Variant` at the current position is recorded by
+            // scan_args via the pending list; here just track depth/prev.
+            match text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        // Closing bracket of an enclosing group: done.
+                        return;
+                    }
+                }
+                "{" => {
+                    // Brace group inside an expression (struct literal,
+                    // inline const, etc.): scan its contents linearly.
+                    depth += 1;
+                }
+                "=>" => {}
+                _ => {}
+            }
+            if text == "}" {
+                depth -= 1;
+                if depth < 0 {
+                    return;
+                }
+            }
+            prev = Some(text);
+            self.i += 1;
+        }
+    }
+
+    /// Scan a call's argument list (cursor just past the `(`), collecting
+    /// nested events into `out` and direct `Ordering::` uses into `call`.
+    fn scan_args(&mut self, out: &mut Vec<Stmt>, call: &mut CallSite) {
+        let ctx_name = match &call.qualifier {
+            Some(q) => format!("{q}::{}", call.method),
+            None => call.method.clone(),
+        };
+        loop {
+            // Check for a direct `Ordering :: Variant` argument.
+            if self.at("Ordering")
+                && self.peek(1).is_some_and(|t| t.text == "::")
+                && self.peek(2).is_some_and(|t| t.is_ident)
+            {
+                call.orderings.push(self.peek(2).unwrap().text.clone());
+                self.i += 3;
+                continue;
+            }
+            let before = self.i;
+            self.scan_expr(out, &[",", ")"], Some(&ctx_name));
+            match self.peek(0).map(|t| t.text.clone()).as_deref() {
+                Some(")") => {
+                    self.i += 1;
+                    return;
+                }
+                None => return,
+                _ => {}
+            }
+            if self.i == before {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Build the base/qualifier for the call whose name token is at the
+    /// cursor, by walking backwards over the token stream.
+    fn call_at(&self) -> CallSite {
+        let method = self.toks[self.i].text.clone();
+        let line = self.toks[self.i].line;
+        let mut base = None;
+        let mut qualifier = None;
+        if self.i >= 1 {
+            let prevt = &self.toks[self.i - 1];
+            if prevt.text == "." {
+                // Receiver chain: walk `ident . ident . … .` backwards,
+                // stopping at any non-ident link (`)`, `]`, …).
+                let mut parts: Vec<String> = Vec::new();
+                let mut j = self.i - 1;
+                loop {
+                    if j == 0 {
+                        break;
+                    }
+                    let t = &self.toks[j - 1];
+                    if t.is_ident && !is_keyword(&t.text) {
+                        parts.push(t.text.clone());
+                        if j >= 2 && self.toks[j - 2].text == "." {
+                            j -= 2;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                if !parts.is_empty() {
+                    parts.reverse();
+                    base = Some(parts.join("."));
+                }
+            } else if prevt.text == "::" {
+                // Path call: `Qual::method(`, possibly with a turbofish
+                // `Qual::<T>::method(`.
+                let mut j = self.i - 1; // at `::`
+                if j >= 1 && self.toks[j - 1].text == ">" {
+                    // Walk back over the turbofish to its `<`.
+                    let mut depth = 1isize;
+                    let mut k = j - 1;
+                    while k > 0 && depth > 0 {
+                        k -= 1;
+                        match self.toks[k].text.as_str() {
+                            ">" | ">>" => depth += 1,
+                            "<" => depth -= 1,
+                            "<<" => depth -= 2,
+                            _ => {}
+                        }
+                    }
+                    // Expect `:: <` — qualifier sits before that `::`.
+                    if k >= 2 && self.toks[k - 1].text == "::" {
+                        j = k - 1;
+                    }
+                }
+                if j >= 1 && self.toks[j - 1].is_ident {
+                    qualifier = Some(self.toks[j - 1].text.clone());
+                }
+            }
+        }
+        CallSite { base, qualifier, method, line, orderings: Vec::new() }
+    }
+}
+
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "if" | "else" | "while" | "for" | "loop" | "match" | "let" | "mut" | "fn" | "return"
+            | "break" | "continue" | "move" | "in" | "as" | "ref" | "unsafe" | "pub" | "use"
+            | "mod" | "impl" | "trait" | "struct" | "enum" | "static" | "const" | "where"
+            | "dyn" | "self" | "Self" | "super" | "crate" | "true" | "false" | "await" | "async"
+    )
+}
+
+/// Convenience: scan + parse a raw source string.
+pub fn parse_source(src: &str) -> Vec<Scope> {
+    let scanned = lexer::scan(src);
+    parse_file(&scanned.code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calls_of(body: &[Stmt]) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+            for s in stmts {
+                match s {
+                    Stmt::Call(c) => out.push(format!(
+                        "{}{}",
+                        c.base.as_deref().map(|b| format!("{b}.")).unwrap_or_default(),
+                        c.method
+                    )),
+                    Stmt::If { cond, then_b, else_b, .. } => {
+                        walk(cond, out);
+                        walk(then_b, out);
+                        walk(else_b, out);
+                    }
+                    Stmt::Loop { cond, body, .. } => {
+                        walk(cond, out);
+                        walk(body, out);
+                    }
+                    Stmt::Match { scrutinee, arms } => {
+                        walk(scrutinee, out);
+                        for a in arms {
+                            walk(a, out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(body, &mut out);
+        out
+    }
+
+    fn only_fn(src: &str) -> Scope {
+        let scopes = parse_source(src);
+        scopes
+            .into_iter()
+            .find(|s| matches!(s.kind, ScopeKind::Fn { .. }))
+            .expect("a fn scope")
+    }
+
+    #[test]
+    fn method_calls_with_receiver_chains() {
+        let f = only_fn(
+            "fn f() { c.push(pe, 1, 0); mailbox.conveyor.pull(); self.mailboxes[mb].conveyor.pull_batch(buf); }",
+        );
+        assert_eq!(
+            calls_of(&f.body),
+            vec!["c.push", "mailbox.conveyor.pull", "conveyor.pull_batch"]
+        );
+    }
+
+    #[test]
+    fn path_call_qualifier_and_turbofish() {
+        let f = only_fn("fn f() { let c = Conveyor::<u64>::new(pe, opts); let d = Conveyor::new(pe); }");
+        let quals: Vec<Option<String>> = f
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Call(c) => Some(c.qualifier.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quals, vec![Some("Conveyor".into()), Some("Conveyor".into())]);
+        // Let markers captured the binding names.
+        let lets: Vec<Option<String>> = f
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Let { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lets, vec![Some("c".into()), Some("d".into())]);
+    }
+
+    #[test]
+    fn while_header_test_recognized() {
+        let f = only_fn("fn f() { while c.advance(pe, true) { c.pull(); } }");
+        match &f.body[0] {
+            Stmt::Loop { test: Some(t), body, .. } => {
+                assert_eq!(t.call.method, "advance");
+                assert_eq!(t.call.base.as_deref(), Some("c"));
+                assert!(!t.negated);
+                assert_eq!(calls_of(body), vec!["c.pull"]);
+            }
+            s => panic!("expected while loop with test, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_if_test_recognized() {
+        let f = only_fn("fn f() { loop { if !c.advance(pe, done) { break; } } }");
+        match &f.body[0] {
+            Stmt::Loop { body, .. } => match &body[0] {
+                Stmt::If { test: Some(t), then_b, .. } => {
+                    assert!(t.negated);
+                    assert_eq!(t.call.method, "advance");
+                    assert!(matches!(then_b[0], Stmt::Break));
+                }
+                s => panic!("expected if with negated test, got {s:?}"),
+            },
+            s => panic!("expected loop, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn closures_become_scopes_with_passed_to() {
+        let scopes = parse_source(
+            "fn f() { prof.selector(1, move |mb, w, from, ctx| { state.lock(); }); }",
+        );
+        let cl = scopes
+            .iter()
+            .find(|s| matches!(s.kind, ScopeKind::Closure { .. }))
+            .expect("closure scope");
+        match &cl.kind {
+            ScopeKind::Closure { passed_to, enclosing_fn } => {
+                assert_eq!(passed_to.as_deref(), Some("selector"));
+                assert_eq!(enclosing_fn.as_deref(), Some("f"));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(calls_of(&cl.body), vec!["state.lock"]);
+        // The closure's calls are NOT part of the enclosing fn's flow.
+        let f = scopes.iter().find(|s| matches!(s.kind, ScopeKind::Fn { .. })).unwrap();
+        assert!(!calls_of(&f.body).contains(&"state.lock".to_string()));
+    }
+
+    #[test]
+    fn path_call_closures_get_qualified_passed_to() {
+        let scopes = parse_source(
+            "fn f() { let a = Selector::new(pe, 1, cfg, move |mb, m, from, ctx| { h(m); }); }",
+        );
+        let cl = scopes
+            .iter()
+            .find(|s| matches!(s.kind, ScopeKind::Closure { .. }))
+            .expect("closure scope");
+        match &cl.kind {
+            ScopeKind::Closure { passed_to, .. } => {
+                assert_eq!(passed_to.as_deref(), Some("Selector::new"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn empty_param_closure_and_expression_body() {
+        let scopes = parse_source("fn f() { run(|| pe.quiet()); spawn(move || { pe.fence(); }); }");
+        let closures: Vec<&Scope> = scopes
+            .iter()
+            .filter(|s| matches!(s.kind, ScopeKind::Closure { .. }))
+            .collect();
+        assert_eq!(closures.len(), 2);
+        assert_eq!(calls_of(&closures[0].body), vec!["pe.quiet"]);
+        assert_eq!(calls_of(&closures[1].body), vec!["pe.fence"]);
+    }
+
+    #[test]
+    fn match_arms_parse_including_guards_and_struct_patterns() {
+        let f = only_fn(
+            "fn f() { match r { Err(E::Bad { dst, .. }) => c.reset(pe), Ok(v) if v.check() => c.push(pe, v, 0), _ => {} } }",
+        );
+        match &f.body[0] {
+            Stmt::Match { arms, .. } => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(calls_of(&arms[0]), vec!["c.reset"]);
+                assert_eq!(calls_of(&arms[1]), vec!["v.check", "c.push"]);
+                assert!(calls_of(&arms[2]).is_empty());
+            }
+            s => panic!("expected match, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_inside_macros_are_extracted() {
+        let f = only_fn(
+            "fn f() { assert!(matches!(c.push(pe, 2, 0), Err(ConveyorError::PushAfterDone))); }",
+        );
+        assert!(calls_of(&f.body).contains(&"c.push".to_string()));
+    }
+
+    #[test]
+    fn ordering_arguments_attributed_to_the_call() {
+        let f = only_fn(
+            "fn f() { state.store(1, Ordering::Release); let v = state.load(Ordering::Acquire); flag.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }",
+        );
+        let calls: Vec<(String, Vec<String>)> = f
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Call(c) => Some((c.method.clone(), c.orderings.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls[0], ("store".into(), vec!["Release".into()]));
+        assert_eq!(calls[1], ("load".into(), vec!["Acquire".into()]));
+        assert_eq!(
+            calls[2],
+            ("compare_exchange".into(), vec!["AcqRel".into(), "Acquire".into()])
+        );
+    }
+
+    #[test]
+    fn nested_fns_are_separate_scopes() {
+        let scopes = parse_source("fn outer() { a.run(); fn inner() { b.run(); } c.run(); }");
+        let outer = scopes.iter().find(|s| matches!(&s.kind, ScopeKind::Fn { name } if name == "outer")).unwrap();
+        let inner = scopes.iter().find(|s| matches!(&s.kind, ScopeKind::Fn { name } if name == "inner")).unwrap();
+        assert_eq!(calls_of(&outer.body), vec!["a.run", "c.run"]);
+        assert_eq!(calls_of(&inner.body), vec!["b.run"]);
+    }
+
+    #[test]
+    fn while_let_pull_is_seen() {
+        let f = only_fn("fn f() { while let Some(d) = c.pull() { sink(d); } }");
+        match &f.body[0] {
+            Stmt::Loop { cond, body, .. } => {
+                assert!(calls_of(cond).contains(&"c.pull".to_string()));
+                assert_eq!(calls_of(body), vec!["sink"]);
+            }
+            s => panic!("expected loop, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn let_if_and_let_match_initializers() {
+        let f = only_fn(
+            "fn f() { let x = if cond() { a.go() } else { b.go() }; let y = match m() { _ => c.go(), }; }",
+        );
+        let names: Vec<String> = calls_of(&f.body);
+        assert_eq!(names, vec!["cond", "a.go", "b.go", "m", "c.go"]);
+    }
+}

@@ -179,6 +179,96 @@ pub struct OrderingRule {
     pub why: String,
 }
 
+/// The `[protocol]` section: the API surface of the FA-BSP phase state
+/// machine the dataflow checker tracks. Every key is a method-name set;
+/// `handlers` entries may be qualified (`Selector::new`) to match path
+/// calls. Defaults cover the workspace's real surface so unit tests with
+/// `Policy::default()` exercise the checker.
+#[derive(Debug, Clone)]
+pub struct ProtocolPolicy {
+    /// Type names whose constructor calls (`Conveyor::new(..)`, any
+    /// method) mark the bound local as a fresh conveyor.
+    pub conveyor_types: Vec<String>,
+    /// Methods that progress the exchange (`advance`).
+    pub advance: Vec<String>,
+    /// Producer-side methods (`push`, `push_slice`).
+    pub push: Vec<String>,
+    /// Consumer-side methods (`pull`, `pull_batch`).
+    pub pull: Vec<String>,
+    /// Collective re-arm methods (`reset`).
+    pub rearm: Vec<String>,
+    /// Methods that drive the exchange to termination (`drain_and_park`).
+    pub terminate: Vec<String>,
+    /// Non-blocking put methods on symmetric arrays (`put_nbi`).
+    pub nbi_put: Vec<String>,
+    /// Methods that read a symmetric array and would observe stale data
+    /// while an nbi put to it is pending.
+    pub nbi_consume: Vec<String>,
+    /// Methods that complete pending nbi puts (`quiet`, barriers and
+    /// barrier-synchronized collectives).
+    pub quiet: Vec<String>,
+    /// Checkpoint methods that require a quiescent cut.
+    pub checkpoint: Vec<String>,
+    /// Calls whose closure argument is a mailbox handler.
+    pub handlers: Vec<String>,
+    /// Methods a mailbox handler must never (transitively) call.
+    pub blocking: Vec<String>,
+}
+
+impl Default for ProtocolPolicy {
+    fn default() -> Self {
+        fn v(items: &[&str]) -> Vec<String> {
+            items.iter().map(|s| s.to_string()).collect()
+        }
+        ProtocolPolicy {
+            conveyor_types: v(&["Conveyor"]),
+            advance: v(&["advance"]),
+            push: v(&["push", "push_slice"]),
+            pull: v(&["pull", "pull_batch"]),
+            rearm: v(&["reset"]),
+            terminate: v(&["drain_and_park"]),
+            nbi_put: v(&["put_nbi"]),
+            nbi_consume: v(&["get", "local_get", "read_local", "read_local_range"]),
+            quiet: v(&[
+                "quiet",
+                "barrier_all",
+                "allreduce",
+                "allreduce_sum_u64",
+                "allreduce_sum_i64",
+                "allreduce_sum_f64",
+                "allreduce_max_u64",
+                "allreduce_min_u64",
+            ]),
+            checkpoint: v(&["checkpoint"]),
+            handlers: v(&["selector", "Selector::new"]),
+            blocking: v(&[
+                "lock",
+                "wait",
+                "wait_timeout",
+                "wait_with_idle",
+                "recv",
+                "recv_timeout",
+                "join",
+                "sleep",
+                "park",
+                "barrier_all",
+            ]),
+        }
+    }
+}
+
+/// One `[[pairing]]` waiver: a symbol whose Release/Acquire sides are
+/// deliberately unpaired (or paired through a mechanism the cross-file
+/// audit cannot see), with a justification.
+#[derive(Debug, Clone)]
+pub struct PairingRule {
+    /// Atomic field/variable name as it appears at the call sites.
+    pub symbol: String,
+    /// Optional file restriction (`*` or omitted = any file).
+    pub file: String,
+    pub why: String,
+}
+
 /// The full parsed policy.
 #[derive(Debug, Clone, Default)]
 pub struct Policy {
@@ -188,6 +278,8 @@ pub struct Policy {
     /// Path prefixes under which `as *mut`/`as *const` casts are allowed.
     pub ptr_cast_prefixes: Vec<String>,
     pub ordering: Vec<OrderingRule>,
+    pub protocol: ProtocolPolicy,
+    pub pairing: Vec<PairingRule>,
 }
 
 impl Policy {
@@ -212,12 +304,79 @@ impl Policy {
                         why: take_str(&section, "why")?,
                     });
                 }
+                "protocol" => {
+                    let p = &mut policy.protocol;
+                    for (key, slot) in [
+                        ("conveyor-types", &mut p.conveyor_types),
+                        ("advance", &mut p.advance),
+                        ("push", &mut p.push),
+                        ("pull", &mut p.pull),
+                        ("rearm", &mut p.rearm),
+                        ("terminate", &mut p.terminate),
+                        ("nbi-put", &mut p.nbi_put),
+                        ("nbi-consume", &mut p.nbi_consume),
+                        ("quiet", &mut p.quiet),
+                        ("checkpoint", &mut p.checkpoint),
+                        ("handlers", &mut p.handlers),
+                        ("blocking", &mut p.blocking),
+                    ] {
+                        if section.entries.contains_key(key) {
+                            *slot = take_list(&section, key)?;
+                        }
+                    }
+                    for key in section.entries.keys() {
+                        const KNOWN: [&str; 12] = [
+                            "conveyor-types",
+                            "advance",
+                            "push",
+                            "pull",
+                            "rearm",
+                            "terminate",
+                            "nbi-put",
+                            "nbi-consume",
+                            "quiet",
+                            "checkpoint",
+                            "handlers",
+                            "blocking",
+                        ];
+                        if !KNOWN.contains(&key.as_str()) {
+                            return Err(err(
+                                section.line,
+                                format!("unknown [protocol] key `{key}`"),
+                            ));
+                        }
+                    }
+                }
+                "pairing" => {
+                    policy.pairing.push(PairingRule {
+                        symbol: take_str(&section, "symbol")?,
+                        file: match section.entries.get("file") {
+                            Some(Value::Str(s)) => s.clone(),
+                            Some(Value::List(_)) => {
+                                return Err(err(
+                                    section.line,
+                                    "[[pairing]] `file` must be a string",
+                                ))
+                            }
+                            None => "*".to_string(),
+                        },
+                        why: take_str(&section, "why")?,
+                    });
+                }
                 other => {
                     return Err(err(
                         section.line,
                         format!("unknown policy section `{other}`"),
                     ))
                 }
+            }
+        }
+        for rule in &policy.pairing {
+            if rule.why.trim().is_empty() {
+                return Err(err(
+                    0,
+                    format!("pairing waiver for `{}` has an empty justification", rule.symbol),
+                ));
             }
         }
         for rule in &policy.ordering {
@@ -324,6 +483,26 @@ why = "debug asserts only"
         assert_eq!(p.ordering.len(), 2);
         let rules = p.allowed_orderings("crates/shmem/src/ring.rs", Some("state"));
         assert_eq!(rules.len(), 2, "named + wildcard rules both apply");
+    }
+
+    #[test]
+    fn protocol_section_overrides_defaults() {
+        let src = "[protocol]\npush = [\"shove\"]\nblocking = [\"lock\"]\n";
+        let p = Policy::parse(src).unwrap();
+        assert_eq!(p.protocol.push, vec!["shove"]);
+        assert_eq!(p.protocol.blocking, vec!["lock"]);
+        // Unlisted keys keep their defaults.
+        assert!(p.protocol.pull.contains(&"pull_batch".to_string()));
+        assert!(Policy::parse("[protocol]\nmystery = [\"x\"]\n").is_err());
+    }
+
+    #[test]
+    fn pairing_waivers_parse_and_require_why() {
+        let src = "[[pairing]]\nsymbol = \"cursor\"\nwhy = \"consumed via fence\"\n";
+        let p = Policy::parse(src).unwrap();
+        assert_eq!(p.pairing.len(), 1);
+        assert_eq!(p.pairing[0].file, "*");
+        assert!(Policy::parse("[[pairing]]\nsymbol = \"x\"\nwhy = \" \"\n").is_err());
     }
 
     #[test]

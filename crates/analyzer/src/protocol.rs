@@ -1,0 +1,738 @@
+//! The phase-protocol checker: forward dataflow over each function's CFG,
+//! tracking two machines from the `[protocol]` policy section.
+//!
+//! **Conveyor exchange state.** A local bound from a conveyor constructor
+//! starts `Initial`. The analysis tracks, per receiver base, the *set* of
+//! states the conveyor may be in (`Initial`/`Active`/`Complete`); joins
+//! union the sets, and a violation is reported only when the bad state is
+//! *definite* (the set is a singleton), so merged paths and unknown
+//! receivers (fn parameters, fields) can never produce a false positive:
+//!
+//! - `push`/`push_slice` when definitely `Complete` → the exchange
+//!   terminated and was never re-armed (`push-without-rearm`);
+//! - `pull`/`pull_batch` when definitely `Initial` or `Complete` → pulls
+//!   belong inside the advance/drain loop (`pull-outside-drain`);
+//! - `reset` when definitely not `Complete` → collective re-arm before
+//!   termination (`rearm-before-terminate`).
+//!
+//! A bare `advance` statement moves the set to `{Active}`; the branch
+//! edges of `while c.advance(..)` (or `if !c.advance(..) { break }`)
+//! refine it: the "still active" side stays `{Active}`, the "returned
+//! false" side becomes `{Complete}`. `drain_and_park` is `{Complete}`,
+//! `reset` re-arms to `{Initial}`.
+//!
+//! **Nbi-pending facts.** `sym.put_nbi(..)` marks `sym` pending; `quiet`,
+//! `barrier_all` and the barrier-synchronized collectives clear every
+//! pending mark. `pe.checkpoint()` while any put *may* be pending is
+//! `checkpoint-not-quiesced` (the runtime rejects non-quiescent cuts —
+//! this catches it before it runs, and the dominator tree names the fix).
+//! Reading a maybe-pending symbol (`get`/`local_get`/`read_local*`) is
+//! `nbi-read-before-quiet`.
+//!
+//! **Handler discipline.** Closures passed to the `[protocol]` `handlers`
+//! calls (`selector`, `Selector::new`) must not reach a `blocking` call —
+//! directly or through free functions defined in the same file
+//! (`blocking-in-handler`).
+//!
+//! Deliberate violations (negative litmus tests) carry an inline waiver:
+//! `// analyzer: allow(rule-id): why` on the line or directly above; a
+//! waiver without a why is itself a finding (`bad-waiver`).
+
+use std::collections::BTreeMap;
+
+use crate::cfg::{self, Edge, Event};
+use crate::lexer::ScannedFile;
+use crate::lints::Finding;
+use crate::parser::{self, CallSite, Scope, ScopeKind, Stmt};
+use crate::policy::{Policy, ProtocolPolicy};
+
+const INIT: u8 = 1;
+const ACTIVE: u8 = 2;
+const COMPLETE: u8 = 4;
+const ALL: u8 = INIT | ACTIVE | COMPLETE;
+
+/// Join-semilattice fact: conveyor state sets + maybe-pending nbi puts.
+#[derive(Clone, PartialEq, Debug, Default)]
+struct Env {
+    /// Receiver base → possible-state bits. Absent = unknown (`ALL`).
+    conv: BTreeMap<String, u8>,
+    /// Symmetric-array base → line of a put_nbi that may still be pending.
+    nbi: BTreeMap<String, usize>,
+}
+
+impl Env {
+    fn conv_of(&self, base: &str) -> u8 {
+        self.conv.get(base).copied().unwrap_or(ALL)
+    }
+    fn set_conv(&mut self, base: &str, bits: u8) {
+        if bits == ALL {
+            self.conv.remove(base);
+        } else {
+            self.conv.insert(base.to_string(), bits);
+        }
+    }
+}
+
+impl cfg::Fact for Env {
+    fn join(&self, other: &Self) -> Self {
+        let mut conv = BTreeMap::new();
+        for key in self.conv.keys().chain(other.conv.keys()) {
+            let bits = self.conv_of(key) | other.conv_of(key);
+            if bits != ALL {
+                conv.insert(key.clone(), bits);
+            }
+        }
+        let mut nbi = self.nbi.clone();
+        for (k, &line) in &other.nbi {
+            nbi.entry(k.clone())
+                .and_modify(|l| *l = (*l).min(line))
+                .or_insert(line);
+        }
+        Env { conv, nbi }
+    }
+}
+
+fn state_name(bits: u8) -> &'static str {
+    match bits {
+        INIT => "initial (never advanced)",
+        ACTIVE => "active",
+        COMPLETE => "terminated",
+        _ => "unknown",
+    }
+}
+
+struct Checker<'p> {
+    proto: &'p ProtocolPolicy,
+    rel_path: &'p str,
+    findings: Vec<Finding>,
+}
+
+impl<'p> Checker<'p> {
+    fn is(&self, set: &[String], method: &str) -> bool {
+        set.iter().any(|m| m == method)
+    }
+
+    /// Apply one event to the fact, reporting violations into `sink` when
+    /// `report` is set (the final pass, running on fixpoint in-facts).
+    fn transfer_event(&self, env: &mut Env, ev: &Event, sink: &mut Vec<Finding>, report: bool) {
+        let p = self.proto;
+        match ev {
+            Event::Bind { name, init_calls } => {
+                for c in init_calls {
+                    if let Some(q) = &c.qualifier {
+                        if p.conveyor_types.iter().any(|t| t == q) {
+                            env.set_conv(name, INIT);
+                        }
+                    }
+                    // Binding `advance`'s result hands termination control
+                    // to a boolean the dataflow cannot see (`let active =
+                    // c.advance(..); .. if !active { break }`), so the
+                    // state becomes unknown — never definite, never flags.
+                    if let Some(b) = c.base.as_deref().filter(|b| *b != "self") {
+                        if p.advance.iter().any(|m| m == &c.method) {
+                            env.set_conv(b, ALL);
+                        }
+                    }
+                }
+            }
+            Event::Call(c) => self.transfer_call(env, c, sink, report),
+        }
+    }
+
+    fn transfer_call(&self, env: &mut Env, c: &CallSite, sink: &mut Vec<Finding>, report: bool) {
+        let p = self.proto;
+        let base = c.base.as_deref();
+        // `self`-receiver calls are the conveyor/runtime *implementation*;
+        // the external protocol does not apply inside it.
+        let tracked = base.filter(|b| *b != "self");
+
+        if let Some(b) = tracked {
+            let m = c.method.as_str();
+            if self.is(&p.push, m) {
+                let st = env.conv_of(b);
+                if report && st == COMPLETE {
+                    self.report(sink,
+                        c.line,
+                        "push-without-rearm",
+                        format!(
+                            "`{b}.{m}(..)` after the exchange terminated — every \
+                             `advance` returned false and `{b}` was never re-armed"
+                        ),
+                        format!(
+                            "call `{b}.reset(pe)` (collectively, on every PE) \
+                             before pushing the next superstep's messages"
+                        ),
+                    );
+                }
+                // push does not change the state set.
+            } else if self.is(&p.advance, m) {
+                env.set_conv(b, ACTIVE);
+            } else if self.is(&p.pull, m) {
+                let st = env.conv_of(b);
+                if report && (st == INIT || st == COMPLETE) {
+                    self.report(sink,
+                        c.line,
+                        "pull-outside-drain",
+                        format!(
+                            "`{b}.{m}()` while the exchange is {} — pulls are \
+                             only meaningful between an `advance` and \
+                             termination",
+                            state_name(st)
+                        ),
+                        format!(
+                            "move the pull inside the drain loop: \
+                             `loop {{ let active = {b}.advance(pe, done); \
+                             while let Some(item) = {b}.pull() {{ .. }} \
+                             if !active {{ break }} }}`"
+                        ),
+                    );
+                }
+            } else if self.is(&p.rearm, m) {
+                let st = env.conv_of(b);
+                if report && st != ALL && st & COMPLETE == 0 {
+                    self.report(sink,
+                        c.line,
+                        "rearm-before-terminate",
+                        format!(
+                            "`{b}.{m}(pe)` while the exchange is {} — re-arm \
+                             is only legal after every PE's `advance` \
+                             returned false",
+                            state_name(st)
+                        ),
+                        format!(
+                            "drive the exchange to termination first \
+                             (`while {b}.advance(pe, true) {{ .. }}`), then \
+                             re-arm"
+                        ),
+                    );
+                }
+                env.set_conv(b, INIT);
+            } else if self.is(&p.terminate, m) {
+                env.set_conv(b, COMPLETE);
+            } else if self.is(&p.nbi_put, m) {
+                env.nbi.entry(b.to_string()).or_insert(c.line);
+            } else if self.is(&p.nbi_consume, m) && report {
+                if let Some(&put_line) = env.nbi.get(b) {
+                    self.report(
+                        sink,
+                        c.line,
+                        "nbi-read-before-quiet",
+                        format!(
+                            "`{b}.{m}(..)` may observe stale data: the \
+                             `put_nbi` on line {put_line} is not ordered \
+                             before this read"
+                        ),
+                        "insert `pe.quiet()` (or a barrier/collective) \
+                         between the non-blocking put and this read"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        // quiet/barrier/collectives retire every pending nbi put,
+        // whatever the receiver is called (`pe`, `ctx.pe`, …).
+        if self.is(&p.quiet, c.method.as_str()) {
+            env.nbi.clear();
+        } else if self.is(&p.checkpoint, c.method.as_str()) && report {
+            if let Some((sym, &put_line)) = env.nbi.iter().next() {
+                self.report(
+                    sink,
+                    c.line,
+                    "checkpoint-not-quiesced",
+                    format!(
+                        "`checkpoint()` at a cut where the `put_nbi` to \
+                         `{sym}` on line {put_line} may still be in \
+                         flight — the runtime will reject this"
+                    ),
+                    "make a `pe.quiet()` (or barrier) dominate the \
+                     checkpoint so every non-blocking put has completed"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    fn report(
+        &self,
+        sink: &mut Vec<Finding>,
+        line: usize,
+        lint: &'static str,
+        message: String,
+        hint: String,
+    ) {
+        // Dedup: the final pass can visit a block once per in-fact shape.
+        if sink.iter().any(|f| f.line == line && f.lint == lint) {
+            return;
+        }
+        sink.push(Finding {
+            file: self.rel_path.to_string(),
+            line,
+            lint,
+            message,
+            hint,
+        });
+    }
+
+    /// Refine a fact along a branch edge carrying an `advance` test.
+    fn refine(&self, env: &Env, edge: &Edge) -> Env {
+        let Some(assume) = &edge.assume else {
+            return env.clone();
+        };
+        let call = &assume.test.call;
+        let Some(base) = call.base.as_deref().filter(|b| *b != "self") else {
+            return env.clone();
+        };
+        if !self.is(&self.proto.advance, call.method.as_str()) {
+            return env.clone();
+        }
+        // `while c.advance(..)`: taken edge → still active; fallthrough →
+        // returned false → terminated. A leading `!` swaps the sides.
+        let still_active = assume.branch != assume.test.negated;
+        let mut out = env.clone();
+        out.set_conv(base, if still_active { ACTIVE } else { COMPLETE });
+        out
+    }
+
+    /// Run the conveyor/nbi dataflow over one scope body.
+    fn check_scope(&mut self, body: &[Stmt]) {
+        let g = cfg::build(body);
+        let entry = Env::default();
+        let this: &Checker = self;
+        let in_facts = cfg::forward(
+            &g,
+            entry,
+            |b, env: &Env| {
+                let mut out = env.clone();
+                let mut scratch = Vec::new();
+                for ev in &g.blocks[b].events {
+                    this.transfer_event(&mut out, ev, &mut scratch, false);
+                }
+                out
+            },
+            |env, edge| this.refine(env, edge),
+        );
+        // Reporting pass on the fixpoint.
+        let mut sink = std::mem::take(&mut self.findings);
+        for (b, fact) in in_facts.iter().enumerate() {
+            let Some(fact) = fact else { continue };
+            let mut env = fact.clone();
+            for ev in &g.blocks[b].events {
+                self.transfer_event(&mut env, ev, &mut sink, true);
+            }
+        }
+        self.findings = sink;
+    }
+}
+
+/// Direct blocking calls per named fn in a file, then closed transitively
+/// over same-file free-function calls.
+fn blocking_reach(scopes: &[Scope], proto: &ProtocolPolicy) -> BTreeMap<String, (usize, String)> {
+    // fn name → (line, blocking method) of one reachable blocking call.
+    let mut direct: BTreeMap<String, (usize, String)> = BTreeMap::new();
+    let mut calls: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for s in scopes {
+        let ScopeKind::Fn { name } = &s.kind else { continue };
+        let mut sites = Vec::new();
+        collect_calls(&s.body, &mut sites);
+        for c in &sites {
+            if c.base.is_some() && proto.blocking.iter().any(|b| b == &c.method) {
+                direct.entry(name.clone()).or_insert((c.line, c.method.clone()));
+            }
+            if c.base.is_none() && c.qualifier.is_none() {
+                calls.entry(name.clone()).or_default().push(c.method.clone());
+            }
+        }
+    }
+    // Fixpoint: a fn that calls a blocking fn is blocking.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot: Vec<(String, Vec<String>)> =
+            calls.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        for (name, callees) in snapshot {
+            if direct.contains_key(&name) {
+                continue;
+            }
+            for callee in callees {
+                if let Some((line, method)) = direct.get(&callee).cloned() {
+                    direct.insert(name.clone(), (line, format!("{method} (via `{callee}`)")));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    direct
+}
+
+fn collect_calls(stmts: &[Stmt], out: &mut Vec<CallSite>) {
+    for s in stmts {
+        match s {
+            Stmt::Call(c) => out.push(c.clone()),
+            Stmt::Let { .. } | Stmt::Closure(_) | Stmt::Return | Stmt::Break | Stmt::Continue => {}
+            Stmt::If { cond, then_b, else_b, .. } => {
+                collect_calls(cond, out);
+                collect_calls(then_b, out);
+                collect_calls(else_b, out);
+            }
+            Stmt::Loop { cond, body, .. } => {
+                collect_calls(cond, out);
+                collect_calls(body, out);
+            }
+            Stmt::Match { scrutinee, arms } => {
+                collect_calls(scrutinee, out);
+                for a in arms {
+                    collect_calls(a, out);
+                }
+            }
+        }
+    }
+}
+
+/// Check the blocking discipline of handler closures.
+fn check_handlers(
+    rel_path: &str,
+    scopes: &[Scope],
+    proto: &ProtocolPolicy,
+    findings: &mut Vec<Finding>,
+) {
+    let reach = blocking_reach(scopes, proto);
+    for s in scopes {
+        let ScopeKind::Closure { passed_to: Some(callee), .. } = &s.kind else { continue };
+        if !proto.handlers.iter().any(|h| h == callee) {
+            continue;
+        }
+        let mut sites = Vec::new();
+        collect_calls(&s.body, &mut sites);
+        for c in &sites {
+            if c.base.is_some() && proto.blocking.iter().any(|b| b == &c.method) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    lint: "blocking-in-handler",
+                    message: format!(
+                        "`.{}()` inside a mailbox handler — handlers run on \
+                         the scheduler's poll loop and must never block",
+                        c.method
+                    ),
+                    hint: "buffer the work and do it in superstep code \
+                           (`execute`'s closure), or use the non-blocking \
+                           primitives"
+                        .to_string(),
+                });
+            }
+            if c.base.is_none() && c.qualifier.is_none() {
+                if let Some((line, method)) = reach.get(&c.method) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: c.line,
+                        lint: "blocking-in-handler",
+                        message: format!(
+                            "handler calls `{}`, which reaches blocking \
+                             `{}` (line {line})",
+                            c.method, method
+                        ),
+                        hint: "mailbox handlers must stay non-blocking all \
+                               the way down; move the blocking call out of \
+                               the handler's call graph"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Run the protocol passes over one scanned file.
+pub fn check_file(rel_path: &str, scanned: &ScannedFile, policy: &Policy) -> Vec<Finding> {
+    let scopes = parser::parse_file(&scanned.code);
+    let mut checker = Checker {
+        proto: &policy.protocol,
+        rel_path,
+        findings: Vec::new(),
+    };
+    for s in &scopes {
+        checker.check_scope(&s.body);
+    }
+    let mut findings = checker.findings;
+    check_handlers(rel_path, &scopes, &policy.protocol, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let scanned = lexer::scan(src);
+        check_file("t.rs", &scanned, &Policy::default())
+    }
+
+    fn lints(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.lint).collect()
+    }
+
+    #[test]
+    fn push_after_terminated_loop_is_flagged() {
+        let src = "\
+fn f(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    while c.advance(pe, true) {
+        while let Some(d) = c.pull() { sink(d); }
+    }
+    c.push(pe, 2, 0).unwrap();
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["push-without-rearm"]);
+        assert_eq!(f[0].line, 7);
+        assert!(f[0].hint.contains("reset"));
+    }
+
+    #[test]
+    fn rearm_clears_the_violation() {
+        let src = "\
+fn f(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    while c.advance(pe, true) {}
+    c.reset(pe);
+    c.push(pe, 2, 0).unwrap();
+}
+";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn pull_before_any_advance_is_flagged() {
+        let src = "\
+fn f(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    let d = c.pull();
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["pull-outside-drain"]);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn pull_inside_drain_loop_is_clean() {
+        let src = "\
+fn f(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    loop {
+        let active = c.advance(pe, true);
+        while let Some(d) = c.pull() { sink(d); }
+        if !active { break; }
+    }
+}
+";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn pull_after_termination_is_flagged() {
+        let src = "\
+fn f(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    while c.advance(pe, true) {}
+    let d = c.pull();
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["pull-outside-drain"]);
+        assert!(f[0].message.contains("terminated"));
+    }
+
+    #[test]
+    fn unknown_receivers_never_flag() {
+        // A conveyor received as a parameter has unknown state: no reports.
+        let src = "\
+fn f(pe: &Pe, c: &mut Conveyor<u64>) {
+    c.push(pe, 1, 0).unwrap();
+    let d = c.pull();
+    c.reset(pe);
+}
+";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn vec_push_is_not_a_conveyor() {
+        let src = "fn f() { let mut v = Vec::new(); v.push(1); let x = v.get(0); }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_without_quiet_is_flagged_and_quiet_clears() {
+        let bad = "\
+fn f(pe: &Pe) {
+    sym.put_nbi(pe, 1, 0, &[41]).unwrap();
+    let snap = pe.checkpoint();
+}
+";
+        let f = check(bad);
+        assert_eq!(lints(&f), vec!["checkpoint-not-quiesced"]);
+        assert_eq!(f[0].line, 3);
+
+        let good = "\
+fn f(pe: &Pe) {
+    sym.put_nbi(pe, 1, 0, &[41]).unwrap();
+    pe.quiet();
+    let snap = pe.checkpoint();
+}
+";
+        assert!(check(good).is_empty());
+    }
+
+    #[test]
+    fn barrier_counts_as_quiet() {
+        let src = "\
+fn f(pe: &Pe) {
+    sym.put_nbi(pe, 1, 0, &[9]).unwrap();
+    pe.barrier_all();
+    let v = sym.local_get(pe, 0);
+}
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn quiet_on_one_branch_only_still_flags() {
+        // Maybe-pending at the join: checkpoint must be *dominated* by a
+        // quiet, not merely preceded on some path.
+        let src = "\
+fn f(pe: &Pe) {
+    sym.put_nbi(pe, 1, 0, &[1]).unwrap();
+    if fast_path() {
+        pe.quiet();
+    }
+    let snap = pe.checkpoint();
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["checkpoint-not-quiesced"]);
+    }
+
+    #[test]
+    fn nbi_read_before_quiet_same_base_only() {
+        let src = "\
+fn f(pe: &Pe) {
+    sym.put_nbi(pe, 1, 0, &[42]).unwrap();
+    let v = sym.local_get(pe, 0);
+    let w = other.local_get(pe, 0);
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["nbi-read-before-quiet"]);
+        assert_eq!(f[0].line, 3, "only the pending base flags");
+    }
+
+    #[test]
+    fn puts_in_disjoint_branches_do_not_cross() {
+        // rank 0 puts, rank 1 reads: no path connects them.
+        let src = "\
+fn f(pe: &Pe) {
+    if pe.rank() == 0 {
+        sym.put_nbi(pe, 1, 0, &[42]).unwrap();
+        pe.quiet();
+    } else {
+        let v = sym.local_get(pe, 0);
+    }
+}
+";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn blocking_call_in_handler_closure_is_flagged() {
+        let src = "\
+fn f(pe: &Pe) {
+    prof.selector(1, move |_mb, msg: u64, _from, _ctx| {
+        let g = state.lock();
+    });
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["blocking-in-handler"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn blocking_reached_through_local_fn_is_flagged() {
+        let src = "\
+fn slow_path() {
+    bus.lock();
+}
+fn f(pe: &Pe) {
+    let a = Selector::new(pe, 1, cfg, move |_mb, m: u64, _from, _ctx| {
+        slow_path();
+    });
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["blocking-in-handler"]);
+        assert!(f[0].message.contains("slow_path"));
+    }
+
+    #[test]
+    fn non_handler_closures_may_block() {
+        let src = "fn f() { run(|| { state.lock(); }); }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn let_bound_advance_makes_state_unknown_so_reset_is_clean() {
+        // The workspace's superstep-reuse pattern: the drain loop keys
+        // off a bound boolean, then re-arms after the loop. The checker
+        // cannot see that `!active` gates the break, so it must not claim
+        // the conveyor is definitely active at the reset.
+        let src = "\
+fn f(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    for round in 0..4u64 {
+        loop {
+            c.push(pe, round, 0).unwrap();
+            let active = c.advance(pe, true);
+            while c.pull().is_some() {}
+            if !active { break; }
+        }
+        c.reset(pe);
+    }
+}
+";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn drain_and_park_terminates_and_negated_advance_break_pattern() {
+        let src = "\
+fn f(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    c.push(pe, 1, 0).unwrap();
+    c.drain_and_park(pe, &mut sink);
+    c.push(pe, 2, 0).unwrap();
+}
+";
+        let f = check(src);
+        assert_eq!(lints(&f), vec!["push-without-rearm"]);
+
+        let src2 = "\
+fn g(pe: &Pe) {
+    let mut c = Conveyor::<u64>::new(pe, opts).unwrap();
+    loop {
+        if !c.advance(pe, true) { break; }
+        while let Some(d) = c.pull() { sink(d); }
+    }
+    c.push(pe, 9, 0).unwrap();
+}
+";
+        let f2 = check(src2);
+        assert_eq!(lints(&f2), vec!["push-without-rearm"], "break-out pattern tracked");
+    }
+}

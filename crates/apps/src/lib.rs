@@ -16,6 +16,9 @@
 //!   counts exactly as §IV-C validates ("by using assertion").
 //! - [`bfs`] — level-synchronous distributed BFS (one selector spans all
 //!   levels), validated against a sequential BFS.
+//! - [`components`] — connected components by min-label propagation with
+//!   a dedup'd frontier (schedule-independent traffic), validated against
+//!   a sequential fixpoint.
 //! - [`pagerank`] — push-style synchronous PageRank with struct-typed
 //!   messages and a canonical-order fold for bit-stable results,
 //!   validated against a sequential reference.
@@ -29,7 +32,7 @@
 //! Every app runs through the [`actorprof::Profiler`] facade via
 //! [`common::RunConfig`] and returns a typed outcome carrying its result,
 //! the [`actorprof::TraceBundle`], and the [`actorprof::RecoveryLog`].
-//! The [`matrix`] module registers all nine as [`fabsp_testkit::matrix`]
+//! The [`matrix`] module registers all ten as [`fabsp_testkit::matrix`]
 //! entries so the conformance suites iterate over one registry.
 //!
 //! [`profile::profile_run`] is the one-call driver: handler + MAIN body in,
@@ -40,6 +43,7 @@
 
 pub mod bfs;
 pub mod common;
+pub mod components;
 pub mod histogram;
 pub mod intsort;
 pub mod jaccard;

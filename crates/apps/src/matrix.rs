@@ -1,4 +1,4 @@
-//! The nine-app conformance registry — `fabsp_testkit::matrix` made
+//! The ten-app conformance registry — `fabsp_testkit::matrix` made
 //! concrete.
 //!
 //! One [`AppSpec`] per bundled workload, each mapping the generic
@@ -11,7 +11,7 @@
 //! schedule-fuzz, crash-recovery, and race-detect suites iterate
 //! [`registry`] instead of hand-writing one test per app.
 //!
-//! ## Adding a tenth app
+//! ## Adding an eleventh app
 //!
 //! Three pieces, ~40 lines total, all in this file:
 //! 1. a `*_config(params)` builder mapping [`MatrixParams`] to your
@@ -35,6 +35,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::bfs::{self, symmetric_adjacency, BfsConfig};
 use crate::common::RunConfig;
+use crate::components::{self, ComponentsConfig};
 use crate::histogram::{self, HistogramConfig};
 use crate::index_gather::{self, IndexGatherConfig};
 use crate::intsort::{self, IntSortConfig};
@@ -187,6 +188,23 @@ fn run_bfs(p: &MatrixParams) -> Result<MatrixRun, String> {
     })
 }
 
+// --------------------------------------------------------------- components
+
+fn run_components(p: &MatrixParams) -> Result<MatrixRun, String> {
+    let adj = adjacency(p);
+    let mut cfg = ComponentsConfig::new(p.grid);
+    apply_params(&mut cfg.run, p);
+    let out = components::run(&adj, &cfg).map_err(|e| format!("components: {e}"))?;
+    let golden = components::sequential_components(&adj);
+    Ok(MatrixRun {
+        result_digest: fnv1a(out.labels.iter().map(|&l| l as u64)),
+        golden_digest: fnv1a(golden.iter().map(|&l| l as u64)),
+        logical: flatten_logical(&out.bundle, p),
+        n_pes: p.grid.n_pes(),
+        recovery: out.recovery,
+    })
+}
+
 // ----------------------------------------------------------------- pagerank
 
 /// Quantize a rank to a 1e-6 grid: the distributed canonical fold and the
@@ -301,7 +319,7 @@ fn run_skewed_agg(p: &MatrixParams) -> Result<MatrixRun, String> {
 }
 
 /// Every bundled workload, one [`AppSpec`] each. Seed budgets are tuned
-/// so the full fuzz sweep (Σ budgets × 3 fault modes = 123 schedules)
+/// so the full fuzz sweep (Σ budgets × 3 fault modes = 132 schedules)
 /// clears the 100-schedule floor while the slow graph apps run fewer
 /// replays than the cheap kernels.
 pub fn registry() -> Vec<AppSpec> {
@@ -325,6 +343,11 @@ pub fn registry() -> Vec<AppSpec> {
             name: "bfs",
             fuzz_seed_budget: 4,
             runner: run_bfs,
+        },
+        AppSpec {
+            name: "components",
+            fuzz_seed_budget: 3,
+            runner: run_components,
         },
         AppSpec {
             name: "pagerank",
@@ -362,11 +385,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_budgets_clear_the_floor() {
         let apps = registry();
-        assert_eq!(apps.len(), 9, "nine apps in the matrix");
+        assert_eq!(apps.len(), 10, "ten apps in the matrix");
         let mut names: Vec<&str> = apps.iter().map(|a| a.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "names are unique");
+        assert_eq!(names.len(), 10, "names are unique");
         let total: u64 = apps.iter().map(|a| a.fuzz_seed_budget).sum();
         assert!(
             total * 3 >= 100,

@@ -1,6 +1,6 @@
 //! Per-app throughput smoke over the whole workload registry.
 //!
-//! Runs every app in `fabsp_apps::registry()` (the same nine-app matrix
+//! Runs every app in `fabsp_apps::registry()` (the same ten-app matrix
 //! the schedule-fuzz / crash-recovery / race-detect suites sweep) and
 //! writes a JSON artifact with, per app: the message count the run moved,
 //! end-to-end items/s for the untraced arm, and the overhead of logical

@@ -6,7 +6,7 @@
 //! This module defines that contract *generically* — [`AppSpec`] is a
 //! name, a seed budget, and a runner from [`MatrixParams`] (the substrate
 //! knobs) to [`MatrixRun`] (digests + flattened logical matrix +
-//! [`RecoveryLog`]). The concrete nine-app registry lives in
+//! [`RecoveryLog`]). The concrete ten-app registry lives in
 //! `fabsp_apps::matrix` (`fabsp_apps::registry()`), keeping the
 //! dependency edge apps → testkit and letting the suites iterate
 //! `for app in registry()` instead of hand-writing one test per app.
@@ -30,7 +30,7 @@ use fabsp_shmem::{FaultSpec, Grid, RecoveryLog, RecoverySpec, SchedSpec};
 use crate::ConveyorOptions;
 
 /// Default scale when `ACTORPROF_SCALE` is unset: small enough that a
-/// full nine-app × three-fault-mode × seed-budget sweep stays in CI
+/// full ten-app × three-fault-mode × seed-budget sweep stays in CI
 /// budget, large enough that every PE sees real traffic.
 pub const DEFAULT_SCALE: u32 = 6;
 

@@ -61,7 +61,7 @@ fn assert_one_recovered_kill(log: &RecoveryLog, rank: u32) {
 #[test]
 fn every_registered_app_recovers_bit_identical_from_any_killed_pe() {
     // The registry-wide form of the per-kernel sweeps below: for each of
-    // the nine apps, kill every rank in turn at the first superstep
+    // the ten apps, kill every rank in turn at the first superstep
     // boundary and demand the recovered run reproduce the undisturbed
     // baseline bit-for-bit — result digest, golden oracle, and logical
     // trace matrix — with a RecoveryLog naming exactly the injected fault.
@@ -390,6 +390,7 @@ fn checkpoint_at_a_non_quiescent_cut_is_rejected() {
         if pe.rank() == 0 {
             sym.put_nbi(pe, 1, 0, &[41]).unwrap();
         }
+        // analyzer: allow(checkpoint-not-quiesced): deliberate negative litmus — asserts the runtime rejects this cut
         let err = pe.checkpoint().expect_err("non-quiescent cut");
         assert_eq!(err, ShmemError::CheckpointNotQuiescent { pending_nbi: 1 });
         assert!(pe.latest_checkpoint().is_none(), "nothing was captured");
