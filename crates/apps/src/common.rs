@@ -36,6 +36,8 @@ pub struct RunConfig {
     pub recovery: RecoverySpec,
     /// Capture a symmetric-state checkpoint every `n` supersteps.
     pub checkpoint_every: Option<u64>,
+    /// Continuous-profiling overhead budget, percent (`None` = off).
+    pub continuous: Option<f64>,
 }
 
 impl RunConfig {
@@ -51,6 +53,7 @@ impl RunConfig {
             faults: FaultSpec::NONE,
             recovery: RecoverySpec::Abort,
             checkpoint_every: None,
+            continuous: None,
         }
     }
 
@@ -96,6 +99,12 @@ impl RunConfig {
         self
     }
 
+    /// Run under continuous profiling with a `pct`-percent overhead budget.
+    pub fn with_continuous(mut self, pct: f64) -> RunConfig {
+        self.continuous = Some(pct);
+        self
+    }
+
     /// The SPMD harness this configuration describes.
     pub fn harness(&self) -> Harness {
         let mut h = Harness::new(self.grid)
@@ -119,6 +128,9 @@ impl RunConfig {
             .recovery(self.recovery);
         if let Some(n) = self.checkpoint_every {
             p = p.checkpoint_every(n);
+        }
+        if let Some(pct) = self.continuous {
+            p = p.continuous(actorprof::OverheadBudget::pct(pct));
         }
         p
     }

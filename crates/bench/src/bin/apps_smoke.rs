@@ -3,8 +3,10 @@
 //! Runs every app in `fabsp_apps::registry()` (the same ten-app matrix
 //! the schedule-fuzz / crash-recovery / race-detect suites sweep) and
 //! writes a JSON artifact with, per app: the message count the run moved,
-//! end-to-end items/s for the untraced arm, and the overhead of logical
-//! tracing on top of it. Times are end-to-end (input generation, the
+//! end-to-end items/s for the untraced arm, the overhead of logical
+//! tracing on top of it, and the measured cost of continuous profiling
+//! (span tracing governed by the overhead-budget sampling governor).
+//! Times are end-to-end (input generation, the
 //! exchange, and result validation against the sequential oracle), so the
 //! numbers are honest "what does this workload cost in CI" figures, not
 //! peak conveyor throughput — `bench_hotpath` measures that.
@@ -43,14 +45,19 @@ fn main() {
     let logical_params = MatrixParams::new(grid);
     let mut untraced_params = MatrixParams::new(grid);
     untraced_params.logical = false;
+    // The continuous arm measures governed always-on profiling against the
+    // untraced baseline: spans via the live knob, logical tracing off, the
+    // default 5% budget.
+    let mut continuous_params = MatrixParams::new(grid).with_continuous(5.0);
+    continuous_params.logical = false;
 
     println!(
         "apps_smoke: {} apps, scale {scale}, {n_pes} PEs, best of {reps}",
         registry().len()
     );
     println!(
-        "{:<14} {:>10} {:>14} {:>14} {:>10}",
-        "app", "messages", "items/s", "traced it/s", "overhead"
+        "{:<14} {:>10} {:>14} {:>14} {:>10} {:>10}",
+        "app", "messages", "items/s", "traced it/s", "overhead", "cont ovhd"
     );
 
     let mut sections = Vec::new();
@@ -86,18 +93,21 @@ fn main() {
         };
         let untraced = best(&untraced_params);
         let traced = best(&logical_params);
+        let continuous = best(&continuous_params);
         let overhead = (untraced / traced - 1.0) * 100.0;
+        let telemetry_overhead = (untraced / continuous - 1.0) * 100.0;
 
         println!(
-            "{:<14} {:>10} {:>14.0} {:>14.0} {:>9.1}%",
-            app.name, messages, untraced, traced, overhead
+            "{:<14} {:>10} {:>14.0} {:>14.0} {:>9.1}% {:>9.1}%",
+            app.name, messages, untraced, traced, overhead, telemetry_overhead
         );
         sections.push(format!(
             r#"    "{name}": {{
       "messages": {messages},
       "items_per_sec": {untraced:.0},
       "traced_items_per_sec": {traced:.0},
-      "logical_tracing_overhead_percent": {overhead:.2}
+      "logical_tracing_overhead_percent": {overhead:.2},
+      "telemetry_overhead_pct": {telemetry_overhead:.2}
     }}"#,
             name = app.name,
         ));

@@ -1,0 +1,155 @@
+//! Continuous-profiling duty-cycle gate: prove the overhead governor
+//! earns fidelity instead of asserting it.
+//!
+//! Two arms of the same histogram exchange: an untraced baseline and a
+//! `Profiler::continuous` run where the governor starts at the
+//! conservative initial stride and ratchets span sampling toward keep-all
+//! only while the measured instrumentation cost stays under the budget.
+//! The artifact records both the *measured* (cycle-charged) overhead the
+//! governor converged to and the *wall-clock* overhead of the whole
+//! continuous apparatus versus the baseline.
+//!
+//! ```text
+//! cargo run --release -p fabsp-bench --bin duty_cycle
+//! ACTORPROF_CONTINUOUS_GATE_PCT=5 \
+//!   cargo run --release -p fabsp-bench --bin duty_cycle   # CI gate
+//! ```
+//!
+//! When `ACTORPROF_CONTINUOUS_GATE_PCT` is set it becomes the budget and
+//! the run *gates*: the governor must have taken at least two ratchet
+//! transitions (the control loop demonstrably moved) and the final window
+//! must land within the budget. `ACTORPROF_DUTY_OUT` overrides the output
+//! path (default `BENCH_duty_cycle.json`).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use actorprof::{Counter, OverheadBudget, Profiler, Report};
+use fabsp_shmem::Grid;
+
+const N_PER_PE: usize = 150_000;
+const TABLE: usize = 512;
+
+fn histogram_run(p: Profiler) -> Report<u64> {
+    p.run(|pe, ctx| {
+        let table = Rc::new(RefCell::new(vec![0u64; TABLE]));
+        let h = Rc::clone(&table);
+        let mut actor = ctx
+            .selector(1, move |_mb, idx: u64, _from, _ctx| {
+                h.borrow_mut()[idx as usize % TABLE] += 1;
+            })
+            .expect("selector");
+        actor
+            .execute(pe, |main| {
+                for i in 0..N_PER_PE {
+                    let dst = (i * 7 + main.rank()) % main.n_pes();
+                    main.send(0, i as u64, dst).expect("send");
+                }
+                main.done(0).expect("done");
+            })
+            .expect("execute");
+        let mass: u64 = table.borrow().iter().sum();
+        mass
+    })
+    .expect("profiled run")
+}
+
+fn main() {
+    let gate_pct: Option<f64> = std::env::var("ACTORPROF_CONTINUOUS_GATE_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let budget_pct = gate_pct.unwrap_or(5.0);
+    let out = std::env::var("ACTORPROF_DUTY_OUT")
+        .unwrap_or_else(|_| "BENCH_duty_cycle.json".to_string());
+    let grid = Grid::new(1, 4).expect("grid");
+    let expect = (N_PER_PE * grid.n_pes()) as u64;
+
+    // --- arm A: untraced baseline ----------------------------------------
+    let t0 = Instant::now();
+    let base = histogram_run(Profiler::new(grid));
+    let base_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(base.results.iter().sum::<u64>(), expect);
+
+    // --- arm B: continuous profiling under the budget --------------------
+    let t0 = Instant::now();
+    let cont = histogram_run(
+        Profiler::new(grid)
+            .continuous(OverheadBudget::pct(budget_pct))
+            .observe_every(Duration::from_millis(2), |_| {}),
+    );
+    let cont_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(cont.results.iter().sum::<u64>(), expect);
+
+    let report = cont.continuous.expect("continuous mode report");
+    let snap = cont.telemetry.expect("telemetry snapshot");
+    let wall_overhead_pct = (cont_secs / base_secs - 1.0) * 100.0;
+
+    println!(
+        "duty_cycle: {} msgs on {} PEs, budget {budget_pct:.1}%",
+        expect,
+        grid.n_pes()
+    );
+    println!(
+        "  baseline {base_secs:.3}s, continuous {cont_secs:.3}s \
+         (wall overhead {wall_overhead_pct:+.1}%)"
+    );
+    println!(
+        "  governor: {} windows, {} ratchets, stride {} -> {}, \
+         final measured overhead {:.2}% ({}), {} spans kept",
+        report.windows(),
+        report.ratchet_transitions(),
+        report.budget.initial_stride,
+        report.final_stride(),
+        report.final_overhead_pct(),
+        if report.within_budget() { "within budget" } else { "OVER BUDGET" },
+        snap.counter_total(Counter::TelemetrySpans),
+    );
+
+    let json = format!(
+        r#"{{
+  "benchmark": "duty_cycle",
+  "workload": "histogram exchange, {n} msgs/PE on {pes} PEs",
+  "budget_pct": {budget_pct},
+  "gated": {gated},
+  "baseline_secs": {base_secs:.6},
+  "continuous_secs": {cont_secs:.6},
+  "wall_overhead_pct": {wall_overhead_pct:.2},
+  "governor": {{
+    "windows": {windows},
+    "ratchet_transitions": {ratchets},
+    "initial_stride": {stride0},
+    "final_stride": {stride1},
+    "final_overhead_pct": {final_pct:.4},
+    "within_budget": {within}
+  }}
+}}
+"#,
+        n = N_PER_PE,
+        pes = grid.n_pes(),
+        gated = gate_pct.is_some(),
+        windows = report.windows(),
+        ratchets = report.ratchet_transitions(),
+        stride0 = report.budget.initial_stride,
+        stride1 = report.final_stride(),
+        final_pct = report.final_overhead_pct(),
+        within = report.within_budget(),
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+
+    if gate_pct.is_some() {
+        assert!(
+            report.ratchet_transitions() >= 2,
+            "gate: governor took {} ratchet transitions, need >= 2 \
+             (the control loop never moved)",
+            report.ratchet_transitions()
+        );
+        assert!(
+            report.within_budget(),
+            "gate: final measured overhead {:.2}% exceeds the {budget_pct:.1}% budget",
+            report.final_overhead_pct()
+        );
+        println!("gate ok: >=2 ratchets and final window within budget");
+    }
+}

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod cockpit_fixture;
 pub mod experiment;
 pub mod figures;
 pub mod overhead;

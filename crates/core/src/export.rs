@@ -3,17 +3,21 @@
 //! format ... is currently being investigated").
 //!
 //! Produces a Chrome-/Perfetto-loadable JSON file: one process per node,
-//! one thread per PE, an instant event per physical send (timestamped with
-//! the rdtsc cycles captured at record time, converted to microseconds at
-//! the nominal clock), `B`/`E` duration pairs for the recorded phase spans
-//! (superstep / advance / quiet / relay hop), and per-PE region summaries
-//! as counter events.
+//! one thread per PE (labeled `pe<rank>`, matching the cockpit and the
+//! flight-recorder dump naming), an instant event per physical send
+//! (timestamped with the rdtsc cycles captured at record time, converted
+//! to microseconds at the nominal clock), `B`/`E` duration pairs for the
+//! recorded phase spans (superstep / advance / quiet / relay hop), per-PE
+//! region summaries as counter events, and — for continuous-mode runs — a
+//! synthetic `governor` process whose lane renders every overhead-governor
+//! window and ratchet decision.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
 use actorprof_trace::{PhysicalRecord, SpanRecord};
 use fabsp_hwpc::rdtsc::cycles_to_us;
+use fabsp_telemetry::ContinuousReport;
 
 use crate::bundle::TraceBundle;
 use crate::error::ProfError;
@@ -45,6 +49,17 @@ impl TimelineEv<'_> {
 /// JSON string. Requires at least one of the timeline dimensions
 /// (physical trace or phase spans) to have been collected.
 pub fn trace_events_json(bundle: &TraceBundle) -> Result<String, ProfError> {
+    trace_events_json_with_governor(bundle, None)
+}
+
+/// Like [`trace_events_json`], additionally rendering a continuous-mode
+/// run's [`ContinuousReport`] as a synthetic `governor` process: one
+/// duration event per observation window (with the measured overhead and
+/// the stride/cadence in effect as args) and an instant event per ratchet.
+pub fn trace_events_json_with_governor(
+    bundle: &TraceBundle,
+    governor: Option<&ContinuousReport>,
+) -> Result<String, ProfError> {
     if !bundle.has_physical() && !bundle.has_spans() {
         return Err(ProfError::NotCollected("physical trace"));
     }
@@ -75,7 +90,7 @@ pub fn trace_events_json(bundle: &TraceBundle) -> Result<String, ProfError> {
             &mut out,
             format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
-                 \"args\":{{\"name\":\"PE{}\"}}}}",
+                 \"args\":{{\"name\":\"pe{}\"}}}}",
                 c.node(),
                 c.pe(),
                 c.pe()
@@ -156,16 +171,100 @@ pub fn trace_events_json(bundle: &TraceBundle) -> Result<String, ProfError> {
         }
     }
 
+    // The governor lane: its own process so Perfetto draws it under the
+    // node/PE lanes. Window i spans the interval between consecutive
+    // decision stamps; the first window (no known start) is an instant.
+    if let Some(report) = governor {
+        let pid = nodes;
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"governor\"}}}}"
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"overhead governor\"}}}}"
+            ),
+        );
+        let mut prev_at: Option<u64> = None;
+        for d in &report.decisions {
+            let args = format!(
+                "{{\"overhead_pct\":{:.4},\"stride\":{},\"cadence_us\":{}}}",
+                d.overhead_pct,
+                d.stride_after,
+                d.cadence_after.as_micros()
+            );
+            match prev_at {
+                Some(prev) if d.at_cycles > prev => {
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\":\"window\",\"ph\":\"B\",\"pid\":{pid},\"tid\":0,\
+                             \"ts\":{:.3}}}",
+                            cycles_to_us(prev)
+                        ),
+                    );
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\":\"window\",\"ph\":\"E\",\"pid\":{pid},\"tid\":0,\
+                             \"ts\":{:.3},\"args\":{args}}}",
+                            cycles_to_us(d.at_cycles)
+                        ),
+                    );
+                }
+                _ => {
+                    push(
+                        &mut out,
+                        format!(
+                            "{{\"name\":\"window\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                             \"tid\":0,\"ts\":{:.3},\"args\":{args}}}",
+                            cycles_to_us(d.at_cycles)
+                        ),
+                    );
+                }
+            }
+            if d.ratcheted() {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"ratchet\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                         \"tid\":0,\"ts\":{:.3},\"args\":{{\"stride_from\":{},\
+                         \"stride_to\":{}}}}}",
+                        cycles_to_us(d.at_cycles),
+                        d.stride_before,
+                        d.stride_after
+                    ),
+                );
+            }
+            prev_at = Some(d.at_cycles);
+        }
+    }
+
     out.push_str("\n]}\n");
     Ok(out)
 }
 
 /// Write the trace-events JSON to `path`.
 pub fn write_trace_events(path: &Path, bundle: &TraceBundle) -> Result<(), ProfError> {
+    write_trace_events_with_governor(path, bundle, None)
+}
+
+/// Write the trace-events JSON, including the governor lane when the run
+/// executed in continuous mode.
+pub fn write_trace_events_with_governor(
+    path: &Path,
+    bundle: &TraceBundle,
+    governor: Option<&ContinuousReport>,
+) -> Result<(), ProfError> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    std::fs::write(path, trace_events_json(bundle)?)?;
+    std::fs::write(path, trace_events_json_with_governor(bundle, governor)?)?;
     Ok(())
 }
 
@@ -195,7 +294,11 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
         assert!(json.contains("\"name\":\"node0\""));
         assert!(json.contains("\"name\":\"node1\""));
-        assert!(json.contains("\"name\":\"PE1\""));
+        assert!(
+            json.contains("\"name\":\"pe1\""),
+            "PE lanes are labeled pe<rank>"
+        );
+        assert!(!json.contains("\"name\":\"PE1\""));
         assert!(json.contains("\"name\":\"nonblock_send\""));
         assert!(json.contains("\"name\":\"nonblock_progress\""));
         assert!(json.contains("\"T_COMM\":70"));
@@ -247,6 +350,37 @@ mod tests {
             "superstep closes the PE's timeline"
         );
         assert!(json.contains("\"name\":\"quiet\""));
+    }
+
+    #[test]
+    fn governor_lane_renders_windows_and_ratchets() {
+        use fabsp_telemetry::{OverheadBudget, OverheadGovernor, SamplingKnob};
+        use std::time::Duration;
+        let budget = OverheadBudget {
+            initial_stride: 8,
+            ..OverheadBudget::pct(5.0)
+        };
+        let mut g = OverheadGovernor::new(budget, SamplingKnob::new(1), Duration::from_millis(4));
+        g.observe_window(1_000_000, 10, 10, 2_450_000); // finer: 8 -> 4
+        g.observe_window(1_000_000, 40_000, 0, 4_900_000); // hold: 4% dead band
+        let report = g.into_report();
+        let json = trace_events_json_with_governor(&bundle(), Some(&report)).unwrap();
+        assert!(json.contains("\"args\":{\"name\":\"governor\"}"));
+        assert!(json.contains("\"name\":\"window\""));
+        // first window is an instant, second a B/E pair spanning the gap
+        assert!(json.contains("\"name\":\"window\",\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"window\",\"ph\":\"B\""));
+        assert!(json.contains("\"overhead_pct\":4.0000"));
+        assert!(
+            json.contains("\"stride_from\":8,\"stride_to\":4"),
+            "ratchet instants carry the transition:\n{json}"
+        );
+        // the governor process sits after the node processes
+        let nodes = bundle().n_pes().div_ceil(bundle().pes_per_node());
+        assert!(json.contains(&format!("\"pid\":{nodes},\"tid\":0")));
+        // no governor → no lane
+        let plain = trace_events_json(&bundle()).unwrap();
+        assert!(!plain.contains("governor"));
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub use actorprof_trace::{PapiConfig, TraceConfig};
 pub use bundle::TraceBundle;
 pub use error::ProfError;
 pub use fabsp_shmem::{Checkpoint, KillRecord, RecoveryLog, RecoverySpec};
-pub use fabsp_telemetry::{Counter, Frame, Gauge, Hist, Phase, Snapshot, TelemetryRegistry};
+pub use fabsp_telemetry::{
+    phase_site, ContinuousReport, Counter, FlightDump, Frame, Gauge, GovernorDecision,
+    GovernorSample, Hist, OverheadBudget, OverheadGovernor, Phase, PhaseSite, SamplingKnob,
+    Snapshot, TelemetryRegistry,
+};
 pub use profiler::{ObserveSink, Profiler, ProfilerCtx, Report, RunError};
 pub use stats::{Matrix, Quartiles};

@@ -48,7 +48,10 @@ use fabsp_conveyors::ConveyorOptions;
 use fabsp_shmem::{
     spmd, FaultSpec, Grid, Harness, Pe, RecoveryLog, RecoverySpec, SchedSpec, ShmemError,
 };
-use fabsp_telemetry::{Frame, Snapshot, TelemetryRegistry};
+use fabsp_telemetry::{
+    ContinuousReport, Counter, Frame, OverheadBudget, OverheadGovernor, SamplingKnob, Snapshot,
+    TelemetryRegistry,
+};
 
 use crate::bundle::TraceBundle;
 use crate::error::ProfError;
@@ -125,6 +128,9 @@ pub struct Profiler {
     telemetry_enabled: bool,
     /// Live subscriber: (frame interval, sink).
     observe: Option<(Duration, ObserveSink)>,
+    /// Continuous-profiling mode: meter instrumentation self-cost online
+    /// and ratchet span sampling + observer cadence to stay in budget.
+    continuous: Option<OverheadBudget>,
     /// Write the Perfetto trace-events JSON here after the run.
     trace_events: Option<PathBuf>,
     /// Where flight-recorder dumps land when a PE dies.
@@ -145,6 +151,7 @@ impl std::fmt::Debug for Profiler {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("telemetry_enabled", &self.telemetry_enabled)
             .field("observe_interval", &self.observe.as_ref().map(|(i, _)| *i))
+            .field("continuous", &self.continuous)
             .field("trace_events", &self.trace_events)
             .field("flightrec_dir", &self.flightrec_dir)
             .field("pin_pes", &self.pin_pes)
@@ -166,6 +173,7 @@ impl Profiler {
             checkpoint_every: None,
             telemetry_enabled: true,
             observe: None,
+            continuous: None,
             trace_events: None,
             flightrec_dir: None,
             pin_pes: false,
@@ -314,6 +322,22 @@ impl Profiler {
         self
     }
 
+    /// Continuous-profiling mode: phase spans are recorded through a live
+    /// [`SamplingKnob`] and an [`OverheadGovernor`] on the observer thread
+    /// meters the measured instrumentation cost each window, ratcheting the
+    /// sampling stride and observer cadence to keep overhead inside
+    /// `budget`. The run starts at the budget's conservative
+    /// `initial_stride` and *earns* fidelity while it stays cheap. Every
+    /// control decision comes back as [`Report::continuous`].
+    ///
+    /// Implies span tracing; composes with [`observe`](Profiler::observe)
+    /// (the sink then sees [`Frame::governor`] populated) but works
+    /// without a sink too.
+    pub fn continuous(mut self, budget: OverheadBudget) -> Profiler {
+        self.continuous = Some(budget);
+        self
+    }
+
     /// Disable the always-on telemetry registry. Only meant for measuring
     /// its own overhead (the `bench_hotpath` A/B comparison).
     pub fn telemetry_off(mut self) -> Profiler {
@@ -352,47 +376,109 @@ impl Profiler {
             None => harness.telemetry_off(),
         };
 
+        // Continuous mode shares one SamplingKnob between the governor (on
+        // the observer thread, sole writer) and every PE's trace buffer.
+        let mut trace = self.trace.clone();
+        let continuous = self
+            .continuous
+            .map(|budget| (budget, SamplingKnob::new(budget.initial_stride)));
+        if let Some((_, knob)) = &continuous {
+            trace = trace.with_span_knob(knob.clone());
+        }
+
         // The observer thread pulls snapshot diffs at the configured
         // interval while PEs run; the stop flag is Relaxed — thread join
         // orders the final accesses, the flag itself is a plain signal.
-        let observer = match (&registry, &self.observe) {
-            (Some(reg), Some((interval, sink))) => {
+        // In continuous mode the same thread runs the overhead governor:
+        // each tick it charges its own snapshot+diff cost plus the PEs'
+        // metered self-cost against the window and ratchets the knob.
+        let n_pes = self.grid.n_pes() as u64;
+        let spawn_observer = self.observe.is_some() || continuous.is_some();
+        let observer = match &registry {
+            Some(reg) if spawn_observer => {
                 let reg = reg.clone();
-                let sink = sink.clone();
-                let interval = *interval;
+                let sink = self.observe.as_ref().map(|(_, s)| Arc::clone(s));
+                let interval = self
+                    .observe
+                    .as_ref()
+                    .map_or(DEFAULT_OBSERVE_INTERVAL, |(i, _)| *i);
+                let mut governor = continuous
+                    .as_ref()
+                    .map(|(budget, knob)| OverheadGovernor::new(*budget, knob.clone(), interval));
                 let stop = Arc::new(AtomicBool::new(false));
                 let stop_flag = stop.clone();
                 let handle = std::thread::spawn(move || {
                     let mut prev = reg.snapshot();
+                    let mut prev_cycles = fabsp_hwpc::cycles_now();
                     let mut seq = 0u64;
-                    while !stop_flag.load(Ordering::Relaxed) {
-                        std::thread::sleep(interval);
+                    loop {
+                        // Final frame skips the wait: everything since the
+                        // last tick, so short runs still deliver one frame.
+                        // Parked, not slept: the runner unparks right after
+                        // raising the stop flag, so a finishing run never
+                        // waits out a whole cadence (up to 500ms after
+                        // governor back-off) to get its final frame.
+                        let mut stopped = stop_flag.load(Ordering::Relaxed);
+                        if !stopped {
+                            let cadence = governor.as_ref().map_or(interval, |g| g.cadence());
+                            let deadline = std::time::Instant::now() + cadence;
+                            loop {
+                                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                                if left.is_zero() || stop_flag.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                std::thread::park_timeout(left);
+                            }
+                            stopped = stop_flag.load(Ordering::Relaxed);
+                        }
+                        let obs_begin = fabsp_hwpc::cycles_now();
                         let total = reg.snapshot();
                         let delta = total.diff(&prev);
-                        sink(&Frame {
-                            seq,
-                            total: total.clone(),
-                            delta,
-                        });
+                        let now = fabsp_hwpc::cycles_now();
+                        // The post-stop flush frame is a fractional stub
+                        // window — fixed snapshot cost over however little
+                        // wall time is left — so steering on it would end
+                        // every run with a quantization spike. Feed it only
+                        // when it is the run's sole window (a run shorter
+                        // than one cadence, where the stub IS the run).
+                        let sample = match governor.as_mut() {
+                            Some(g) if !stopped || g.decisions().is_empty() => {
+                                let window_cycles =
+                                    now.saturating_sub(prev_cycles).saturating_mul(n_pes);
+                                let instr = delta.counter_total(Counter::TelemetrySelfCycles);
+                                Some(g.observe_window(
+                                    window_cycles,
+                                    instr,
+                                    now.saturating_sub(obs_begin),
+                                    now,
+                                ))
+                            }
+                            _ => None,
+                        };
+                        if let Some(sink) = &sink {
+                            sink(&Frame {
+                                seq,
+                                at_cycles: now,
+                                total: total.clone(),
+                                delta,
+                                governor: sample,
+                            });
+                        }
                         prev = total;
+                        prev_cycles = now;
                         seq += 1;
+                        if stopped {
+                            break;
+                        }
                     }
-                    // Final frame: everything since the last tick, so short
-                    // runs still deliver at least one frame.
-                    let total = reg.snapshot();
-                    let delta = total.diff(&prev);
-                    sink(&Frame {
-                        seq,
-                        total: total.clone(),
-                        delta,
-                    });
+                    governor.map(OverheadGovernor::into_report)
                 });
                 Some((stop, handle))
             }
             _ => None,
         };
 
-        let trace = &self.trace;
+        let trace = &trace;
         let conveyor = self.conveyor;
         let outcomes = spmd::run_recovering(harness, |pe| {
             let mut ctx = ProfilerCtx {
@@ -418,9 +504,13 @@ impl Profiler {
 
         // Stop the observer on success AND failure paths, so a failed run
         // cannot leak a forever-polling thread.
+        let mut continuous_report = None;
         if let Some((stop, handle)) = observer {
             stop.store(true, Ordering::Relaxed);
-            let _ = handle.join();
+            handle.thread().unpark();
+            if let Ok(report) = handle.join() {
+                continuous_report = report;
+            }
         }
         let (outcomes, recovery) = outcomes?;
 
@@ -439,7 +529,11 @@ impl Profiler {
         }
         let bundle = TraceBundle::from_collectors(collectors)?;
         if let Some(path) = &self.trace_events {
-            crate::export::write_trace_events(path, &bundle)?;
+            crate::export::write_trace_events_with_governor(
+                path,
+                &bundle,
+                continuous_report.as_ref(),
+            )?;
         }
         let telemetry = registry.map(|reg| reg.snapshot());
         Ok(Report {
@@ -447,6 +541,7 @@ impl Profiler {
             bundle,
             telemetry,
             recovery,
+            continuous: continuous_report,
         })
     }
 }
@@ -522,6 +617,9 @@ pub struct Report<R = ()> {
     /// kills observed, restarts, net retries, wasted supersteps. All-zero
     /// ([`RecoveryLog::is_clean`]) on an undisturbed run.
     pub recovery: RecoveryLog,
+    /// What the overhead governor did, window by window; `Some` only when
+    /// the run was built with [`Profiler::continuous`].
+    pub continuous: Option<ContinuousReport>,
 }
 
 impl<R> Report<R> {
@@ -656,6 +754,33 @@ mod tests {
             100,
             "last frame carries the complete totals"
         );
+    }
+
+    #[test]
+    fn continuous_mode_reports_governor_decisions() {
+        let report = run_histogram(
+            Profiler::new(Grid::single_node(2).unwrap())
+                .continuous(OverheadBudget::pct(50.0))
+                .observe_every(Duration::from_millis(1), |_| {}),
+        );
+        assert_eq!(report.results.iter().sum::<u64>(), 100);
+        let cont = report.continuous.expect("continuous report present");
+        assert!(cont.windows() >= 1, "at least the final window observed");
+        assert!(cont.final_stride() >= 1);
+        for d in &cont.decisions {
+            assert!(d.window_cycles > 0, "windows span real cycles");
+            assert!(d.cadence_after >= cont.budget.min_cadence);
+            assert!(d.cadence_after <= cont.budget.max_cadence);
+        }
+        // Spans were enabled implicitly by continuous mode, so the bundle
+        // carries phase spans even though .spans() was never called.
+        assert!(report.bundle.has_spans(), "knob implies span tracing");
+    }
+
+    #[test]
+    fn plain_runs_have_no_continuous_report() {
+        let report = run_histogram(Profiler::new(Grid::single_node(2).unwrap()));
+        assert!(report.continuous.is_none());
     }
 
     #[test]

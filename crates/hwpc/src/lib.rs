@@ -50,5 +50,5 @@ pub use cost::Cost;
 pub use counters::{read, reset_all, retire};
 pub use event::Event;
 pub use eventset::{EventSet, HwpcError, MAX_EVENTS};
-pub use rdtsc::{cycles_now, Stopwatch};
+pub use rdtsc::{cycles_now, cycles_to_secs, cycles_to_us, Stopwatch, NOMINAL_HZ};
 pub use region::{Region, RegionProfile, RegionTimer};

@@ -149,49 +149,193 @@ impl FlightRing {
 
     /// Serialize the retained events as the `flightrec-pe*.json` payload.
     pub fn to_json(&self, pe: usize) -> String {
-        let events = self.events();
-        let mut out = String::new();
-        let _ = write!(
-            out,
-            "{{\"pe\":{pe},\"recorded\":{},\"capacity\":{},\"events\":[",
-            self.recorded(),
-            self.capacity
-        );
-        for (i, ev) in events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        dump_json(pe, self.recorded(), self.capacity, &self.events())
+    }
+}
+
+/// The one serializer behind every flight-recorder artifact: both a live
+/// [`FlightRing`] dump and a re-serialized [`FlightDump`] go through here,
+/// so parse → serialize round-trips byte-for-byte by construction.
+fn dump_json(pe: usize, recorded: u64, capacity: usize, events: &[FlightEvent]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"pe\":{pe},\"recorded\":{recorded},\"capacity\":{capacity},\"events\":["
+    );
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        match ev {
+            FlightEvent::Span {
+                phase,
+                begin_cycles,
+                end_cycles,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"span\",\"phase\":\"{}\",\"begin_cycles\":{begin_cycles},\
+                     \"end_cycles\":{end_cycles},\"dur_us\":{:.3}}}",
+                    phase.label(),
+                    cycles_to_us(end_cycles.saturating_sub(*begin_cycles)),
+                );
             }
-            out.push_str("\n  ");
-            match ev {
-                FlightEvent::Span {
-                    phase,
-                    begin_cycles,
-                    end_cycles,
-                } => {
-                    let _ = write!(
-                        out,
-                        "{{\"kind\":\"span\",\"phase\":\"{}\",\"begin_cycles\":{begin_cycles},\
-                         \"end_cycles\":{end_cycles},\"dur_us\":{:.3}}}",
-                        phase.label(),
-                        cycles_to_us(end_cycles.saturating_sub(*begin_cycles)),
-                    );
-                }
-                FlightEvent::Note {
-                    counter,
-                    value,
-                    at_cycles,
-                } => {
-                    let _ = write!(
-                        out,
-                        "{{\"kind\":\"note\",\"metric\":\"{}\",\"value\":{value},\
-                         \"at_cycles\":{at_cycles}}}",
-                        counter.name(),
-                    );
-                }
+            FlightEvent::Note {
+                counter,
+                value,
+                at_cycles,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"note\",\"metric\":\"{}\",\"value\":{value},\
+                     \"at_cycles\":{at_cycles}}}",
+                    counter.name(),
+                );
             }
         }
-        out.push_str("\n]}\n");
-        out
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A parsed `flightrec-pe*.json` artifact — the post-mortem side of the
+/// flight recorder. Where [`FlightRing`] is what a live PE writes into,
+/// `FlightDump` is what an operator loads *after* a death to step through
+/// the retained events (the cockpit's replay view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Rank of the PE that dumped.
+    pub pe: usize,
+    /// Total events the ring ever recorded (not bounded by capacity).
+    pub recorded: u64,
+    /// Ring capacity at dump time.
+    pub capacity: usize,
+    /// The retained events, oldest first — exactly the ring's dump order.
+    pub events: Vec<FlightEvent>,
+}
+
+/// Extract the integer following `"key":` in `obj`.
+fn u64_field(obj: &str, key: &str) -> Result<u64, String> {
+    let tag = format!("\"{key}\":");
+    let at = obj
+        .find(&tag)
+        .ok_or_else(|| format!("missing field {key:?} in {obj:.80}"))?;
+    let rest = &obj[at + tag.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits
+        .parse()
+        .map_err(|e| format!("field {key:?}: {e} in {obj:.80}"))
+}
+
+/// Extract the string following `"key":"` in `obj`.
+fn str_field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let tag = format!("\"{key}\":\"");
+    let at = obj
+        .find(&tag)
+        .ok_or_else(|| format!("missing field {key:?} in {obj:.80}"))?;
+    let rest = &obj[at + tag.len()..];
+    rest.split('"')
+        .next()
+        .ok_or_else(|| format!("unterminated field {key:?}"))
+}
+
+impl FlightDump {
+    /// Parse a dump previously produced by [`FlightRing::to_json`] /
+    /// [`FlightDump::to_json`]. Hand-rolled over our own line-oriented
+    /// format (one event per line) — no JSON dependency, and strict enough
+    /// that [`to_json`](FlightDump::to_json) reproduces the input
+    /// byte-for-byte.
+    pub fn parse(json: &str) -> Result<FlightDump, String> {
+        let events_at = json
+            .find("\"events\":[")
+            .ok_or_else(|| "missing events array".to_string())?;
+        let header = &json[..events_at];
+        let pe = u64_field(header, "pe")? as usize;
+        let recorded = u64_field(header, "recorded")?;
+        let capacity = u64_field(header, "capacity")? as usize;
+        let mut events = Vec::new();
+        for line in json[events_at..].lines() {
+            let obj = line.trim().trim_end_matches(',');
+            if !obj.starts_with('{') {
+                continue;
+            }
+            match str_field(obj, "kind")? {
+                "span" => {
+                    let label = str_field(obj, "phase")?;
+                    let phase = Phase::from_label(label)
+                        .ok_or_else(|| format!("unknown phase {label:?}"))?;
+                    events.push(FlightEvent::Span {
+                        phase,
+                        begin_cycles: u64_field(obj, "begin_cycles")?,
+                        end_cycles: u64_field(obj, "end_cycles")?,
+                    });
+                }
+                "note" => {
+                    let name = str_field(obj, "metric")?;
+                    let counter = Counter::from_name(name)
+                        .ok_or_else(|| format!("unknown metric {name:?}"))?;
+                    events.push(FlightEvent::Note {
+                        counter,
+                        value: u64_field(obj, "value")?,
+                        at_cycles: u64_field(obj, "at_cycles")?,
+                    });
+                }
+                other => return Err(format!("unknown event kind {other:?}")),
+            }
+        }
+        Ok(FlightDump {
+            pe,
+            recorded,
+            capacity,
+            events,
+        })
+    }
+
+    /// Load every `flightrec-pe*.json` under `dir`, sorted by PE rank.
+    /// Returns an empty list when the directory does not exist (no PE
+    /// died), an error only on unreadable/corrupt dumps.
+    pub fn load_dir(dir: &std::path::Path) -> Result<Vec<FlightDump>, String> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(Vec::new()),
+        };
+        let mut dumps = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("flightrec-pe") || !name.ends_with(".json") {
+                continue;
+            }
+            let body = std::fs::read_to_string(entry.path())
+                .map_err(|e| format!("read {name}: {e}"))?;
+            dumps.push(FlightDump::parse(&body).map_err(|e| format!("{name}: {e}"))?);
+        }
+        dumps.sort_by_key(|d| d.pe);
+        Ok(dumps)
+    }
+
+    /// Re-serialize — byte-identical to the artifact this was parsed from.
+    pub fn to_json(&self) -> String {
+        dump_json(self.pe, self.recorded, self.capacity, &self.events)
+    }
+
+    /// Step through the retained events oldest-first, the replay order
+    /// (identical to dump order by construction).
+    pub fn replay(&self) -> impl Iterator<Item = &FlightEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Earliest cycle stamp among the retained events — the replay clock's
+    /// zero point.
+    pub fn first_cycles(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .map(|ev| match ev {
+                FlightEvent::Span { begin_cycles, .. } => *begin_cycles,
+                FlightEvent::Note { at_cycles, .. } => *at_cycles,
+            })
+            .min()
     }
 }
 
@@ -267,5 +411,110 @@ mod tests {
         let ring = FlightRing::new(2);
         assert!(ring.events().is_empty());
         assert!(ring.to_json(0).contains("\"events\":[\n]"));
+    }
+
+    #[test]
+    fn multi_lap_wraparound_keeps_order_and_counts() {
+        // More than two full laps of a capacity-4 ring: 11 events, laps at
+        // 4 and 8, cursor mid-lap at dump time.
+        let ring = FlightRing::new(4);
+        for i in 0..11u64 {
+            if i.is_multiple_of(3) {
+                ring.span(Phase::Advance, i * 100, i * 100 + 10);
+            } else {
+                ring.note(Counter::ActorSends, i, 1000 + i);
+            }
+        }
+        assert_eq!(ring.recorded(), 11, "recorded counts every lap");
+        let events = ring.events();
+        assert_eq!(events.len(), 4, "retention bounded by capacity");
+        // The survivors are exactly events 7..=10, oldest first.
+        let expect = |i: u64| -> FlightEvent {
+            if i.is_multiple_of(3) {
+                FlightEvent::Span {
+                    phase: Phase::Advance,
+                    begin_cycles: i * 100,
+                    end_cycles: i * 100 + 10,
+                }
+            } else {
+                FlightEvent::Note {
+                    counter: Counter::ActorSends,
+                    value: i,
+                    at_cycles: 1000 + i,
+                }
+            }
+        };
+        for (k, ev) in events.iter().enumerate() {
+            assert_eq!(*ev, expect(7 + k as u64), "slot {k} after wraparound");
+        }
+        // Dump ordering matches the decoded order, and the recorded count
+        // survives serialization.
+        let json = ring.to_json(2);
+        assert!(json.contains("\"recorded\":11"));
+        assert!(json.contains("\"capacity\":4"));
+        let dump = FlightDump::parse(&json).expect("parse own dump");
+        assert_eq!(dump.events, events, "replay order == dump order");
+    }
+
+    #[test]
+    fn dump_parse_roundtrip_is_byte_identical() {
+        let ring = FlightRing::new(3);
+        ring.span(Phase::Superstep, 5, 500);
+        ring.note(Counter::NetRetries, 2, 77);
+        ring.span(Phase::RelayHop, 600, 640);
+        ring.note(Counter::ConveyorForcedParks, 1, 700); // evicts the superstep
+        let json = ring.to_json(1);
+        let dump = FlightDump::parse(&json).expect("parse");
+        assert_eq!(dump.pe, 1);
+        assert_eq!(dump.recorded, 4);
+        assert_eq!(dump.capacity, 3);
+        assert_eq!(dump.events.len(), 3);
+        assert_eq!(
+            dump.to_json(),
+            json,
+            "parse → serialize reproduces the artifact byte-for-byte"
+        );
+        // Replay iteration matches dump order item by item.
+        assert!(dump.replay().eq(dump.events.iter()));
+        assert_eq!(dump.first_cycles(), Some(77));
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_dumps() {
+        assert!(FlightDump::parse("not json").is_err());
+        assert!(FlightDump::parse("{\"pe\":0}").is_err(), "no events array");
+        let bad_phase = "{\"pe\":0,\"recorded\":1,\"capacity\":1,\"events\":[\n  \
+             {\"kind\":\"span\",\"phase\":\"warp\",\"begin_cycles\":1,\"end_cycles\":2,\"dur_us\":0.000}\n]}\n";
+        assert!(FlightDump::parse(bad_phase).unwrap_err().contains("warp"));
+        let bad_kind = "{\"pe\":0,\"recorded\":1,\"capacity\":1,\"events\":[\n  \
+             {\"kind\":\"mystery\"}\n]}\n";
+        assert!(FlightDump::parse(bad_kind).unwrap_err().contains("mystery"));
+    }
+
+    #[test]
+    fn load_dir_collects_ranked_dumps() {
+        let dir = std::env::temp_dir().join(format!("fabsp-flightload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for pe in [3usize, 1] {
+            let ring = FlightRing::new(2);
+            ring.note(Counter::ActorSends, pe as u64, 10);
+            std::fs::write(
+                dir.join(format!("flightrec-pe{pe}.json")),
+                ring.to_json(pe),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("unrelated.txt"), "ignore me").unwrap();
+        let dumps = FlightDump::load_dir(&dir).expect("load");
+        assert_eq!(
+            dumps.iter().map(|d| d.pe).collect::<Vec<_>>(),
+            vec![1, 3],
+            "sorted by rank, non-dump files ignored"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(
+            FlightDump::load_dir(&dir).expect("missing dir ok").is_empty(),
+            "no directory → no dumps, not an error"
+        );
     }
 }

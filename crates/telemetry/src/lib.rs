@@ -20,6 +20,11 @@
 //!   begin/end pairs for supersteps, `advance`, `quiet`, and relay hops
 //!   flow through the existing `TraceBuffer` batching path and export as
 //!   Perfetto duration events.
+//! - [`overhead`] — the continuous-profiling governor: instrumentation
+//!   self-cost is metered into the registry, an [`OverheadGovernor`]
+//!   compares it against an [`OverheadBudget`] per observation window, and a
+//!   shared [`SamplingKnob`] ratchets the span-sampling stride so measured
+//!   overhead stays inside the budget while the trace records why.
 //!
 //! The registry is deliberately *fixed-vocabulary*: metric identity is an
 //! enum, not a string, so the hot path never hashes or allocates.
@@ -28,8 +33,13 @@
 
 pub mod flight;
 pub mod metric;
+pub mod overhead;
 pub mod registry;
 
-pub use flight::{FlightEvent, FlightRing};
-pub use metric::{Counter, Gauge, Hist, HistBuckets, Phase, HIST_BUCKETS};
+pub use flight::{FlightDump, FlightEvent, FlightRing};
+pub use metric::{phase_site, Counter, Gauge, Hist, HistBuckets, Phase, PhaseSite, HIST_BUCKETS};
+pub use overhead::{
+    ContinuousReport, GovernorDecision, GovernorSample, OverheadBudget, OverheadGovernor,
+    SamplingKnob,
+};
 pub use registry::{Frame, PeMetrics, PeSnapshot, Snapshot, TelemetryRegistry};

@@ -41,11 +41,18 @@ pub enum Counter {
     BatchedPushes,
     /// `Conveyor::pull_batch` deliveries handed out as zero-copy slices.
     BatchedPulls,
+    /// Phase spans recorded through [`crate::PeMetrics::flight_span`].
+    TelemetrySpans,
+    /// Cycles the runtime spent inside its own instrumentation (span
+    /// capture, gauge/histogram updates, flight-ring writes). The
+    /// continuous-profiling governor divides this by total PE cycles to
+    /// keep measured overhead inside its budget.
+    TelemetrySelfCycles,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 14] = [
         Counter::ShmemPuts,
         Counter::ShmemQuiets,
         Counter::ShmemBarrierWaits,
@@ -58,6 +65,8 @@ impl Counter {
         Counter::Restarts,
         Counter::BatchedPushes,
         Counter::BatchedPulls,
+        Counter::TelemetrySpans,
+        Counter::TelemetrySelfCycles,
     ];
 
     /// Number of counters.
@@ -78,7 +87,14 @@ impl Counter {
             Counter::Restarts => "spmd.restarts",
             Counter::BatchedPushes => "conveyor.batched_pushes",
             Counter::BatchedPulls => "conveyor.batched_pulls",
+            Counter::TelemetrySpans => "telemetry.spans",
+            Counter::TelemetrySelfCycles => "telemetry.self_cycles",
         }
+    }
+
+    /// Parse a dotted counter name (inverse of [`name`](Counter::name)).
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
     }
 }
 
@@ -237,6 +253,35 @@ pub fn counter_from_index(idx: usize) -> Option<Counter> {
     Counter::ALL.get(idx).copied()
 }
 
+/// Source location (`file`, `line`) of a phase's instrumentation site.
+pub type PhaseSite = (&'static str, u32);
+
+/// First-caller-wins registry of the `file:line` that records each phase,
+/// populated by the `#[track_caller]` span entry points so dashboards can
+/// attribute hot phases to source without carrying a location per event.
+static PHASE_SITES: [std::sync::OnceLock<PhaseSite>; Phase::ALL.len()] = [
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+    std::sync::OnceLock::new(),
+];
+
+/// Remember where `phase` is recorded from. The first site wins (each phase
+/// has exactly one runtime record site today); later calls are no-ops, so
+/// this is one lock-free initialized-check per span after warmup.
+pub fn note_phase_site(phase: Phase, file: &'static str, line: u32) {
+    let slot = &PHASE_SITES[phase as usize];
+    if slot.get().is_none() {
+        let _ = slot.set((file, line));
+    }
+}
+
+/// The recorded `file:line` attribution for `phase`, if any span of that
+/// phase has been captured in this process.
+pub fn phase_site(phase: Phase) -> Option<PhaseSite> {
+    PHASE_SITES[phase as usize].get().copied()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +331,25 @@ mod tests {
             assert_eq!(Phase::from_label(p.label()), Some(p));
         }
         assert_eq!(Phase::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn counter_name_roundtrip() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("bogus.metric"), None);
+    }
+
+    #[test]
+    fn phase_sites_are_first_caller_wins() {
+        // Global registry: other tests (and instrumented code) may have
+        // registered sites already, so assert the invariants rather than
+        // exact values — once set, a site is stable.
+        note_phase_site(Phase::RelayHop, "a.rs", 1);
+        let first = phase_site(Phase::RelayHop).expect("site recorded");
+        note_phase_site(Phase::RelayHop, "b.rs", 2);
+        assert_eq!(phase_site(Phase::RelayHop), Some(first));
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct PeMetrics {
     counters: [AtomicU64; Counter::COUNT],
     gauges: [AtomicU64; Gauge::COUNT],
     hists: Vec<[AtomicU64; HIST_BUCKETS]>,
+    /// Cumulative cycles spent inside each phase, indexed by `Phase`.
+    span_cycles: [AtomicU64; Phase::ALL.len()],
+    /// Spans recorded per phase, indexed by `Phase`.
+    span_counts: [AtomicU64; Phase::ALL.len()],
     flight: FlightRing,
 }
 
@@ -35,6 +39,8 @@ impl PeMetrics {
             hists: (0..Hist::COUNT)
                 .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
                 .collect(),
+            span_cycles: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_counts: std::array::from_fn(|_| AtomicU64::new(0)),
             flight: FlightRing::new(flight_capacity),
         }
     }
@@ -88,10 +94,44 @@ impl PeMetrics {
         &self.flight
     }
 
-    /// Record a completed phase span into the flight ring.
+    /// Record a completed phase span: into the flight ring, into the
+    /// per-phase hot-span accounting the cockpit's "hottest phases" panel
+    /// reads, and — because this call closes every phase's instrumentation
+    /// burst (the caller stamps `end_cycles` right after the phase body,
+    /// then runs its gauge/histogram updates and ends here) — into the
+    /// self-cost ledger the continuous-profiling governor steers on.
+    /// `#[track_caller]` registers the call site as the phase's `file:line`
+    /// attribution (first caller wins). Owning-PE thread only.
+    #[track_caller]
     #[inline]
     pub fn flight_span(&self, phase: Phase, begin_cycles: u64, end_cycles: u64) {
         self.flight.span(phase, begin_cycles, end_cycles);
+        let cy = &self.span_cycles[phase as usize];
+        cy.store(
+            cy.load(Ordering::Relaxed)
+                .wrapping_add(end_cycles.saturating_sub(begin_cycles)),
+            Ordering::Relaxed,
+        );
+        let ct = &self.span_counts[phase as usize];
+        ct.store(ct.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+        let site = std::panic::Location::caller();
+        crate::metric::note_phase_site(phase, site.file(), site.line());
+        self.add(Counter::TelemetrySpans, 1);
+        // Everything since `end_cycles` was stamped — trace-buffer span
+        // capture, gauge/histogram stores, the flight-ring write, and this
+        // bookkeeping — is instrumentation, not application work.
+        let now = fabsp_hwpc::cycles_now();
+        self.add(Counter::TelemetrySelfCycles, now.saturating_sub(end_cycles));
+    }
+
+    /// Cumulative cycles recorded inside `phase` spans (any thread).
+    pub fn span_cycles(&self, phase: Phase) -> u64 {
+        self.span_cycles[phase as usize].load(Ordering::Relaxed)
+    }
+
+    /// Spans recorded for `phase` (any thread).
+    pub fn span_count(&self, phase: Phase) -> u64 {
+        self.span_counts[phase as usize].load(Ordering::Relaxed)
     }
 
     /// Record a notable counter movement into the flight ring (in addition
@@ -111,6 +151,10 @@ pub struct PeSnapshot {
     pub gauges: Vec<u64>,
     /// Histogram bucket counts, indexed by `Hist as usize`.
     pub hists: Vec<[u64; HIST_BUCKETS]>,
+    /// Cumulative in-phase cycles, indexed by `Phase as usize`.
+    pub span_cycles: Vec<u64>,
+    /// Spans recorded per phase, indexed by `Phase as usize`.
+    pub span_counts: Vec<u64>,
 }
 
 /// Point-in-time copy of the whole registry.
@@ -168,6 +212,22 @@ impl Snapshot {
         self.hist_total(hist).iter().sum()
     }
 
+    /// Cycles spent inside `phase` summed over all PEs.
+    pub fn span_cycles_total(&self, phase: Phase) -> u64 {
+        self.pes
+            .iter()
+            .map(|p| p.span_cycles.get(phase as usize).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Spans recorded for `phase` summed over all PEs.
+    pub fn span_count_total(&self, phase: Phase) -> u64 {
+        self.pes
+            .iter()
+            .map(|p| p.span_counts.get(phase as usize).copied().unwrap_or(0))
+            .sum()
+    }
+
     /// What changed since `prev`: counters and histogram buckets subtract
     /// (wrapping, so a stale `prev` cannot panic); gauges keep this
     /// snapshot's last-value semantics.
@@ -179,13 +239,14 @@ impl Snapshot {
             .map(|(rank, cur)| {
                 let empty = PeSnapshot::default();
                 let old = prev.pes.get(rank).unwrap_or(&empty);
-                PeSnapshot {
-                    counters: cur
-                        .counters
-                        .iter()
+                let sub = |cur: &[u64], old: &[u64]| -> Vec<u64> {
+                    cur.iter()
                         .enumerate()
-                        .map(|(i, v)| v.wrapping_sub(old.counters.get(i).copied().unwrap_or(0)))
-                        .collect(),
+                        .map(|(i, v)| v.wrapping_sub(old.get(i).copied().unwrap_or(0)))
+                        .collect()
+                };
+                PeSnapshot {
+                    counters: sub(&cur.counters, &old.counters),
                     gauges: cur.gauges.clone(),
                     hists: cur
                         .hists
@@ -197,6 +258,8 @@ impl Snapshot {
                             std::array::from_fn(|b| buckets[b].wrapping_sub(old_b[b]))
                         })
                         .collect(),
+                    span_cycles: sub(&cur.span_cycles, &old.span_cycles),
+                    span_counts: sub(&cur.span_counts, &old.span_counts),
                 }
             })
             .collect();
@@ -210,10 +273,18 @@ impl Snapshot {
 pub struct Frame {
     /// Tick number, starting at 0.
     pub seq: u64,
+    /// Absolute cycle stamp when the tick's snapshot was taken, so
+    /// consumers can turn per-tick deltas into true rates without trusting
+    /// the nominal sleep interval.
+    pub at_cycles: u64,
     /// Running totals at this tick.
     pub total: Snapshot,
     /// Change since the previous tick (equals `total` on the first).
     pub delta: Snapshot,
+    /// The continuous-profiling governor's verdict for the window ending
+    /// at this tick; `None` outside continuous mode (and on the final
+    /// post-join frame).
+    pub governor: Option<crate::overhead::GovernorSample>,
 }
 
 /// The always-on registry: one [`PeMetrics`] slab per PE, shared across the
@@ -273,6 +344,8 @@ impl TelemetryRegistry {
                     counters: Counter::ALL.iter().map(|c| p.counter(*c)).collect(),
                     gauges: Gauge::ALL.iter().map(|g| p.gauge(*g)).collect(),
                     hists: Hist::ALL.iter().map(|h| p.hist(*h)).collect(),
+                    span_cycles: Phase::ALL.iter().map(|ph| p.span_cycles(*ph)).collect(),
+                    span_counts: Phase::ALL.iter().map(|ph| p.span_count(*ph)).collect(),
                 })
                 .collect(),
         }
@@ -344,6 +417,28 @@ mod tests {
         assert_eq!(delta.counter(0, Counter::ActorSends), 5);
         assert_eq!(delta.gauge(0, Gauge::ConveyorBufferedItems), 9);
         assert_eq!(delta.hist_count(Hist::AdvanceCycles), 1);
+    }
+
+    #[test]
+    fn flight_span_feeds_hot_phase_accounting_and_self_cost() {
+        let reg = TelemetryRegistry::new(2);
+        reg.pe(0).flight_span(Phase::Advance, 100, 350);
+        reg.pe(0).flight_span(Phase::Advance, 400, 450);
+        reg.pe(1).flight_span(Phase::Quiet, 10, 30);
+        assert_eq!(reg.pe(0).span_cycles(Phase::Advance), 300);
+        assert_eq!(reg.pe(0).span_count(Phase::Advance), 2);
+        let first = reg.snapshot();
+        assert_eq!(first.span_cycles_total(Phase::Advance), 300);
+        assert_eq!(first.span_count_total(Phase::Quiet), 1);
+        assert_eq!(first.counter_total(Counter::TelemetrySpans), 3);
+        reg.pe(0).flight_span(Phase::Advance, 500, 600);
+        let delta = reg.snapshot().diff(&first);
+        assert_eq!(delta.span_cycles_total(Phase::Advance), 100);
+        assert_eq!(delta.span_count_total(Phase::Advance), 1);
+        assert_eq!(delta.counter_total(Counter::TelemetrySpans), 1);
+        // the call sites above registered a file:line attribution
+        let (file, _line) = crate::metric::phase_site(Phase::Quiet).expect("site");
+        assert!(file.ends_with("registry.rs"), "{file}");
     }
 
     #[test]

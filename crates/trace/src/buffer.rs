@@ -76,6 +76,9 @@ pub struct TraceBuffer {
     wants_spans: bool,
     /// Keep every k-th hot span (superstep spans always kept).
     span_sample: u32,
+    /// Live stride override, ratcheted by the continuous-profiling
+    /// governor; read fresh on every hot span.
+    span_knob: Option<fabsp_telemetry::SamplingKnob>,
     /// Hot spans seen so far, sampled or not.
     span_seen: u64,
     sends: Vec<SendEvent>,
@@ -91,6 +94,7 @@ impl TraceBuffer {
             wants_physical: config.physical,
             wants_spans: config.spans,
             span_sample: config.span_sample.max(1),
+            span_knob: config.span_knob.clone(),
             span_seen: 0,
             sends: Vec::new(),
             physical: Vec::new(),
@@ -160,7 +164,11 @@ impl TraceBuffer {
         if phase != Phase::Superstep {
             let seen = self.span_seen;
             self.span_seen += 1;
-            if self.span_sample > 1 && !seen.is_multiple_of(self.span_sample as u64) {
+            let stride = match &self.span_knob {
+                Some(knob) => knob.get(),
+                None => self.span_sample,
+            };
+            if stride > 1 && !seen.is_multiple_of(stride as u64) {
                 return;
             }
         }
@@ -239,6 +247,29 @@ mod tests {
         assert_eq!(b.pending_sends()[1].msg_size, 16);
         assert_eq!(b.pending_physical().len(), 1);
         assert_eq!(b.pending_physical()[0].buffer_size, 128);
+    }
+
+    #[test]
+    fn span_knob_overrides_static_stride_live() {
+        let knob = fabsp_telemetry::SamplingKnob::new(1);
+        let mut b = TraceBuffer::for_config(&TraceConfig::off().with_span_knob(knob.clone()));
+        for i in 0..4 {
+            b.record_span(Phase::Advance, i, i + 1);
+        }
+        assert_eq!(b.pending_spans().len(), 4, "stride 1 keeps everything");
+        knob.set(4);
+        for i in 4..12 {
+            b.record_span(Phase::Advance, i, i + 1);
+        }
+        // seen counter is at 4 when the stride coarsens: multiples of 4
+        // (events 4 and 8) survive out of the next eight.
+        assert_eq!(b.pending_spans().len(), 6, "stride 4 keeps every 4th");
+        b.record_span(Phase::Superstep, 100, 101);
+        assert_eq!(
+            b.pending_spans().len(),
+            7,
+            "supersteps bypass sampling regardless of knob"
+        );
     }
 
     #[test]

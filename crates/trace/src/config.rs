@@ -12,6 +12,7 @@
 //! branch on a bool (measured by the `overhead_tracing` bench).
 
 use fabsp_hwpc::{Event, MAX_EVENTS};
+use fabsp_telemetry::SamplingKnob;
 
 /// Errors constructing a trace configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +134,11 @@ pub struct TraceConfig {
     /// span volume of long runs the same way `logical_sample` bounds the
     /// logical records.
     pub span_sample: u32,
+    /// Live span-sampling stride, shared with an
+    /// [`OverheadGovernor`](fabsp_telemetry::OverheadGovernor). When set it
+    /// overrides [`span_sample`](TraceConfig::span_sample) on every span, so
+    /// the continuous-profiling governor can ratchet fidelity mid-run.
+    pub span_knob: Option<SamplingKnob>,
 }
 
 impl TraceConfig {
@@ -153,6 +159,7 @@ impl TraceConfig {
             stream_dir: None,
             spans: true,
             span_sample: 1,
+            span_knob: None,
         }
     }
 
@@ -218,6 +225,18 @@ impl TraceConfig {
     pub fn with_span_sampling(mut self, k: u32) -> TraceConfig {
         self.spans = true;
         self.span_sample = k.max(1);
+        self
+    }
+
+    /// Enable phase spans whose sampling stride is read live from `knob`
+    /// (the continuous-profiling governor owns the writes). Supersteps are
+    /// still always kept.
+    pub fn with_span_knob(mut self, knob: SamplingKnob) -> TraceConfig {
+        self.spans = true;
+        if self.span_sample == 0 {
+            self.span_sample = 1;
+        }
+        self.span_knob = Some(knob);
         self
     }
 
@@ -324,6 +343,18 @@ mod tests {
         let c = TraceConfig::off().with_span_sampling(8);
         assert!(c.spans);
         assert_eq!(c.span_sample, 8);
+        assert!(c.any_enabled());
+    }
+
+    #[test]
+    fn span_knob_implies_spans_and_compares_by_identity() {
+        let knob = SamplingKnob::new(4);
+        let c = TraceConfig::off().with_span_knob(knob.clone());
+        assert!(c.spans);
+        assert_eq!(c.span_sample, 1, "static stride stays keep-all");
+        assert_eq!(c.clone(), c, "clone shares the same knob");
+        let other = TraceConfig::off().with_span_knob(SamplingKnob::new(4));
+        assert_ne!(c, other, "distinct knobs are distinct configs");
         assert!(c.any_enabled());
     }
 }

@@ -37,5 +37,5 @@ pub mod record;
 pub use buffer::{PhysicalEvent, SendEvent, SpanEvent, TraceBuffer};
 pub use collector::{PeCollector, SharedCollector};
 pub use config::{PapiConfig, TraceConfig, TraceConfigError};
-pub use fabsp_telemetry::Phase;
+pub use fabsp_telemetry::{Phase, SamplingKnob};
 pub use record::{LogicalRecord, OverallRecord, PapiRecord, PhysicalRecord, SendType, SpanRecord};

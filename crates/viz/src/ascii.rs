@@ -106,16 +106,57 @@ pub fn bars(values: &[u64], title: &str, log: bool) -> String {
 }
 
 /// Render one live-telemetry [`Frame`] as a terminal dashboard: per-PE
-/// send-rate bars for the tick, cumulative counter totals, and current
-/// buffer-occupancy gauges. Meant to be re-drawn on every observer tick
-/// (see `Profiler::observe`).
+/// send-rate bars for the tick, per-tick counter deltas (as rates when the
+/// previous frame's stamp is known), cumulative counter totals, and
+/// current buffer-occupancy gauges. Meant to be re-drawn on every observer
+/// tick (see `Profiler::observe`).
 pub fn dashboard(frame: &Frame) -> String {
+    dashboard_since(frame, None)
+}
+
+/// Like [`dashboard`], with the previous frame's `at_cycles` stamp so the
+/// tick line can show true per-second rates instead of raw deltas. Pass
+/// `Some(prev.at_cycles)` when redrawing on consecutive frames.
+pub fn dashboard_since(frame: &Frame, prev_at_cycles: Option<u64>) -> String {
     let mut out = format!("== telemetry tick {} ==\n", frame.seq);
     out.push_str(&bars(
         &frame.delta.counter_per_pe(Counter::ActorSends),
         "sends this tick (per PE)",
         false,
     ));
+    // The delta snapshot holds what happened *this interval*; rendering it
+    // (not just the running totals) is what makes stalls visible live.
+    let ticked = [
+        ("sends", Counter::ActorSends),
+        ("puts", Counter::ShmemPuts),
+        ("push-retries", Counter::ConveyorPushRetries),
+        ("net-retries", Counter::NetRetries),
+    ];
+    let secs = prev_at_cycles
+        .map(|prev| fabsp_hwpc::cycles_to_secs(frame.at_cycles.saturating_sub(prev)));
+    match secs {
+        Some(secs) if secs > 0.0 => {
+            let line = ticked
+                .iter()
+                .map(|(label, c)| {
+                    format!(
+                        "{label} {:.0}/s",
+                        frame.delta.counter_total(*c) as f64 / secs
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("  ");
+            out.push_str(&format!("rates: {line}\n"));
+        }
+        _ => {
+            let line = ticked
+                .iter()
+                .map(|(label, c)| format!("{label} +{}", frame.delta.counter_total(*c)))
+                .collect::<Vec<_>>()
+                .join("  ");
+            out.push_str(&format!("tick:  {line}\n"));
+        }
+    }
     out.push_str("totals: ");
     let totals = [
         ("sends", Counter::ActorSends),
@@ -227,17 +268,42 @@ mod tests {
         let total = reg.snapshot();
         let frame = Frame {
             seq: 2,
+            at_cycles: 0,
             delta: total.diff(&actorprof::Snapshot::default()),
             total,
+            governor: None,
         };
         let s = dashboard(&frame);
         assert!(s.contains("tick 2"));
+        assert!(s.contains("tick:  sends +12"), "delta line rendered:\n{s}");
         assert!(s.contains("sends 12"), "cumulative total rendered:\n{s}");
         assert!(s.contains("buffered 3"));
         assert!(s.contains("net-retries 5"), "recovery totals rendered:\n{s}");
         assert!(s.contains("restarts 1"));
         assert!(s.contains("checkpoints 1"), "checkpoint count rendered:\n{s}");
         assert!(s.lines().any(|l| l.starts_with("PE  0") && l.contains('#')));
+    }
+
+    #[test]
+    fn dashboard_rates_use_the_frame_interval() {
+        let reg = actorprof::TelemetryRegistry::new(1);
+        reg.pe(0).add(Counter::ActorSends, 10);
+        let first = reg.snapshot();
+        reg.pe(0).add(Counter::ActorSends, 490);
+        let total = reg.snapshot();
+        // Two frames half a (nominal) second apart: 490 sends in the
+        // interval render as a 980/s rate, not as the 500 cumulative.
+        let half_sec = fabsp_hwpc::NOMINAL_HZ / 2;
+        let frame = Frame {
+            seq: 1,
+            at_cycles: 3 * half_sec,
+            delta: total.diff(&first),
+            total,
+            governor: None,
+        };
+        let s = dashboard_since(&frame, Some(2 * half_sec));
+        assert!(s.contains("rates: sends 980/s"), "per-interval rate:\n{s}");
+        assert!(s.contains("sends 500"), "totals still cumulative:\n{s}");
     }
 
     #[test]

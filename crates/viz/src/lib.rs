@@ -12,7 +12,10 @@
 //!   the orders-of-magnitude ranges of Fig 10–11;
 //! - [`stacked`] — MAIN/COMM/PROC stacked bars, absolute and relative
 //!   (Figs 12–13);
-//! - [`mod@line`] — multi-series line charts for the scaling harnesses.
+//! - [`mod@line`] — multi-series line charts for the scaling harnesses;
+//! - [`cockpit`] — the live glass-cockpit terminal view over the observer
+//!   [`Frame`](actorprof::Frame) stream, plus the post-mortem
+//!   flight-recorder replay.
 //!
 //! The `actorprof-viz` binary mirrors the paper's run-time flags
 //! (`-l`, `-p`, `-lp`, `-s`) against a trace directory.
@@ -22,6 +25,7 @@
 
 pub mod ascii;
 pub mod bar;
+pub mod cockpit;
 pub mod heatmap;
 pub mod line;
 pub mod palette;
@@ -30,5 +34,6 @@ pub mod stacked;
 pub mod svg;
 pub mod violin;
 
+pub use cockpit::{Cockpit, CockpitConfig};
 pub use heatmap::HeatmapSpec;
 pub use svg::SvgDoc;

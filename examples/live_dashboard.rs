@@ -1,7 +1,15 @@
-//! Live telemetry dashboard: subscribe to the always-on metrics registry
-//! while a run is in flight and redraw an ASCII dashboard on every
-//! observer tick — per-PE send rates, cumulative counters, and current
-//! conveyor occupancy.
+//! Glass-cockpit demo: fly a run live, then replay a crash.
+//!
+//! Part 1 runs a hash-table histogram under **continuous profiling** — the
+//! overhead governor meters instrumentation cost online and ratchets span
+//! sampling to stay inside a 5% budget — while the cockpit redraws on
+//! every observer tick: master status, governor verdict, hottest phases
+//! with `file:line` attribution, per-PE load bars, and a throughput
+//! sparkline.
+//!
+//! Part 2 injects a PE kill with a flight-recorder directory configured,
+//! recovers from checkpoint, and renders the post-mortem
+//! `flightrec-pe*.json` dumps as a time-rebased replay.
 //!
 //! ```text
 //! cargo run --release --example live_dashboard
@@ -9,57 +17,90 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Mutex;
 use std::time::Duration;
 
-use actorprof_suite::actorprof::{Counter, Frame, Profiler};
-use actorprof_suite::actorprof_viz::ascii;
-use actorprof_suite::fabsp_shmem::Grid;
+use actorprof_suite::actorprof::{
+    Counter, FlightDump, Frame, OverheadBudget, Profiler, RecoverySpec,
+};
+use actorprof_suite::actorprof_viz::cockpit::{Cockpit, CockpitConfig};
+use actorprof_suite::fabsp_shmem::{FaultSpec, Grid};
 
 const N: usize = 200_000; // messages per PE — long enough to see ticks
 const TABLE: usize = 512;
 
-fn main() {
-    let grid = Grid::new(1, 4).expect("grid");
-    let report = Profiler::new(grid)
-        .observe_every(Duration::from_millis(5), move |frame: &Frame| {
-            // Redraw in place: the dashboard is a handful of lines, so a
-            // simple clear-and-print is enough for a terminal. A final
-            // frame always fires when the run completes, so the last
-            // redraw shows the full totals.
-            print!("\x1b[2J\x1b[H{}", ascii::dashboard(frame));
-        })
-        .run(|pe, ctx| {
-            let larray = Rc::new(RefCell::new(vec![0u64; TABLE]));
-            let handler_array = Rc::clone(&larray);
-            let mut actor = ctx
-                .selector(1, move |_mb, idx: u64, _from, _ctx| {
-                    handler_array.borrow_mut()[idx as usize % TABLE] += 1;
-                })
-                .expect("selector");
-            actor
-                .execute(pe, |main| {
-                    for i in 0..N {
-                        let dst = (i * 7 + main.rank()) % main.n_pes();
-                        main.send(0, i as u64, dst).expect("send");
-                    }
-                    main.done(0).expect("done");
-                })
-                .expect("execute");
-            let mass: u64 = larray.borrow().iter().sum();
-            mass
-        })
-        .expect("profiled run");
+fn histogram_run(p: Profiler, n: usize) -> actorprof_suite::actorprof::Report<u64> {
+    p.run(move |pe, ctx| {
+        let larray = Rc::new(RefCell::new(vec![0u64; TABLE]));
+        let handler_array = Rc::clone(&larray);
+        let mut actor = ctx
+            .selector(1, move |_mb, idx: u64, _from, _ctx| {
+                handler_array.borrow_mut()[idx as usize % TABLE] += 1;
+            })
+            .expect("selector");
+        actor
+            .execute(pe, |main| {
+                for i in 0..n {
+                    let dst = (i * 7 + main.rank()) % main.n_pes();
+                    main.send(0, i as u64, dst).expect("send");
+                }
+                main.done(0).expect("done");
+            })
+            .expect("execute");
+        let mass: u64 = larray.borrow().iter().sum();
+        mass
+    })
+    .expect("profiled run")
+}
 
+fn main() {
+    // ---- part 1: live cockpit over a continuous-profiling run ----------
+    let cockpit = Mutex::new(Cockpit::new(CockpitConfig::default()));
+    let report = histogram_run(
+        Profiler::new(Grid::new(1, 4).expect("grid"))
+            .continuous(OverheadBudget::pct(5.0))
+            .observe_every(Duration::from_millis(5), move |frame: &Frame| {
+                let mut cockpit = cockpit.lock().expect("cockpit");
+                print!("{}{}", cockpit.clear(), cockpit.render(frame));
+            }),
+        N,
+    );
     let total: u64 = report.results.iter().sum();
     assert_eq!(total, (N * 4) as u64, "every message handled");
 
-    // The end-of-run snapshot carries the same totals the last frame saw.
     let snap = report.telemetry.expect("telemetry on by default");
+    let governor = report.continuous.expect("continuous mode on");
     println!(
-        "\ndone: {} messages handled on {} PEs ({} sends, {} yields counted)",
+        "\ndone: {} messages on {} PEs ({} sends, {} spans kept)\n\
+         governor: {} windows, {} ratchets, final stride {}, \
+         final overhead {:.2}% (budget {:.1}%)",
         total,
         report.bundle.n_pes(),
         snap.counter_total(Counter::ActorSends),
-        snap.counter_total(Counter::ActorYields),
+        snap.counter_total(Counter::TelemetrySpans),
+        governor.windows(),
+        governor.ratchet_transitions(),
+        governor.final_stride(),
+        governor.final_overhead_pct(),
+        governor.budget.pct,
     );
+
+    // ---- part 2: crash, recover, replay the flight recorder ------------
+    let dumps_dir = std::env::temp_dir().join(format!("actorprof-cockpit-{}", std::process::id()));
+    let report = histogram_run(
+        Profiler::new(Grid::single_node(2).expect("grid"))
+            .flightrec_dir(&dumps_dir)
+            .faults(FaultSpec::kill_pe(1, 0))
+            .checkpoint_every(1)
+            .recovery(RecoverySpec::restart(2)),
+        2_000,
+    );
+    println!(
+        "\nkilled pe1 once, recovered: {} restarts, {} wasted supersteps",
+        report.recovery.restarts, report.recovery.wasted_supersteps
+    );
+    let dumps = FlightDump::load_dir(&dumps_dir).expect("load dumps");
+    let cockpit = Cockpit::new(CockpitConfig::default());
+    print!("{}", cockpit.render_replay(&dumps));
+    let _ = std::fs::remove_dir_all(&dumps_dir);
 }

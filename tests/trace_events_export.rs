@@ -9,8 +9,9 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Duration;
 
-use actorprof_suite::actorprof::{export, Profiler};
+use actorprof_suite::actorprof::{export, OverheadBudget, Profiler};
 use actorprof_suite::fabsp_shmem::Grid;
 
 /// One parsed trace event: (name, ph, pid, tid, ts).
@@ -20,6 +21,14 @@ struct Ev {
     ph: char,
     tid: u64,
     ts: f64,
+}
+
+/// Extract the `"args":{"name":"..."}` value from one metadata line.
+fn args_name(line: &str) -> Option<String> {
+    let tag = "\"args\":{\"name\":\"";
+    let start = line.find(tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
 }
 
 /// Extract the string value of `"key":"..."` from one JSON object line.
@@ -91,6 +100,23 @@ fn exported_json_matches_bundle_and_nests_cleanly() {
     let json = export::trace_events_json(&report.bundle).expect("export");
     let events = parse(&json);
 
+    // --- metadata: every PE lane is labeled pe<rank> ---------------------
+    let thread_names: HashMap<u64, String> = json
+        .lines()
+        .filter(|l| l.contains("\"name\":\"thread_name\""))
+        .map(|l| {
+            (
+                num_field(l, "tid").expect("tid") as u64,
+                args_name(l).expect("thread_name carries args.name"),
+            )
+        })
+        .collect();
+    assert_eq!(thread_names.len(), 4, "one thread_name per PE");
+    for (tid, label) in &thread_names {
+        assert_eq!(label, &format!("pe{tid}"), "PE lanes are labeled pe<rank>");
+    }
+    assert!(!json.contains("\"PE"), "no uppercase PE labels in metadata");
+
     // --- instant events: exactly one per physical record -----------------
     let physical: usize = report
         .bundle
@@ -150,4 +176,75 @@ fn exported_json_matches_bundle_and_nests_cleanly() {
         );
         *prev = e.ts;
     }
+}
+
+#[test]
+fn continuous_run_round_trips_the_governor_lane() {
+    let grid = Grid::new(2, 2).unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "actorprof-governor-lane-{}.json",
+        std::process::id()
+    ));
+    let report = Profiler::new(grid)
+        .continuous(OverheadBudget::pct(5.0))
+        .observe_every(Duration::from_millis(1), |_| {})
+        .trace_events_path(&path)
+        .run(|pe, ctx| {
+            let seen = Rc::new(RefCell::new(0u64));
+            let h = Rc::clone(&seen);
+            let mut actor = ctx
+                .selector(1, move |_mb, _idx: u64, _from, _ctx| *h.borrow_mut() += 1)
+                .unwrap();
+            actor
+                .execute(pe, |main| {
+                    for i in 0..20_000usize {
+                        let dst = (i + main.rank()) % main.n_pes();
+                        main.send(0, i as u64, dst).unwrap();
+                    }
+                    main.done(0).unwrap();
+                })
+                .unwrap();
+            let handled = *seen.borrow();
+            handled
+        })
+        .expect("continuous run");
+    let governor = report.continuous.as_ref().expect("continuous report");
+    assert!(governor.windows() >= 1, "at least one observation window");
+
+    let json = std::fs::read_to_string(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+
+    // The governor rides as its own process after the node pids.
+    let gov_pid = json
+        .lines()
+        .find(|l| args_name(l).as_deref() == Some("governor"))
+        .and_then(|l| num_field(l, "pid"))
+        .expect("governor process_name metadata") as u64;
+    assert_eq!(gov_pid, 2, "synthetic pid follows the two node pids");
+    assert!(
+        json.lines()
+            .any(|l| args_name(l).as_deref() == Some("overhead governor")),
+        "governor thread_name metadata"
+    );
+
+    // One window event per governor decision: the first (no known start)
+    // is an instant, every later one a balanced B/E pair; one ratchet
+    // instant per stride transition.
+    let window = |ph: &str| {
+        json.lines()
+            .filter(|l| l.contains("\"name\":\"window\"") && l.contains(&format!("\"ph\":\"{ph}\"")))
+            .count() as u64
+    };
+    assert_eq!(window("i"), 1, "first window is an instant");
+    assert_eq!(window("B"), governor.windows() - 1);
+    assert_eq!(window("B"), window("E"), "window pairs balanced");
+    let ratchets = json
+        .lines()
+        .filter(|l| l.contains("\"name\":\"ratchet\""))
+        .count();
+    assert_eq!(ratchets, governor.ratchet_transitions(), "ratchet instants");
+    assert!(
+        json.contains("\"overhead_pct\":"),
+        "window args carry the measured overhead"
+    );
 }
