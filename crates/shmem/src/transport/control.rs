@@ -1,0 +1,355 @@
+//! Unix-domain-socket control plane for the Ipc transport.
+//!
+//! Rendezvous, rank assignment, and end-of-run collection for forked
+//! worker processes. This is a *cold* path: it runs once per attempt,
+//! before and after the supersteps, and is the one place the Ipc backend
+//! is allowed to block and hold locks (see `lockfree_hotpath.rs`, which
+//! pins the zero-lock-delta gates to `InProc` for exactly this reason).
+//!
+//! Wire format: fixed 24-byte records `{tag: u64, a: u64, b: u64}`,
+//! little-endian. Tags:
+//!
+//! | tag | name   | a            | b         | direction           |
+//! |-----|--------|--------------|-----------|---------------------|
+//! | 1   | HELLO  | worker index | attempt   | worker → coordinator|
+//! | 2   | ASSIGN | base rank    | n_workers | coordinator → worker|
+//! | 3   | GO     | attempt      | 0         | coordinator → worker|
+//! | 4   | DONE   | worker index | status    | worker → coordinator|
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::error::ShmemError;
+
+/// HELLO record tag (worker announces itself).
+pub const TAG_HELLO: u64 = 1;
+/// ASSIGN record tag (coordinator assigns PE ranks).
+pub const TAG_ASSIGN: u64 = 2;
+/// GO record tag (coordinator releases the attempt).
+pub const TAG_GO: u64 = 3;
+/// DONE record tag (worker reports completion status).
+pub const TAG_DONE: u64 = 4;
+
+/// One 24-byte control record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Message kind (one of the `TAG_*` constants).
+    pub tag: u64,
+    /// First operand (meaning depends on `tag`).
+    pub a: u64,
+    /// Second operand (meaning depends on `tag`).
+    pub b: u64,
+}
+
+impl Record {
+    fn to_bytes(self) -> [u8; 24] {
+        let mut buf = [0u8; 24];
+        buf[0..8].copy_from_slice(&self.tag.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.a.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.b.to_le_bytes());
+        buf
+    }
+
+    fn from_bytes(buf: &[u8; 24]) -> Record {
+        let word = |i: usize| u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        Record {
+            tag: word(0),
+            a: word(1),
+            b: word(2),
+        }
+    }
+}
+
+/// Write one record to `stream` (blocking; control plane is cold path).
+pub fn send(stream: &mut UnixStream, rec: Record) -> Result<(), ShmemError> {
+    stream
+        .write_all(&rec.to_bytes())
+        .map_err(|e| ShmemError::TransportSetup(format!("control send: {e}")))
+}
+
+/// Read one record from `stream`, honouring its configured read timeout.
+pub fn recv(stream: &mut UnixStream) -> Result<Record, ShmemError> {
+    let mut buf = [0u8; 24];
+    stream
+        .read_exact(&mut buf)
+        .map_err(|e| ShmemError::TransportSetup(format!("control recv: {e}")))?;
+    Ok(Record::from_bytes(&buf))
+}
+
+/// Coordinator side of the control plane: owns the listening socket and
+/// the rendezvous/collection protocol.
+pub struct ControlPlane {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+/// One connected, rank-assigned worker as seen by the coordinator.
+#[derive(Debug)]
+pub struct WorkerConn {
+    /// Control stream to the worker.
+    pub stream: UnixStream,
+    /// Worker index the worker announced in HELLO.
+    pub index: u64,
+}
+
+impl ControlPlane {
+    /// Bind the coordinator socket at `path` (removing any stale socket
+    /// file first — paths are per-run and live under the temp dir).
+    pub fn bind(path: &Path) -> Result<ControlPlane, ShmemError> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)
+            .map_err(|e| ShmemError::TransportSetup(format!("bind {}: {e}", path.display())))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ShmemError::TransportSetup(format!("set_nonblocking: {e}")))?;
+        Ok(ControlPlane {
+            listener,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Socket path this plane is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accept `workers` HELLOs within `timeout`, assign each worker its
+    /// base PE rank (`index * pes_per_worker`), and release them all with
+    /// GO. Returns the connected workers ordered by announced index.
+    ///
+    /// A worker that never shows up surfaces as
+    /// [`ShmemError::TransportRendezvous`] — a typed error, not a hang.
+    pub fn rendezvous(
+        &self,
+        workers: usize,
+        pes_per_worker: usize,
+        attempt: u64,
+        timeout: Duration,
+    ) -> Result<Vec<WorkerConn>, ShmemError> {
+        let deadline = Instant::now() + timeout;
+        let mut conns: Vec<Option<WorkerConn>> = (0..workers).map(|_| None).collect();
+        let mut seen = 0usize;
+        while seen < workers {
+            if Instant::now() >= deadline {
+                return Err(ShmemError::TransportRendezvous {
+                    waited_ms: timeout.as_millis() as u64,
+                    detail: format!("{seen}/{workers} workers joined before timeout"),
+                });
+            }
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .map_err(|e| ShmemError::TransportSetup(format!("read timeout: {e}")))?;
+                    let hello = recv(&mut stream)?;
+                    if hello.tag != TAG_HELLO || hello.a as usize >= workers {
+                        return Err(ShmemError::TransportSetup(format!(
+                            "unexpected rendezvous record {hello:?}"
+                        )));
+                    }
+                    let index = hello.a;
+                    send(
+                        &mut stream,
+                        Record {
+                            tag: TAG_ASSIGN,
+                            a: index * pes_per_worker as u64,
+                            b: workers as u64,
+                        },
+                    )?;
+                    conns[index as usize] = Some(WorkerConn { stream, index });
+                    seen += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    return Err(ShmemError::TransportSetup(format!("accept: {e}")));
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(workers);
+        for conn in conns.into_iter().flatten() {
+            out.push(conn);
+        }
+        for conn in &mut out {
+            send(
+                &mut conn.stream,
+                Record {
+                    tag: TAG_GO,
+                    a: attempt,
+                    b: 0,
+                },
+            )?;
+        }
+        Ok(out)
+    }
+
+    /// Collect DONE from `conn`, waiting at most `timeout`. `Ok(status)`
+    /// is the worker-reported status word; an EOF or timeout means the
+    /// worker died mid-superstep and is reported as a typed error by the
+    /// caller (who knows which ranks the worker hosted).
+    pub fn collect_done(conn: &mut WorkerConn, timeout: Duration) -> Result<u64, ShmemError> {
+        conn.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| ShmemError::TransportSetup(format!("read timeout: {e}")))?;
+        let rec = recv(&mut conn.stream)?;
+        if rec.tag != TAG_DONE {
+            return Err(ShmemError::TransportSetup(format!(
+                "expected DONE, got {rec:?}"
+            )));
+        }
+        Ok(rec.b)
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A worker-side control session that keeps the stream for DONE.
+pub struct WorkerSession {
+    stream: UnixStream,
+    /// PE rank of this worker's first hosted PE.
+    pub base_rank: u64,
+    /// Total forked workers in the run.
+    pub n_workers: u64,
+    /// Attempt number the coordinator released.
+    pub attempt: u64,
+}
+
+impl WorkerSession {
+    /// Connect, HELLO, and wait for ASSIGN + GO (the worker half of
+    /// [`ControlPlane::rendezvous`]).
+    pub fn join(
+        path: &Path,
+        index: u64,
+        attempt: u64,
+        timeout: Duration,
+    ) -> Result<WorkerSession, ShmemError> {
+        let deadline = Instant::now() + timeout;
+        let mut stream = loop {
+            match UnixStream::connect(path) {
+                Ok(s) => break s,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    return Err(ShmemError::TransportRendezvous {
+                        waited_ms: timeout.as_millis() as u64,
+                        detail: format!("worker {index} connect {}: {e}", path.display()),
+                    });
+                }
+            }
+        };
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| ShmemError::TransportSetup(format!("read timeout: {e}")))?;
+        send(
+            &mut stream,
+            Record {
+                tag: TAG_HELLO,
+                a: index,
+                b: attempt,
+            },
+        )?;
+        let assign = recv(&mut stream)?;
+        if assign.tag != TAG_ASSIGN {
+            return Err(ShmemError::TransportSetup(format!(
+                "expected ASSIGN, got {assign:?}"
+            )));
+        }
+        let go = recv(&mut stream)?;
+        if go.tag != TAG_GO {
+            return Err(ShmemError::TransportSetup(format!(
+                "expected GO, got {go:?}"
+            )));
+        }
+        Ok(WorkerSession {
+            stream,
+            base_rank: assign.a,
+            n_workers: assign.b,
+            attempt: go.a,
+        })
+    }
+
+    /// Report completion with `status` (0 = success).
+    pub fn done(mut self, index: u64, status: u64) -> Result<(), ShmemError> {
+        send(
+            &mut self.stream,
+            Record {
+                tag: TAG_DONE,
+                a: index,
+                b: status,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = Record {
+            tag: TAG_ASSIGN,
+            a: 7,
+            b: 42,
+        };
+        assert_eq!(Record::from_bytes(&rec.to_bytes()), rec);
+    }
+
+    #[test]
+    fn rendezvous_assigns_ranks_and_collects_done() {
+        let path = std::env::temp_dir().join(format!("fabsp-ctrl-test-{}", std::process::id()));
+        let plane = ControlPlane::bind(&path).unwrap();
+        let worker_path = path.clone();
+        let handle = std::thread::spawn(move || {
+            let session =
+                WorkerSession::join(&worker_path, 1, 0, Duration::from_secs(5)).unwrap();
+            assert_eq!(session.base_rank, 2);
+            assert_eq!(session.n_workers, 2);
+            assert_eq!(session.attempt, 0);
+            session.done(1, 0).unwrap();
+        });
+        let worker_path = path.clone();
+        let handle0 = std::thread::spawn(move || {
+            let session =
+                WorkerSession::join(&worker_path, 0, 0, Duration::from_secs(5)).unwrap();
+            assert_eq!(session.base_rank, 0);
+            session.done(0, 0).unwrap();
+        });
+        let mut conns = plane.rendezvous(2, 2, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(conns.len(), 2);
+        assert_eq!(conns[0].index, 0);
+        assert_eq!(conns[1].index, 1);
+        for conn in &mut conns {
+            assert_eq!(
+                ControlPlane::collect_done(conn, Duration::from_secs(5)).unwrap(),
+                0
+            );
+        }
+        handle.join().unwrap();
+        handle0.join().unwrap();
+    }
+
+    #[test]
+    fn rendezvous_timeout_is_typed() {
+        let path = std::env::temp_dir().join(format!("fabsp-ctrl-timeout-{}", std::process::id()));
+        let plane = ControlPlane::bind(&path).unwrap();
+        let err = plane
+            .rendezvous(1, 1, 0, Duration::from_millis(50))
+            .unwrap_err();
+        match err {
+            ShmemError::TransportRendezvous { waited_ms, detail } => {
+                assert_eq!(waited_ms, 50);
+                assert!(detail.contains("0/1"));
+            }
+            other => panic!("expected TransportRendezvous, got {other:?}"),
+        }
+    }
+}

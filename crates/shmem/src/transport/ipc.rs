@@ -1,0 +1,862 @@
+//! Cross-process-capable Ipc transport: one shared-memory segment
+//! (`memfd_create` + `mmap`, no external crates) holding a per-(src,dst)
+//! SPSC ring mailbox per PE pair, plus header words for counters, fault
+//! notes, a cross-process barrier, and per-PE result slots.
+//!
+//! Two usage modes share the same segment layout:
+//!
+//! - **Threaded** ([`IpcTransport::for_threads`]): the world's PEs stay OS
+//!   threads in one process; every cross-node transfer is staged into its
+//!   mailbox and immediately drained with header verification. This mode
+//!   carries the full generality of the app suite and is what the
+//!   cross-backend equivalence matrix runs.
+//! - **Forked** ([`IpcTransport::coordinator`] / [`IpcTransport::attach`]):
+//!   `spmd::run_forked` spawns worker processes that inherit the segment
+//!   fd and exchange frames through the same mailboxes via
+//!   [`IpcEndpoint`], with rendezvous over the UDS control plane
+//!   ([`super::control`]).
+//!
+//! All mailbox cursors are monotonic `AtomicU64`s (never wrapped), so
+//! fill = `head - tail` needs no full/empty disambiguation; offsets into
+//! the ring are `cursor % ring_bytes`. Frames are 8-byte aligned: a
+//! 16-byte header (`word0` = magic | class | payload length, `word1` =
+//! the staging cursor as a sequence number) followed by the payload
+//! padded to 8 bytes.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use super::{FaultEvent, IpcConfig, Transport, TransportKind, TransportStats};
+use crate::error::ShmemError;
+use crate::net::TransferClass;
+
+/// First header word: identifies a mapped segment as ours.
+const SEGMENT_MAGIC: u64 = 0xFAB5_0001_1DC0_0D5E;
+
+// Header word indices (all `AtomicU64`).
+const W_MAGIC: usize = 0;
+const W_N_PES: usize = 1;
+const W_RING_BYTES: usize = 2;
+const W_FRAMES: usize = 3;
+const W_FRAME_BYTES: usize = 4;
+const W_FLUSHES: usize = 5;
+const W_RENDEZVOUS: usize = 6;
+const W_KILLS: usize = 7;
+const W_RETRIES: usize = 8;
+/// Rank of a dead PE (`u64::MAX` = none). Set by `note_fault(Kill)` and
+/// by dying forked workers; read by barrier spins and the coordinator.
+const W_DEATH_RANK: usize = 9;
+const W_DEATH_SUPERSTEP: usize = 10;
+const W_ATTEMPT: usize = 11;
+const W_BARRIER_ARRIVED: usize = 12;
+const W_BARRIER_GEN: usize = 13;
+const HEADER_WORDS: usize = 16;
+
+/// Byte 0 of every frame header word0.
+const FRAME_MAGIC: u64 = 0xF5;
+/// Frame header size in bytes (two u64 words).
+const FRAME_HEADER: usize = 16;
+
+fn round8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+fn class_code(class: TransferClass) -> u64 {
+    match class {
+        TransferClass::LocalCopy => 0,
+        TransferClass::RemotePut => 1,
+        TransferClass::RemoteGet => 2,
+        TransferClass::NonBlockingPut => 3,
+        TransferClass::Quiet => 4,
+        TransferClass::Atomic => 5,
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_char, c_int, c_uint, c_void};
+
+    // Raw libc declarations: std already links libc, and the repo's
+    // no-new-deps rule forbids the `libc` crate (same pattern as
+    // `sched_setaffinity` in spmd.rs).
+    extern "C" {
+        pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
+        pub fn ftruncate(fd: c_int, length: i64) -> c_int;
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 1;
+    pub const F_SETFD: c_int = 2;
+}
+
+/// A process-shared memory region: `memfd_create` + `mmap(MAP_SHARED)` on
+/// Linux. The fd is kept so forked workers can inherit and re-map it.
+pub struct Segment {
+    base: *mut u8,
+    len: usize,
+    fd: i32,
+}
+
+// SAFETY: the segment is a raw shared-memory region; all access goes
+// through `&AtomicU64` header/cursor words or through ring byte ranges
+// whose exclusivity is guaranteed by the SPSC cursor protocol
+// (Release-publish by the producer, Acquire-observe by the consumer).
+unsafe impl Send for Segment {}
+// SAFETY: see `Send` — shared references only expose atomic words and
+// cursor-guarded byte ranges.
+unsafe impl Sync for Segment {}
+
+impl Segment {
+    /// Create an anonymous shared segment of `len` bytes, zero-filled.
+    #[cfg(target_os = "linux")]
+    pub fn create(len: usize) -> Result<Segment, ShmemError> {
+        // SAFETY: memfd_create with a NUL-terminated static name and no
+        // flags; the fd is checked before use.
+        let fd = unsafe { sys::memfd_create(c"fabsp-ipc".as_ptr(), 0) };
+        if fd < 0 {
+            return Err(ShmemError::TransportSetup("memfd_create failed".into()));
+        }
+        // SAFETY: fd is a fresh memfd; ftruncate sizes it to `len`.
+        if unsafe { sys::ftruncate(fd, len as i64) } != 0 {
+            // SAFETY: fd came from memfd_create above and is still open.
+            unsafe { sys::close(fd) };
+            return Err(ShmemError::TransportSetup(format!(
+                "ftruncate({len}) failed"
+            )));
+        }
+        Segment::map(fd, len)
+    }
+
+    /// Map an inherited segment fd (forked-worker side).
+    #[cfg(target_os = "linux")]
+    pub fn attach(fd: i32, len: usize) -> Result<Segment, ShmemError> {
+        Segment::map(fd, len)
+    }
+
+    #[cfg(target_os = "linux")]
+    fn map(fd: i32, len: usize) -> Result<Segment, ShmemError> {
+        // SAFETY: mmap of a sized memfd with PROT_READ|PROT_WRITE and
+        // MAP_SHARED; the result is checked against MAP_FAILED (-1).
+        let base = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if base as isize == -1 {
+            return Err(ShmemError::TransportSetup(format!("mmap({len}) failed")));
+        }
+        Ok(Segment {
+            base: base as *mut u8,
+            len,
+            fd,
+        })
+    }
+
+    /// Fallback for non-Linux hosts: heap-backed, single-process only
+    /// (forked launch is unsupported without memfd inheritance).
+    #[cfg(not(target_os = "linux"))]
+    pub fn create(len: usize) -> Result<Segment, ShmemError> {
+        let words = vec![0u64; len.div_ceil(8)].into_boxed_slice();
+        let base = Box::into_raw(words) as *mut u8;
+        Ok(Segment { base, len, fd: -1 })
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub fn attach(_fd: i32, _len: usize) -> Result<Segment, ShmemError> {
+        Err(ShmemError::TransportSetup(
+            "segment attach requires Linux memfd".into(),
+        ))
+    }
+
+    /// Clear close-on-exec on the segment fd so a spawned worker process
+    /// inherits it (forked launch mode).
+    #[cfg(target_os = "linux")]
+    pub fn make_inheritable(&self) -> Result<(), ShmemError> {
+        // SAFETY: fcntl(F_SETFD, 0) on our own open fd clears FD_CLOEXEC.
+        if unsafe { sys::fcntl(self.fd, sys::F_SETFD, 0) } != 0 {
+            return Err(ShmemError::TransportSetup("fcntl(F_SETFD) failed".into()));
+        }
+        Ok(())
+    }
+
+    /// The raw fd (for passing to forked workers via env).
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a live transport).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `idx`-th u64 of the segment as an atomic.
+    #[inline]
+    fn word(&self, idx: usize) -> &AtomicU64 {
+        debug_assert!(idx * 8 + 8 <= self.len);
+        // SAFETY: the segment is 8-aligned (page-aligned mmap / u64 heap
+        // fallback), `idx` is bounds-checked above, and AtomicU64 has the
+        // same layout as u64; concurrent access is the point of atomics.
+        unsafe { &*(self.base.add(idx * 8) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn byte_ptr(&self, off: usize) -> *mut u8 {
+        debug_assert!(off <= self.len);
+        // SAFETY: offset is bounds-checked; callers guarantee exclusive
+        // or cursor-guarded access to the addressed range.
+        unsafe { self.base.add(off) }
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        // SAFETY: base/len are the live mapping from mmap and fd is our
+        // open memfd; both are released exactly once here.
+        unsafe {
+            sys::munmap(self.base as *mut std::os::raw::c_void, self.len);
+            sys::close(self.fd);
+        }
+        #[cfg(not(target_os = "linux"))]
+        // SAFETY: base was produced by Box::into_raw over `len/8` u64s in
+        // `create` and is dropped exactly once here.
+        unsafe {
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.base as *mut u64,
+                self.len / 8,
+            )));
+        }
+    }
+}
+
+/// The Ipc backend proper. See the module docs for the two usage modes.
+pub struct IpcTransport {
+    seg: Segment,
+    n_pes: usize,
+    ring_bytes: usize,
+    /// Threaded mode: every carry drains its own mailbox immediately
+    /// (stage → verify → consume), so the backend is always quiescent
+    /// between ops and no progress thread is needed.
+    immediate_drain: bool,
+}
+
+impl IpcTransport {
+    fn layout(n_pes: usize, ring_bytes: usize) -> (usize, usize, usize, usize) {
+        let results_off = HEADER_WORDS * 8;
+        let cursors_off = results_off + n_pes * 8;
+        let rings_off = cursors_off + n_pes * n_pes * 16;
+        let total = rings_off + n_pes * n_pes * ring_bytes;
+        (results_off, cursors_off, rings_off, total)
+    }
+
+    fn with_segment(
+        seg: Segment,
+        n_pes: usize,
+        ring_bytes: usize,
+        immediate_drain: bool,
+    ) -> IpcTransport {
+        IpcTransport {
+            seg,
+            n_pes,
+            ring_bytes,
+            immediate_drain,
+        }
+    }
+
+    fn create(n_pes: usize, cfg: IpcConfig, immediate_drain: bool) -> Result<IpcTransport, ShmemError> {
+        let ring_bytes = round8(cfg.ring_bytes.max(FRAME_HEADER));
+        let (_, _, _, total) = IpcTransport::layout(n_pes, ring_bytes);
+        let seg = Segment::create(total)?;
+        let t = IpcTransport::with_segment(seg, n_pes, ring_bytes, immediate_drain);
+        t.seg.word(W_MAGIC).store(SEGMENT_MAGIC, Ordering::Relaxed);
+        t.seg.word(W_N_PES).store(n_pes as u64, Ordering::Relaxed);
+        t.seg
+            .word(W_RING_BYTES)
+            .store(ring_bytes as u64, Ordering::Relaxed);
+        t.seg.word(W_DEATH_RANK).store(u64::MAX, Ordering::Release);
+        Ok(t)
+    }
+
+    /// Threaded mode: PEs are threads of this process (the default way
+    /// `spmd::run` hosts a world); carries drain immediately.
+    pub fn for_threads(n_pes: usize, cfg: IpcConfig) -> Result<IpcTransport, ShmemError> {
+        IpcTransport::create(n_pes, cfg, true)
+    }
+
+    /// Forked mode, coordinator side: create the segment that worker
+    /// processes will inherit. Frames stay in the mailboxes until the
+    /// destination endpoint drains them.
+    pub fn coordinator(n_pes: usize, cfg: IpcConfig) -> Result<IpcTransport, ShmemError> {
+        let t = IpcTransport::create(n_pes, cfg, false)?;
+        #[cfg(target_os = "linux")]
+        t.seg.make_inheritable()?;
+        Ok(t)
+    }
+
+    /// Forked mode, worker side: map the inherited segment fd and verify
+    /// its header matches this worker's expectations.
+    pub fn attach(fd: i32, n_pes: usize, cfg: IpcConfig) -> Result<IpcTransport, ShmemError> {
+        let ring_bytes = round8(cfg.ring_bytes.max(FRAME_HEADER));
+        let (_, _, _, total) = IpcTransport::layout(n_pes, ring_bytes);
+        let seg = Segment::attach(fd, total)?;
+        let t = IpcTransport::with_segment(seg, n_pes, ring_bytes, false);
+        if t.seg.word(W_MAGIC).load(Ordering::Relaxed) != SEGMENT_MAGIC
+            || t.seg.word(W_N_PES).load(Ordering::Relaxed) != n_pes as u64
+            || t.seg.word(W_RING_BYTES).load(Ordering::Relaxed) != ring_bytes as u64
+        {
+            return Err(ShmemError::TransportSetup(
+                "attached segment header mismatch".into(),
+            ));
+        }
+        Ok(t)
+    }
+
+    /// Number of PEs the segment was sized for.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Per-mailbox ring capacity in bytes.
+    pub fn ring_bytes(&self) -> usize {
+        self.ring_bytes
+    }
+
+    /// The segment fd for env-passing to forked workers.
+    pub fn segment_fd(&self) -> i32 {
+        self.seg.fd()
+    }
+
+    fn mailbox(&self, src: usize, dst: usize) -> usize {
+        debug_assert!(src < self.n_pes && dst < self.n_pes);
+        src * self.n_pes + dst
+    }
+
+    fn head(&self, m: usize) -> &AtomicU64 {
+        let (_, cursors_off, _, _) = IpcTransport::layout(self.n_pes, self.ring_bytes);
+        self.seg.word(cursors_off / 8 + m * 2)
+    }
+
+    fn tail(&self, m: usize) -> &AtomicU64 {
+        let (_, cursors_off, _, _) = IpcTransport::layout(self.n_pes, self.ring_bytes);
+        self.seg.word(cursors_off / 8 + m * 2 + 1)
+    }
+
+    fn ring_base(&self, m: usize) -> usize {
+        let (_, _, rings_off, _) = IpcTransport::layout(self.n_pes, self.ring_bytes);
+        rings_off + m * self.ring_bytes
+    }
+
+    /// Copy `len` raw bytes into mailbox `m` at monotonic cursor `at`,
+    /// wrapping across the ring end if needed.
+    fn ring_write(&self, m: usize, at: u64, src: *const u8, len: usize) {
+        let base = self.ring_base(m);
+        let off = (at % self.ring_bytes as u64) as usize;
+        let first = len.min(self.ring_bytes - off);
+        // SAFETY: the destination ranges lie inside mailbox `m`'s ring
+        // (bounds: base + ring_bytes ≤ segment len by layout), and the
+        // SPSC protocol gives the producer exclusive access to the
+        // [tail, head+len) staging range until the Release cursor store.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src, self.seg.byte_ptr(base + off), first);
+            if first < len {
+                std::ptr::copy_nonoverlapping(src.add(first), self.seg.byte_ptr(base), len - first);
+            }
+        }
+    }
+
+    /// Read one aligned u64 from mailbox `m` at monotonic cursor `at`
+    /// (frame headers are always 8-aligned, so no wrap inside the word).
+    fn ring_read_word(&self, m: usize, at: u64) -> u64 {
+        let base = self.ring_base(m);
+        let off = (at % self.ring_bytes as u64) as usize;
+        let mut buf = [0u8; 8];
+        // SAFETY: the source range is inside mailbox `m`'s ring and the
+        // consumer owns [tail, head) after its Acquire load of head.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.seg.byte_ptr(base + off), buf.as_mut_ptr(), 8);
+        }
+        u64::from_le_bytes(buf)
+    }
+
+    /// Verify and consume every staged frame in mailbox (src → dst).
+    /// Returns the number of frames drained; panics on a corrupt frame
+    /// (header verification is the point of staging through the ring).
+    fn drain_mailbox(&self, src: usize, dst: usize) -> usize {
+        let m = self.mailbox(src, dst);
+        let head = self.head(m).load(Ordering::Acquire);
+        let mut t = self.tail(m).load(Ordering::Relaxed);
+        let mut drained = 0usize;
+        while t < head {
+            let word0 = self.ring_read_word(m, t);
+            let seq = self.ring_read_word(m, t + 8);
+            assert_eq!(word0 & 0xFF, FRAME_MAGIC, "ipc frame magic ({src}->{dst})");
+            assert_eq!(seq, t, "ipc frame sequence ({src}->{dst})");
+            let len = (word0 >> 16) as usize;
+            t += (FRAME_HEADER + round8(len)) as u64;
+            drained += 1;
+        }
+        self.tail(m).store(t, Ordering::Release);
+        drained
+    }
+
+    /// Stage one frame without draining (forked-endpoint send path).
+    fn stage(
+        &self,
+        src: usize,
+        dst: usize,
+        class: TransferClass,
+        payload: &[MaybeUninit<u8>],
+    ) -> Result<(), ShmemError> {
+        let framed = FRAME_HEADER + round8(payload.len());
+        let m = self.mailbox(src, dst);
+        let head = self.head(m).load(Ordering::Relaxed);
+        let tail = self.tail(m).load(Ordering::Acquire);
+        let available = self.ring_bytes - (head - tail) as usize;
+        if framed > available || framed > self.ring_bytes {
+            return Err(ShmemError::SegmentExhausted {
+                needed: framed,
+                available: available.min(self.ring_bytes),
+                ring_bytes: self.ring_bytes,
+            });
+        }
+        let word0 = FRAME_MAGIC | (class_code(class) << 8) | ((payload.len() as u64) << 16);
+        self.ring_write(m, head, word0.to_le_bytes().as_ptr(), 8);
+        self.ring_write(m, head + 8, head.to_le_bytes().as_ptr(), 8);
+        if !payload.is_empty() {
+            self.ring_write(
+                m,
+                head + FRAME_HEADER as u64,
+                payload.as_ptr() as *const u8,
+                payload.len(),
+            );
+        }
+        self.head(m).store(head + framed as u64, Ordering::Release);
+        self.seg.word(W_FRAMES).fetch_add(1, Ordering::Relaxed);
+        self.seg
+            .word(W_FRAME_BYTES)
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Consume the oldest staged frame in mailbox (src → dst), if any,
+    /// returning its class code and payload (forked-endpoint recv path).
+    fn pop(&self, src: usize, dst: usize) -> Option<(u64, Vec<u8>)> {
+        let m = self.mailbox(src, dst);
+        let head = self.head(m).load(Ordering::Acquire);
+        let t = self.tail(m).load(Ordering::Relaxed);
+        if t >= head {
+            return None;
+        }
+        let word0 = self.ring_read_word(m, t);
+        let seq = self.ring_read_word(m, t + 8);
+        assert_eq!(word0 & 0xFF, FRAME_MAGIC, "ipc frame magic ({src}->{dst})");
+        assert_eq!(seq, t, "ipc frame sequence ({src}->{dst})");
+        let len = (word0 >> 16) as usize;
+        let mut payload = vec![0u8; len];
+        let base = self.ring_base(m);
+        let off = ((t + FRAME_HEADER as u64) % self.ring_bytes as u64) as usize;
+        let first = len.min(self.ring_bytes - off);
+        // SAFETY: the payload range [tail+16, tail+16+len) is consumer-
+        // owned after the Acquire head load; copies stay inside the ring.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.seg.byte_ptr(base + off),
+                payload.as_mut_ptr(),
+                first,
+            );
+            if first < len {
+                std::ptr::copy_nonoverlapping(
+                    self.seg.byte_ptr(base),
+                    payload.as_mut_ptr().add(first),
+                    len - first,
+                );
+            }
+        }
+        self.tail(m)
+            .store(t + (FRAME_HEADER + round8(len)) as u64, Ordering::Release);
+        Some(((word0 >> 8) & 0xFF, payload))
+    }
+
+    /// Store PE `pe`'s result word (forked workers report through the
+    /// segment; the coordinator reads after DONE).
+    pub fn set_result(&self, pe: usize, value: u64) {
+        let (results_off, _, _, _) = IpcTransport::layout(self.n_pes, self.ring_bytes);
+        self.seg.word(results_off / 8 + pe).store(value, Ordering::Release);
+    }
+
+    /// Read PE `pe`'s result word.
+    pub fn result(&self, pe: usize) -> u64 {
+        let (results_off, _, _, _) = IpcTransport::layout(self.n_pes, self.ring_bytes);
+        self.seg.word(results_off / 8 + pe).load(Ordering::Acquire)
+    }
+
+    /// Record a dead PE in the segment (forked workers call this before
+    /// exiting on an injected kill; `note_fault` routes here too).
+    pub fn record_death(&self, pe: u64, superstep: u64) {
+        self.seg
+            .word(W_DEATH_SUPERSTEP)
+            .store(superstep, Ordering::Relaxed);
+        self.seg.word(W_KILLS).fetch_add(1, Ordering::Relaxed);
+        self.seg.word(W_DEATH_RANK).store(pe, Ordering::Release);
+    }
+
+    /// The recorded death, if any: `(rank, superstep)`.
+    pub fn death(&self) -> Option<(u64, u64)> {
+        let rank = self.seg.word(W_DEATH_RANK).load(Ordering::Acquire);
+        if rank == u64::MAX {
+            None
+        } else {
+            Some((rank, self.seg.word(W_DEATH_SUPERSTEP).load(Ordering::Relaxed)))
+        }
+    }
+
+    /// Clear fault notes and barrier state for a fresh attempt (restart).
+    pub fn reset_for_attempt(&self, attempt: u64) {
+        self.seg.word(W_DEATH_RANK).store(u64::MAX, Ordering::Relaxed);
+        self.seg.word(W_DEATH_SUPERSTEP).store(0, Ordering::Relaxed);
+        self.seg.word(W_BARRIER_ARRIVED).store(0, Ordering::Relaxed);
+        self.seg.word(W_BARRIER_GEN).store(0, Ordering::Relaxed);
+        for m in 0..self.n_pes * self.n_pes {
+            self.head(m).store(0, Ordering::Relaxed);
+            self.tail(m).store(0, Ordering::Relaxed);
+        }
+        self.seg.word(W_ATTEMPT).store(attempt, Ordering::Release);
+    }
+
+    /// Current attempt number published by the coordinator.
+    pub fn attempt(&self) -> u64 {
+        self.seg.word(W_ATTEMPT).load(Ordering::Acquire)
+    }
+
+    /// Cross-process sense-reversing barrier over the segment's header
+    /// words. Aborts with `Err` when a peer death is recorded or
+    /// `timeout` elapses (a dead peer must surface as an error, not a
+    /// hang).
+    pub fn process_barrier(
+        &self,
+        participants: usize,
+        timeout: Duration,
+    ) -> Result<(), ShmemError> {
+        let gen = self.seg.word(W_BARRIER_GEN).load(Ordering::Acquire);
+        let arrived = self.seg.word(W_BARRIER_ARRIVED).fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == participants as u64 {
+            self.seg.word(W_BARRIER_ARRIVED).store(0, Ordering::Relaxed);
+            self.seg.word(W_BARRIER_GEN).fetch_add(1, Ordering::AcqRel);
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        while self.seg.word(W_BARRIER_GEN).load(Ordering::Acquire) == gen {
+            if let Some((rank, step)) = self.death() {
+                return Err(ShmemError::PePanicked {
+                    pe: rank as usize,
+                    message: format!("peer PE {rank} died at superstep {step} (ipc barrier abort)"),
+                });
+            }
+            if Instant::now() >= deadline {
+                return Err(ShmemError::TransportRendezvous {
+                    waited_ms: timeout.as_millis() as u64,
+                    detail: format!(
+                        "process barrier generation {gen} never completed ({participants} expected)"
+                    ),
+                });
+            }
+            std::hint::spin_loop();
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        Ok(())
+    }
+}
+
+impl Transport for IpcTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Ipc
+    }
+
+    fn carry(
+        &self,
+        src: usize,
+        dst: usize,
+        class: TransferClass,
+        payload: &[MaybeUninit<u8>],
+    ) -> Result<(), ShmemError> {
+        self.stage(src, dst, class, payload)?;
+        if self.immediate_drain {
+            self.drain_mailbox(src, dst);
+        }
+        Ok(())
+    }
+
+    fn flush(&self, src: usize) -> Result<(), ShmemError> {
+        self.seg.word(W_FLUSHES).fetch_add(1, Ordering::Relaxed);
+        if self.immediate_drain {
+            for dst in 0..self.n_pes {
+                self.drain_mailbox(src, dst);
+            }
+        }
+        Ok(())
+    }
+
+    fn rendezvous_note(&self, _pe: usize) {
+        self.seg.word(W_RENDEZVOUS).fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_fault(&self, event: FaultEvent) {
+        match event {
+            FaultEvent::Kill { pe, superstep } => self.record_death(pe as u64, superstep as u64),
+            FaultEvent::Retry { pe: _ } => {
+                self.seg.word(W_RETRIES).fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        (0..self.n_pes * self.n_pes)
+            .all(|m| self.head(m).load(Ordering::Acquire) == self.tail(m).load(Ordering::Acquire))
+    }
+
+    fn stats(&self) -> TransportStats {
+        let w = |i: usize| self.seg.word(i).load(Ordering::Relaxed);
+        TransportStats {
+            frames: w(W_FRAMES),
+            frame_bytes: w(W_FRAME_BYTES),
+            flushes: w(W_FLUSHES),
+            rendezvous: w(W_RENDEZVOUS),
+            kills: w(W_KILLS),
+            retries: w(W_RETRIES),
+        }
+    }
+}
+
+/// Restricted message-passing surface a forked worker PE gets: send/recv
+/// frames through the segment mailboxes, barrier with peers, and publish
+/// a result word. Deliberately *not* the full [`crate::Pe`] API — forked
+/// workers own their address spaces, so the symmetric heap's shared-vec
+/// machinery does not apply.
+pub struct IpcEndpoint {
+    transport: std::sync::Arc<IpcTransport>,
+    rank: usize,
+    /// Kill fault routed to this worker (attempt 0 only, like the
+    /// threaded path's [`crate::Pe::end_superstep`]).
+    kill: Option<crate::net::KillSpec>,
+    attempt: u64,
+}
+
+impl IpcEndpoint {
+    /// Wrap `transport` as rank `rank`'s endpoint.
+    pub fn new(transport: std::sync::Arc<IpcTransport>, rank: usize) -> IpcEndpoint {
+        IpcEndpoint {
+            transport,
+            rank,
+            kill: None,
+            attempt: 0,
+        }
+    }
+
+    /// Attach the run's kill fault and attempt number (forked launch).
+    pub fn with_fault(mut self, kill: Option<crate::net::KillSpec>, attempt: u64) -> IpcEndpoint {
+        self.kill = kill;
+        self.attempt = attempt;
+        self
+    }
+
+    /// Leave superstep `superstep`: if the fault plan kills this rank here
+    /// on attempt 0, record the death in the segment and fail-stop the
+    /// whole worker process (the node-death model — sibling PE threads in
+    /// this process die with it, and peers' barriers abort on the note).
+    pub fn end_superstep(&self, superstep: u64) {
+        if let Some(kill) = self.kill {
+            if self.attempt == 0
+                && kill.rank as usize == self.rank
+                && u64::from(kill.at_superstep) == superstep
+            {
+                self.transport.record_death(self.rank as u64, superstep);
+                std::process::exit(101);
+            }
+        }
+    }
+
+    /// This endpoint's PE rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn n_pes(&self) -> usize {
+        self.transport.n_pes()
+    }
+
+    /// The backing transport (error-path tests poke counters directly).
+    pub fn transport(&self) -> &IpcTransport {
+        &self.transport
+    }
+
+    /// Send `payload` to `dst`'s mailbox. Fails with
+    /// [`ShmemError::SegmentExhausted`] when the frame cannot fit.
+    pub fn send(&self, dst: usize, payload: &[u8]) -> Result<(), ShmemError> {
+        self.transport
+            .stage(self.rank, dst, TransferClass::RemotePut, super::payload_bytes(payload))
+    }
+
+    /// Receive the oldest pending frame from `src`, if any.
+    pub fn try_recv(&self, src: usize) -> Option<Vec<u8>> {
+        self.transport.pop(src, self.rank).map(|(_, p)| p)
+    }
+
+    /// Block until a frame from `src` arrives or `timeout` elapses.
+    pub fn recv(&self, src: usize, timeout: Duration) -> Result<Vec<u8>, ShmemError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(p) = self.try_recv(src) {
+                return Ok(p);
+            }
+            if Instant::now() >= deadline {
+                return Err(ShmemError::TransportRendezvous {
+                    waited_ms: timeout.as_millis() as u64,
+                    detail: format!("recv from PE {src} timed out"),
+                });
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Barrier with every PE in the forked world.
+    pub fn barrier(&self, timeout: Duration) -> Result<(), ShmemError> {
+        self.transport.rendezvous_note(self.rank);
+        self.transport.process_barrier(self.transport.n_pes(), timeout)
+    }
+
+    /// Publish this PE's result word.
+    pub fn set_result(&self, value: u64) {
+        self.transport.set_result(self.rank, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::payload_bytes;
+
+    #[test]
+    fn carry_roundtrips_and_counts() {
+        let t = IpcTransport::for_threads(4, IpcConfig::default()).unwrap();
+        let data = [0xABu64; 8];
+        t.carry(0, 3, TransferClass::RemotePut, payload_bytes(&data))
+            .unwrap();
+        t.carry(1, 2, TransferClass::Atomic, payload_bytes(&[7u64, 9]))
+            .unwrap();
+        t.flush(0).unwrap();
+        let s = t.stats();
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.frame_bytes, 64 + 16);
+        assert_eq!(s.flushes, 1);
+        assert!(t.quiescent());
+    }
+
+    #[test]
+    fn staged_frames_pop_in_order() {
+        let t = IpcTransport::coordinator(2, IpcConfig { ring_bytes: 256 }).unwrap();
+        t.stage(0, 1, TransferClass::RemotePut, payload_bytes(&[1u8, 2, 3]))
+            .unwrap();
+        t.stage(0, 1, TransferClass::RemotePut, payload_bytes(&[4u8]))
+            .unwrap();
+        assert!(!t.quiescent());
+        let (class, p) = t.pop(0, 1).unwrap();
+        assert_eq!(class, class_code(TransferClass::RemotePut));
+        assert_eq!(p, vec![1, 2, 3]);
+        assert_eq!(t.pop(0, 1).unwrap().1, vec![4]);
+        assert!(t.pop(0, 1).is_none());
+        assert!(t.quiescent());
+    }
+
+    #[test]
+    fn exhaustion_is_typed() {
+        let t = IpcTransport::coordinator(2, IpcConfig { ring_bytes: 64 }).unwrap();
+        let big = [0u8; 256];
+        let err = t
+            .stage(0, 1, TransferClass::RemotePut, payload_bytes(&big))
+            .unwrap_err();
+        match err {
+            ShmemError::SegmentExhausted {
+                needed,
+                available,
+                ring_bytes,
+            } => {
+                assert_eq!(needed, FRAME_HEADER + 256);
+                assert_eq!(ring_bytes, 64);
+                assert!(available <= 64);
+            }
+            other => panic!("expected SegmentExhausted, got {other:?}"),
+        }
+        // Filling without draining also exhausts.
+        for _ in 0..3 {
+            let _ = t.stage(0, 1, TransferClass::RemotePut, payload_bytes(&[0u8; 8]));
+        }
+        let err = t
+            .stage(0, 1, TransferClass::RemotePut, payload_bytes(&[0u8; 8]))
+            .unwrap_err();
+        assert!(matches!(err, ShmemError::SegmentExhausted { .. }));
+    }
+
+    #[test]
+    fn frames_wrap_across_ring_end() {
+        let t = IpcTransport::coordinator(2, IpcConfig { ring_bytes: 64 }).unwrap();
+        for round in 0..10u8 {
+            t.stage(0, 1, TransferClass::RemotePut, payload_bytes(&[round; 24]))
+                .unwrap();
+            let (_, p) = t.pop(0, 1).unwrap();
+            assert_eq!(p, vec![round; 24]);
+        }
+    }
+
+    #[test]
+    fn death_note_roundtrip() {
+        let t = IpcTransport::for_threads(2, IpcConfig::default()).unwrap();
+        assert!(t.death().is_none());
+        t.note_fault(FaultEvent::Kill {
+            pe: 1,
+            superstep: 3,
+        });
+        assert_eq!(t.death(), Some((1, 3)));
+        assert_eq!(t.stats().kills, 1);
+        t.reset_for_attempt(1);
+        assert!(t.death().is_none());
+        assert_eq!(t.attempt(), 1);
+    }
+
+    #[test]
+    fn endpoint_send_recv_between_threads() {
+        let t = std::sync::Arc::new(IpcTransport::coordinator(2, IpcConfig::default()).unwrap());
+        let a = IpcEndpoint::new(t.clone(), 0);
+        let b = IpcEndpoint::new(t.clone(), 1);
+        let handle = std::thread::spawn(move || {
+            let got = b.recv(0, Duration::from_secs(5)).unwrap();
+            b.send(0, &got).unwrap();
+        });
+        a.send(1, b"ping").unwrap();
+        assert_eq!(a.recv(1, Duration::from_secs(5)).unwrap(), b"ping");
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,374 @@
+//! Pluggable transport layer under the symmetric heap.
+//!
+//! The substrate's deferred-nbi/retry/ledger machinery ([`crate::net`])
+//! classifies and counts traffic; this module abstracts *how* that traffic
+//! is carried between PEs. Two backends implement the [`Transport`] trait:
+//!
+//! - [`InProc`](TransportKind::InProc): the existing same-address-space
+//!   memcpy path. Every hook is a no-op behind one enum-discriminant
+//!   check, so the 157M it/s hot path is untouched (gated by
+//!   `ACTORPROF_TRANSPORT_GATE_PCT` in bench-smoke).
+//! - [`Ipc`](TransportKind::Ipc): a cross-process-capable backend built on
+//!   a shared-memory segment (`memfd_create` + `mmap`, no new deps) with a
+//!   per-(src,dst) SPSC ring mailbox and a small Unix-domain-socket
+//!   control plane ([`control`]) for rendezvous and rank assignment.
+//!
+//! The contract both backends honour — and the one the cross-backend
+//! conformance suite (`tests/transport_equivalence.rs`) pins down — is
+//! **carry-at-initiation**: every cross-node transfer is handed to the
+//! transport at the instant the SHMEM op initiates it, *before* any
+//! scheduling point or fault roll the op would take anyway. The transport
+//! adds no scheduling points, no fault rolls, and no reordering of its
+//! own, so logical traces, result digests, and `RecoveryLog`s are
+//! bit-identical across backends by construction.
+
+pub mod control;
+pub mod ipc;
+
+use std::mem::MaybeUninit;
+use std::sync::Arc;
+
+use crate::error::ShmemError;
+use crate::net::TransferClass;
+
+/// Which backend carries cross-node traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// Same-address-space memcpy (default; zero-cost hooks).
+    InProc,
+    /// Shared-memory segment with per-(src,dst) ring mailboxes.
+    Ipc,
+}
+
+impl TransportKind {
+    /// Stable lowercase name (used in bench JSON and CI lane names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Ipc => "ipc",
+        }
+    }
+}
+
+/// Tuning knobs for the [`Ipc`](TransportKind::Ipc) backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpcConfig {
+    /// Capacity of each (src,dst) ring mailbox in bytes. A single carried
+    /// frame (16-byte header + padded payload) must fit or the carry
+    /// returns [`ShmemError::SegmentExhausted`].
+    pub ring_bytes: usize,
+}
+
+impl Default for IpcConfig {
+    fn default() -> IpcConfig {
+        IpcConfig {
+            ring_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Per-run transport selection. `Copy + Eq + Hash` like
+/// [`crate::sched::SchedSpec`] and [`crate::FaultSpec`] so a run's
+/// transport is a replayable test input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportSpec {
+    /// The in-process memcpy path (default).
+    #[default]
+    InProc,
+    /// The shared-memory-segment backend.
+    Ipc(IpcConfig),
+}
+
+impl TransportSpec {
+    /// The Ipc backend with default ring capacity.
+    pub fn ipc() -> TransportSpec {
+        TransportSpec::Ipc(IpcConfig::default())
+    }
+
+    /// The Ipc backend with an explicit per-mailbox ring capacity.
+    pub fn ipc_with_ring_bytes(ring_bytes: usize) -> TransportSpec {
+        TransportSpec::Ipc(IpcConfig { ring_bytes })
+    }
+
+    /// The backend this spec selects.
+    pub fn kind(&self) -> TransportKind {
+        match self {
+            TransportSpec::InProc => TransportKind::InProc,
+            TransportSpec::Ipc(_) => TransportKind::Ipc,
+        }
+    }
+}
+
+/// Fault events the substrate routes through the transport so both
+/// backends observe the same failure narrative ([`crate::FaultSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A PE died at a superstep boundary ([`crate::KillSpec`]).
+    Kill { pe: u32, superstep: u32 },
+    /// One network-op attempt timed out and will be retried
+    /// ([`crate::NetFlaky`]).
+    Retry { pe: u32 },
+}
+
+/// Aggregate counters a transport backend keeps about its own activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames carried through the backend's mailboxes.
+    pub frames: u64,
+    /// Payload bytes inside those frames (pre-padding).
+    pub frame_bytes: u64,
+    /// Flush/quiet drains observed.
+    pub flushes: u64,
+    /// Barrier/collective rendezvous notes.
+    pub rendezvous: u64,
+    /// Kill events routed through [`Transport::note_fault`].
+    pub kills: u64,
+    /// Retry events routed through [`Transport::note_fault`].
+    pub retries: u64,
+}
+
+/// The transport contract.
+///
+/// Hooks are called from PE threads on hot paths, so implementations must
+/// be wait-free or lock-free on [`carry`](Transport::carry),
+/// [`flush`](Transport::flush) and [`note_fault`](Transport::note_fault);
+/// locks are permitted only in rendezvous/setup (cold) paths. No hook may
+/// introduce a scheduling point, a fault roll, or panic on the fast path —
+/// errors are surfaced as typed [`ShmemError`] values.
+pub trait Transport: Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> TransportKind;
+
+    /// Carry `payload` from PE `src` to PE `dst`, classified as `class`.
+    /// Called at initiation time for every cross-node transfer (put, get
+    /// response, nbi-put staging, atomic command frame). The payload is a
+    /// raw byte view (`MaybeUninit` because `T`'s padding bytes may be
+    /// uninitialized); implementations copy it untyped and never read it
+    /// as values.
+    fn carry(
+        &self,
+        src: usize,
+        dst: usize,
+        class: TransferClass,
+        payload: &[MaybeUninit<u8>],
+    ) -> Result<(), ShmemError>;
+
+    /// Drain completion for PE `src`'s outstanding carried frames
+    /// (quiet/fence). Counted, and a no-op when already quiescent.
+    fn flush(&self, src: usize) -> Result<(), ShmemError>;
+
+    /// Note that PE `pe` reached a barrier/collective rendezvous point.
+    fn rendezvous_note(&self, pe: usize);
+
+    /// Route a fault-injection event through the backend.
+    fn note_fault(&self, event: FaultEvent);
+
+    /// Whether the backend holds no undelivered frames (checkpoint cuts
+    /// require this in addition to the nbi-pending check).
+    fn quiescent(&self) -> bool;
+
+    /// Snapshot of the backend's own activity counters.
+    fn stats(&self) -> TransportStats;
+}
+
+/// The in-process backend: every hook is a no-op. Cross-node traffic is
+/// the direct memcpy the symmetric heap already performs; there is nothing
+/// to carry, so this type exists to make the trait's "do nothing" case
+/// explicit and testable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InProcTransport;
+
+impl Transport for InProcTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::InProc
+    }
+
+    #[inline]
+    fn carry(
+        &self,
+        _src: usize,
+        _dst: usize,
+        _class: TransferClass,
+        _payload: &[MaybeUninit<u8>],
+    ) -> Result<(), ShmemError> {
+        Ok(())
+    }
+
+    #[inline]
+    fn flush(&self, _src: usize) -> Result<(), ShmemError> {
+        Ok(())
+    }
+
+    #[inline]
+    fn rendezvous_note(&self, _pe: usize) {}
+
+    #[inline]
+    fn note_fault(&self, _event: FaultEvent) {}
+
+    fn quiescent(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+}
+
+static INPROC: InProcTransport = InProcTransport;
+
+/// Enum-dispatch handle stored per world. Hot paths pay one discriminant
+/// check on `InProc` instead of a vtable call — measured zero-delta on the
+/// SPSC hot path (bench-smoke gate).
+#[derive(Clone)]
+pub enum TransportHandle {
+    /// No-op backend.
+    InProc,
+    /// Shared-memory-segment backend.
+    Ipc(Arc<ipc::IpcTransport>),
+}
+
+impl TransportHandle {
+    /// Instantiate the backend `spec` selects for a world of `n_pes` PEs.
+    pub fn new(spec: TransportSpec, n_pes: usize) -> Result<TransportHandle, ShmemError> {
+        match spec {
+            TransportSpec::InProc => Ok(TransportHandle::InProc),
+            TransportSpec::Ipc(cfg) => Ok(TransportHandle::Ipc(Arc::new(
+                ipc::IpcTransport::for_threads(n_pes, cfg)?,
+            ))),
+        }
+    }
+
+    /// Which backend this handle dispatches to.
+    #[inline]
+    pub fn kind(&self) -> TransportKind {
+        match self {
+            TransportHandle::InProc => TransportKind::InProc,
+            TransportHandle::Ipc(_) => TransportKind::Ipc,
+        }
+    }
+
+    /// [`Transport::carry`] through the selected backend.
+    #[inline]
+    pub fn carry(
+        &self,
+        src: usize,
+        dst: usize,
+        class: TransferClass,
+        payload: &[MaybeUninit<u8>],
+    ) -> Result<(), ShmemError> {
+        match self {
+            TransportHandle::InProc => Ok(()),
+            TransportHandle::Ipc(t) => t.carry(src, dst, class, payload),
+        }
+    }
+
+    /// [`Transport::flush`] through the selected backend.
+    #[inline]
+    pub fn flush(&self, src: usize) -> Result<(), ShmemError> {
+        match self {
+            TransportHandle::InProc => Ok(()),
+            TransportHandle::Ipc(t) => t.flush(src),
+        }
+    }
+
+    /// [`Transport::rendezvous_note`] through the selected backend.
+    #[inline]
+    pub fn rendezvous_note(&self, pe: usize) {
+        if let TransportHandle::Ipc(t) = self {
+            t.rendezvous_note(pe);
+        }
+    }
+
+    /// [`Transport::note_fault`] through the selected backend.
+    #[inline]
+    pub fn note_fault(&self, event: FaultEvent) {
+        if let TransportHandle::Ipc(t) = self {
+            t.note_fault(event);
+        }
+    }
+
+    /// [`Transport::quiescent`] through the selected backend.
+    pub fn quiescent(&self) -> bool {
+        match self {
+            TransportHandle::InProc => true,
+            TransportHandle::Ipc(t) => t.quiescent(),
+        }
+    }
+
+    /// [`Transport::stats`] through the selected backend.
+    pub fn stats(&self) -> TransportStats {
+        match self {
+            TransportHandle::InProc => TransportStats::default(),
+            TransportHandle::Ipc(t) => t.stats(),
+        }
+    }
+
+    /// The backend as a trait object (conformance tests exercise the trait
+    /// surface directly).
+    pub fn as_dyn(&self) -> &dyn Transport {
+        match self {
+            TransportHandle::InProc => &INPROC,
+            TransportHandle::Ipc(t) => t.as_ref(),
+        }
+    }
+}
+
+/// View any initialized slice as raw bytes for [`Transport::carry`].
+///
+/// Returns `MaybeUninit<u8>` rather than `u8` because `T`'s padding bytes
+/// are allowed to be uninitialized; a `&[u8]` view over them would be UB.
+#[inline]
+pub fn payload_bytes<T>(slice: &[T]) -> &[MaybeUninit<u8>] {
+    // SAFETY: any `&[T]` points at `size_of_val(slice)` bytes that are
+    // valid to view as `MaybeUninit<u8>` (initialized or padding alike);
+    // the lifetime is inherited from the borrow.
+    unsafe {
+        std::slice::from_raw_parts(
+            slice.as_ptr() as *const MaybeUninit<u8>,
+            std::mem::size_of_val(slice),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_defaults_to_inproc() {
+        assert_eq!(TransportSpec::default(), TransportSpec::InProc);
+        assert_eq!(TransportSpec::default().kind(), TransportKind::InProc);
+        assert_eq!(TransportSpec::ipc().kind(), TransportKind::Ipc);
+        assert_eq!(TransportKind::InProc.name(), "inproc");
+        assert_eq!(TransportKind::Ipc.name(), "ipc");
+    }
+
+    #[test]
+    fn inproc_hooks_are_noops() {
+        let t = InProcTransport;
+        let data = [1u32, 2, 3];
+        t.carry(0, 1, TransferClass::RemotePut, payload_bytes(&data))
+            .unwrap();
+        t.flush(0).unwrap();
+        t.rendezvous_note(0);
+        t.note_fault(FaultEvent::Retry { pe: 0 });
+        assert!(t.quiescent());
+        assert_eq!(t.stats(), TransportStats::default());
+    }
+
+    #[test]
+    fn payload_bytes_covers_slice() {
+        let data = [0u64; 4];
+        assert_eq!(payload_bytes(&data).len(), 32);
+        let unit: [u8; 3] = [1, 2, 3];
+        assert_eq!(payload_bytes(&unit).len(), 3);
+    }
+
+    #[test]
+    fn handle_dispatches_inproc() {
+        let h = TransportHandle::new(TransportSpec::InProc, 4).unwrap();
+        assert_eq!(h.kind(), TransportKind::InProc);
+        assert!(h.quiescent());
+        assert_eq!(h.as_dyn().kind(), TransportKind::InProc);
+    }
+}

@@ -1,0 +1,134 @@
+//! Transport equivalence: the backend carrying cross-node bytes must be
+//! invisible to every observable the profiler reports.
+//!
+//! The `Transport` trait's contract is *carry-at-initiation*: a backend
+//! mirrors each cross-node transfer at the moment the op initiates it,
+//! adding no scheduling points, no fault rolls, and no reordering. If the
+//! contract holds, swapping `InProc` (zero-copy memcpy, the default) for
+//! `Ipc` (shared-memory ring mailboxes) changes *nothing* the suite can
+//! see: result digests, flattened logical trace matrices, and the full
+//! [`RecoveryLog`] must be bit-identical per (app, schedule, fault spec).
+//!
+//! The sweep iterates the ten-app registry under the OS schedule plus two
+//! seeded random walks, runs each (app, schedule) on both backends, and
+//! compares. On top ride two fault lanes on `Ipc`: seeded `net_flaky`
+//! (transparent retries must not desynchronize the backends) and
+//! `kill_pe` + checkpoint restart (the kill is routed through the
+//! transport's fault hook; recovery must still converge to the unkilled
+//! InProc baseline).
+//!
+//! A divergence names the app, schedule seed, and fault spec — replaying
+//! that exact configuration reproduces it deterministically.
+
+use actorprof_suite::fabsp_apps::registry;
+use actorprof_suite::fabsp_shmem::{
+    FaultSpec, Grid, RecoverySpec, SchedSpec, TransportSpec,
+};
+use actorprof_suite::fabsp_testkit::matrix::{MatrixParams, MatrixRun};
+
+fn equivalence_grid() -> Grid {
+    Grid::new(2, 2).unwrap()
+}
+
+/// Per-(app, lane) schedule seeds, disjoint from the schedule-fuzz
+/// suite's windows (which stay below 40_000).
+fn lane_seed(app_idx: usize, lane: u64) -> u64 {
+    40_000 + lane * 1_000 + (app_idx as u64)
+}
+
+fn run_app(
+    app: &actorprof_suite::fabsp_testkit::matrix::AppSpec,
+    params: &MatrixParams,
+    ctx: &str,
+) -> MatrixRun {
+    app.run(params).unwrap_or_else(|e| panic!("{ctx}: {e}"))
+}
+
+/// Assert the full observable surface matches: digest, logical matrix,
+/// golden oracle, and the recovery log.
+fn assert_equivalent(ipc: &MatrixRun, inproc: &MatrixRun, ctx: &str) {
+    ipc.assert_matches(inproc, &ctx);
+    ipc.assert_golden(&ctx);
+    assert_eq!(
+        ipc.recovery, inproc.recovery,
+        "{ctx}: RecoveryLog diverged across transports"
+    );
+}
+
+#[test]
+fn registry_results_are_transport_invariant() {
+    let params = MatrixParams::new(equivalence_grid());
+    for (app_idx, app) in registry().into_iter().enumerate() {
+        let scheds = [
+            SchedSpec::Os,
+            SchedSpec::random_walk(lane_seed(app_idx, 0)),
+            SchedSpec::random_walk(lane_seed(app_idx, 1)),
+        ];
+        for (lane, sched) in scheds.into_iter().enumerate() {
+            let p = params.clone().with_sched(sched);
+            let inproc = run_app(&app, &p, &format!("{} inproc lane {lane}", app.name));
+            let ipc = run_app(
+                &app,
+                &p.with_transport(TransportSpec::ipc()),
+                &format!("{} ipc lane {lane}", app.name),
+            );
+            assert_equivalent(&ipc, &inproc, &format!("{} lane {lane}", app.name));
+        }
+    }
+}
+
+#[test]
+fn registry_results_are_transport_invariant_under_flaky_net() {
+    // Transient injected timeouts are retried inside the substrate; the
+    // retry rolls happen before the carry, so both backends must see the
+    // same retry count and the same delivered bytes.
+    let params = MatrixParams::new(equivalence_grid());
+    let mut retries = 0u64;
+    for (app_idx, app) in registry().into_iter().enumerate() {
+        let p = params
+            .clone()
+            .with_sched(SchedSpec::random_walk(lane_seed(app_idx, 2)))
+            .with_faults(FaultSpec::net_flaky(0xF1A2, 0.2));
+        let inproc = run_app(&app, &p, &format!("{} flaky inproc", app.name));
+        let ipc = run_app(
+            &app,
+            &p.with_transport(TransportSpec::ipc()),
+            &format!("{} flaky ipc", app.name),
+        );
+        assert_equivalent(&ipc, &inproc, &format!("{} flaky", app.name));
+        retries += ipc.recovery.net_retries;
+    }
+    // Not every app's traffic pattern draws a timeout under every seed,
+    // but the sweep as a whole must have exercised the retry path.
+    assert!(retries > 0, "the flaky sweep never retried anything");
+}
+
+#[test]
+fn kill_and_recover_on_ipc_matches_unkilled_inproc_baseline() {
+    // kill_pe is routed through the transport's fault hook; after the
+    // checkpoint restart the retried attempt runs on a fresh backend (a
+    // restart models a replaced node) and must converge to the clean
+    // InProc baseline bit-for-bit.
+    let params = MatrixParams::new(equivalence_grid());
+    for (app_idx, app) in registry().into_iter().enumerate() {
+        let base = run_app(&app, &params, &format!("{} kill baseline", app.name));
+        base.assert_golden(&format!("{} kill baseline", app.name));
+        let p = params
+            .clone()
+            .with_sched(SchedSpec::random_walk(lane_seed(app_idx, 3)))
+            .with_faults(FaultSpec::kill_pe(1, 0))
+            .with_recovery(RecoverySpec::restart(2), 1)
+            .with_transport(TransportSpec::ipc());
+        let ctx = format!("{} kill+recover on ipc", app.name);
+        let out = run_app(&app, &p, &ctx);
+        out.assert_matches(&base, &ctx);
+        out.assert_golden(&ctx);
+        assert_eq!(out.recovery.restarts, 1, "{ctx}: {}", out.recovery);
+        assert_eq!(
+            out.recovery.kills_observed.len(),
+            1,
+            "{ctx}: exactly one kill observed"
+        );
+        assert_eq!(out.recovery.kills_observed[0].pe, 1, "{ctx}: killed rank");
+    }
+}

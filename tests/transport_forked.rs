@@ -1,0 +1,166 @@
+//! Forked launch mode and `Transport` error paths.
+//!
+//! `spmd::run_forked` spawns worker *processes* (self-reexec: the
+//! coordinator re-runs this test binary with a filter naming the same
+//! test, and the `ACTORPROF_IPC_WORKER` env marker routes the child into
+//! the worker branch) hosting PE groups over the `Ipc` transport's shared
+//! segment. These tests pin the contract's failure surface:
+//!
+//! - a worker that never joins is a typed
+//!   [`ShmemError::TransportRendezvous`], never a hang;
+//! - a worker process dying mid-superstep surfaces as a [`KillRecord`]
+//!   (attributed from the segment's death note) and restart recovery
+//!   re-runs the whole world to the correct result;
+//! - a frame that cannot fit the ring mailbox is a typed
+//!   [`ShmemError::SegmentExhausted`], surfaced through the ordinary
+//!   `put` result even in threaded mode.
+
+use std::time::Duration;
+
+use actorprof_suite::fabsp_shmem::spmd::{self, ForkPlan};
+use actorprof_suite::fabsp_shmem::transport::ipc::IpcEndpoint;
+use actorprof_suite::fabsp_shmem::{
+    FaultSpec, Grid, Harness, RecoverySpec, ShmemError, TransportSpec,
+};
+
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// All-to-all byte exchange with a closing barrier: each PE sends
+/// `rank + 1` to every peer and returns the sum of what it received.
+fn exchange_body(ep: &IpcEndpoint) -> u64 {
+    let n = ep.n_pes();
+    let me = ep.rank();
+    for dst in 0..n {
+        if dst != me {
+            ep.send(dst, &[(me + 1) as u8]).unwrap();
+        }
+    }
+    let mut sum = 0u64;
+    for src in 0..n {
+        if src != me {
+            sum += ep.recv(src, IO_TIMEOUT).unwrap()[0] as u64;
+        }
+    }
+    ep.end_superstep(0);
+    ep.barrier(IO_TIMEOUT).unwrap();
+    sum
+}
+
+/// Expected [`exchange_body`] result for `rank` in an `n`-PE world.
+fn expected_sum(n: usize, rank: usize) -> u64 {
+    (1..=n as u64).sum::<u64>() - (rank as u64 + 1)
+}
+
+#[test]
+fn forked_pes_exchange_across_process_boundaries() {
+    let plan = ForkPlan::new(
+        2,
+        2,
+        &["forked_pes_exchange_across_process_boundaries", "--exact"],
+    );
+    let run = spmd::run_forked(plan, exchange_body).expect("forked run");
+    let expect: Vec<u64> = (0..4).map(|r| expected_sum(4, r)).collect();
+    assert_eq!(run.results, expect, "cross-process exchange sums");
+    assert!(run.recovery.is_clean(), "{}", run.recovery);
+}
+
+#[test]
+fn rendezvous_timeout_is_a_typed_error_not_a_hang() {
+    // The reentry filter matches nothing: the children run zero tests and
+    // exit without ever joining the control plane, so the coordinator's
+    // rendezvous must elapse its deadline and fail *typed*.
+    let plan = ForkPlan::new(1, 1, &["no_such_forked_worker_entrypoint", "--exact"])
+        .rendezvous_timeout(Duration::from_millis(600));
+    match spmd::run_forked(plan, exchange_body) {
+        Err(ShmemError::TransportRendezvous { waited_ms, detail }) => {
+            assert!(waited_ms >= 600, "deadline honored, waited {waited_ms} ms");
+            assert!(
+                detail.contains("0/1"),
+                "detail names the missing workers: {detail}"
+            );
+        }
+        other => panic!("expected TransportRendezvous, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_death_mid_superstep_surfaces_as_kill_record_and_recovers() {
+    // Rank 1's end_superstep fail-stops its whole worker process on
+    // attempt 0 (the node-death model). Peers' barriers abort on the
+    // death note instead of hanging, the coordinator attributes a
+    // KillRecord from the segment, and the restarted attempt converges.
+    let plan = ForkPlan::new(
+        2,
+        2,
+        &[
+            "worker_death_mid_superstep_surfaces_as_kill_record_and_recovers",
+            "--exact",
+        ],
+    )
+    .faults(FaultSpec::kill_pe(1, 0))
+    .recovery(RecoverySpec::restart(2));
+    let run = spmd::run_forked(plan, exchange_body).expect("recovered forked run");
+    let expect: Vec<u64> = (0..4).map(|r| expected_sum(4, r)).collect();
+    assert_eq!(run.results, expect, "post-recovery exchange sums");
+    assert_eq!(run.recovery.restarts, 1, "{}", run.recovery);
+    assert_eq!(run.recovery.kills_observed.len(), 1);
+    let kill = &run.recovery.kills_observed[0];
+    assert_eq!(kill.pe, 1, "death note names the injected rank");
+    assert_eq!(kill.attempt, 0);
+    assert!(
+        kill.message.contains("kill_pe"),
+        "kill attributed to fault injection: {}",
+        kill.message
+    );
+}
+
+#[test]
+fn worker_death_without_recovery_is_a_typed_error() {
+    let plan = ForkPlan::new(
+        2,
+        1,
+        &["worker_death_without_recovery_is_a_typed_error", "--exact"],
+    )
+    .faults(FaultSpec::kill_pe(0, 0));
+    match spmd::run_forked(plan, exchange_body) {
+        Err(ShmemError::PePanicked { pe, message }) => {
+            assert_eq!(pe, 0);
+            assert!(message.contains("kill_pe"), "{message}");
+        }
+        other => panic!("expected PePanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_put_returns_segment_exhausted_in_threaded_mode() {
+    // A 2-node grid with a 64-byte ring: a 256-byte cross-node put cannot
+    // ever fit one frame, so the carry fails typed at initiation and the
+    // error surfaces through the ordinary put() result.
+    let harness = Harness::new(Grid::new(2, 1).unwrap())
+        .transport(TransportSpec::ipc_with_ring_bytes(64));
+    let checked = spmd::run(harness, |pe| {
+        let table = pe.alloc_sym::<u64>(64);
+        let verdict = if pe.rank() == 0 {
+            let big = [7u64; 32];
+            match table.put(pe, 1, 0, &big) {
+                Err(ShmemError::SegmentExhausted {
+                    needed,
+                    available,
+                    ring_bytes,
+                }) => {
+                    assert_eq!(ring_bytes, 64);
+                    assert!(needed > ring_bytes, "{needed} byte frame vs {ring_bytes}");
+                    assert!(available <= ring_bytes);
+                    true
+                }
+                other => panic!("expected SegmentExhausted, got {other:?}"),
+            }
+        } else {
+            false
+        };
+        pe.barrier_all();
+        verdict
+    })
+    .unwrap();
+    assert_eq!(checked, vec![true, false]);
+}
